@@ -1,0 +1,159 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assumption identifier.
+///
+/// In FLAMES an assumption is almost always "component *c* behaves
+/// correctly" (§6 of the paper: "an assumption might be the correct
+/// functioning of each component"), but the ATMS is agnostic: model
+/// validity, observation trust, or expert hypotheses work equally well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assumption(pub u32);
+
+impl Assumption {
+    /// The raw index of the assumption.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Assumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<u32> for Assumption {
+    fn from(id: u32) -> Self {
+        Assumption(id)
+    }
+}
+
+/// An interner mapping human-readable assumption names (e.g.
+/// `"Correct(R2)"`) to dense [`Assumption`] ids and back.
+///
+/// # Example
+///
+/// ```
+/// use flames_atms::AssumptionPool;
+///
+/// let mut pool = AssumptionPool::new();
+/// let r2 = pool.intern("Correct(R2)");
+/// assert_eq!(pool.intern("Correct(R2)"), r2); // idempotent
+/// assert_eq!(pool.name(r2), Some("Correct(R2)"));
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AssumptionPool {
+    names: Vec<String>,
+    by_name: HashMap<String, Assumption>,
+}
+
+impl AssumptionPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the assumption for `name`, creating it if unseen.
+    pub fn intern(&mut self, name: impl AsRef<str>) -> Assumption {
+        let name = name.as_ref();
+        if let Some(&a) = self.by_name.get(name) {
+            return a;
+        }
+        let a = Assumption(u32::try_from(self.names.len()).expect("fewer than 2^32 assumptions"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), a);
+        a
+    }
+
+    /// Looks an assumption up by name without creating it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Assumption> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an assumption, if it belongs to this pool.
+    #[must_use]
+    pub fn name(&self, a: Assumption) -> Option<&str> {
+        self.names.get(a.index()).map(String::as_str)
+    }
+
+    /// Number of interned assumptions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no assumption has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Assumption, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Assumption, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Assumption(i as u32), n.as_str()))
+    }
+
+    /// Renders an id set as a `{name, name, …}` string for reports.
+    #[must_use]
+    pub fn render(&self, assumptions: impl IntoIterator<Item = Assumption>) -> String {
+        let mut parts: Vec<&str> = assumptions
+            .into_iter()
+            .filter_map(|a| self.name(a))
+            .collect();
+        parts.sort_unstable();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut p = AssumptionPool::new();
+        let a = p.intern("Correct(R1)");
+        let b = p.intern("Correct(R2)");
+        assert_ne!(a, b);
+        assert_eq!(p.intern("Correct(R1)"), a);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let mut p = AssumptionPool::new();
+        let a = p.intern("Correct(T1)");
+        assert_eq!(p.get("Correct(T1)"), Some(a));
+        assert_eq!(p.get("Correct(T9)"), None);
+        assert_eq!(p.name(a), Some("Correct(T1)"));
+        assert_eq!(p.name(Assumption(99)), None);
+    }
+
+    #[test]
+    fn render_sorts_names() {
+        let mut p = AssumptionPool::new();
+        let r2 = p.intern("R2");
+        let r1 = p.intern("R1");
+        assert_eq!(p.render([r2, r1]), "{R1, R2}");
+        assert_eq!(p.render([]), "{}");
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut p = AssumptionPool::new();
+        p.intern("x");
+        p.intern("y");
+        let items: Vec<_> = p.iter().map(|(a, n)| (a.0, n.to_owned())).collect();
+        assert_eq!(items, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+        assert!(!p.is_empty());
+        assert!(AssumptionPool::new().is_empty());
+    }
+}

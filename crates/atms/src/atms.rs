@@ -1,0 +1,556 @@
+use crate::assumptions::Assumption;
+use crate::env::{minimize, Env};
+use crate::error::AtmsError;
+use crate::Result;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of an ATMS node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a justification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JustificationId(u32);
+
+#[derive(Debug, Clone)]
+struct Justification {
+    antecedents: Vec<NodeId>,
+    consequent: NodeId,
+    informant: String,
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: Vec<Env>,
+    /// Justifications in which this node is an antecedent.
+    consumers: Vec<JustificationId>,
+    is_contradiction: bool,
+    name: String,
+}
+
+/// A classic assumption-based truth maintenance system (de Kleer, 1986 —
+/// the paper's ref \[14\]).
+///
+/// * Nodes represent propositions; their *label* is the ⊆-minimal set of
+///   consistent assumption environments under which they hold.
+/// * [`Atms::justify`] records a Horn clause `antecedents ⇒ consequent` and
+///   incrementally updates every affected label.
+/// * Environments derived for a *contradiction node* become **nogoods**;
+///   every label is pruned of environments that contain a nogood.
+///
+/// Labels are kept *sound* (every environment derives the node), *minimal*
+/// (no environment contains another), and *consistent* (no environment
+/// contains a nogood) — the classical invariants.
+///
+/// # Example
+///
+/// ```
+/// use flames_atms::{Atms, Env};
+///
+/// # fn main() -> Result<(), flames_atms::AtmsError> {
+/// let mut atms = Atms::new();
+/// let a = atms.add_assumption("a");
+/// let b = atms.add_assumption("b");
+/// let (na, _) = (atms.assumption_node(a), atms.assumption_node(b));
+/// let goal = atms.add_node("goal");
+/// atms.justify([na], goal, "a alone proves goal")?;
+/// assert!(atms.holds_under(goal, &Env::singleton(a))?);
+/// assert!(!atms.holds_under(goal, &Env::singleton(b))?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Atms {
+    nodes: Vec<NodeData>,
+    justifications: Vec<Justification>,
+    nogoods: Vec<Env>,
+    assumption_nodes: Vec<NodeId>,
+}
+
+impl Atms {
+    /// Creates an empty ATMS.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an ordinary node (initially labelled `{}` — not believed).
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(name.into(), Vec::new(), false)
+    }
+
+    /// Adds a *premise* node: true in every environment (label `{{}}`).
+    pub fn add_premise(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(name.into(), vec![Env::empty()], false)
+    }
+
+    /// Adds a contradiction node: environments derived for it become
+    /// nogoods.
+    pub fn add_contradiction(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push_node(name.into(), Vec::new(), false);
+        self.nodes[id.index()].is_contradiction = true;
+        id
+    }
+
+    /// Creates a fresh assumption together with its node (labelled with the
+    /// singleton environment).
+    pub fn add_assumption(&mut self, name: impl Into<String>) -> Assumption {
+        let a = Assumption(u32::try_from(self.assumption_nodes.len()).expect("< 2^32 assumptions"));
+        let name = name.into();
+        let node = self.push_node(name, vec![Env::singleton(a)], false);
+        self.assumption_nodes.push(node);
+        a
+    }
+
+    /// The node asserting an assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assumption does not belong to this ATMS.
+    #[must_use]
+    pub fn assumption_node(&self, a: Assumption) -> NodeId {
+        self.assumption_nodes[a.index()]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The name a node was created with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn node_name(&self, node: NodeId) -> Result<&str> {
+        self.node(node).map(|n| n.name.as_str())
+    }
+
+    /// Records the Horn justification `antecedents ⇒ consequent` and
+    /// propagates labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id, or
+    /// [`AtmsError::SelfJustification`] when the consequent appears among
+    /// its own antecedents.
+    pub fn justify(
+        &mut self,
+        antecedents: impl IntoIterator<Item = NodeId>,
+        consequent: NodeId,
+        informant: impl Into<String>,
+    ) -> Result<JustificationId> {
+        let antecedents: Vec<NodeId> = antecedents.into_iter().collect();
+        self.node(consequent)?;
+        for &a in &antecedents {
+            self.node(a)?;
+            if a == consequent {
+                return Err(AtmsError::SelfJustification {
+                    index: consequent.index(),
+                });
+            }
+        }
+        let jid = JustificationId(u32::try_from(self.justifications.len()).expect("< 2^32"));
+        for &a in &antecedents {
+            self.nodes[a.index()].consumers.push(jid);
+        }
+        self.justifications.push(Justification {
+            antecedents,
+            consequent,
+            informant: informant.into(),
+        });
+        self.propagate_from(jid);
+        Ok(jid)
+    }
+
+    /// The informant string recorded with a justification.
+    #[must_use]
+    pub fn informant(&self, jid: JustificationId) -> &str {
+        &self.justifications[jid.0 as usize].informant
+    }
+
+    /// The current label of a node: the minimal consistent environments
+    /// under which it holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn label(&self, node: NodeId) -> Result<&[Env]> {
+        self.node(node).map(|n| n.label.as_slice())
+    }
+
+    /// True if the node holds under the given environment (some label
+    /// environment is a subset of `env`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn holds_under(&self, node: NodeId, env: &Env) -> Result<bool> {
+        Ok(self
+            .node(node)?
+            .label
+            .iter()
+            .any(|e| e.is_subset_of(env)))
+    }
+
+    /// The minimal nogoods discovered so far.
+    #[must_use]
+    pub fn nogoods(&self) -> &[Env] {
+        &self.nogoods
+    }
+
+    /// True if `env` contains no nogood.
+    #[must_use]
+    pub fn is_consistent(&self, env: &Env) -> bool {
+        !self.nogoods.iter().any(|n| n.is_subset_of(env))
+    }
+
+    /// Directly asserts an environment as contradictory (used when the
+    /// conflict is detected outside the network, e.g. by the coincidence
+    /// engine).
+    pub fn add_nogood(&mut self, env: Env) {
+        self.install_nogood(env);
+    }
+
+    /// De Kleer's *interpretation construction*: the maximal consistent
+    /// assumption environments. By hitting-set duality an interpretation
+    /// is exactly the complement of a minimal hitting set (diagnosis) of
+    /// the nogoods; with no nogoods the sole interpretation is the full
+    /// assumption set.
+    ///
+    /// `max_count` caps the enumeration.
+    #[must_use]
+    pub fn interpretations(&self, max_count: usize) -> Vec<Env> {
+        let universe: Vec<Assumption> =
+            (0..self.assumption_nodes.len() as u32).map(Assumption).collect();
+        crate::hitting::minimal_hitting_sets(&self.nogoods, usize::MAX, max_count)
+            .into_iter()
+            .take(max_count)
+            .map(|hs| {
+                Env::from_assumptions(
+                    universe.iter().copied().filter(|a| !hs.contains(*a)),
+                )
+            })
+            .collect()
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn node(&self, id: NodeId) -> Result<&NodeData> {
+        self.nodes.get(id.index()).ok_or(AtmsError::UnknownNode {
+            index: id.index(),
+        })
+    }
+
+    fn push_node(&mut self, name: String, label: Vec<Env>, is_contradiction: bool) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("< 2^32 nodes"));
+        self.nodes.push(NodeData {
+            label,
+            consumers: Vec::new(),
+            is_contradiction,
+            name,
+        });
+        id
+    }
+
+    /// Label-update loop: recompute the consequent of `start` and ripple
+    /// through consumers until a fixpoint.
+    fn propagate_from(&mut self, start: JustificationId) {
+        let mut queue: VecDeque<JustificationId> = VecDeque::new();
+        queue.push_back(start);
+        while let Some(jid) = queue.pop_front() {
+            let j = self.justifications[jid.0 as usize].clone();
+            // Candidate environments: minimal unions across antecedent labels.
+            let mut candidates = vec![Env::empty()];
+            let mut dead = false;
+            for &a in &j.antecedents {
+                let label = &self.nodes[a.index()].label;
+                if label.is_empty() {
+                    dead = true;
+                    break;
+                }
+                let mut next = Vec::with_capacity(candidates.len() * label.len());
+                for c in &candidates {
+                    for e in label {
+                        next.push(c.union(e));
+                    }
+                }
+                candidates = minimize(next);
+            }
+            if dead {
+                continue;
+            }
+            candidates.retain(|e| self.is_consistent(e));
+            if candidates.is_empty() {
+                continue;
+            }
+            if self.nodes[j.consequent.index()].is_contradiction {
+                for env in candidates {
+                    self.install_nogood(env);
+                }
+                continue;
+            }
+            let changed = self.merge_label(j.consequent, candidates);
+            if changed {
+                for &c in &self.nodes[j.consequent.index()].consumers {
+                    if !queue.contains(&c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges candidate environments into a node's label, keeping it
+    /// minimal; returns whether the label gained any environment.
+    fn merge_label(&mut self, node: NodeId, candidates: Vec<Env>) -> bool {
+        let label = &mut self.nodes[node.index()].label;
+        let before = label.clone();
+        let mut all = before.clone();
+        all.extend(candidates);
+        let merged = minimize(all);
+        let changed = merged.iter().any(|e| !before.contains(e));
+        self.nodes[node.index()].label = merged;
+        changed
+    }
+
+    /// Installs a new nogood (if not subsumed), minimizes the nogood set,
+    /// and prunes every label.
+    fn install_nogood(&mut self, env: Env) {
+        if self.nogoods.iter().any(|n| n.is_subset_of(&env)) {
+            return;
+        }
+        self.nogoods.retain(|n| !env.is_subset_of(n));
+        self.nogoods.push(env);
+        for node in &mut self.nodes {
+            let nogoods = &self.nogoods;
+            node.label
+                .retain(|e| !nogoods.iter().any(|n| n.is_subset_of(e)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a ∧ b ⇒ g; the label of g is {{a, b}}.
+    #[test]
+    fn conjunction_label() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let g = atms.add_node("g");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        atms.justify([na, nb], g, "and").unwrap();
+        assert_eq!(
+            atms.label(g).unwrap(),
+            &[Env::from_assumptions([a, b])]
+        );
+    }
+
+    /// Two independent derivations produce a two-environment label; a
+    /// subsuming derivation collapses it.
+    #[test]
+    fn label_minimality() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let g = atms.add_node("g");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        atms.justify([na, nb], g, "both").unwrap();
+        assert_eq!(atms.label(g).unwrap().len(), 1);
+        // Now a alone suffices: {a} subsumes {a, b}.
+        atms.justify([na], g, "a alone").unwrap();
+        assert_eq!(atms.label(g).unwrap(), &[Env::singleton(a)]);
+    }
+
+    /// Chained justifications ripple labels through intermediate nodes.
+    #[test]
+    fn chained_propagation() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let mid = atms.add_node("mid");
+        let out = atms.add_node("out");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        atms.justify([na], mid, "a=>mid").unwrap();
+        atms.justify([mid, nb], out, "mid&b=>out").unwrap();
+        assert_eq!(
+            atms.label(out).unwrap(),
+            &[Env::from_assumptions([a, b])]
+        );
+        // Adding a second route to mid extends out's label too.
+        let c = atms.add_assumption("c");
+        let nc = atms.assumption_node(c);
+        atms.justify([nc], mid, "c=>mid").unwrap();
+        let out_label = atms.label(out).unwrap();
+        assert_eq!(out_label.len(), 2);
+        assert!(out_label.contains(&Env::from_assumptions([a, b])));
+        assert!(out_label.contains(&Env::from_assumptions([c, b])));
+    }
+
+    /// Premises hold everywhere and vanish from environments.
+    #[test]
+    fn premises_are_free() {
+        let mut atms = Atms::new();
+        let p = atms.add_premise("ohm's law");
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let g = atms.add_node("g");
+        atms.justify([p, na], g, "premise & a").unwrap();
+        assert_eq!(atms.label(g).unwrap(), &[Env::singleton(a)]);
+    }
+
+    /// Contradiction nodes yield nogoods and prune labels.
+    #[test]
+    fn nogood_pruning() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let g = atms.add_node("g");
+        let bottom = atms.add_contradiction("⊥");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        atms.justify([na, nb], g, "and").unwrap();
+        assert_eq!(atms.label(g).unwrap().len(), 1);
+        // a ∧ b is contradictory.
+        atms.justify([na, nb], bottom, "conflict").unwrap();
+        assert_eq!(atms.nogoods(), &[Env::from_assumptions([a, b])]);
+        assert!(atms.label(g).unwrap().is_empty());
+        assert!(!atms.is_consistent(&Env::from_assumptions([a, b])));
+        assert!(atms.is_consistent(&Env::singleton(a)));
+    }
+
+    /// New derivations landing inside an existing nogood are stillborn.
+    #[test]
+    fn derivation_blocked_by_existing_nogood() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        let bottom = atms.add_contradiction("⊥");
+        atms.justify([na, nb], bottom, "conflict").unwrap();
+        let g = atms.add_node("g");
+        atms.justify([na, nb], g, "and").unwrap();
+        assert!(atms.label(g).unwrap().is_empty());
+    }
+
+    /// Nogood set stays minimal: a subset nogood subsumes a superset one.
+    #[test]
+    fn nogood_minimality() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        atms.add_nogood(Env::from_assumptions([a, b]));
+        atms.add_nogood(Env::singleton(a));
+        assert_eq!(atms.nogoods(), &[Env::singleton(a)]);
+        // Installing a superset later is a no-op.
+        atms.add_nogood(Env::from_assumptions([a, b]));
+        assert_eq!(atms.nogoods().len(), 1);
+    }
+
+    #[test]
+    fn holds_under_queries() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let g = atms.add_node("g");
+        let na = atms.assumption_node(a);
+        atms.justify([na], g, "a=>g").unwrap();
+        assert!(atms.holds_under(g, &Env::from_assumptions([a, b])).unwrap());
+        assert!(!atms.holds_under(g, &Env::singleton(b)).unwrap());
+    }
+
+    #[test]
+    fn rejects_foreign_and_self_referential() {
+        let mut atms = Atms::new();
+        let g = atms.add_node("g");
+        let bogus = NodeId(99);
+        assert!(matches!(
+            atms.justify([bogus], g, "x"),
+            Err(AtmsError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            atms.justify([g], g, "loop"),
+            Err(AtmsError::SelfJustification { .. })
+        ));
+        assert!(atms.label(bogus).is_err());
+        assert!(atms.node_name(bogus).is_err());
+    }
+
+    /// The de Kleer two-inverter standard: with assumptions {i1 ok, i2 ok}
+    /// and observed inconsistency, the candidate space behaves.
+    #[test]
+    fn diagnosis_flavoured_scenario() {
+        let mut atms = Atms::new();
+        let ok1 = atms.add_assumption("ok(inv1)");
+        let ok2 = atms.add_assumption("ok(inv2)");
+        let (n1, n2) = (atms.assumption_node(ok1), atms.assumption_node(ok2));
+        let out_predicted = atms.add_node("out=1");
+        atms.justify([n1, n2], out_predicted, "model").unwrap();
+        // Observation contradicts the prediction.
+        let bottom = atms.add_contradiction("⊥");
+        atms.justify([out_predicted], bottom, "out measured 0").unwrap();
+        assert_eq!(atms.nogoods().len(), 1);
+        assert_eq!(atms.nogoods()[0], Env::from_assumptions([ok1, ok2]));
+    }
+
+    #[test]
+    fn interpretations_are_maximal_consistent() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let c = atms.add_assumption("c");
+        // No conflicts: the full set is the unique interpretation.
+        assert_eq!(
+            atms.interpretations(10),
+            vec![Env::from_assumptions([a, b, c])]
+        );
+        // a ∧ b contradictory: interpretations {a, c} and {b, c}.
+        atms.add_nogood(Env::from_assumptions([a, b]));
+        let mut interps = atms.interpretations(10);
+        interps.sort();
+        assert_eq!(interps.len(), 2);
+        assert!(interps.contains(&Env::from_assumptions([a, c])));
+        assert!(interps.contains(&Env::from_assumptions([b, c])));
+        for i in &interps {
+            assert!(atms.is_consistent(i));
+            // Maximality: adding any missing assumption breaks consistency.
+            for x in [a, b, c] {
+                if !i.contains(x) {
+                    assert!(!atms.is_consistent(&i.with(x)));
+                }
+            }
+        }
+        // Cap respected.
+        assert_eq!(atms.interpretations(1).len(), 1);
+    }
+
+    #[test]
+    fn informant_is_retained() {
+        let mut atms = Atms::new();
+        let a = atms.add_assumption("a");
+        let g = atms.add_node("g");
+        let na = atms.assumption_node(a);
+        let j = atms.justify([na], g, "because physics").unwrap();
+        assert_eq!(atms.informant(j), "because physics");
+        assert_eq!(atms.node_name(g).unwrap(), "g");
+        assert_eq!(atms.node_count(), 2);
+    }
+}

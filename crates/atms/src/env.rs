@@ -1,0 +1,295 @@
+use crate::assumptions::Assumption;
+use std::fmt;
+
+/// An *environment*: a set of assumptions, stored as a sorted, deduplicated
+/// vector of assumption ids.
+///
+/// Environments are the currency of the ATMS — node labels are sets of
+/// environments, conflicts are environments (nogoods), and diagnoses are
+/// environments (hitting sets of the nogoods). They are small in practice
+/// (a handful of component-correctness assumptions), so a sorted `Vec`
+/// outperforms heavier set types while keeping subset tests `O(n + m)`.
+///
+/// # Example
+///
+/// ```
+/// use flames_atms::Env;
+///
+/// let ab = Env::from_ids([0, 1]);
+/// let abc = Env::from_ids([2, 1, 0]); // order and duplicates are normalized
+/// assert!(ab.is_subset_of(&abc));
+/// assert_eq!(ab.union(&abc), abc);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Env {
+    ids: Vec<u32>,
+}
+
+impl Env {
+    /// The empty environment (holds universally).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A singleton environment.
+    #[must_use]
+    pub fn singleton(a: Assumption) -> Self {
+        Self { ids: vec![a.0] }
+    }
+
+    /// Builds an environment from raw assumption ids, sorting and
+    /// deduplicating them.
+    #[must_use]
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut ids: Vec<u32> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Builds an environment from assumptions.
+    #[must_use]
+    pub fn from_assumptions(assumptions: impl IntoIterator<Item = Assumption>) -> Self {
+        Self::from_ids(assumptions.into_iter().map(|a| a.0))
+    }
+
+    /// Number of assumptions in the environment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for the empty environment.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True if the environment contains `a`.
+    #[must_use]
+    pub fn contains(&self, a: Assumption) -> bool {
+        self.ids.binary_search(&a.0).is_ok()
+    }
+
+    /// Iterates over the assumptions in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Assumption> + '_ {
+        self.ids.iter().map(|&id| Assumption(id))
+    }
+
+    /// Set union (the environment of a conjunction of antecedents).
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut ids = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    ids.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    ids.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    ids.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ids.extend_from_slice(&self.ids[i..]);
+        ids.extend_from_slice(&other.ids[j..]);
+        Self { ids }
+    }
+
+    /// Subset test (`self ⊆ other`); `O(|self| + |other|)`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        if self.ids.len() > other.ids.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &id in &self.ids {
+            loop {
+                if j == other.ids.len() {
+                    return false;
+                }
+                match other.ids[j].cmp(&id) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the two environments share at least one assumption — i.e.
+    /// `self` *hits* the conflict set `other`.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Returns `self` with assumption `a` added.
+    #[must_use]
+    pub fn with(&self, a: Assumption) -> Self {
+        if self.contains(a) {
+            return self.clone();
+        }
+        let pos = self.ids.partition_point(|&id| id < a.0);
+        let mut ids = self.ids.clone();
+        ids.insert(pos, a.0);
+        Self { ids }
+    }
+
+    /// Returns `self` with assumption `a` removed (if present).
+    #[must_use]
+    pub fn without(&self, a: Assumption) -> Self {
+        Self {
+            ids: self.ids.iter().copied().filter(|&id| id != a.0).collect(),
+        }
+    }
+}
+
+impl FromIterator<Assumption> for Env {
+    fn from_iter<I: IntoIterator<Item = Assumption>>(iter: I) -> Self {
+        Self::from_assumptions(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Env {
+    type Item = Assumption;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u32>, fn(&u32) -> Assumption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().map(|&id| Assumption(id))
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, id) in self.ids.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "A{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Removes every environment that is a proper superset of another in the
+/// list (and exact duplicates), leaving the ⊆-minimal antichain.
+///
+/// Used for label minimization and nogood-set maintenance.
+#[must_use]
+pub fn minimize(mut envs: Vec<Env>) -> Vec<Env> {
+    envs.sort_by_key(Env::len);
+    let mut keep: Vec<Env> = Vec::with_capacity(envs.len());
+    for e in envs {
+        if !keep.iter().any(|k| k.is_subset_of(&e)) {
+            keep.push(e);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ids: &[u32]) -> Env {
+        Env::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(env(&[3, 1, 2, 1]), env(&[1, 2, 3]));
+        assert_eq!(Env::empty().len(), 0);
+        assert!(Env::empty().is_empty());
+        assert_eq!(Env::singleton(Assumption(5)), env(&[5]));
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        assert_eq!(env(&[1, 3]).union(&env(&[2, 3, 4])), env(&[1, 2, 3, 4]));
+        assert_eq!(Env::empty().union(&env(&[7])), env(&[7]));
+        assert_eq!(env(&[7]).union(&Env::empty()), env(&[7]));
+    }
+
+    #[test]
+    fn subset_tests() {
+        assert!(Env::empty().is_subset_of(&env(&[1])));
+        assert!(env(&[1, 3]).is_subset_of(&env(&[1, 2, 3])));
+        assert!(!env(&[1, 4]).is_subset_of(&env(&[1, 2, 3])));
+        assert!(!env(&[1, 2, 3]).is_subset_of(&env(&[1, 2])));
+        assert!(env(&[2]).is_subset_of(&env(&[2])));
+    }
+
+    #[test]
+    fn intersects_detects_hits() {
+        assert!(env(&[1, 5]).intersects(&env(&[5, 9])));
+        assert!(!env(&[1, 5]).intersects(&env(&[2, 9])));
+        assert!(!Env::empty().intersects(&env(&[1])));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let e = env(&[1, 3]);
+        assert_eq!(e.with(Assumption(2)), env(&[1, 2, 3]));
+        assert_eq!(e.with(Assumption(3)), e);
+        assert_eq!(e.without(Assumption(3)), env(&[1]));
+        assert_eq!(e.without(Assumption(9)), e);
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let e = env(&[2, 4]);
+        assert!(e.contains(Assumption(2)));
+        assert!(!e.contains(Assumption(3)));
+        let ids: Vec<u32> = e.iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![2, 4]);
+        let collected: Env = e.iter().collect();
+        assert_eq!(collected, e);
+    }
+
+    #[test]
+    fn minimize_keeps_antichain() {
+        let out = minimize(vec![
+            env(&[1, 2, 3]),
+            env(&[1, 2]),
+            env(&[4]),
+            env(&[1, 2]),
+            env(&[4, 5]),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&env(&[1, 2])));
+        assert!(out.contains(&env(&[4])));
+    }
+
+    #[test]
+    fn minimize_empty_env_dominates_all() {
+        let out = minimize(vec![env(&[1]), Env::empty(), env(&[2, 3])]);
+        assert_eq!(out, vec![Env::empty()]);
+    }
+
+    #[test]
+    fn display_renders_ids() {
+        assert_eq!(format!("{}", env(&[1, 2])), "{A1, A2}");
+        assert_eq!(format!("{}", Env::empty()), "{}");
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors produced by the truth-maintenance engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtmsError {
+    /// A node id did not belong to this ATMS instance.
+    UnknownNode {
+        /// The out-of-range node index.
+        index: usize,
+    },
+    /// A justification referenced its own consequent among its antecedents.
+    SelfJustification {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A degree outside `[0, 1]` was supplied for a clause or nogood.
+    InvalidDegree {
+        /// The offending degree.
+        degree_millis: i64,
+    },
+}
+
+impl AtmsError {
+    pub(crate) fn invalid_degree(degree: f64) -> Self {
+        AtmsError::InvalidDegree {
+            degree_millis: (degree * 1000.0) as i64,
+        }
+    }
+}
+
+impl fmt::Display for AtmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmsError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            AtmsError::SelfJustification { index } => {
+                write!(f, "node {index} cannot justify itself")
+            }
+            AtmsError::InvalidDegree { degree_millis } => write!(
+                f,
+                "degree {} is outside the unit interval",
+                *degree_millis as f64 / 1000.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AtmsError {}

@@ -1,0 +1,809 @@
+use crate::assumptions::Assumption;
+use crate::env::Env;
+use crate::error::AtmsError;
+use crate::hitting::minimal_hitting_sets;
+use crate::Result;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Triangular norm used to combine certainty degrees along a derivation.
+///
+/// The paper combines degrees possibilistically; `Min` is the standard
+/// possibilistic (Gödel) t-norm and the default. `Product` is offered as an
+/// ablation knob (experiment E5/ablation bench): it compounds doubt along
+/// long derivation chains instead of remembering only the weakest link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TNorm {
+    /// Gödel / possibilistic `min(a, b)` (default).
+    #[default]
+    Min,
+    /// Probabilistic-style product `a · b`.
+    Product,
+}
+
+impl TNorm {
+    /// Combines two degrees.
+    #[must_use]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            TNorm::Min => a.min(b),
+            TNorm::Product => a * b,
+        }
+    }
+}
+
+/// An environment together with the certainty degree of its derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedEnv {
+    /// The assumption set.
+    pub env: Env,
+    /// Certainty that the node holds under `env`, in `(0, 1]`.
+    pub degree: f64,
+}
+
+/// A graded conflict: "the assumptions in `env` cannot all hold — with
+/// membership degree `degree`" (§6.1.3 of the paper: a conflict indicates a
+/// nogood with degree 1, a *partial* conflict a nogood with degree < 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nogood {
+    /// The conflicting assumption set.
+    pub env: Env,
+    /// Conflict strength in `(0, 1]` (`1 − Dc` for coincidence conflicts).
+    pub degree: f64,
+}
+
+impl fmt::Display for Nogood {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nogood {} @ {:.2}", self.env, self.degree)
+    }
+}
+
+/// A diagnosis candidate with its ranking degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedDiagnosis {
+    /// The candidate set of (assumptions naming) faulty components.
+    pub env: Env,
+    /// Seriousness of the candidate: the weakest suspicion among its
+    /// members, where a member's suspicion is the strongest conflict that
+    /// implicates it.
+    pub degree: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FuzzyJustification {
+    antecedents: Vec<NodeRef>,
+    consequent: NodeRef,
+    degree: f64,
+    informant: String,
+}
+
+/// Internal node reference for the fuzzy engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The raw index of the node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FuzzyNode {
+    label: Vec<WeightedEnv>,
+    consumers: Vec<u32>,
+    is_contradiction: bool,
+    name: String,
+}
+
+/// The **fuzzy ATMS** — the kernel of FLAMES (§6 of the paper).
+///
+/// Differences from the classic [`crate::Atms`]:
+///
+/// * justifications carry a certainty degree (*possibilistic clauses*, the
+///   paper's ref \[13\]), so expert rules and fault models "with certainty
+///   degrees" enter the same machinery as hard circuit laws;
+/// * every label environment carries the degree of its derivation
+///   (combined with the configured [`TNorm`]); labels are kept
+///   *Pareto-minimal*: an environment survives unless a subset environment
+///   derives the node at least as strongly;
+/// * nogoods are graded. A **total** conflict (degree ≥ the kill
+///   threshold, default 1) erases matching environments like a classic
+///   nogood; a **partial** conflict only depresses their
+///   [plausibility](FuzzyAtms::plausibility) — "the possibility to give the
+///   user a list of nogoods sorted according to their consistency degrees
+///   … allows to restrict the effect of explosion".
+///
+/// # Example
+///
+/// The paper's Fig. 5 with fuzzy degrees:
+///
+/// ```
+/// use flames_atms::{Env, FuzzyAtms};
+///
+/// let mut atms = FuzzyAtms::new();
+/// let d1 = atms.add_assumption("d1");
+/// let r1 = atms.add_assumption("r1");
+/// let r2 = atms.add_assumption("r2");
+/// atms.add_nogood(Env::from_assumptions([r1, d1]), 0.5);
+/// atms.add_nogood(Env::from_assumptions([r2, d1]), 1.0);
+/// let diags = atms.ranked_diagnoses(usize::MAX, 100);
+/// // [d1] explains everything and is implicated by a degree-1 conflict.
+/// assert_eq!(diags[0].env, Env::singleton(d1));
+/// assert_eq!(diags[0].degree, 1.0);
+/// // The double fault [r1, r2] is weakened by r1's 0.5 suspicion.
+/// assert_eq!(diags[1].env, Env::from_assumptions([r1, r2]));
+/// assert_eq!(diags[1].degree, 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuzzyAtms {
+    nodes: Vec<FuzzyNode>,
+    justifications: Vec<FuzzyJustification>,
+    nogoods: Vec<Nogood>,
+    assumption_nodes: Vec<NodeRef>,
+    tnorm: TNorm,
+    kill_threshold: f64,
+}
+
+impl Default for FuzzyAtms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FuzzyAtms {
+    /// Creates an empty fuzzy ATMS with the `Min` t-norm and a kill
+    /// threshold of 1 (only total conflicts erase environments).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            justifications: Vec::new(),
+            nogoods: Vec::new(),
+            assumption_nodes: Vec::new(),
+            tnorm: TNorm::Min,
+            kill_threshold: 1.0,
+        }
+    }
+
+    /// Selects the t-norm combining degrees along derivations.
+    #[must_use]
+    pub fn with_tnorm(mut self, tnorm: TNorm) -> Self {
+        self.tnorm = tnorm;
+        self
+    }
+
+    /// Sets the conflict degree at (or above) which a nogood erases
+    /// matching environments instead of merely grading them. Clamped to
+    /// `(0, 1]`. Lowering it trades completeness for explosion control —
+    /// the E6 experiment's knob.
+    #[must_use]
+    pub fn with_kill_threshold(mut self, threshold: f64) -> Self {
+        self.kill_threshold = threshold.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// The configured t-norm.
+    #[must_use]
+    pub fn tnorm(&self) -> TNorm {
+        self.tnorm
+    }
+
+    /// The configured kill threshold.
+    #[must_use]
+    pub fn kill_threshold(&self) -> f64 {
+        self.kill_threshold
+    }
+
+    /// Adds an ordinary node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeRef {
+        self.push_node(name.into(), Vec::new(), false)
+    }
+
+    /// Adds a premise node (true everywhere with degree 1).
+    pub fn add_premise(&mut self, name: impl Into<String>) -> NodeRef {
+        self.push_node(
+            name.into(),
+            vec![WeightedEnv {
+                env: Env::empty(),
+                degree: 1.0,
+            }],
+            false,
+        )
+    }
+
+    /// Adds a contradiction node; environments derived for it become
+    /// graded nogoods (degree = derivation degree).
+    pub fn add_contradiction(&mut self, name: impl Into<String>) -> NodeRef {
+        let id = self.push_node(name.into(), Vec::new(), false);
+        self.nodes[id.index()].is_contradiction = true;
+        id
+    }
+
+    /// Creates a fresh assumption with its singleton-labelled node.
+    pub fn add_assumption(&mut self, name: impl Into<String>) -> Assumption {
+        let a = Assumption(u32::try_from(self.assumption_nodes.len()).expect("< 2^32"));
+        let node = self.push_node(
+            name.into(),
+            vec![WeightedEnv {
+                env: Env::singleton(a),
+                degree: 1.0,
+            }],
+            false,
+        );
+        self.assumption_nodes.push(node);
+        a
+    }
+
+    /// The node asserting an assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assumption does not belong to this engine.
+    #[must_use]
+    pub fn assumption_node(&self, a: Assumption) -> NodeRef {
+        self.assumption_nodes[a.index()]
+    }
+
+    /// Records a certain Horn justification (degree 1).
+    ///
+    /// # Errors
+    ///
+    /// See [`FuzzyAtms::justify_weighted`].
+    pub fn justify(
+        &mut self,
+        antecedents: impl IntoIterator<Item = NodeRef>,
+        consequent: NodeRef,
+        informant: impl Into<String>,
+    ) -> Result<()> {
+        self.justify_weighted(antecedents, consequent, 1.0, informant)
+    }
+
+    /// Records a *possibilistic clause* `antecedents ⇒ consequent` with a
+    /// certainty `degree` in `(0, 1]` — the mechanism by which "the expert
+    /// adds rules of faulty estimations or builds component's fault models
+    /// with certainty degrees" (§6.1.3).
+    ///
+    /// # Errors
+    ///
+    /// * [`AtmsError::InvalidDegree`] for a degree outside `(0, 1]`;
+    /// * [`AtmsError::UnknownNode`] for a foreign node;
+    /// * [`AtmsError::SelfJustification`] if the consequent is among the
+    ///   antecedents.
+    pub fn justify_weighted(
+        &mut self,
+        antecedents: impl IntoIterator<Item = NodeRef>,
+        consequent: NodeRef,
+        degree: f64,
+        informant: impl Into<String>,
+    ) -> Result<()> {
+        if !(degree > 0.0 && degree <= 1.0) {
+            return Err(AtmsError::invalid_degree(degree));
+        }
+        let antecedents: Vec<NodeRef> = antecedents.into_iter().collect();
+        self.check_node(consequent)?;
+        for &a in &antecedents {
+            self.check_node(a)?;
+            if a == consequent {
+                return Err(AtmsError::SelfJustification {
+                    index: consequent.index(),
+                });
+            }
+        }
+        let jid = u32::try_from(self.justifications.len()).expect("< 2^32");
+        for &a in &antecedents {
+            self.nodes[a.index()].consumers.push(jid);
+        }
+        self.justifications.push(FuzzyJustification {
+            antecedents,
+            consequent,
+            degree,
+            informant: informant.into(),
+        });
+        self.propagate_from(jid);
+        Ok(())
+    }
+
+    /// The Pareto-minimal weighted label of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn label(&self, node: NodeRef) -> Result<&[WeightedEnv]> {
+        self.check_node(node)?;
+        Ok(&self.nodes[node.index()].label)
+    }
+
+    /// The name a node was created with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn node_name(&self, node: NodeRef) -> Result<&str> {
+        self.check_node(node)?;
+        Ok(&self.nodes[node.index()].name)
+    }
+
+    /// The informants of the justifications recorded so far, in insertion
+    /// order (provenance for reports).
+    pub fn informants(&self) -> impl Iterator<Item = &str> {
+        self.justifications.iter().map(|j| j.informant.as_str())
+    }
+
+    /// The degree to which `node` holds under `env`: the best derivation
+    /// degree among label environments contained in `env`, graded down by
+    /// the plausibility of `env` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
+    pub fn holds_degree(&self, node: NodeRef, env: &Env) -> Result<f64> {
+        self.check_node(node)?;
+        let best = self.nodes[node.index()]
+            .label
+            .iter()
+            .filter(|we| we.env.is_subset_of(env))
+            .map(|we| we.degree)
+            .fold(0.0, f64::max);
+        Ok(self.tnorm.combine(best, self.plausibility(env)))
+    }
+
+    /// Installs a graded nogood directly (the coincidence engine's entry
+    /// point: `degree = 1 − Dc`).
+    ///
+    /// Degrees ≤ 0 are ignored (no conflict); degrees are clamped to 1.
+    pub fn add_nogood(&mut self, env: Env, degree: f64) {
+        if degree <= 0.0 {
+            return;
+        }
+        self.install_nogood(Nogood {
+            env,
+            degree: degree.min(1.0),
+        });
+    }
+
+    /// The current nogood store (Pareto-minimal: no nogood has a subset
+    /// nogood at least as strong).
+    #[must_use]
+    pub fn nogoods(&self) -> &[Nogood] {
+        &self.nogoods
+    }
+
+    /// The nogoods sorted by decreasing conflict degree — the list FLAMES
+    /// shows the expert (§6.1.3).
+    #[must_use]
+    pub fn sorted_nogoods(&self) -> Vec<Nogood> {
+        let mut ns = self.nogoods.clone();
+        ns.sort_by(|a, b| {
+            b.degree
+                .partial_cmp(&a.degree)
+                .expect("degrees are finite")
+                .then_with(|| a.env.cmp(&b.env))
+        });
+        ns
+    }
+
+    /// Plausibility of an environment: `1 − max{degree(N) : N ⊆ env}`
+    /// (1 when no nogood applies).
+    #[must_use]
+    pub fn plausibility(&self, env: &Env) -> f64 {
+        1.0 - self
+            .nogoods
+            .iter()
+            .filter(|n| n.env.is_subset_of(env))
+            .map(|n| n.degree)
+            .fold(0.0, f64::max)
+    }
+
+    /// Suspicion of a single assumption: the strongest conflict that
+    /// implicates it (0 when none does).
+    #[must_use]
+    pub fn suspicion(&self, a: Assumption) -> f64 {
+        self.nogoods
+            .iter()
+            .filter(|n| n.env.contains(a))
+            .map(|n| n.degree)
+            .fold(0.0, f64::max)
+    }
+
+    /// Diagnosis candidates: minimal hitting sets of all recorded nogoods,
+    /// ranked by decreasing degree (then by size, then lexicographically).
+    ///
+    /// A candidate's degree is the *weakest suspicion among its members* —
+    /// a double fault is only as serious as its least-implicated component.
+    /// This reproduces the paper's Fig. 5 ordering, where `[d1]` (hit by a
+    /// degree-1 conflict) outranks `[r1, r2]` (dragged down by r1's 0.5).
+    #[must_use]
+    pub fn ranked_diagnoses(&self, max_size: usize, max_count: usize) -> Vec<RankedDiagnosis> {
+        let conflict_envs: Vec<Env> = self.nogoods.iter().map(|n| n.env.clone()).collect();
+        let sets = minimal_hitting_sets(&conflict_envs, max_size, max_count);
+        let mut out: Vec<RankedDiagnosis> = sets
+            .into_iter()
+            .filter(|env| !env.is_empty())
+            .map(|env| {
+                let degree = env
+                    .iter()
+                    .map(|a| self.suspicion(a))
+                    .fold(1.0, f64::min);
+                RankedDiagnosis { env, degree }
+            })
+            .collect();
+        out.sort_by(|p, q| {
+            q.degree
+                .partial_cmp(&p.degree)
+                .expect("degrees are finite")
+                .then_with(|| p.env.len().cmp(&q.env.len()))
+                .then_with(|| p.env.cmp(&q.env))
+        });
+        out
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn check_node(&self, id: NodeRef) -> Result<()> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(AtmsError::UnknownNode { index: id.index() })
+        }
+    }
+
+    fn push_node(&mut self, name: String, label: Vec<WeightedEnv>, is_contradiction: bool) -> NodeRef {
+        let id = NodeRef(u32::try_from(self.nodes.len()).expect("< 2^32 nodes"));
+        self.nodes.push(FuzzyNode {
+            label,
+            consumers: Vec::new(),
+            is_contradiction,
+            name,
+        });
+        id
+    }
+
+    /// True when an environment is erased outright by a strong nogood.
+    fn is_killed(&self, env: &Env) -> bool {
+        self.nogoods
+            .iter()
+            .any(|n| n.degree >= self.kill_threshold && n.env.is_subset_of(env))
+    }
+
+    fn propagate_from(&mut self, start: u32) {
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(start);
+        while let Some(jid) = queue.pop_front() {
+            let j = self.justifications[jid as usize].clone();
+            let mut candidates = vec![WeightedEnv {
+                env: Env::empty(),
+                degree: j.degree,
+            }];
+            let mut dead = false;
+            for &a in &j.antecedents {
+                let label = &self.nodes[a.index()].label;
+                if label.is_empty() {
+                    dead = true;
+                    break;
+                }
+                let mut next = Vec::with_capacity(candidates.len() * label.len());
+                for c in &candidates {
+                    for e in label {
+                        next.push(WeightedEnv {
+                            env: c.env.union(&e.env),
+                            degree: self.tnorm.combine(c.degree, e.degree),
+                        });
+                    }
+                }
+                candidates = pareto_minimize(next);
+            }
+            if dead {
+                continue;
+            }
+            candidates.retain(|we| !self.is_killed(&we.env));
+            if candidates.is_empty() {
+                continue;
+            }
+            if self.nodes[j.consequent.index()].is_contradiction {
+                for we in candidates {
+                    self.install_nogood(Nogood {
+                        env: we.env,
+                        degree: we.degree,
+                    });
+                }
+                continue;
+            }
+            if self.merge_label(j.consequent, candidates) {
+                for &c in &self.nodes[j.consequent.index()].consumers {
+                    if !queue.contains(&c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_label(&mut self, node: NodeRef, candidates: Vec<WeightedEnv>) -> bool {
+        let label = &mut self.nodes[node.index()].label;
+        let before = label.clone();
+        let mut all = before.clone();
+        all.extend(candidates);
+        let merged = pareto_minimize(all);
+        let changed = merged.len() != before.len()
+            || merged.iter().any(|we| {
+                !before
+                    .iter()
+                    .any(|b| b.env == we.env && (b.degree - we.degree).abs() < 1e-12)
+            });
+        self.nodes[node.index()].label = merged;
+        changed
+    }
+
+    fn install_nogood(&mut self, ng: Nogood) {
+        // Subsumed by an existing subset nogood at least as strong?
+        if self
+            .nogoods
+            .iter()
+            .any(|n| n.env.is_subset_of(&ng.env) && n.degree >= ng.degree)
+        {
+            return;
+        }
+        // Drop existing nogoods this one dominates.
+        self.nogoods
+            .retain(|n| !(ng.env.is_subset_of(&n.env) && ng.degree >= n.degree));
+        self.nogoods.push(ng);
+        // Erase environments killed by strong nogoods.
+        let kill = self.kill_threshold;
+        let nogoods = self.nogoods.clone();
+        for node in &mut self.nodes {
+            node.label.retain(|we| {
+                !nogoods
+                    .iter()
+                    .any(|n| n.degree >= kill && n.env.is_subset_of(&we.env))
+            });
+        }
+    }
+}
+
+/// Pareto minimization of weighted environments: keep `(E, d)` unless some
+/// other `(E′, d′)` has `E′ ⊆ E` and `d′ ≥ d` (with at least one strict).
+fn pareto_minimize(mut envs: Vec<WeightedEnv>) -> Vec<WeightedEnv> {
+    envs.sort_by(|a, b| {
+        a.env
+            .len()
+            .cmp(&b.env.len())
+            .then_with(|| b.degree.partial_cmp(&a.degree).expect("finite"))
+    });
+    let mut keep: Vec<WeightedEnv> = Vec::with_capacity(envs.len());
+    for we in envs {
+        let dominated = keep
+            .iter()
+            .any(|k| k.env.is_subset_of(&we.env) && k.degree >= we.degree);
+        if !dominated {
+            keep.push(we);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tnorm_combines() {
+        assert_eq!(TNorm::Min.combine(0.4, 0.8), 0.4);
+        assert_eq!(TNorm::Product.combine(0.4, 0.8), 0.32000000000000006);
+        assert_eq!(TNorm::default(), TNorm::Min);
+    }
+
+    #[test]
+    fn weighted_derivation_uses_tnorm() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let mid = atms.add_node("mid");
+        let out = atms.add_node("out");
+        atms.justify_weighted([na], mid, 0.8, "soft rule").unwrap();
+        atms.justify_weighted([mid], out, 0.6, "softer rule").unwrap();
+        let label = atms.label(out).unwrap();
+        assert_eq!(label.len(), 1);
+        assert_eq!(label[0].env, Env::singleton(a));
+        assert!((label[0].degree - 0.6).abs() < 1e-12); // min(0.8, 0.6)
+    }
+
+    #[test]
+    fn product_tnorm_compounds() {
+        let mut atms = FuzzyAtms::new().with_tnorm(TNorm::Product);
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let mid = atms.add_node("mid");
+        let out = atms.add_node("out");
+        atms.justify_weighted([na], mid, 0.8, "r1").unwrap();
+        atms.justify_weighted([mid], out, 0.5, "r2").unwrap();
+        let label = atms.label(out).unwrap();
+        assert!((label[0].degree - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_rederivation_upgrades_label() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let g = atms.add_node("g");
+        atms.justify_weighted([na], g, 0.5, "weak").unwrap();
+        assert!((atms.label(g).unwrap()[0].degree - 0.5).abs() < 1e-12);
+        atms.justify_weighted([na], g, 0.9, "strong").unwrap();
+        let label = atms.label(g).unwrap();
+        assert_eq!(label.len(), 1);
+        assert!((label[0].degree - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_label_keeps_weaker_smaller_env() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        let g = atms.add_node("g");
+        // {a} proves g weakly; {a, b} proves it strongly — both are
+        // Pareto-optimal and must both survive.
+        atms.justify_weighted([na], g, 0.5, "weak single").unwrap();
+        atms.justify_weighted([na, nb], g, 1.0, "strong pair").unwrap();
+        let label = atms.label(g).unwrap();
+        assert_eq!(label.len(), 2);
+        // But {a}@0.5 + {a,b}@0.4 keeps only {a}@0.5.
+        let mut atms2 = FuzzyAtms::new();
+        let a2 = atms2.add_assumption("a");
+        let b2 = atms2.add_assumption("b");
+        let (na2, nb2) = (atms2.assumption_node(a2), atms2.assumption_node(b2));
+        let g2 = atms2.add_node("g");
+        atms2.justify_weighted([na2], g2, 0.5, "weak single").unwrap();
+        atms2.justify_weighted([na2, nb2], g2, 0.4, "weaker pair").unwrap();
+        assert_eq!(atms2.label(g2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_degrees_and_nodes() {
+        let mut atms = FuzzyAtms::new();
+        let g = atms.add_node("g");
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        assert!(matches!(
+            atms.justify_weighted([na], g, 0.0, "zero"),
+            Err(AtmsError::InvalidDegree { .. })
+        ));
+        assert!(atms.justify_weighted([na], g, 1.5, "big").is_err());
+        assert!(atms.justify([NodeRef(99)], g, "foreign").is_err());
+        assert!(atms.justify([g], g, "self").is_err());
+        assert!(atms.label(NodeRef(99)).is_err());
+    }
+
+    #[test]
+    fn total_conflict_erases_partial_conflict_grades() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        let g = atms.add_node("g");
+        atms.justify([na, nb], g, "and").unwrap();
+        // Partial conflict on {a}: label survives, plausibility drops.
+        atms.add_nogood(Env::singleton(a), 0.4);
+        assert_eq!(atms.label(g).unwrap().len(), 1);
+        let env_ab = Env::from_assumptions([a, b]);
+        assert!((atms.plausibility(&env_ab) - 0.6).abs() < 1e-12);
+        assert!((atms.holds_degree(g, &env_ab).unwrap() - 0.6).abs() < 1e-12);
+        // Total conflict: label is erased.
+        atms.add_nogood(Env::singleton(a), 1.0);
+        assert!(atms.label(g).unwrap().is_empty());
+        assert_eq!(atms.plausibility(&env_ab), 0.0);
+    }
+
+    #[test]
+    fn nogood_store_is_pareto_minimal() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let ab = Env::from_assumptions([a, b]);
+        atms.add_nogood(ab.clone(), 0.5);
+        // Weaker superset information is subsumed.
+        atms.add_nogood(ab.clone(), 0.3);
+        assert_eq!(atms.nogoods().len(), 1);
+        assert!((atms.nogoods()[0].degree - 0.5).abs() < 1e-12);
+        // A stronger subset wipes the pair nogood.
+        atms.add_nogood(Env::singleton(a), 0.9);
+        assert_eq!(atms.nogoods().len(), 1);
+        assert_eq!(atms.nogoods()[0].env, Env::singleton(a));
+        // But a *weaker* subset coexists with a stronger superset.
+        atms.add_nogood(ab, 1.0);
+        assert_eq!(atms.nogoods().len(), 2);
+        // Zero-degree nogoods are ignored.
+        atms.add_nogood(Env::singleton(b), 0.0);
+        assert_eq!(atms.nogoods().len(), 2);
+    }
+
+    #[test]
+    fn fig5_ranked_diagnoses() {
+        let mut atms = FuzzyAtms::new();
+        let d1 = atms.add_assumption("d1");
+        let r1 = atms.add_assumption("r1");
+        let r2 = atms.add_assumption("r2");
+        atms.add_nogood(Env::from_assumptions([r1, d1]), 0.5);
+        atms.add_nogood(Env::from_assumptions([r2, d1]), 1.0);
+
+        let sorted = atms.sorted_nogoods();
+        assert!((sorted[0].degree - 1.0).abs() < 1e-12);
+        assert!((sorted[1].degree - 0.5).abs() < 1e-12);
+
+        assert_eq!(atms.suspicion(d1), 1.0);
+        assert_eq!(atms.suspicion(r1), 0.5);
+        assert_eq!(atms.suspicion(r2), 1.0);
+
+        let diags = atms.ranked_diagnoses(usize::MAX, 100);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].env, Env::singleton(d1));
+        assert_eq!(diags[0].degree, 1.0);
+        assert_eq!(diags[1].env, Env::from_assumptions([r1, r2]));
+        assert_eq!(diags[1].degree, 0.5);
+    }
+
+    #[test]
+    fn kill_threshold_controls_explosion() {
+        let mut strict = FuzzyAtms::new().with_kill_threshold(0.3);
+        let a = strict.add_assumption("a");
+        let b = strict.add_assumption("b");
+        let (na, nb) = (strict.assumption_node(a), strict.assumption_node(b));
+        let g = strict.add_node("g");
+        strict.justify([na, nb], g, "and").unwrap();
+        // A 0.4-degree conflict now kills (threshold 0.3).
+        strict.add_nogood(Env::from_assumptions([a, b]), 0.4);
+        assert!(strict.label(g).unwrap().is_empty());
+        assert!((strict.kill_threshold() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holds_degree_accounts_for_plausibility() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let g = atms.add_node("g");
+        atms.justify_weighted([na], g, 0.9, "rule").unwrap();
+        let env = Env::singleton(a);
+        assert!((atms.holds_degree(g, &env).unwrap() - 0.9).abs() < 1e-12);
+        atms.add_nogood(env.clone(), 0.5);
+        // min(0.9 derivation, 0.5 plausibility).
+        assert!((atms.holds_degree(g, &env).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn premise_and_contradiction_nodes() {
+        let mut atms = FuzzyAtms::new();
+        let p = atms.add_premise("law");
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let bottom = atms.add_contradiction("⊥");
+        atms.justify_weighted([p, na], bottom, 0.7, "soft conflict").unwrap();
+        assert_eq!(atms.nogoods().len(), 1);
+        assert_eq!(atms.nogoods()[0].env, Env::singleton(a));
+        assert!((atms.nogoods()[0].degree - 0.7).abs() < 1e-12);
+        // Soft conflict does not kill the assumption's own label.
+        assert_eq!(atms.label(na).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn informants_are_retained_in_order() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let g = atms.add_node("g");
+        let h = atms.add_node("h");
+        atms.justify_weighted([na], g, 0.9, "first rule").unwrap();
+        atms.justify([g], h, "second rule").unwrap();
+        let informants: Vec<&str> = atms.informants().collect();
+        assert_eq!(informants, vec!["first rule", "second rule"]);
+        assert_eq!(atms.node_name(g).unwrap(), "g");
+    }
+
+    #[test]
+    fn diagnoses_empty_when_no_conflicts() {
+        let atms = FuzzyAtms::new();
+        assert!(atms.ranked_diagnoses(usize::MAX, 10).is_empty());
+    }
+}

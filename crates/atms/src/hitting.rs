@@ -1,0 +1,180 @@
+//! Minimal hitting sets of conflict collections (Reiter's diagnosis
+//! lattice).
+//!
+//! The ATMS turns discrepancies into *nogoods* — sets of assumptions that
+//! cannot all hold. A **diagnosis candidate** is a set of components whose
+//! failure explains every conflict, i.e. a set of assumptions hitting every
+//! nogood; the interesting candidates are the ⊆-minimal ones (the paper's
+//! Fig. 5: nogoods `{r1,d1}` and `{r2,d1}` yield candidates `[d1]` and
+//! `[r1,r2]`).
+//!
+//! The search below is a depth-first tree construction in the spirit of
+//! Reiter's HS-tree with two standard prunings (skip elements already
+//! hitting, discard branches subsumed by found sets), followed by a final
+//! minimization pass. Exponential in the worst case — which is exactly the
+//! "explosion" the paper's graded nogoods are designed to curb; the `E6`
+//! experiment measures this.
+
+use crate::env::{minimize, Env};
+
+/// Computes the ⊆-minimal hitting sets of `conflicts`.
+///
+/// * `max_size` bounds the cardinality of returned sets (the paper's
+///   "number of faults under consideration"); use `usize::MAX` for all.
+/// * `max_count` caps how many sets are produced (the search stops early);
+///   use a generous cap for exact results.
+///
+/// Empty conflicts are ignored (they would be unhittable); with no
+/// non-empty conflicts the unique minimal hitting set is the empty set.
+#[must_use]
+pub fn minimal_hitting_sets(conflicts: &[Env], max_size: usize, max_count: usize) -> Vec<Env> {
+    let mut conflicts: Vec<&Env> = conflicts.iter().filter(|c| !c.is_empty()).collect();
+    if conflicts.is_empty() {
+        return vec![Env::empty()];
+    }
+    // Smaller conflicts first: they branch less.
+    conflicts.sort_by_key(|c| c.len());
+    let mut found: Vec<Env> = Vec::new();
+    let mut stack: Vec<Env> = vec![Env::empty()];
+    while let Some(partial) = stack.pop() {
+        if found.len() >= max_count {
+            break;
+        }
+        // Subsumption prune: a found hitting set inside `partial` makes
+        // every extension non-minimal.
+        if found.iter().any(|f| f.is_subset_of(&partial)) {
+            continue;
+        }
+        match conflicts.iter().find(|c| !partial.intersects(c)) {
+            None => found.push(partial),
+            Some(unhit) => {
+                if partial.len() >= max_size {
+                    continue;
+                }
+                for a in unhit.iter() {
+                    stack.push(partial.with(a));
+                }
+            }
+        }
+    }
+    minimize(found)
+}
+
+/// True if `candidate` hits every non-empty conflict.
+#[must_use]
+pub fn is_hitting_set(candidate: &Env, conflicts: &[Env]) -> bool {
+    conflicts
+        .iter()
+        .filter(|c| !c.is_empty())
+        .all(|c| candidate.intersects(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ids: &[u32]) -> Env {
+        Env::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn fig5_candidates() {
+        // Nogood {r1, d1}, nogood {r2, d1} with d1=0, r1=1, r2=2.
+        let nogoods = vec![env(&[1, 0]), env(&[2, 0])];
+        let mut hs = minimal_hitting_sets(&nogoods, usize::MAX, 1000);
+        hs.sort();
+        assert_eq!(hs, vec![env(&[0]), env(&[1, 2])]);
+    }
+
+    #[test]
+    fn empty_conflict_list() {
+        assert_eq!(minimal_hitting_sets(&[], 5, 5), vec![Env::empty()]);
+        // Empty conflicts are skipped.
+        assert_eq!(
+            minimal_hitting_sets(&[Env::empty()], 5, 5),
+            vec![Env::empty()]
+        );
+    }
+
+    #[test]
+    fn single_conflict_gives_singletons() {
+        let hs = minimal_hitting_sets(&[env(&[3, 7, 9])], usize::MAX, 100);
+        assert_eq!(hs.len(), 3);
+        assert!(hs.contains(&env(&[3])));
+        assert!(hs.contains(&env(&[7])));
+        assert!(hs.contains(&env(&[9])));
+    }
+
+    #[test]
+    fn disjoint_conflicts_cross_product() {
+        let hs = minimal_hitting_sets(&[env(&[1, 2]), env(&[3, 4])], usize::MAX, 100);
+        assert_eq!(hs.len(), 4);
+        for s in &hs {
+            assert_eq!(s.len(), 2);
+            assert!(is_hitting_set(s, &[env(&[1, 2]), env(&[3, 4])]));
+        }
+    }
+
+    #[test]
+    fn shared_element_dominates() {
+        // {1,2}, {1,3}, {1,4}: minimal sets are {1} and {2,3,4}.
+        let conflicts = vec![env(&[1, 2]), env(&[1, 3]), env(&[1, 4])];
+        let mut hs = minimal_hitting_sets(&conflicts, usize::MAX, 1000);
+        hs.sort();
+        assert_eq!(hs, vec![env(&[1]), env(&[2, 3, 4])]);
+    }
+
+    #[test]
+    fn results_are_minimal_and_hitting() {
+        let conflicts = vec![
+            env(&[1, 2, 3]),
+            env(&[2, 4]),
+            env(&[3, 4, 5]),
+            env(&[1, 5]),
+        ];
+        let hs = minimal_hitting_sets(&conflicts, usize::MAX, 10_000);
+        for s in &hs {
+            assert!(is_hitting_set(s, &conflicts), "{s} must hit all");
+            for a in s.iter() {
+                assert!(
+                    !is_hitting_set(&s.without(a), &conflicts),
+                    "{s} must be minimal"
+                );
+            }
+        }
+        // No duplicates, pairwise incomparable.
+        for (i, p) in hs.iter().enumerate() {
+            for (j, q) in hs.iter().enumerate() {
+                if i != j {
+                    assert!(!p.is_subset_of(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_bound_restricts_cardinality() {
+        let conflicts = vec![env(&[1, 2]), env(&[3, 4])];
+        let hs = minimal_hitting_sets(&conflicts, 1, 100);
+        // No single assumption hits both conflicts.
+        assert!(hs.is_empty());
+        let hs = minimal_hitting_sets(&[env(&[1, 2]), env(&[1, 3])], 1, 100);
+        assert_eq!(hs, vec![env(&[1])]);
+    }
+
+    #[test]
+    fn count_cap_stops_early() {
+        let conflicts = vec![env(&[1, 2, 3, 4, 5, 6, 7, 8])];
+        let hs = minimal_hitting_sets(&conflicts, usize::MAX, 3);
+        assert!(hs.len() <= 3);
+        assert!(!hs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_conflicts_are_harmless() {
+        let conflicts = vec![env(&[1, 2]), env(&[1, 2]), env(&[1, 2])];
+        let mut hs = minimal_hitting_sets(&conflicts, usize::MAX, 100);
+        hs.sort();
+        assert_eq!(hs, vec![env(&[1]), env(&[2])]);
+    }
+}

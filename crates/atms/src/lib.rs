@@ -1,0 +1,55 @@
+//! Assumption-based truth maintenance for the FLAMES analog-diagnosis
+//! system.
+//!
+//! Two engines live here:
+//!
+//! * [`Atms`] — a classic de Kleer ATMS (the paper's ref \[14\]): nodes carry
+//!   *labels* (minimal sets of assumption [`Env`]ironments under which they
+//!   hold), justifications propagate environments, and environments derived
+//!   for the contradiction node become *nogoods* that prune every label.
+//! * [`FuzzyAtms`] — the paper's §6 extension: justifications carry
+//!   certainty degrees (possibilistic clauses, after the paper's ref \[13\]),
+//!   environments carry the t-norm-combined degree of their derivation, and
+//!   nogoods are *graded* — a partial conflict (degree < 1) does not erase
+//!   an environment, it lowers its plausibility. This is what lets FLAMES
+//!   rank candidate sets instead of drowning in them.
+//!
+//! Diagnosis candidates are minimal hitting sets of the nogood collection
+//! ([`hitting::minimal_hitting_sets`]), ranked by the suspicion degrees the
+//! graded nogoods induce ([`FuzzyAtms::ranked_diagnoses`]).
+//!
+//! # Example
+//!
+//! The paper's Fig. 5 nogoods and candidates:
+//!
+//! ```
+//! use flames_atms::{hitting::minimal_hitting_sets, Env};
+//!
+//! // Nogood {r1, d1} and nogood {r2, d1} (assumption ids 0 = d1, 1 = r1, 2 = r2).
+//! let nogoods = vec![Env::from_ids([1, 0]), Env::from_ids([2, 0])];
+//! let mut candidates = minimal_hitting_sets(&nogoods, usize::MAX, 64);
+//! candidates.sort_by_key(Env::len);
+//! assert_eq!(candidates, vec![Env::from_ids([0]), Env::from_ids([1, 2])]);
+//! // "CANDIDATES: [d1] or [r1, r2]".
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assumptions;
+mod atms;
+mod env;
+mod error;
+mod fuzzy_atms;
+
+pub mod hitting;
+pub mod possibilistic;
+
+pub use assumptions::{Assumption, AssumptionPool};
+pub use atms::{Atms, JustificationId, NodeId};
+pub use env::{minimize, Env};
+pub use error::AtmsError;
+pub use fuzzy_atms::{FuzzyAtms, NodeRef, Nogood, RankedDiagnosis, TNorm, WeightedEnv};
+
+/// Convenient result alias for fallible ATMS operations.
+pub type Result<T, E = AtmsError> = std::result::Result<T, E>;

@@ -1,0 +1,492 @@
+//! Possibilistic propositional clauses — the paper's §6.1.3 claim that
+//! "in this fuzzy-ATMS clauses are not reduced to Horn's clauses (as in
+//! \[13\]). Thus it allows the expert to add rules of faulty estimations or
+//! to build component's fault models with certainty degrees."
+//!
+//! This module implements the clause layer of the paper's ref \[13\]
+//! (Dubois, Lang, Prade — *Gestion d'hypothèses en logique possibiliste*):
+//! arbitrary propositional clauses weighted by a **necessity degree**,
+//! with possibilistic resolution
+//!
+//! ```text
+//! (c₁ ∨ ℓ, α)  and  (c₂ ∨ ¬ℓ, β)   ⊢   (c₁ ∨ c₂, min(α, β))
+//! ```
+//!
+//! The two standard queries are supported:
+//!
+//! * [`PossibilisticBase::inconsistency_degree`] — the strongest
+//!   necessity at which the empty clause is derivable (the graded analog
+//!   of a nogood);
+//! * [`PossibilisticBase::entailment_degree`] — the necessity with which
+//!   the base entails a literal (refutation: assert the negation at
+//!   necessity 1 and measure the inconsistency).
+//!
+//! The FLAMES engine uses Horn-shaped justifications for speed; this
+//! layer is where non-Horn expert knowledge ("the diode is open **or**
+//! shorted, certainty 0.8") is compiled down to graded nogoods.
+
+use crate::error::AtmsError;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A propositional literal: a variable index with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    var: u32,
+    positive: bool,
+}
+
+impl Literal {
+    /// The positive literal of a variable.
+    #[must_use]
+    pub fn pos(var: u32) -> Self {
+        Self { var, positive: true }
+    }
+
+    /// The negative literal of a variable.
+    #[must_use]
+    pub fn neg(var: u32) -> Self {
+        Self {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The underlying variable index.
+    #[must_use]
+    pub fn var(self) -> u32 {
+        self.var
+    }
+
+    /// The literal's polarity.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Self {
+        Self {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A weighted clause `(ℓ₁ ∨ … ∨ ℓₖ, necessity)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedClause {
+    /// Sorted, deduplicated literals; an empty list is the empty clause.
+    literals: Vec<Literal>,
+    /// Necessity degree in `(0, 1]`.
+    necessity: f64,
+}
+
+impl WeightedClause {
+    /// Builds a clause, normalizing the literal list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::InvalidDegree`] for a necessity outside
+    /// `(0, 1]`.
+    pub fn new(literals: impl IntoIterator<Item = Literal>, necessity: f64) -> Result<Self> {
+        if !(necessity > 0.0 && necessity <= 1.0) {
+            return Err(AtmsError::invalid_degree(necessity));
+        }
+        let mut literals: Vec<Literal> = literals.into_iter().collect();
+        literals.sort();
+        literals.dedup();
+        Ok(Self {
+            literals,
+            necessity,
+        })
+    }
+
+    /// The clause's literals (sorted).
+    #[must_use]
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// The necessity degree.
+    #[must_use]
+    pub fn necessity(&self) -> f64 {
+        self.necessity
+    }
+
+    /// True for the empty clause (⊥).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// True if the clause is a tautology (contains `ℓ` and `¬ℓ`).
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        self.literals
+            .windows(2)
+            .any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
+    }
+
+    /// True if `self` subsumes `other`: a subset clause with at least the
+    /// same necessity says strictly more.
+    #[must_use]
+    pub fn subsumes(&self, other: &Self) -> bool {
+        self.necessity >= other.necessity
+            && self
+                .literals
+                .iter()
+                .all(|l| other.literals.binary_search(l).is_ok())
+    }
+
+    /// Possibilistic resolution on the unique complementary pair, if any.
+    #[must_use]
+    pub fn resolve(&self, other: &Self) -> Option<WeightedClause> {
+        // Find a literal of self whose negation is in other.
+        let pivot = self
+            .literals
+            .iter()
+            .find(|l| other.literals.binary_search(&l.negated()).is_ok())?;
+        let mut literals: Vec<Literal> = self
+            .literals
+            .iter()
+            .chain(other.literals.iter())
+            .copied()
+            .filter(|l| l.var != pivot.var)
+            .collect();
+        literals.sort();
+        literals.dedup();
+        let resolvent = WeightedClause {
+            literals,
+            necessity: self.necessity.min(other.necessity),
+        };
+        (!resolvent.is_tautology()).then_some(resolvent)
+    }
+}
+
+impl fmt::Display for WeightedClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            write!(f, "(⊥, {:.2})", self.necessity)
+        } else {
+            let parts: Vec<String> = self.literals.iter().map(Literal::to_string).collect();
+            write!(f, "({}, {:.2})", parts.join(" ∨ "), self.necessity)
+        }
+    }
+}
+
+/// A base of weighted clauses with graded queries.
+///
+/// # Example
+///
+/// The expert's non-Horn fault model: "if the diode is faulty it is open
+/// or shorted" at certainty 0.8, measurements rule out both at 0.9 — so
+/// "the diode is faulty" is inconsistent with the observations at 0.8:
+///
+/// ```
+/// use flames_atms::possibilistic::{Literal, PossibilisticBase};
+///
+/// # fn main() -> Result<(), flames_atms::AtmsError> {
+/// let mut base = PossibilisticBase::new();
+/// let faulty = base.variable("faulty(d1)");
+/// let open = base.variable("open(d1)");
+/// let short = base.variable("short(d1)");
+/// base.add_clause([Literal::neg(faulty), Literal::pos(open), Literal::pos(short)], 0.8)?;
+/// base.add_clause([Literal::neg(open)], 0.9)?;  // forward drop observed
+/// base.add_clause([Literal::neg(short)], 0.9)?; // voltage across it observed
+/// let degree = base.entailment_degree(Literal::neg(faulty));
+/// assert!((degree - 0.8).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PossibilisticBase {
+    clauses: Vec<WeightedClause>,
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+/// Saturation budget: resolution rounds × clause-store size are bounded
+/// to keep worst-case queries from exploding (the bases FLAMES builds are
+/// small expert rule sets).
+const MAX_CLAUSES: usize = 4096;
+
+impl PossibilisticBase {
+    /// Creates an empty base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a named propositional variable.
+    pub fn variable(&mut self, name: impl AsRef<str>) -> u32 {
+        let name = name.as_ref();
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = u32::try_from(self.names.len()).expect("< 2^32 variables");
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// The name of a variable, if interned through [`Self::variable`].
+    #[must_use]
+    pub fn variable_name(&self, var: u32) -> Option<&str> {
+        self.names.get(var as usize).map(String::as_str)
+    }
+
+    /// Adds a weighted clause (tautologies are ignored; subsumed clauses
+    /// are dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmsError::InvalidDegree`] for a necessity outside
+    /// `(0, 1]`.
+    pub fn add_clause(
+        &mut self,
+        literals: impl IntoIterator<Item = Literal>,
+        necessity: f64,
+    ) -> Result<()> {
+        let clause = WeightedClause::new(literals, necessity)?;
+        if clause.is_tautology() {
+            return Ok(());
+        }
+        self.insert(clause);
+        Ok(())
+    }
+
+    /// The current clauses (subsumption-minimal).
+    #[must_use]
+    pub fn clauses(&self) -> &[WeightedClause] {
+        &self.clauses
+    }
+
+    /// The **inconsistency degree** of the base: the highest necessity at
+    /// which the empty clause is derivable by possibilistic resolution
+    /// (0 when the base is consistent).
+    #[must_use]
+    pub fn inconsistency_degree(&self) -> f64 {
+        let mut store: Vec<WeightedClause> = self.clauses.clone();
+        let mut best = store
+            .iter()
+            .filter(|c| c.is_empty())
+            .map(WeightedClause::necessity)
+            .fold(0.0f64, f64::max);
+        let mut frontier = 0usize;
+        while frontier < store.len() && store.len() < MAX_CLAUSES {
+            let current = store[frontier].clone();
+            frontier += 1;
+            if current.necessity <= best {
+                continue; // cannot improve the bound
+            }
+            let mut new_clauses = Vec::new();
+            for other in &store[..frontier] {
+                if other.necessity <= best {
+                    continue;
+                }
+                if let Some(resolvent) = current.resolve(other) {
+                    if resolvent.is_empty() {
+                        best = best.max(resolvent.necessity);
+                    } else if resolvent.necessity > best {
+                        new_clauses.push(resolvent);
+                    }
+                }
+            }
+            for c in new_clauses {
+                if store.len() >= MAX_CLAUSES {
+                    break;
+                }
+                if !store.iter().any(|s| s.subsumes(&c)) {
+                    store.push(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// The degree to which the base **entails** a literal: by refutation,
+    /// the inconsistency degree after asserting the literal's negation
+    /// with full necessity.
+    #[must_use]
+    pub fn entailment_degree(&self, literal: Literal) -> f64 {
+        let mut probe = self.clone();
+        probe.insert(WeightedClause {
+            literals: vec![literal.negated()],
+            necessity: 1.0,
+        });
+        probe.inconsistency_degree()
+    }
+
+    fn insert(&mut self, clause: WeightedClause) {
+        if self.clauses.iter().any(|c| c.subsumes(&clause)) {
+            return;
+        }
+        self.clauses.retain(|c| !clause.subsumes(c));
+        self.clauses.push(clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, positive: bool) -> Literal {
+        if positive {
+            Literal::pos(v)
+        } else {
+            Literal::neg(v)
+        }
+    }
+
+    #[test]
+    fn literal_basics() {
+        let l = Literal::pos(3);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert_eq!(l.negated(), Literal::neg(3));
+        assert_eq!(l.negated().negated(), l);
+        assert_eq!(format!("{l}"), "x3");
+        assert_eq!(format!("{}", l.negated()), "¬x3");
+    }
+
+    #[test]
+    fn clause_normalization_and_display() {
+        let c = WeightedClause::new([Literal::pos(2), Literal::pos(1), Literal::pos(2)], 0.7)
+            .unwrap();
+        assert_eq!(c.literals().len(), 2);
+        assert_eq!(format!("{c}"), "(x1 ∨ x2, 0.70)");
+        assert!(WeightedClause::new([], 1.5).is_err());
+        assert!(WeightedClause::new([], 0.0).is_err());
+        let empty = WeightedClause::new([], 0.4).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(format!("{empty}"), "(⊥, 0.40)");
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let t = WeightedClause::new([Literal::pos(1), Literal::neg(1)], 0.9).unwrap();
+        assert!(t.is_tautology());
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(1), Literal::neg(1)], 0.9).unwrap();
+        assert!(base.clauses().is_empty());
+    }
+
+    #[test]
+    fn resolution_takes_min_necessity() {
+        let a = WeightedClause::new([Literal::pos(1), Literal::pos(2)], 0.8).unwrap();
+        let b = WeightedClause::new([Literal::neg(2), Literal::pos(3)], 0.5).unwrap();
+        let r = a.resolve(&b).unwrap();
+        assert_eq!(r.literals(), &[Literal::pos(1), Literal::pos(3)]);
+        assert!((r.necessity() - 0.5).abs() < 1e-12);
+        // No complementary pair: no resolvent.
+        let c = WeightedClause::new([Literal::pos(4)], 0.9).unwrap();
+        assert!(a.resolve(&c).is_none());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = WeightedClause::new([Literal::pos(1)], 0.8).unwrap();
+        let big = WeightedClause::new([Literal::pos(1), Literal::pos(2)], 0.6).unwrap();
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        // Equal clause with lower necessity is subsumed.
+        let weak = WeightedClause::new([Literal::pos(1)], 0.3).unwrap();
+        assert!(small.subsumes(&weak));
+    }
+
+    #[test]
+    fn consistent_base_has_zero_inconsistency() {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(0), Literal::pos(1)], 0.9).unwrap();
+        base.add_clause([Literal::neg(0), Literal::pos(2)], 0.8).unwrap();
+        assert_eq!(base.inconsistency_degree(), 0.0);
+    }
+
+    #[test]
+    fn direct_contradiction_grades_by_weakest_link() {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(0)], 0.9).unwrap();
+        base.add_clause([Literal::neg(0)], 0.6).unwrap();
+        assert!((base.inconsistency_degree() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chained_refutation() {
+        // x0 → x1 → x2, x0 asserted, ¬x2 asserted: inconsistency through
+        // the chain at the weakest necessity.
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.7).unwrap();
+        base.add_clause([Literal::neg(1), Literal::pos(2)], 0.9).unwrap();
+        base.add_clause([Literal::pos(0)], 1.0).unwrap();
+        base.add_clause([Literal::neg(2)], 1.0).unwrap();
+        assert!((base.inconsistency_degree() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entailment_by_refutation() {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.8).unwrap();
+        base.add_clause([Literal::pos(0)], 0.6).unwrap();
+        // N(x1) = min(0.8, 0.6) = 0.6; N(x0) = 0.6; N(¬x1) = 0.
+        assert!((base.entailment_degree(Literal::pos(1)) - 0.6).abs() < 1e-12);
+        assert!((base.entailment_degree(Literal::pos(0)) - 0.6).abs() < 1e-12);
+        assert_eq!(base.entailment_degree(Literal::neg(1)), 0.0);
+    }
+
+    #[test]
+    fn non_horn_fault_model_example() {
+        // The doc example, spelled out: faulty → open ∨ short (0.8),
+        // observations refute open (0.9) and short (0.9).
+        let mut base = PossibilisticBase::new();
+        let faulty = base.variable("faulty(d1)");
+        let open = base.variable("open(d1)");
+        let short = base.variable("short(d1)");
+        base.add_clause(
+            [lit(faulty, false), lit(open, true), lit(short, true)],
+            0.8,
+        )
+        .unwrap();
+        base.add_clause([lit(open, false)], 0.9).unwrap();
+        base.add_clause([lit(short, false)], 0.9).unwrap();
+        assert_eq!(base.inconsistency_degree(), 0.0);
+        let not_faulty = base.entailment_degree(lit(faulty, false));
+        assert!((not_faulty - 0.8).abs() < 1e-9);
+        assert_eq!(base.variable_name(faulty), Some("faulty(d1)"));
+        assert_eq!(base.variable_name(99), None);
+    }
+
+    #[test]
+    fn inconsistency_monotone_under_additions() {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(0)], 0.5).unwrap();
+        let before = base.inconsistency_degree();
+        base.add_clause([Literal::neg(0)], 0.3).unwrap();
+        let mid = base.inconsistency_degree();
+        base.add_clause([Literal::neg(0)], 0.9).unwrap();
+        let after = base.inconsistency_degree();
+        assert!(before <= mid && mid <= after);
+        assert!((after - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_interning_is_stable() {
+        let mut base = PossibilisticBase::new();
+        let a = base.variable("a");
+        let b = base.variable("b");
+        assert_ne!(a, b);
+        assert_eq!(base.variable("a"), a);
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests for the ATMS engines: label invariants (soundness,
+//! minimality, consistency), hitting-set correctness, and the grading laws
+//! of the fuzzy extension.
+
+use flames_atms::hitting::{is_hitting_set, minimal_hitting_sets};
+use flames_atms::possibilistic::{Literal, PossibilisticBase};
+use flames_atms::{minimize, Atms, Env, FuzzyAtms};
+use proptest::prelude::*;
+
+fn env_strategy(universe: u32) -> impl Strategy<Value = Env> {
+    prop::collection::btree_set(0..universe, 0..5)
+        .prop_map(Env::from_ids)
+}
+
+fn conflicts_strategy(universe: u32, n: usize) -> impl Strategy<Value = Vec<Env>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..universe, 1..4).prop_map(Env::from_ids),
+        0..n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_associative(a in env_strategy(12), b in env_strategy(12), c in env_strategy(12)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in env_strategy(12), b in env_strategy(12)) {
+        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    }
+
+    #[test]
+    fn minimize_yields_antichain(envs in prop::collection::vec(env_strategy(10), 0..12)) {
+        let min = minimize(envs.clone());
+        // Pairwise incomparable.
+        for (i, p) in min.iter().enumerate() {
+            for (j, q) in min.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.is_subset_of(q));
+                }
+            }
+        }
+        // Every input is covered by some kept element.
+        for e in &envs {
+            prop_assert!(min.iter().any(|m| m.is_subset_of(e)));
+        }
+    }
+
+    #[test]
+    fn hitting_sets_hit_and_are_minimal(conflicts in conflicts_strategy(8, 6)) {
+        let hs = minimal_hitting_sets(&conflicts, usize::MAX, 10_000);
+        prop_assert!(!hs.is_empty() || conflicts.iter().any(|c| !c.is_empty()));
+        for s in &hs {
+            prop_assert!(is_hitting_set(s, &conflicts));
+            for a in s.iter() {
+                prop_assert!(!is_hitting_set(&s.without(a), &conflicts));
+            }
+        }
+        // Antichain.
+        for (i, p) in hs.iter().enumerate() {
+            for (j, q) in hs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.is_subset_of(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hitting_sets_complete_for_small_universes(conflicts in conflicts_strategy(5, 4)) {
+        // Brute-force all subsets of the universe and compare.
+        let hs = minimal_hitting_sets(&conflicts, usize::MAX, 100_000);
+        let live: Vec<&Env> = conflicts.iter().filter(|c| !c.is_empty()).collect();
+        for mask in 0u32..32 {
+            let candidate = Env::from_ids((0..5).filter(|b| mask & (1 << b) != 0));
+            let hits = live.iter().all(|c| candidate.intersects(c));
+            if hits {
+                // Some returned minimal set must be inside it.
+                prop_assert!(hs.iter().any(|m| m.is_subset_of(&candidate)),
+                    "missing cover for {candidate}");
+            }
+        }
+    }
+
+    #[test]
+    fn atms_labels_stay_consistent_and_minimal(
+        just_pairs in prop::collection::vec((0u32..6, 0u32..6), 1..8),
+        nogood in prop::collection::btree_set(0u32..6, 1..3),
+    ) {
+        let mut atms = Atms::new();
+        let assumptions: Vec<_> = (0..6).map(|i| atms.add_assumption(format!("a{i}"))).collect();
+        let goal = atms.add_node("goal");
+        let bottom = atms.add_contradiction("⊥");
+        for (x, y) in &just_pairs {
+            let nx = atms.assumption_node(assumptions[*x as usize]);
+            let ny = atms.assumption_node(assumptions[*y as usize]);
+            if nx == ny {
+                atms.justify([nx], goal, "single").unwrap();
+            } else {
+                atms.justify([nx, ny], goal, "pair").unwrap();
+            }
+        }
+        let ng: Vec<_> = nogood.iter().map(|&i| assumptions[i as usize]).collect();
+        let ng_nodes: Vec<_> = ng.iter().map(|&a| atms.assumption_node(a)).collect();
+        atms.justify(ng_nodes, bottom, "conflict").unwrap();
+
+        let label = atms.label(goal).unwrap();
+        // Consistency: no label environment contains a nogood.
+        for e in label {
+            prop_assert!(atms.is_consistent(e));
+        }
+        // Minimality: antichain.
+        for (i, p) in label.iter().enumerate() {
+            for (j, q) in label.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.is_subset_of(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzy_degrees_never_leave_unit_interval(
+        degrees in prop::collection::vec(0.05f64..1.0, 1..6),
+    ) {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let mut prev = atms.assumption_node(a);
+        for (i, d) in degrees.iter().enumerate() {
+            let next = atms.add_node(format!("n{i}"));
+            atms.justify_weighted([prev], next, *d, "chain").unwrap();
+            prev = next;
+        }
+        let label = atms.label(prev).unwrap();
+        prop_assert_eq!(label.len(), 1);
+        let expected: f64 = degrees.iter().copied().fold(1.0, f64::min);
+        prop_assert!((label[0].degree - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plausibility_is_monotone_in_nogoods(
+        base in prop::collection::btree_set(0u32..6, 1..4),
+        d1 in 0.1f64..1.0,
+        d2 in 0.1f64..1.0,
+    ) {
+        let mut atms = FuzzyAtms::new();
+        for i in 0..6 {
+            atms.add_assumption(format!("a{i}"));
+        }
+        let env = Env::from_ids(base.iter().copied());
+        let before = atms.plausibility(&env);
+        prop_assert_eq!(before, 1.0);
+        atms.add_nogood(env.clone(), d1);
+        let mid = atms.plausibility(&env);
+        atms.add_nogood(env.clone(), d2);
+        let after = atms.plausibility(&env);
+        // More/stronger conflicts never raise plausibility.
+        prop_assert!(mid <= before + 1e-12);
+        prop_assert!(after <= mid + 1e-12);
+        prop_assert!((after - (1.0 - d1.max(d2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_diagnoses_are_hitting_sets(conflict_data in prop::collection::vec(
+        (prop::collection::btree_set(0u32..6, 1..4), 0.1f64..1.0), 1..5)) {
+        let mut atms = FuzzyAtms::new();
+        for i in 0..6 {
+            atms.add_assumption(format!("a{i}"));
+        }
+        let mut envs = Vec::new();
+        for (ids, d) in &conflict_data {
+            let env = Env::from_ids(ids.iter().copied());
+            envs.push(env.clone());
+            atms.add_nogood(env, *d);
+        }
+        let diags = atms.ranked_diagnoses(usize::MAX, 10_000);
+        // Diagnoses hit all *retained* nogoods; the store is Pareto-minimal
+        // so hitting the store hits every reported conflict.
+        let store: Vec<Env> = atms.nogoods().iter().map(|n| n.env.clone()).collect();
+        for d in &diags {
+            prop_assert!(is_hitting_set(&d.env, &store));
+            prop_assert!((0.0..=1.0).contains(&d.degree));
+        }
+        // Sorted by decreasing degree.
+        for w in diags.windows(2) {
+            prop_assert!(w[0].degree >= w[1].degree - 1e-12);
+        }
+    }
+
+    #[test]
+    fn positive_clause_bases_are_consistent(
+        clauses in prop::collection::vec(prop::collection::btree_set(0u32..6, 1..4), 0..8),
+        weights in prop::collection::vec(0.1f64..1.0, 8),
+    ) {
+        // All-positive clauses are satisfied by the all-true assignment:
+        // the inconsistency degree must be zero.
+        let mut base = PossibilisticBase::new();
+        for (c, w) in clauses.iter().zip(&weights) {
+            base.add_clause(c.iter().map(|&v| Literal::pos(v)), *w).unwrap();
+        }
+        prop_assert_eq!(base.inconsistency_degree(), 0.0);
+    }
+
+    #[test]
+    fn unit_clause_entailment_at_least_its_necessity(
+        var in 0u32..6,
+        w in 0.1f64..1.0,
+        noise in prop::collection::vec((prop::collection::btree_set(0u32..6, 1..3), 0.1f64..1.0), 0..4),
+    ) {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(var)], w).unwrap();
+        // Positive side clauses cannot reduce the entailment of x_var.
+        for (c, cw) in &noise {
+            base.add_clause(c.iter().map(|&v| Literal::pos(v)), *cw).unwrap();
+        }
+        let degree = base.entailment_degree(Literal::pos(var));
+        prop_assert!(degree >= w - 1e-9, "{degree} < {w}");
+    }
+
+    #[test]
+    fn inconsistency_bounded_by_weakest_contradiction(w1 in 0.1f64..1.0, w2 in 0.1f64..1.0) {
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::pos(0)], w1).unwrap();
+        base.add_clause([Literal::neg(0)], w2).unwrap();
+        let inc = base.inconsistency_degree();
+        prop_assert!((inc - w1.min(w2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpretations_complement_diagnoses(nogood_sets in prop::collection::vec(
+        prop::collection::btree_set(0u32..5, 1..3), 0..4)) {
+        let mut atms = Atms::new();
+        let assumptions: Vec<_> = (0..5).map(|k| atms.add_assumption(format!("a{k}"))).collect();
+        for ids in &nogood_sets {
+            atms.add_nogood(Env::from_assumptions(ids.iter().map(|&i| assumptions[i as usize])));
+        }
+        for interp in atms.interpretations(10_000) {
+            prop_assert!(atms.is_consistent(&interp));
+            for &a in &assumptions {
+                if !interp.contains(a) {
+                    prop_assert!(!atms.is_consistent(&interp.with(a)),
+                        "interpretation {interp} is not maximal (missing {a})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! **E6 — §10 claim**: "propagation of fuzzy intervals avoids possible
+//! explosions either in treating tolerances or in sets of candidates
+//! resulting from the ATMS".
+//!
+//! On N-stage gain cascades (gain 1.3, ±5 %) with every stage output
+//! probed, two defect severities are injected at the middle stage:
+//!
+//! * a **soft** one (×0.96 — inside the crisp per-stage tolerance walls): the
+//!   crisp engine finds *no* conflict at any depth, while the fuzzy
+//!   engine's graded coincidences flag the weak stage and rank it first;
+//! * a **hard** one (×0.70): both engines detect it; the fuzzy engine's
+//!   degree-filtered refinement stays a single candidate, the crisp
+//!   engine reports its unranked hitting sets.
+//!
+//! The second table sparsifies the probes (only the final output) with
+//! two simultaneous soft faults: the crisp candidate space grows with
+//! depth while the fuzzy refinement stays bounded.
+//!
+//! Run with `cargo run -p flames-bench --bin exp_explosion`.
+
+use flames_bench::{header, row};
+use flames_circuit::circuits::cascade;
+use flames_circuit::constraint::{extract, ExtractOptions};
+use flames_circuit::fault::inject_faults;
+use flames_circuit::predict::{measure_all, nominal_predictions};
+use flames_circuit::{Fault, Netlist};
+use flames_crisp::{CrispConfig, CrispPropagator, Interval};
+use flames_core::{Diagnoser, DiagnoserConfig, Session};
+
+const MEAS_IMPRECISION: f64 = 0.01;
+const TOLERANCE: f64 = 0.05;
+const GAIN: f64 = 1.3;
+
+struct Outcome {
+    fuzzy_nogoods: usize,
+    fuzzy_refined: usize,
+    fuzzy_top_correct: bool,
+    fuzzy_contains_expected: bool,
+    crisp_nogoods: usize,
+    crisp_candidates: usize,
+    millis: u128,
+}
+
+fn run_case(
+    c: &flames_circuit::circuits::Cascade,
+    board: &Netlist,
+    probe_all: bool,
+    expected: &str,
+) -> Outcome {
+    let probes: Vec<usize> = if probe_all {
+        (0..c.stages.len()).collect()
+    } else {
+        vec![c.stages.len() - 1]
+    };
+    let nets: Vec<_> = probes.iter().map(|&k| c.stages[k]).collect();
+    let readings = measure_all(board, &nets, MEAS_IMPRECISION).expect("cascade solves");
+
+    let start = std::time::Instant::now();
+    // --- Fuzzy engine. ---
+    let diagnoser = Diagnoser::from_netlist(
+        &c.netlist,
+        c.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .expect("cascade solves at corners");
+    let mut session: Session<'_> = diagnoser.session();
+    for (&k, reading) in probes.iter().zip(&readings) {
+        session.measure_point(k, *reading).expect("valid point");
+    }
+    session.propagate();
+    let fuzzy_nogoods = session.propagator().atms().nogoods().len();
+    let refined = session.refined_candidates(4096, 0.5);
+    let fuzzy_top_correct = refined
+        .first()
+        .is_some_and(|cand| cand.members.iter().any(|m| m == expected));
+    let fuzzy_contains_expected = refined
+        .iter()
+        .any(|cand| cand.members.iter().any(|m| m == expected));
+    let millis = start.elapsed().as_millis();
+
+    // --- Crisp engine over the same network and readings. ---
+    let network = extract(&c.netlist, ExtractOptions::default());
+    let mut crisp = CrispPropagator::new(&c.netlist, &network, CrispConfig::default());
+    let preds = nominal_predictions(&c.netlist, &nets).expect("cascade solves");
+    for ((&k, reading), pred) in probes.iter().zip(&readings).zip(&preds) {
+        let q = network.voltage_quantity(c.stages[k]);
+        crisp.observe(q, Interval::from(*reading));
+        crisp.predict(q, Interval::from(*pred), &c.test_points[k].support);
+    }
+    crisp.run();
+    Outcome {
+        fuzzy_nogoods,
+        fuzzy_refined: refined.len(),
+        fuzzy_top_correct,
+        fuzzy_contains_expected,
+        crisp_nogoods: crisp.atms().nogoods().len(),
+        crisp_candidates: crisp.candidates(2, 4096).len(),
+        millis,
+    }
+}
+
+fn main() {
+    header("E6 / §10 — soft-fault visibility and candidate growth vs cascade depth");
+
+    println!("dense probes (every stage), single middle-stage fault:");
+    let w = [4, 7, 14, 14, 13, 14, 18, 8];
+    row(
+        &[
+            "N",
+            "fault",
+            "fuzzy nogoods",
+            "fuzzy refined",
+            "top-correct",
+            "crisp nogoods",
+            "crisp candidates",
+            "ms",
+        ],
+        &w,
+    );
+    for n in [2usize, 4, 8, 12, 16, 24, 32] {
+        let c = cascade(n, GAIN, TOLERANCE);
+        let mid = n / 2;
+        let expected = c.netlist.component(c.amps[mid]).name().to_owned();
+        for (label, factor) in [("soft", 0.96), ("hard", 0.70)] {
+            let board = inject_faults(&c.netlist, &[(c.amps[mid], Fault::ParamFactor(factor))])
+                .expect("fault injects");
+            let o = run_case(&c, &board, true, &expected);
+            row(
+                &[
+                    &n.to_string(),
+                    label,
+                    &o.fuzzy_nogoods.to_string(),
+                    &o.fuzzy_refined.to_string(),
+                    &o.fuzzy_top_correct.to_string(),
+                    &o.crisp_nogoods.to_string(),
+                    &o.crisp_candidates.to_string(),
+                    &o.millis.to_string(),
+                ],
+                &w,
+            );
+        }
+    }
+
+    println!();
+    println!("sparse probe (final output only), two soft faults (×0.90 at N/3 and 2N/3):");
+    row(
+        &[
+            "N",
+            "fault",
+            "fuzzy nogoods",
+            "fuzzy refined",
+            "contains-bad",
+            "crisp nogoods",
+            "crisp candidates",
+            "ms",
+        ],
+        &w,
+    );
+    for n in [4usize, 8, 12, 16, 24, 32] {
+        let c = cascade(n, GAIN, TOLERANCE);
+        let (f1, f2) = (n / 3, 2 * n / 3);
+        let expected = c.netlist.component(c.amps[f1]).name().to_owned();
+        let board = inject_faults(
+            &c.netlist,
+            &[
+                (c.amps[f1], Fault::ParamFactor(0.90)),
+                (c.amps[f2], Fault::ParamFactor(0.90)),
+            ],
+        )
+        .expect("faults inject");
+        let o = run_case(&c, &board, false, &expected);
+        row(
+            &[
+                &n.to_string(),
+                "2×soft",
+                &o.fuzzy_nogoods.to_string(),
+                &o.fuzzy_refined.to_string(),
+                &o.fuzzy_contains_expected.to_string(),
+                &o.crisp_nogoods.to_string(),
+                &o.crisp_candidates.to_string(),
+                &o.millis.to_string(),
+            ],
+            &w,
+        );
+    }
+
+    println!();
+    println!(
+        "shape check: the crisp engine reports 0 nogoods on every soft row (the \
+         deviation hides inside the interval walls — §4.2's masking at scale), \
+         while the fuzzy engine's graded nogoods keep flagging and ranking the \
+         weak stage; with sparse probes the fuzzy refinement stays bounded while \
+         unranked crisp/raw candidate sets grow with N."
+    );
+}

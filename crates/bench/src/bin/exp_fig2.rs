@@ -1,0 +1,75 @@
+//! **E1 — Fig. 2**: crisp-interval vs fuzzy-interval propagation through
+//! the amplifier branch circuit (gains 1/2/3, ±0.05 spreads).
+//!
+//! Regenerates every number printed in the paper's Fig. 2 and its
+//! propagation table: the crisp-interval column, and the two fuzzy cases
+//! (1) crisp input `Va = [2.95, 3.05, 0, 0]` and (2) fuzzy input
+//! `Va = [3, 3, 0.05, 0.05]`.
+//!
+//! Run with `cargo run -p flames-bench --bin exp_fig2`.
+
+use flames_bench::{header, row, tuple};
+use flames_crisp::Interval;
+use flames_fuzzy::FuzzyInterval;
+
+fn main() {
+    header("E1 / Fig. 2 — crisp vs fuzzy propagation (amplifier branch A→B; B→C; B→D)");
+
+    // Crisp-interval (DIANA-style) propagation: the figure's bracketed column.
+    let va = Interval::new(2.95, 3.05);
+    let amp1 = Interval::new(0.95, 1.05);
+    let amp2 = Interval::new(1.95, 2.05);
+    let amp3 = Interval::new(2.95, 3.05);
+    let vb = va.mul(amp1);
+    let vc = vb.mul(amp2);
+    let vd = vb.mul(amp3);
+    println!("crisp intervals (paper's bracketed figures; expected Vc=[5.46,6.56], Vd=[8.26,9.76]):");
+    let w = [6, 18];
+    row(&["point", "propagated"], &w);
+    row(&["Vb", &format!("{vb:.2}")], &w);
+    row(&["Vc", &format!("{vc:.2}")], &w);
+    row(&["Vd", &format!("{vd:.2}")], &w);
+
+    // Fuzzy propagation, case (1): crisp input.
+    let amp1 = FuzzyInterval::new(1.0, 1.0, 0.05, 0.05).expect("static");
+    let amp2 = FuzzyInterval::new(2.0, 2.0, 0.05, 0.05).expect("static");
+    let amp3 = FuzzyInterval::new(3.0, 3.0, 0.05, 0.05).expect("static");
+
+    let case = |name: &str, va: FuzzyInterval, expect: [&str; 3]| {
+        let vb = va.mul(&amp1).expect("gain product");
+        let vc = vb.mul(&amp2).expect("gain product");
+        let vd = vb.mul(&amp3).expect("gain product");
+        println!();
+        println!("fuzzy intervals, {name}:");
+        let w = [6, 28, 30];
+        row(&["point", "propagated", "paper"], &w);
+        row(&["Vb", &tuple(&vb), expect[0]], &w);
+        row(&["Vc", &tuple(&vc), expect[1]], &w);
+        row(&["Vd", &tuple(&vd), expect[2]], &w);
+    };
+
+    case(
+        "case (1): Va = [2.95, 3.05, 0, 0]",
+        FuzzyInterval::crisp_interval(2.95, 3.05).expect("static"),
+        [
+            "[2.95, 3.05, 0.15, 0.15]",
+            "[5.90, 6.10, 0.44, 0.46]",
+            "[8.85, 9.15, 0.58, 0.62]",
+        ],
+    );
+    case(
+        "case (2): Va = [3, 3, 0.05, 0.05]",
+        FuzzyInterval::new(3.0, 3.0, 0.05, 0.05).expect("static"),
+        [
+            "[3.00, 3.00, 0.20, 0.20]",
+            "[6.00, 6.00, 0.54, 0.57]",
+            "[9.00, 9.00, 0.73, 0.77]",
+        ],
+    );
+
+    println!();
+    println!(
+        "note: fuzzy values separate the two kinds of imprecision the crisp \
+         column merges — \"in (1) we divided the imprecision into two parts\"."
+    );
+}

@@ -1,0 +1,58 @@
+//! Shared helpers for the FLAMES experiment binaries and benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the experiment index); the helpers here
+//! keep their plain-text output consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a section header in the style used by every experiment binary.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Prints a row of equally padded cells.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:<w$}  ", w = *w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Renders any displayable value with two-decimal precision.
+pub fn fmt2(value: impl Display) -> String {
+    format!("{value:.2}")
+}
+
+/// Renders a fuzzy interval with the paper's 4-tuple notation at two
+/// decimals.
+#[must_use]
+pub fn tuple(value: &flames_fuzzy::FuzzyInterval) -> String {
+    format!("{value:.2}")
+}
+
+/// Renders a crisp interval at two decimals.
+#[must_use]
+pub fn interval(value: &flames_crisp::Interval) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        let fi = flames_fuzzy::FuzzyInterval::new(1.0, 2.0, 0.5, 0.25).unwrap();
+        assert_eq!(tuple(&fi), "[1.00, 2.00, 0.50, 0.25]");
+        let ci = flames_crisp::Interval::new(1.0, 2.0);
+        assert_eq!(interval(&ci), "[1.00, 2.00]");
+        assert_eq!(fmt2(1.234), "1.23");
+    }
+}

@@ -1,0 +1,541 @@
+//! Small-signal AC analysis — the paper's **dynamic mode** ("tried on
+//! different kinds and sizes of circuits, either in dynamic mode or in
+//! static one", §9).
+//!
+//! [`solve_ac`] computes the complex node phasors of a linearized circuit
+//! at one frequency: one voltage source acts as the AC stimulus, every
+//! other independent source is nulled (voltage sources short, current
+//! sources open), capacitors and inductors get their complex admittances,
+//! and the idealized devices keep their piecewise-linear small-signal
+//! behaviour (`vbe = 0`, `ic = β·ib`; conducting diodes short, blocking
+//! diodes open — states taken from the DC operating point).
+
+use crate::error::CircuitError;
+use crate::netlist::{CompId, ComponentKind, Net, Netlist};
+use crate::solve::{solve_dc, DeviceSolution, DiodeState};
+use crate::Result;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number (kept local: the workspace carries no numerics
+/// dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Builds `re + j·im`.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real number.
+    #[must_use]
+    pub fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// A purely imaginary number.
+    #[must_use]
+    pub fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+j{:.4}", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-j{:.4}", self.re, -self.im)
+        }
+    }
+}
+
+/// The solved small-signal response at one frequency.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    voltages: Vec<Complex>,
+    freq_hz: f64,
+}
+
+impl AcSolution {
+    /// The complex phasor at a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign net.
+    #[must_use]
+    pub fn phasor(&self, net: Net) -> Complex {
+        self.voltages[net.index()]
+    }
+
+    /// The amplitude (magnitude) at a net.
+    #[must_use]
+    pub fn amplitude(&self, net: Net) -> f64 {
+        self.phasor(net).abs()
+    }
+
+    /// The phase at a net, in radians.
+    #[must_use]
+    pub fn phase(&self, net: Net) -> f64 {
+        self.phasor(net).arg()
+    }
+
+    /// The analysis frequency in hertz.
+    #[must_use]
+    pub fn frequency_hz(&self) -> f64 {
+        self.freq_hz
+    }
+}
+
+/// Conductance standing in for an ideal short in the AC stamps.
+const GSHORT: f64 = 1e9;
+/// GMIN to ground keeping floating nets solvable.
+const GMIN: f64 = 1e-12;
+
+/// Solves the small-signal response of `netlist` at `freq_hz`, driving
+/// the voltage source `input` with `amplitude` volts and nulling every
+/// other independent source.
+///
+/// # Errors
+///
+/// * [`CircuitError::UnknownComponent`] / [`CircuitError::InvalidParameter`]
+///   if `input` is not a voltage source of this netlist;
+/// * [`CircuitError::SingularSystem`] when the complex MNA matrix cannot
+///   be factored;
+/// * DC-solve errors from establishing diode states.
+pub fn solve_ac(
+    netlist: &Netlist,
+    input: CompId,
+    amplitude: f64,
+    freq_hz: f64,
+) -> Result<AcSolution> {
+    if input.index() >= netlist.component_count() {
+        return Err(CircuitError::UnknownComponent {
+            index: input.index(),
+        });
+    }
+    if !matches!(
+        netlist.component(input).kind(),
+        ComponentKind::VoltageSource { .. }
+    ) {
+        return Err(CircuitError::InvalidParameter {
+            component: netlist.component(input).name().to_owned(),
+            what: "the AC input must be a voltage source",
+        });
+    }
+    // Diode conduction states come from the DC operating point.
+    let dc = solve_dc(netlist)?;
+    let omega = 2.0 * std::f64::consts::PI * freq_hz;
+
+    let n_nets = netlist.net_count();
+    // Branch variables for voltage-defined elements.
+    let mut branch_of: Vec<Option<usize>> = vec![None; netlist.component_count()];
+    let mut n_branches = 0usize;
+    for (id, comp) in netlist.components() {
+        let needs = matches!(
+            comp.kind(),
+            ComponentKind::VoltageSource { .. } | ComponentKind::Gain { .. }
+        ) || matches!(comp.kind(), ComponentKind::Npn { base, emitter, .. } if base != emitter);
+        if needs {
+            branch_of[id.index()] = Some(n_nets - 1 + n_branches);
+            n_branches += 1;
+        }
+    }
+    let dim = n_nets - 1 + n_branches;
+    let mut a = vec![Complex::ZERO; dim * dim];
+    let mut b = vec![Complex::ZERO; dim];
+
+    let vid = |net: Net| -> Option<usize> {
+        if net.is_ground() {
+            None
+        } else {
+            Some(net.index() - 1)
+        }
+    };
+    let stamp = |m: &mut Vec<Complex>, r: Option<usize>, c: Option<usize>, val: Complex| {
+        if let (Some(r), Some(c)) = (r, c) {
+            m[r * dim + c] = m[r * dim + c] + val;
+        }
+    };
+    let stamp_admittance = |m: &mut Vec<Complex>, na: Net, nb: Net, y: Complex, vid: &dyn Fn(Net) -> Option<usize>| {
+        let (ia, ib) = (vid(na), vid(nb));
+        if let (Some(r), Some(_)) = (ia, ia) {
+            m[r * dim + r] = m[r * dim + r] + y;
+        }
+        if let (Some(r), Some(_)) = (ib, ib) {
+            m[r * dim + r] = m[r * dim + r] + y;
+        }
+        if let (Some(r), Some(c)) = (ia, ib) {
+            m[r * dim + c] = m[r * dim + c] - y;
+            m[c * dim + r] = m[c * dim + r] - y;
+        }
+    };
+
+    for net in netlist.nets() {
+        if let Some(i) = vid(net) {
+            a[i * dim + i] = a[i * dim + i] + Complex::real(GMIN);
+        }
+    }
+
+    for (id, comp) in netlist.components() {
+        let br = branch_of[id.index()];
+        match *comp.kind() {
+            ComponentKind::Resistor { a: na, b: nb, ohms } => {
+                stamp_admittance(&mut a, na, nb, Complex::real(1.0 / ohms), &vid);
+            }
+            ComponentKind::Capacitor { a: na, b: nb, farads } => {
+                stamp_admittance(&mut a, na, nb, Complex::imag(omega * farads), &vid);
+            }
+            ComponentKind::Inductor { a: na, b: nb, henries } => {
+                let y = if omega * henries == 0.0 {
+                    Complex::real(GSHORT)
+                } else {
+                    Complex::ONE / Complex::imag(omega * henries)
+                };
+                stamp_admittance(&mut a, na, nb, y, &vid);
+            }
+            ComponentKind::VoltageSource { plus, minus, .. } => {
+                let k = br.expect("voltage source branch");
+                let (ip, im) = (vid(plus), vid(minus));
+                stamp(&mut a, ip, Some(k), Complex::ONE);
+                stamp(&mut a, im, Some(k), -Complex::ONE);
+                stamp(&mut a, Some(k), ip, Complex::ONE);
+                stamp(&mut a, Some(k), im, -Complex::ONE);
+                b[k] = if id == input {
+                    Complex::real(amplitude)
+                } else {
+                    Complex::ZERO // nulled: an AC short
+                };
+            }
+            ComponentKind::CurrentSource { .. } => {
+                // Nulled: an AC open — contributes nothing.
+            }
+            ComponentKind::Diode { anode, cathode, .. } => {
+                // Conducting at DC → small-signal short; blocking → open.
+                if matches!(
+                    dc.device(id),
+                    DeviceSolution::Diode {
+                        state: DiodeState::On,
+                        ..
+                    }
+                ) {
+                    stamp_admittance(&mut a, anode, cathode, Complex::real(GSHORT), &vid);
+                }
+            }
+            ComponentKind::Npn { collector, base, emitter, beta, .. } => {
+                if base == emitter {
+                    continue;
+                }
+                let k = br.expect("BJT branch");
+                let (ic_, ib_, ie_) = (vid(collector), vid(base), vid(emitter));
+                // Small-signal of the clamp model: v(base) = v(emitter),
+                // ic = β·ib.
+                stamp(&mut a, ib_, Some(k), Complex::ONE);
+                stamp(&mut a, ie_, Some(k), Complex::real(-(1.0 + beta)));
+                stamp(&mut a, ic_, Some(k), Complex::real(beta));
+                stamp(&mut a, Some(k), ib_, Complex::ONE);
+                stamp(&mut a, Some(k), ie_, -Complex::ONE);
+                b[k] = Complex::ZERO;
+            }
+            ComponentKind::Gain { input: gin, output, gain } => {
+                let k = br.expect("gain branch");
+                let (ii, io) = (vid(gin), vid(output));
+                stamp(&mut a, io, Some(k), Complex::ONE);
+                stamp(&mut a, Some(k), io, Complex::ONE);
+                stamp(&mut a, Some(k), ii, Complex::real(-gain));
+            }
+        }
+    }
+
+    let x = gauss_solve_complex(a, b, dim)?;
+    let mut voltages = vec![Complex::ZERO; n_nets];
+    for net in netlist.nets() {
+        if let Some(i) = vid(net) {
+            voltages[net.index()] = x[i];
+        }
+    }
+    Ok(AcSolution { voltages, freq_hz })
+}
+
+/// Sweeps the small-signal response across `freqs_hz` (one
+/// [`solve_ac`] per frequency) — the usual Bode-style workload.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn frequency_response(
+    netlist: &Netlist,
+    input: CompId,
+    amplitude: f64,
+    freqs_hz: &[f64],
+) -> Result<Vec<AcSolution>> {
+    freqs_hz
+        .iter()
+        .map(|&f| solve_ac(netlist, input, amplitude, f))
+        .collect()
+}
+
+fn gauss_solve_complex(mut a: Vec<Complex>, mut b: Vec<Complex>, n: usize) -> Result<Vec<Complex>> {
+    for col in 0..n {
+        let mut best = col;
+        let mut best_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best_val {
+                best = row;
+                best_val = v;
+            }
+        }
+        if best_val < 1e-300 {
+            return Err(CircuitError::SingularSystem);
+        }
+        if best != col {
+            for k in 0..n {
+                a.swap(col * n + k, best * n + k);
+            }
+            b.swap(col, best);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == Complex::ZERO {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] = a[row * n + k] - factor * a[col * n + k];
+            }
+            b[row] = b[row] - factor * b[col];
+        }
+    }
+    let mut x = vec![Complex::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc = acc - a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(3.0, 4.0);
+        assert!(close(a.abs(), 5.0, 1e-12));
+        let b = Complex::new(1.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 3.0));
+        assert_eq!(a - b, Complex::new(2.0, 5.0));
+        assert_eq!(a * b, Complex::new(7.0, 1.0));
+        let q = a / b;
+        assert!(close(q.re, -0.5, 1e-12));
+        assert!(close(q.im, 3.5, 1e-12));
+        assert_eq!(-a, Complex::new(-3.0, -4.0));
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert!(close(Complex::imag(1.0).arg(), std::f64::consts::FRAC_PI_2, 1e-12));
+        assert!(format!("{a}").contains("+j"));
+        assert!(format!("{}", a.conj()).contains("-j"));
+    }
+
+    #[test]
+    fn rc_low_pass_corner() {
+        // R = 1k, C = 1µF: corner at 1/(2πRC) ≈ 159.15 Hz, where the
+        // output sits at 1/√2 of the input with −45° phase.
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_resistor("R", vin, out, 1e3, 0.0).unwrap();
+        nl.add_capacitor("C", out, Net::GROUND, 1e-6, 0.0).unwrap();
+
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
+        let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
+        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+        assert!(close(sol.phase(out), -std::f64::consts::FRAC_PI_4, 1e-3));
+        assert!(close(sol.amplitude(vin), 1.0, 1e-9));
+        assert!(close(sol.frequency_hz(), fc, 1e-9));
+
+        // A decade above the corner: ~20 dB down.
+        let sol = solve_ac(&nl, src, 1.0, 10.0 * fc).unwrap();
+        assert!(close(sol.amplitude(out), 0.0995, 1e-3));
+        // A decade below: nearly unity.
+        let sol = solve_ac(&nl, src, 1.0, fc / 10.0).unwrap();
+        assert!(sol.amplitude(out) > 0.99);
+    }
+
+    #[test]
+    fn rc_high_pass() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_capacitor("C", vin, out, 1e-6, 0.0).unwrap();
+        nl.add_resistor("R", out, Net::GROUND, 1e3, 0.0).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
+        let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
+        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+        // Far below the corner the output dies.
+        let sol = solve_ac(&nl, src, 1.0, fc / 100.0).unwrap();
+        assert!(sol.amplitude(out) < 0.02);
+    }
+
+    #[test]
+    fn rl_divider() {
+        // L against R: at ω = R/L the magnitudes split 1/√2.
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_inductor("L", vin, out, 0.1, 0.0).unwrap();
+        nl.add_resistor("R", out, Net::GROUND, 100.0, 0.0).unwrap();
+        let fc = 100.0 / (2.0 * std::f64::consts::PI * 0.1);
+        let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
+        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+    }
+
+    #[test]
+    fn gain_block_scales_amplitude() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_gain("A", vin, out, 4.0, 0.0).unwrap();
+        let sol = solve_ac(&nl, src, 0.5, 1000.0).unwrap();
+        assert!(close(sol.amplitude(out), 2.0, 1e-9));
+    }
+
+    #[test]
+    fn other_sources_are_nulled() {
+        // A DC supply must not contribute to the small-signal response.
+        let mut nl = Netlist::new();
+        let vcc = nl.add_net("vcc");
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_resistor("R1", vin, out, 1e3, 0.0).unwrap();
+        nl.add_resistor("R2", out, vcc, 1e3, 0.0).unwrap();
+        let sol = solve_ac(&nl, src, 1.0, 100.0).unwrap();
+        // vcc is an AC ground: plain divider halves the signal.
+        assert!(close(sol.amplitude(out), 0.5, 1e-6));
+        assert!(close(sol.amplitude(vcc), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn frequency_sweep_matches_single_solves() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let out = nl.add_net("out");
+        let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
+        nl.add_resistor("R", vin, out, 1e3, 0.0).unwrap();
+        nl.add_capacitor("C", out, Net::GROUND, 1e-6, 0.0).unwrap();
+        let freqs = [10.0, 100.0, 1_000.0];
+        let sweep = frequency_response(&nl, src, 1.0, &freqs).unwrap();
+        assert_eq!(sweep.len(), 3);
+        for (sol, &f) in sweep.iter().zip(&freqs) {
+            let single = solve_ac(&nl, src, 1.0, f).unwrap();
+            assert!((sol.amplitude(out) - single.amplitude(out)).abs() < 1e-12);
+        }
+        // Monotone low-pass roll-off across the sweep.
+        assert!(sweep[0].amplitude(out) > sweep[1].amplitude(out));
+        assert!(sweep[1].amplitude(out) > sweep[2].amplitude(out));
+    }
+
+    #[test]
+    fn input_must_be_a_voltage_source() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let r = nl.add_resistor("R", a, Net::GROUND, 1e3, 0.0).unwrap();
+        nl.add_voltage_source("V", a, Net::GROUND, 1.0).unwrap();
+        assert!(matches!(
+            solve_ac(&nl, r, 1.0, 100.0),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+        assert!(solve_ac(&nl, CompId::from_raw_for_tests(99), 1.0, 100.0).is_err());
+    }
+}

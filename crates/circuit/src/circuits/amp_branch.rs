@@ -1,0 +1,113 @@
+use crate::netlist::{CompId, Net, Netlist};
+use crate::predict::TestPoint;
+
+/// The paper's Fig. 2 circuit: an input node A driving amplifier `amp1`
+/// (gain 1) into node B, which fans out into `amp2` (gain 2, node C) and
+/// `amp3` (gain 3, node D). All gains carry an absolute ±0.05 spread.
+#[derive(Debug, Clone)]
+pub struct AmpBranch {
+    /// The netlist (includes a 3 V source at A).
+    pub netlist: Netlist,
+    /// Input node A.
+    pub a: Net,
+    /// Intermediate node B.
+    pub b: Net,
+    /// Output node C (= 2·B).
+    pub c: Net,
+    /// Output node D (= 3·B).
+    pub d: Net,
+    /// First amplifier.
+    pub amp1: CompId,
+    /// Second amplifier.
+    pub amp2: CompId,
+    /// Third amplifier.
+    pub amp3: CompId,
+    /// Test points B, C, D with their dependency cones.
+    pub test_points: Vec<TestPoint>,
+}
+
+/// Builds the Fig. 2 amplifier branch.
+///
+/// # Panics
+///
+/// Never panics for the fixed parameters used here.
+#[must_use]
+pub fn amp_branch() -> AmpBranch {
+    let mut nl = Netlist::new();
+    let a = nl.add_net("A");
+    let b = nl.add_net("B");
+    let c = nl.add_net("C");
+    let d = nl.add_net("D");
+    nl.add_voltage_source("Va", a, Net::GROUND, 3.0)
+        .expect("fresh name");
+    // Tolerances are relative; the paper's spreads are an absolute 0.05,
+    // so each gain gets 0.05/|gain|.
+    let amp1 = nl.add_gain("amp1", a, b, 1.0, 0.05).expect("fresh name");
+    let amp2 = nl.add_gain("amp2", b, c, 2.0, 0.025).expect("fresh name");
+    let amp3 = nl.add_gain("amp3", b, d, 3.0, 0.05 / 3.0).expect("fresh name");
+    let test_points = vec![
+        TestPoint::new(b, "Vb", vec![amp1]),
+        TestPoint::new(c, "Vc", vec![amp1, amp2]),
+        TestPoint::new(d, "Vd", vec![amp1, amp3]),
+    ];
+    AmpBranch {
+        netlist: nl,
+        a,
+        b,
+        c,
+        d,
+        amp1,
+        amp2,
+        amp3,
+        test_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn nominal_voltages_match_fig2() {
+        let ab = amp_branch();
+        let op = solve_dc(&ab.netlist).unwrap();
+        assert!((op.voltage(ab.a) - 3.0).abs() < 1e-9);
+        assert!((op.voltage(ab.b) - 3.0).abs() < 1e-9);
+        assert!((op.voltage(ab.c) - 6.0).abs() < 1e-9);
+        assert!((op.voltage(ab.d) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_tolerances_are_absolute_0_05() {
+        let ab = amp_branch();
+        for (id, abs) in [(ab.amp1, 1.0), (ab.amp2, 2.0), (ab.amp3, 3.0)] {
+            let comp = ab.netlist.component(id);
+            let spread = comp.tolerance() * abs;
+            assert!((spread - 0.05).abs() < 1e-9, "{}", comp.name());
+        }
+    }
+
+    #[test]
+    fn faulty_amp2_matches_sec42_scenario() {
+        use crate::fault::{inject_faults, Fault};
+        let ab = amp_branch();
+        let bad = inject_faults(&ab.netlist, &[(ab.amp2, Fault::Param(1.8))]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        assert!((op.voltage(ab.c) - 5.4).abs() < 1e-9); // 3 × 1.8
+        // Paper measures Vc = 5.6 with Va slightly high; with Va = 3.1111:
+        let va = bad.component_by_name("Va").unwrap();
+        let nl2 = inject_faults(&bad, &[(va, Fault::Param(5.6 / 1.8))]).unwrap();
+        let op = solve_dc(&nl2).unwrap();
+        assert!((op.voltage(ab.c) - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_points_cover_outputs() {
+        let ab = amp_branch();
+        assert_eq!(ab.test_points.len(), 3);
+        assert_eq!(ab.test_points[0].support, vec![ab.amp1]);
+        assert!(ab.test_points[1].support.contains(&ab.amp2));
+        assert!(ab.test_points[2].support.contains(&ab.amp3));
+    }
+}

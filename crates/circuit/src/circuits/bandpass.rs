@@ -1,0 +1,137 @@
+use crate::netlist::{CompId, Net, Netlist};
+
+/// A band-pass chain for the **dynamic mode** experiments: a high-pass
+/// section (`C1` into `R1`), a ×10 gain block, and a low-pass section
+/// (`R2` into `C2`).
+///
+/// With the default values the passband runs from ≈1 kHz to ≈10 kHz at a
+/// mid-band gain of ≈10; pole-shifting parametric faults on `C1`/`C2`
+/// move the corners, which only shows up in the frequency response — the
+/// static operating point is unaffected (every node sits at 0 V DC).
+#[derive(Debug, Clone)]
+pub struct Bandpass {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// The AC input source (0 V DC; drive it via [`crate::ac::solve_ac`]).
+    pub input: CompId,
+    /// Input net.
+    pub vin: Net,
+    /// High-pass output node.
+    pub n1: Net,
+    /// Gain-stage output node.
+    pub n2: Net,
+    /// Circuit output node.
+    pub out: Net,
+    /// Series input capacitor (100 nF).
+    pub c1: CompId,
+    /// High-pass shunt resistor (1.6 kΩ).
+    pub r1: CompId,
+    /// The ×10 gain block.
+    pub amp: CompId,
+    /// Low-pass series resistor (1.6 kΩ).
+    pub r2: CompId,
+    /// Low-pass shunt capacitor (10 nF).
+    pub c2: CompId,
+}
+
+impl Bandpass {
+    /// Lower corner frequency (≈1 kHz nominal).
+    #[must_use]
+    pub fn low_corner_hz(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * 1.6e3 * 100e-9)
+    }
+
+    /// Upper corner frequency (≈10 kHz nominal).
+    #[must_use]
+    pub fn high_corner_hz(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * 1.6e3 * 10e-9)
+    }
+}
+
+/// Builds the band-pass chain with the given relative component
+/// tolerance.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is outside `[0, 1)`.
+#[must_use]
+pub fn bandpass(tolerance: f64) -> Bandpass {
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    let n1 = nl.add_net("n1");
+    let n2 = nl.add_net("n2");
+    let out = nl.add_net("out");
+    let input = nl
+        .add_voltage_source("Vin", vin, Net::GROUND, 0.0)
+        .expect("fresh name");
+    let c1 = nl.add_capacitor("C1", vin, n1, 100e-9, tolerance).expect("fresh name");
+    let r1 = nl.add_resistor("R1", n1, Net::GROUND, 1.6e3, tolerance).expect("fresh name");
+    let amp = nl.add_gain("A", n1, n2, 10.0, tolerance).expect("fresh name");
+    let r2 = nl.add_resistor("R2", n2, out, 1.6e3, tolerance).expect("fresh name");
+    let c2 = nl.add_capacitor("C2", out, Net::GROUND, 10e-9, tolerance).expect("fresh name");
+    Bandpass {
+        netlist: nl,
+        input,
+        vin,
+        n1,
+        n2,
+        out,
+        c1,
+        r1,
+        amp,
+        r2,
+        c2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::solve_ac;
+    use crate::fault::{inject_faults, Fault};
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn dc_operating_point_is_flat() {
+        let bp = bandpass(0.05);
+        let op = solve_dc(&bp.netlist).unwrap();
+        for net in [bp.n1, bp.n2, bp.out] {
+            assert!(op.voltage(net).abs() < 1e-6, "{net}");
+        }
+    }
+
+    #[test]
+    fn midband_gain_is_ten() {
+        let bp = bandpass(0.05);
+        let mid = (bp.low_corner_hz() * bp.high_corner_hz()).sqrt();
+        let sol = solve_ac(&bp.netlist, bp.input, 1.0, mid).unwrap();
+        let gain = sol.amplitude(bp.out);
+        assert!(gain > 8.5 && gain <= 10.0, "mid-band gain {gain}");
+    }
+
+    #[test]
+    fn skirts_roll_off() {
+        let bp = bandpass(0.05);
+        let low = solve_ac(&bp.netlist, bp.input, 1.0, bp.low_corner_hz() / 20.0).unwrap();
+        let high = solve_ac(&bp.netlist, bp.input, 1.0, bp.high_corner_hz() * 20.0).unwrap();
+        assert!(low.amplitude(bp.out) < 1.0);
+        assert!(high.amplitude(bp.out) < 1.0);
+    }
+
+    #[test]
+    fn pole_shift_fault_is_invisible_at_dc() {
+        let bp = bandpass(0.05);
+        let bad = inject_faults(&bp.netlist, &[(bp.c2, Fault::ParamFactor(3.0))]).unwrap();
+        let healthy_dc = solve_dc(&bp.netlist).unwrap();
+        let faulty_dc = solve_dc(&bad).unwrap();
+        assert!((healthy_dc.voltage(bp.out) - faulty_dc.voltage(bp.out)).abs() < 1e-9);
+        // …but clearly visible at the upper corner.
+        let f = bp.high_corner_hz();
+        let healthy = solve_ac(&bp.netlist, bp.input, 1.0, f).unwrap();
+        let faulty = solve_ac(&bad, bp.input, 1.0, f).unwrap();
+        assert!(
+            (healthy.amplitude(bp.out) - faulty.amplitude(bp.out)).abs() > 1.0,
+            "pole shift must move the response"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+use crate::netlist::{CompId, Net, Netlist};
+use crate::predict::TestPoint;
+
+/// A generated N-stage gain cascade used by the scaling experiments
+/// (E5/E6): `vin → amp_1 → s1 → amp_2 → … → sN`, every stage with the
+/// same gain and tolerance. The candidate space and the propagated
+/// tolerance windows grow with N — the "explosion" the paper's graded
+/// nogoods are designed to curb.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    /// The netlist (driven by a 1 V source).
+    pub netlist: Netlist,
+    /// Input net.
+    pub vin: Net,
+    /// Stage output nets `s1 … sN`.
+    pub stages: Vec<Net>,
+    /// Stage amplifiers `amp_1 … amp_N`.
+    pub amps: Vec<CompId>,
+    /// A test point per stage output; the dependency cone of stage `k` is
+    /// `amp_1 … amp_k`.
+    pub test_points: Vec<TestPoint>,
+}
+
+/// Builds an `n`-stage cascade (`n ≥ 1`) with the given per-stage gain
+/// and relative tolerance.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the gain/tolerance are invalid for the netlist
+/// builder.
+#[must_use]
+pub fn cascade(n: usize, gain: f64, tolerance: f64) -> Cascade {
+    assert!(n >= 1, "a cascade needs at least one stage");
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    nl.add_voltage_source("Vin", vin, Net::GROUND, 1.0)
+        .expect("fresh name");
+    let mut prev = vin;
+    let mut stages = Vec::with_capacity(n);
+    let mut amps = Vec::with_capacity(n);
+    let mut test_points = Vec::with_capacity(n);
+    for k in 1..=n {
+        let out = nl.add_net(format!("s{k}"));
+        let amp = nl
+            .add_gain(format!("amp_{k}"), prev, out, gain, tolerance)
+            .expect("fresh name");
+        amps.push(amp);
+        stages.push(out);
+        test_points.push(TestPoint::new(out, format!("V{k}"), amps.clone()));
+        prev = out;
+    }
+    Cascade {
+        netlist: nl,
+        vin,
+        stages,
+        amps,
+        test_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn nominal_cascade_multiplies_gains() {
+        let c = cascade(4, 2.0, 0.05);
+        let op = solve_dc(&c.netlist).unwrap();
+        assert!((op.voltage(c.stages[0]) - 2.0).abs() < 1e-9);
+        assert!((op.voltage(c.stages[3]) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_cones_grow() {
+        let c = cascade(5, 1.5, 0.02);
+        for (k, tp) in c.test_points.iter().enumerate() {
+            assert_eq!(tp.support.len(), k + 1);
+        }
+        assert_eq!(c.amps.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let _ = cascade(0, 2.0, 0.05);
+    }
+}

@@ -1,0 +1,136 @@
+use crate::constraint::{extract, ExtractOptions, Network, QuantityKind};
+use crate::netlist::{CompId, Net, Netlist};
+use flames_fuzzy::FuzzyInterval;
+
+/// The paper's Fig. 5 network: `vin —r1— n1 —d1— n2 —r2— gnd`, with
+/// `r1 = r2 = 10 kΩ`, a 0.2 V diode drop, and the diode's datasheet limit
+/// "`Id ≤ 100 µA`" encoded as the fuzzy spec `[-1, 100, 0, 10]` µA.
+///
+/// The paper's measured scenario (`Vr1 = 1.05 V`, `Vr2 = 2 V`) makes both
+/// resistor currents violate the spec — yielding nogood `{r1, d1}` with
+/// degree 0.5 and nogood `{r2, d1}` with degree 1.
+#[derive(Debug, Clone)]
+pub struct DiodeNet {
+    /// The netlist (driven by a source sized so the nominal currents sit
+    /// inside the diode spec).
+    pub netlist: Netlist,
+    /// Source node.
+    pub vin: Net,
+    /// Node between r1 and the diode.
+    pub n1: Net,
+    /// Node between the diode and r2.
+    pub n2: Net,
+    /// First resistor.
+    pub r1: CompId,
+    /// The diode.
+    pub d1: CompId,
+    /// Second resistor.
+    pub r2: CompId,
+    /// The extracted constraint network with the diode-current spec
+    /// installed (currents in µA for readability).
+    pub network: Network,
+}
+
+/// The fuzzy Fig. 5 condition "`Id ≤ 100 µA`" in µA: `[-1, 100, 0, 10]`.
+///
+/// # Panics
+///
+/// Never panics (static construction).
+#[must_use]
+pub fn diode_current_spec_micro_amps() -> FuzzyInterval {
+    FuzzyInterval::new(-1.0, 100.0, 0.0, 10.0).expect("static spec")
+}
+
+/// Builds the Fig. 5 diode network.
+///
+/// # Panics
+///
+/// Never panics for the fixed parameters used here.
+#[must_use]
+pub fn diode_net() -> DiodeNet {
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    let n1 = nl.add_net("n1");
+    let n2 = nl.add_net("n2");
+    // A healthy board: 1.7 V across 20 kΩ + 0.2 V drop → 75 µA, inside the
+    // 100 µA spec.
+    nl.add_voltage_source("Vin", vin, Net::GROUND, 1.7).expect("fresh name");
+    let r1 = nl.add_resistor("r1", vin, n1, 10_000.0, 0.05).expect("fresh name");
+    let d1 = nl.add_diode("d1", n1, n2, 0.2, 0.05).expect("fresh name");
+    let r2 = nl.add_resistor("r2", n2, Net::GROUND, 10_000.0, 0.05).expect("fresh name");
+
+    let mut network = extract(&nl, ExtractOptions::default());
+    let iq = network
+        .find(QuantityKind::BranchCurrent(d1))
+        .expect("diode current quantity");
+    // The spec is stated in µA; the engine-facing condition is in amperes.
+    network.add_spec(
+        "Id<=100uA(d1)",
+        iq,
+        diode_current_spec_micro_amps().scaled(1e-6),
+        vec![d1],
+    );
+    DiodeNet {
+        netlist: nl,
+        vin,
+        n1,
+        n2,
+        r1,
+        d1,
+        r2,
+        network,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn healthy_board_is_inside_spec() {
+        let dn = diode_net();
+        let op = solve_dc(&dn.netlist).unwrap();
+        let i = match op.device(dn.d1) {
+            crate::solve::DeviceSolution::Diode { amps, .. } => amps,
+            _ => panic!("diode expected"),
+        };
+        let micro = i * 1e6;
+        assert!((micro - 75.0).abs() < 1.0);
+        assert_eq!(diode_current_spec_micro_amps().membership(micro), 1.0);
+    }
+
+    #[test]
+    fn spec_grades_the_paper_measurements() {
+        // Vr1 = 1.05 V → Ir1 = 105 µA → degree 0.5;
+        // Vr2 = 2 V → Ir2 = 200 µA → degree 0.
+        let spec = diode_current_spec_micro_amps();
+        assert_eq!(spec.membership(105.0), 0.5);
+        assert_eq!(spec.membership(200.0), 0.0);
+    }
+
+    #[test]
+    fn network_has_spec_installed() {
+        let dn = diode_net();
+        assert_eq!(dn.network.specs().len(), 1);
+        let spec = &dn.network.specs()[0];
+        assert_eq!(spec.support, vec![dn.d1]);
+        // Condition in amperes.
+        assert!((spec.condition.membership(105e-6) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorted_r2_violates_spec() {
+        use crate::fault::{inject_faults, Fault};
+        let dn = diode_net();
+        let bad = inject_faults(&dn.netlist, &[(dn.r2, Fault::Short)]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        let i = match op.device(dn.d1) {
+            crate::solve::DeviceSolution::Diode { amps, .. } => amps,
+            _ => panic!("diode expected"),
+        };
+        // 1.5 V across 10 kΩ → 150 µA: clearly outside the spec.
+        assert!(i * 1e6 > 140.0);
+        assert_eq!(dn.network.specs()[0].condition.membership(i), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+use crate::netlist::{CompId, Net, Netlist};
+use crate::predict::TestPoint;
+
+/// A resistive ladder: `vin —Rs1— n1 —Rs2— n2 — … — nN`, with a shunt
+/// resistor `Rp_k` from every internal node to ground.
+///
+/// Unlike the gain [`crate::circuits::cascade`], the ladder is *bilateral*:
+/// every node couples to both neighbours, so conflicts localize through
+/// genuinely simultaneous constraints (divider chains) rather than
+/// directed stages — a complementary workload for the scaling benches.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    /// The netlist (driven by a 10 V source).
+    pub netlist: Netlist,
+    /// Input net.
+    pub vin: Net,
+    /// Internal nodes `n1 … nN`.
+    pub nodes: Vec<Net>,
+    /// Series resistors (`Rs1 … RsN`, vin→n1→…).
+    pub series: Vec<CompId>,
+    /// Shunt resistors (`Rp1 … RpN`, node→gnd).
+    pub shunt: Vec<CompId>,
+    /// A test point at every internal node; the cone of node `k` is all
+    /// resistors up to and including section `k` (its upstream divider).
+    pub test_points: Vec<TestPoint>,
+}
+
+/// Builds an `n`-section ladder (`n ≥ 1`) with the given section
+/// resistances and relative tolerance.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the resistances/tolerance are invalid for the
+/// netlist builder.
+#[must_use]
+pub fn ladder(n: usize, series_ohms: f64, shunt_ohms: f64, tolerance: f64) -> Ladder {
+    assert!(n >= 1, "a ladder needs at least one section");
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    nl.add_voltage_source("Vin", vin, Net::GROUND, 10.0)
+        .expect("fresh name");
+    let mut prev = vin;
+    let mut nodes = Vec::with_capacity(n);
+    let mut series = Vec::with_capacity(n);
+    let mut shunt = Vec::with_capacity(n);
+    let mut test_points = Vec::with_capacity(n);
+    let mut cone: Vec<CompId> = Vec::new();
+    for k in 1..=n {
+        let node = nl.add_net(format!("n{k}"));
+        let rs = nl
+            .add_resistor(format!("Rs{k}"), prev, node, series_ohms, tolerance)
+            .expect("fresh name");
+        let rp = nl
+            .add_resistor(format!("Rp{k}"), node, Net::GROUND, shunt_ohms, tolerance)
+            .expect("fresh name");
+        series.push(rs);
+        shunt.push(rp);
+        cone.push(rs);
+        cone.push(rp);
+        nodes.push(node);
+        test_points.push(TestPoint::new(node, format!("V{k}"), cone.clone()));
+        prev = node;
+    }
+    Ladder {
+        netlist: nl,
+        vin,
+        nodes,
+        series,
+        shunt,
+        test_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject_faults, Fault};
+    use crate::predict::measure_all;
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn single_section_is_a_divider() {
+        let l = ladder(1, 1000.0, 1000.0, 0.0);
+        let op = solve_dc(&l.netlist).unwrap();
+        assert!((op.voltage(l.nodes[0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn voltages_decrease_along_the_ladder() {
+        let l = ladder(6, 1000.0, 2200.0, 0.05);
+        let op = solve_dc(&l.netlist).unwrap();
+        let mut prev = 10.0;
+        for &node in &l.nodes {
+            let v = op.voltage(node);
+            assert!(v < prev, "ladder voltage must fall monotonically");
+            assert!(v > 0.0);
+            prev = v;
+        }
+        assert_eq!(l.test_points.len(), 6);
+        assert_eq!(l.test_points[2].support.len(), 6); // 3 sections × 2
+    }
+
+    #[test]
+    fn shorted_shunt_collapses_its_node() {
+        let l = ladder(4, 1000.0, 2200.0, 0.05);
+        let bad = inject_faults(&l.netlist, &[(l.shunt[1], Fault::Short)]).unwrap();
+        let readings = measure_all(&bad, &l.nodes, 0.01).unwrap();
+        assert!(readings[1].core_midpoint() < 0.01);
+        // Downstream nodes collapse too (fed from a grounded node).
+        assert!(readings[2].core_midpoint() < 0.01);
+    }
+}

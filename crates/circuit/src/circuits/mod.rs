@@ -1,0 +1,30 @@
+//! Ready-made builders for every circuit the paper uses, plus generated
+//! families for scaling experiments.
+//!
+//! * [`amp_branch`] — the Fig. 2 amplifier branch (gains 1/2/3, ±0.05)
+//!   used for the crisp-vs-fuzzy propagation comparison (E1) and the §4.2
+//!   fault-masking scenario (E2);
+//! * [`diode_net`] — the Fig. 5 diode + two resistors network with the
+//!   fuzzy `Id ≤ 100 µA` spec (E3);
+//! * [`three_stage`] — the Fig. 6 three-stage transistor amplifier, the
+//!   paper's main experimental vehicle (E4, E5);
+//! * [`cascade`] — N-stage gain cascades for the explosion/scaling
+//!   experiments (E5, E6);
+//! * [`bandpass`] — an RC band-pass chain for the dynamic-mode (AC)
+//!   experiments (E7);
+//! * [`ladder`] — bilateral resistive ladders (simultaneous-constraint
+//!   workloads for the scaling benches).
+
+mod amp_branch;
+mod bandpass;
+mod cascade;
+mod diode_net;
+mod ladder;
+mod three_stage;
+
+pub use amp_branch::{amp_branch, AmpBranch};
+pub use bandpass::{bandpass, Bandpass};
+pub use cascade::{cascade, Cascade};
+pub use diode_net::{diode_current_spec_micro_amps, diode_net, DiodeNet};
+pub use ladder::{ladder, Ladder};
+pub use three_stage::{three_stage, ThreeStage};

@@ -1,0 +1,243 @@
+use crate::netlist::{CompId, Net, Netlist};
+use crate::predict::TestPoint;
+
+/// The paper's Fig. 6 three-stage amplifier (Vcc = 18 V, Vbe = 0.7 V,
+/// β = 300/200/100), reconstructed as documented in `DESIGN.md`:
+///
+/// * **stage 1** — feedback-biased common emitter: `R1` (200 kΩ) from the
+///   collector `V1` back to the base `N1`, `R3` (24 kΩ) from `N1` to
+///   ground, `R2` (12 kΩ) collector load, `T1` (β = 300);
+/// * **stage 2** — degenerated common emitter: base at `V1`, emitter `N2`
+///   through `R5` (2.2 kΩ), collector `V2` through `R4` (3 kΩ),
+///   `T2` (β = 200);
+/// * **stage 3** — emitter follower: base at `V2`, output `Vs` through
+///   `R6` (1.8 kΩ), `T3` (β = 100).
+///
+/// All transistors sit in the forward-active (linear) region — the
+/// property the paper says its component values were chosen to ensure —
+/// and the signal path is single: `N1 → V1 → V2 → Vs`.
+#[derive(Debug, Clone)]
+pub struct ThreeStage {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Supply net.
+    pub vcc: Net,
+    /// Base node of stage 1 (the paper's interconnect-open fault site).
+    pub n1: Net,
+    /// Stage-1 output (collector of T1).
+    pub v1: Net,
+    /// Emitter node of stage 2.
+    pub n2: Net,
+    /// Stage-2 output (collector of T2).
+    pub v2: Net,
+    /// Circuit output (emitter of T3).
+    pub vs: Net,
+    /// Bias/feedback resistor R1 (200 kΩ).
+    pub r1: CompId,
+    /// Stage-1 collector load R2 (12 kΩ).
+    pub r2: CompId,
+    /// Base-ground resistor R3 (24 kΩ).
+    pub r3: CompId,
+    /// Stage-2 collector load R4 (3 kΩ).
+    pub r4: CompId,
+    /// Stage-2 emitter resistor R5 (2.2 kΩ).
+    pub r5: CompId,
+    /// Output emitter resistor R6 (1.8 kΩ).
+    pub r6: CompId,
+    /// Stage-1 transistor (β = 300).
+    pub t1: CompId,
+    /// Stage-2 transistor (β = 200).
+    pub t2: CompId,
+    /// Stage-3 transistor (β = 100).
+    pub t3: CompId,
+    /// Supply source.
+    pub supply: CompId,
+    /// Test points V1, V2, Vs with their upstream dependency cones
+    /// (Fig. 7's per-point suspect sets).
+    pub test_points: Vec<TestPoint>,
+}
+
+impl ThreeStage {
+    /// Components of stage 1 — the paper's `{R1, R2, R3, T1}`.
+    #[must_use]
+    pub fn stage1(&self) -> Vec<CompId> {
+        vec![self.r1, self.r2, self.r3, self.t1]
+    }
+
+    /// Components of stage 2 — `{R4, R5, T2}`.
+    #[must_use]
+    pub fn stage2(&self) -> Vec<CompId> {
+        vec![self.r4, self.r5, self.t2]
+    }
+
+    /// Components of stage 3 — `{R6, T3}`.
+    #[must_use]
+    pub fn stage3(&self) -> Vec<CompId> {
+        vec![self.r6, self.t3]
+    }
+}
+
+/// Builds the Fig. 6 amplifier with the given relative component
+/// tolerance (the paper works at 5 %: pass `0.05`).
+///
+/// # Panics
+///
+/// Panics if `tolerance` is outside `[0, 1)` (a programming error in the
+/// caller; the netlist builder validates it).
+#[must_use]
+pub fn three_stage(tolerance: f64) -> ThreeStage {
+    let mut nl = Netlist::new();
+    let vcc = nl.add_net("vcc");
+    let n1 = nl.add_net("N1");
+    let v1 = nl.add_net("V1");
+    let n2 = nl.add_net("N2");
+    let v2 = nl.add_net("V2");
+    let vs = nl.add_net("Vs");
+    let supply = nl
+        .add_voltage_source("Vcc", vcc, Net::GROUND, 18.0)
+        .expect("fresh name");
+    let r1 = nl.add_resistor("R1", v1, n1, 200e3, tolerance).expect("fresh name");
+    let r2 = nl.add_resistor("R2", vcc, v1, 12e3, tolerance).expect("fresh name");
+    let r3 = nl.add_resistor("R3", n1, Net::GROUND, 24e3, tolerance).expect("fresh name");
+    let t1 = nl
+        .add_npn("T1", v1, n1, Net::GROUND, 300.0, 0.7, tolerance)
+        .expect("fresh name");
+    let r4 = nl.add_resistor("R4", vcc, v2, 3e3, tolerance).expect("fresh name");
+    let r5 = nl.add_resistor("R5", n2, Net::GROUND, 2.2e3, tolerance).expect("fresh name");
+    let t2 = nl
+        .add_npn("T2", v2, v1, n2, 200.0, 0.7, tolerance)
+        .expect("fresh name");
+    let r6 = nl.add_resistor("R6", vs, Net::GROUND, 1.8e3, tolerance).expect("fresh name");
+    let t3 = nl
+        .add_npn("T3", vcc, v2, vs, 100.0, 0.7, tolerance)
+        .expect("fresh name");
+
+    let stage1 = vec![r1, r2, r3, t1];
+    let mut stage12 = stage1.clone();
+    stage12.extend([r4, r5, t2]);
+    let mut all = stage12.clone();
+    all.extend([r6, t3]);
+    let test_points = vec![
+        TestPoint::new(v1, "V1", stage1),
+        TestPoint::new(v2, "V2", stage12),
+        TestPoint::new(vs, "Vs", all),
+    ];
+
+    ThreeStage {
+        netlist: nl,
+        vcc,
+        n1,
+        v1,
+        n2,
+        v2,
+        vs,
+        r1,
+        r2,
+        r3,
+        r4,
+        r5,
+        r6,
+        t1,
+        t2,
+        t3,
+        supply,
+        test_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject_faults, open_connection, Fault};
+    use crate::solve::{solve_dc, BjtRegion, DeviceSolution};
+
+    fn region(op: &crate::solve::OperatingPoint, t: CompId) -> BjtRegion {
+        match op.device(t) {
+            DeviceSolution::Npn { region, .. } => region,
+            _ => panic!("expected a transistor"),
+        }
+    }
+
+    #[test]
+    fn healthy_board_all_transistors_linear() {
+        let ts = three_stage(0.05);
+        let op = solve_dc(&ts.netlist).unwrap();
+        assert!(op.all_bjts_active(), "paper: values ensure the linear region");
+        // Hand-computed operating point (see DESIGN.md §2).
+        assert!((op.voltage(ts.n1) - 0.7).abs() < 1e-6);
+        assert!((op.voltage(ts.v1) - 7.11).abs() < 0.05);
+        assert!((op.voltage(ts.n2) - 6.41).abs() < 0.05);
+        assert!((op.voltage(ts.v2) - 9.2).abs() < 0.2);
+        assert!((op.voltage(ts.vs) - 8.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn short_r2_drives_stage2_out_of_linearity() {
+        let ts = three_stage(0.05);
+        let bad = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        // V1 pinned at the rail: a hard, unmistakable defect.
+        assert!((op.voltage(ts.v1) - 18.0).abs() < 0.01);
+        assert_ne!(region(&op, ts.t2), BjtRegion::Active);
+    }
+
+    #[test]
+    fn slightly_high_r2_moves_outputs_slightly() {
+        let ts = three_stage(0.05);
+        let healthy = solve_dc(&ts.netlist).unwrap();
+        let bad = inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(12_180.0))]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        let dv1 = (op.voltage(ts.v1) - healthy.voltage(ts.v1)).abs();
+        assert!(dv1 > 1e-3, "the soft fault must be visible");
+        assert!(dv1 < 0.5, "but small — this is the Dc test case");
+        assert!(op.all_bjts_active());
+    }
+
+    #[test]
+    fn slightly_low_beta2_is_a_soft_fault() {
+        let ts = three_stage(0.05);
+        let healthy = solve_dc(&ts.netlist).unwrap();
+        let bad = inject_faults(&ts.netlist, &[(ts.t2, Fault::Param(194.0))]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        let dv2 = (op.voltage(ts.v2) - healthy.voltage(ts.v2)).abs();
+        assert!(dv2 > 1e-5);
+        assert!(dv2 < 0.5);
+        // V1 barely moves: the defect localizes to stage 2.
+        assert!((op.voltage(ts.v1) - healthy.voltage(ts.v1)).abs() < 0.05);
+    }
+
+    #[test]
+    fn open_r3_pulls_v1_low() {
+        let ts = three_stage(0.05);
+        let bad = inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap();
+        let op = solve_dc(&bad).unwrap();
+        // Hand analysis: V1 ≈ 1.6 V — far below nominal (deviation LOW,
+        // the paper's Dc(V1) = −1 signature).
+        assert!(op.voltage(ts.v1) < 2.5);
+    }
+
+    #[test]
+    fn open_n1_connection_mimics_r3_high() {
+        let ts = three_stage(0.05);
+        let cut = open_connection(&ts.netlist, ts.r3, ts.n1).unwrap();
+        let op = solve_dc(&cut).unwrap();
+        // R3 detached behaves like R3 → ∞: same low-V1 signature.
+        assert!(op.voltage(ts.v1) < 2.5);
+    }
+
+    #[test]
+    fn stages_partition_components() {
+        let ts = three_stage(0.05);
+        let mut all = ts.stage1();
+        all.extend(ts.stage2());
+        all.extend(ts.stage3());
+        assert_eq!(all.len(), 9);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 9);
+        assert_eq!(ts.test_points.len(), 3);
+        assert_eq!(ts.test_points[0].support.len(), 4);
+        assert_eq!(ts.test_points[1].support.len(), 7);
+        assert_eq!(ts.test_points[2].support.len(), 9);
+    }
+}

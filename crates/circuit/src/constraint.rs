@@ -1,0 +1,677 @@
+//! Extraction of the **model database** (§6.2 of the paper) from a
+//! netlist: "Kirchhoff's laws and Ohm's law are applied and constraints
+//! which govern the behavior of components are used … one or more
+//! propositional assumptions govern the validity of models".
+//!
+//! The network produced here is engine-agnostic: the fuzzy engine
+//! (`flames-core`) propagates trapezoidal values through it, the crisp
+//! baseline (`flames-crisp`) propagates plain intervals. Every constraint
+//! carries its *support* — the component-correctness assumptions its
+//! validity rests on — and Kirchhoff current laws additionally carry a
+//! *connection assumption* for the net, which is what lets the engines
+//! diagnose interconnect opens such as the paper's "open circuit in N1".
+
+use crate::netlist::{CompId, ComponentKind, Net, Netlist};
+use flames_fuzzy::FuzzyInterval;
+use std::fmt;
+
+/// Identifier of a quantity (node voltage, branch current or parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuantityId(u32);
+
+impl QuantityId {
+    /// Raw index of the quantity.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Engines normally obtain ids from
+    /// [`Network::find`] / [`Network::voltage_quantity`]; a fabricated id
+    /// is only meaningful against the network it indexes.
+    #[must_use]
+    pub fn from_raw(index: usize) -> Self {
+        QuantityId(u32::try_from(index).expect("< 2^32 quantities"))
+    }
+}
+
+impl fmt::Display for QuantityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// What a quantity denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantityKind {
+    /// Voltage of a net (w.r.t. ground).
+    NodeVoltage(Net),
+    /// Current through a two-terminal component (first → second terminal).
+    BranchCurrent(CompId),
+    /// Voltage drop across a two-terminal component.
+    BranchDrop(CompId),
+    /// Base current of a transistor.
+    BaseCurrent(CompId),
+    /// Collector current of a transistor.
+    CollectorCurrent(CompId),
+    /// Emitter current of a transistor.
+    EmitterCurrent(CompId),
+    /// The primary parameter of a component (resistance, gain, β, …).
+    Param(CompId),
+}
+
+/// A named quantity in the constraint network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantity {
+    /// Human-readable name (`"V(n1)"`, `"I(R2)"`, `"beta(T1)"`, …).
+    pub name: String,
+    /// What the quantity denotes.
+    pub kind: QuantityKind,
+}
+
+/// An invertible numeric relation among quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relation {
+    /// `Σ coefᵢ · qᵢ + bias = 0` — covers Kirchhoff's laws, source levels
+    /// and drop definitions. Propagates toward any single unknown term.
+    Linear {
+        /// `(coefficient, quantity)` terms.
+        terms: Vec<(f64, QuantityId)>,
+        /// Constant bias.
+        bias: f64,
+    },
+    /// `p = x · y` — covers Ohm's law (`V = I·R`), the transistor gain
+    /// (`Ic = β·Ib`) and amplifier blocks (`Vout = G·Vin`). Propagates
+    /// toward any of the three when the other two are known (divisors must
+    /// exclude zero).
+    Product {
+        /// The product.
+        p: QuantityId,
+        /// First factor.
+        x: QuantityId,
+        /// Second factor.
+        y: QuantityId,
+    },
+}
+
+impl Relation {
+    /// The quantities the relation mentions.
+    #[must_use]
+    pub fn quantities(&self) -> Vec<QuantityId> {
+        match self {
+            Relation::Linear { terms, .. } => terms.iter().map(|&(_, q)| q).collect(),
+            Relation::Product { p, x, y } => vec![*p, *x, *y],
+        }
+    }
+}
+
+/// A constraint: a relation plus the assumptions its validity rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// The numeric relation.
+    pub relation: Relation,
+    /// Component-correctness assumptions supporting the relation.
+    pub support: Vec<CompId>,
+    /// Connection assumption: `Some(net)` for Kirchhoff current laws,
+    /// letting interconnect opens enter candidate sets.
+    pub conn: Option<Net>,
+    /// Human-readable name (`"KCL(n1)"`, `"Ohm(R2)"`, …).
+    pub name: String,
+}
+
+/// A fuzzy *specification condition* on a quantity — e.g. the paper's
+/// Fig. 5 diode spec "`Id ≤ 100 µA`", encoded as the fuzzy set
+/// `[-1, 100, 0, 10]` (µA). The engine grades the satisfaction of the
+/// derived quantity value against the condition; a violation raises a
+/// nogood over `support` (plus the derivation's own environment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// The constrained quantity.
+    pub quantity: QuantityId,
+    /// The fuzzy admissible region.
+    pub condition: FuzzyInterval,
+    /// Components whose correctness the spec presumes.
+    pub support: Vec<CompId>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// An initial quantity value with the assumptions under which it is
+/// believed (component parameters are believed under "the component is
+/// correct").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedValue {
+    /// The seeded quantity.
+    pub quantity: QuantityId,
+    /// The fuzzy value.
+    pub value: FuzzyInterval,
+    /// Supporting assumptions.
+    pub support: Vec<CompId>,
+}
+
+/// The extracted constraint network.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    quantities: Vec<Quantity>,
+    constraints: Vec<Constraint>,
+    seeds: Vec<SeedValue>,
+    specs: Vec<Spec>,
+    voltage_of: Vec<QuantityId>,
+}
+
+impl Network {
+    /// All quantities, indexable by [`QuantityId::index`].
+    #[must_use]
+    pub fn quantities(&self) -> &[Quantity] {
+        &self.quantities
+    }
+
+    /// All constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Initial (seed) values — parameters under their component's
+    /// correctness assumption, plus the ground reference.
+    #[must_use]
+    pub fn seeds(&self) -> &[SeedValue] {
+        &self.seeds
+    }
+
+    /// Fuzzy specification conditions.
+    #[must_use]
+    pub fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    /// The quantity holding the voltage of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to the source netlist.
+    #[must_use]
+    pub fn voltage_quantity(&self, net: Net) -> QuantityId {
+        self.voltage_of[net.index()]
+    }
+
+    /// Finds a quantity by kind.
+    #[must_use]
+    pub fn find(&self, kind: QuantityKind) -> Option<QuantityId> {
+        self.quantities
+            .iter()
+            .position(|q| q.kind == kind)
+            .map(|i| QuantityId(i as u32))
+    }
+
+    /// The name of a quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign quantity id.
+    #[must_use]
+    pub fn quantity_name(&self, q: QuantityId) -> &str {
+        &self.quantities[q.index()].name
+    }
+
+    /// Number of quantities.
+    #[must_use]
+    pub fn quantity_count(&self) -> usize {
+        self.quantities.len()
+    }
+
+    /// Adds a fuzzy specification condition (builders use this to encode
+    /// datasheet limits like the Fig. 5 diode-current spec).
+    pub fn add_spec(
+        &mut self,
+        name: impl Into<String>,
+        quantity: QuantityId,
+        condition: FuzzyInterval,
+        support: Vec<CompId>,
+    ) {
+        self.specs.push(Spec {
+            quantity,
+            condition,
+            support,
+            name: name.into(),
+        });
+    }
+
+    /// Adds an extra seed value (builders use this for externally-known
+    /// inputs).
+    pub fn add_seed(&mut self, quantity: QuantityId, value: FuzzyInterval, support: Vec<CompId>) {
+        self.seeds.push(SeedValue {
+            quantity,
+            value,
+            support,
+        });
+    }
+
+    fn push_quantity(&mut self, name: String, kind: QuantityKind) -> QuantityId {
+        let id = QuantityId(u32::try_from(self.quantities.len()).expect("< 2^32 quantities"));
+        self.quantities.push(Quantity { name, kind });
+        id
+    }
+}
+
+/// Options controlling model extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractOptions {
+    /// Relative tolerance used for parameters whose component declares
+    /// zero tolerance (keeps every divisor's support away from zero
+    /// width). Default `0.0` (exact).
+    pub default_tolerance: f64,
+    /// Whether to emit KCL constraints with connection assumptions.
+    /// Default `true`.
+    pub kirchhoff: bool,
+    /// Whether independent sources are *trusted* (their levels hold as
+    /// premises, outside the assumption vocabulary). The paper's Fig. 7
+    /// suspect sets exclude the supply, so this defaults to `true`; set
+    /// it to `false` to let stimulus faults enter candidate sets.
+    pub trust_sources: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        Self {
+            default_tolerance: 0.0,
+            kirchhoff: true,
+            trust_sources: true,
+        }
+    }
+}
+
+/// Extracts the constraint network (model database) from a netlist.
+///
+/// Emitted models:
+///
+/// * ground reference `V(gnd) = 0` (premise seed);
+/// * per component, the constraints listed in the paper's §6.2 style:
+///   Ohm's law products, source levels, diode drops, the
+///   `Vbe`/`Ic = β·Ib` transistor model, amplifier gains — each supported
+///   by the component's correctness assumption, with fuzzy nominal
+///   parameters seeded under the same assumption;
+/// * per non-ground net, a Kirchhoff current law carrying that net's
+///   connection assumption.
+#[must_use]
+pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
+    let mut net_work = Network::default();
+    let nw = &mut net_work;
+
+    // Node-voltage quantities.
+    for net in netlist.nets() {
+        let q = nw.push_quantity(format!("V({})", netlist.net_name(net)), QuantityKind::NodeVoltage(net));
+        nw.voltage_of.push(q);
+    }
+    // Ground reference.
+    let vg = nw.voltage_of[Net::GROUND.index()];
+    nw.seeds.push(SeedValue {
+        quantity: vg,
+        value: FuzzyInterval::crisp(0.0),
+        support: Vec::new(),
+    });
+
+    // KCL bookkeeping: per net, (sign, current quantity).
+    let mut kcl: Vec<Vec<(f64, QuantityId)>> = vec![Vec::new(); netlist.net_count()];
+
+    for (id, comp) in netlist.components() {
+        let name = comp.name().to_owned();
+        let tol = if comp.tolerance() > 0.0 {
+            comp.tolerance()
+        } else {
+            options.default_tolerance
+        };
+        match *comp.kind() {
+            ComponentKind::Resistor { a, b, ohms } => {
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let d = nw.push_quantity(format!("Vd({name})"), QuantityKind::BranchDrop(id));
+                let r = nw.push_quantity(format!("R({name})"), QuantityKind::Param(id));
+                nw.seeds.push(SeedValue {
+                    quantity: r,
+                    value: FuzzyInterval::with_tolerance(ohms, tol).expect("valid tolerance"),
+                    support: vec![id],
+                });
+                let (va, vb) = (nw.voltage_of[a.index()], nw.voltage_of[b.index()]);
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, va), (-1.0, vb), (-1.0, d)],
+                        bias: 0.0,
+                    },
+                    support: Vec::new(),
+                    conn: None,
+                    name: format!("drop({name})"),
+                });
+                nw.constraints.push(Constraint {
+                    relation: Relation::Product { p: d, x: i, y: r },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("Ohm({name})"),
+                });
+                kcl[a.index()].push((1.0, i));
+                kcl[b.index()].push((-1.0, i));
+            }
+            ComponentKind::Capacitor { .. } => {
+                // Open at DC: the capacitor contributes no steady-state
+                // model (its dynamic-mode behaviour lives in `ac`).
+            }
+            ComponentKind::Inductor { a, b, .. } => {
+                // A short at DC: zero drop under the inductor's
+                // correctness assumption; its current joins the KCLs.
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let (va, vb) = (nw.voltage_of[a.index()], nw.voltage_of[b.index()]);
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, va), (-1.0, vb)],
+                        bias: 0.0,
+                    },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("short({name})"),
+                });
+                kcl[a.index()].push((1.0, i));
+                kcl[b.index()].push((-1.0, i));
+            }
+            ComponentKind::VoltageSource { plus, minus, volts } => {
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let (vp, vm) = (nw.voltage_of[plus.index()], nw.voltage_of[minus.index()]);
+                let support = if options.trust_sources { Vec::new() } else { vec![id] };
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, vp), (-1.0, vm)],
+                        bias: -volts,
+                    },
+                    support,
+                    conn: None,
+                    name: format!("level({name})"),
+                });
+                kcl[plus.index()].push((1.0, i));
+                kcl[minus.index()].push((-1.0, i));
+            }
+            ComponentKind::CurrentSource { from, to, amps } => {
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let support = if options.trust_sources { Vec::new() } else { vec![id] };
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, i)],
+                        bias: -amps,
+                    },
+                    support,
+                    conn: None,
+                    name: format!("level({name})"),
+                });
+                kcl[from.index()].push((1.0, i));
+                kcl[to.index()].push((-1.0, i));
+            }
+            ComponentKind::Diode { anode, cathode, drop_volts } => {
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let (va, vk) = (nw.voltage_of[anode.index()], nw.voltage_of[cathode.index()]);
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, va), (-1.0, vk)],
+                        bias: -drop_volts,
+                    },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("drop({name})"),
+                });
+                kcl[anode.index()].push((1.0, i));
+                kcl[cathode.index()].push((-1.0, i));
+            }
+            ComponentKind::Npn { collector, base, emitter, beta, vbe } => {
+                let ib = nw.push_quantity(format!("Ib({name})"), QuantityKind::BaseCurrent(id));
+                let ic = nw.push_quantity(format!("Ic({name})"), QuantityKind::CollectorCurrent(id));
+                let ie = nw.push_quantity(format!("Ie({name})"), QuantityKind::EmitterCurrent(id));
+                let bq = nw.push_quantity(format!("beta({name})"), QuantityKind::Param(id));
+                nw.seeds.push(SeedValue {
+                    quantity: bq,
+                    value: FuzzyInterval::with_tolerance(beta, tol).expect("valid tolerance"),
+                    support: vec![id],
+                });
+                let (vb_, ve) = (nw.voltage_of[base.index()], nw.voltage_of[emitter.index()]);
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, vb_), (-1.0, ve)],
+                        bias: -vbe,
+                    },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("Vbe({name})"),
+                });
+                nw.constraints.push(Constraint {
+                    relation: Relation::Product { p: ic, x: bq, y: ib },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("gain({name})"),
+                });
+                nw.constraints.push(Constraint {
+                    relation: Relation::Linear {
+                        terms: vec![(1.0, ie), (-1.0, ic), (-1.0, ib)],
+                        bias: 0.0,
+                    },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("KCL({name})"),
+                });
+                // Redundant emitter-gain form `Ie = (β+1)·Ib`: local
+                // propagation cannot substitute `Ic = β·Ib` into the
+                // device KCL by itself, and this derived model restores
+                // the paper's stage-wise reasoning from emitter-side
+                // measurements.
+                let bq1 = nw.push_quantity(format!("beta+1({name})"), QuantityKind::Param(id));
+                nw.seeds.push(SeedValue {
+                    quantity: bq1,
+                    value: FuzzyInterval::new(
+                        beta + 1.0,
+                        beta + 1.0,
+                        tol * beta,
+                        tol * beta,
+                    )
+                    .expect("valid tolerance"),
+                    support: vec![id],
+                });
+                nw.constraints.push(Constraint {
+                    relation: Relation::Product { p: ie, x: bq1, y: ib },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("emitter-gain({name})"),
+                });
+                kcl[base.index()].push((1.0, ib));
+                kcl[collector.index()].push((1.0, ic));
+                kcl[emitter.index()].push((-1.0, ie));
+            }
+            ComponentKind::Gain { input, output, gain } => {
+                let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
+                let g = nw.push_quantity(format!("G({name})"), QuantityKind::Param(id));
+                nw.seeds.push(SeedValue {
+                    quantity: g,
+                    value: FuzzyInterval::with_tolerance(gain, tol).expect("valid tolerance"),
+                    support: vec![id],
+                });
+                let (vi, vo) = (nw.voltage_of[input.index()], nw.voltage_of[output.index()]);
+                nw.constraints.push(Constraint {
+                    relation: Relation::Product { p: vo, x: g, y: vi },
+                    support: vec![id],
+                    conn: None,
+                    name: format!("gain({name})"),
+                });
+                // Ideal output source current participates in the output KCL.
+                kcl[output.index()].push((-1.0, i));
+            }
+        }
+    }
+
+    if options.kirchhoff {
+        for net in netlist.nets() {
+            if net.is_ground() {
+                continue;
+            }
+            let terms = &kcl[net.index()];
+            if terms.len() < 2 {
+                continue; // dangling net: no usable KCL
+            }
+            nw.constraints.push(Constraint {
+                relation: Relation::Linear {
+                    terms: terms.clone(),
+                    bias: 0.0,
+                },
+                support: Vec::new(),
+                conn: Some(net),
+                name: format!("KCL({})", netlist.net_name(net)),
+            });
+        }
+    }
+
+    net_work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> (Netlist, Net, Net) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1e3, 0.05).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1e3, 0.05).unwrap();
+        (nl, vin, mid)
+    }
+
+    #[test]
+    fn extracts_quantities_and_ground_seed() {
+        let (nl, _, mid) = divider();
+        let net = extract(&nl, ExtractOptions::default());
+        // 3 node voltages + per resistor (I, Vd, R) ×2 + source current.
+        assert_eq!(net.quantity_count(), 3 + 3 + 3 + 1);
+        let vq = net.voltage_quantity(Net::GROUND);
+        let ground_seed = net
+            .seeds()
+            .iter()
+            .find(|s| s.quantity == vq)
+            .expect("ground seed");
+        assert!(ground_seed.value.is_point());
+        assert!(ground_seed.support.is_empty());
+        assert_eq!(net.quantity_name(net.voltage_quantity(mid)), "V(mid)");
+    }
+
+    #[test]
+    fn resistor_params_are_fuzzy_under_own_assumption() {
+        let (nl, ..) = divider();
+        let net = extract(&nl, ExtractOptions::default());
+        let r1 = nl.component_by_name("R1").unwrap();
+        let rq = net.find(QuantityKind::Param(r1)).unwrap();
+        let seed = net.seeds().iter().find(|s| s.quantity == rq).unwrap();
+        assert_eq!(seed.support, vec![r1]);
+        assert_eq!(seed.value.core(), (1e3, 1e3));
+        assert_eq!(seed.value.spread_left(), 50.0); // 5 % of 1k
+    }
+
+    #[test]
+    fn kcl_constraints_carry_connection_assumption() {
+        let (nl, vin, mid) = divider();
+        let net = extract(&nl, ExtractOptions::default());
+        let kcls: Vec<_> = net
+            .constraints()
+            .iter()
+            .filter(|c| c.conn.is_some())
+            .collect();
+        assert_eq!(kcls.len(), 2);
+        let nets: Vec<Net> = kcls.iter().map(|c| c.conn.unwrap()).collect();
+        assert!(nets.contains(&vin));
+        assert!(nets.contains(&mid));
+        // KCL at mid: I(R1) − I(R2) = 0 (two terms).
+        let kcl_mid = kcls.iter().find(|c| c.conn == Some(mid)).unwrap();
+        match &kcl_mid.relation {
+            Relation::Linear { terms, bias } => {
+                assert_eq!(terms.len(), 2);
+                assert_eq!(*bias, 0.0);
+            }
+            Relation::Product { .. } => panic!("KCL must be linear"),
+        }
+    }
+
+    #[test]
+    fn kirchhoff_can_be_disabled() {
+        let (nl, ..) = divider();
+        let net = extract(
+            &nl,
+            ExtractOptions {
+                kirchhoff: false,
+                ..Default::default()
+            },
+        );
+        assert!(net.constraints().iter().all(|c| c.conn.is_none()));
+    }
+
+    #[test]
+    fn npn_emits_three_constraints_and_beta_seed() {
+        let mut nl = Netlist::new();
+        let c = nl.add_net("c");
+        let b = nl.add_net("b");
+        let t = nl.add_npn("T1", c, b, Net::GROUND, 200.0, 0.7, 0.05).unwrap();
+        let net = extract(&nl, ExtractOptions::default());
+        let names: Vec<&str> = net.constraints().iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Vbe(T1)"));
+        assert!(names.contains(&"gain(T1)"));
+        assert!(names.contains(&"KCL(T1)"));
+        let beta_q = net.find(QuantityKind::Param(t)).unwrap();
+        let seed = net.seeds().iter().find(|s| s.quantity == beta_q).unwrap();
+        assert_eq!(seed.value.core_midpoint(), 200.0);
+        assert_eq!(seed.value.spread_left(), 10.0);
+        // Every transistor constraint is supported by T1.
+        for cst in net.constraints().iter().filter(|c| c.name.contains("T1")) {
+            assert_eq!(cst.support, vec![t]);
+        }
+    }
+
+    #[test]
+    fn specs_and_extra_seeds() {
+        let (nl, vin, _) = divider();
+        let mut net = extract(&nl, ExtractOptions::default());
+        let r1 = nl.component_by_name("R1").unwrap();
+        let iq = net.find(QuantityKind::BranchCurrent(r1)).unwrap();
+        let cond = FuzzyInterval::new(-1.0, 100.0, 0.0, 10.0).unwrap();
+        net.add_spec("Imax(R1)", iq, cond, vec![r1]);
+        assert_eq!(net.specs().len(), 1);
+        assert_eq!(net.specs()[0].name, "Imax(R1)");
+        let before = net.seeds().len();
+        net.add_seed(
+            net.voltage_quantity(vin),
+            FuzzyInterval::crisp(10.0),
+            vec![],
+        );
+        assert_eq!(net.seeds().len(), before + 1);
+    }
+
+    #[test]
+    fn default_tolerance_applies_to_zero_tolerance_components() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_resistor("R", a, Net::GROUND, 100.0, 0.0).unwrap();
+        let net = extract(
+            &nl,
+            ExtractOptions {
+                default_tolerance: 0.02,
+                ..Default::default()
+            },
+        );
+        let r = nl.component_by_name("R").unwrap();
+        let rq = net.find(QuantityKind::Param(r)).unwrap();
+        let seed = net.seeds().iter().find(|s| s.quantity == rq).unwrap();
+        assert_eq!(seed.value.spread_left(), 2.0);
+    }
+
+    #[test]
+    fn relation_quantities_listed() {
+        let (nl, ..) = divider();
+        let net = extract(&nl, ExtractOptions::default());
+        for c in net.constraints() {
+            let qs = c.relation.quantities();
+            assert!(!qs.is_empty());
+            for q in qs {
+                assert!(q.index() < net.quantity_count());
+            }
+        }
+    }
+}

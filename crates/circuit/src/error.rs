@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by the circuit substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A component name was used twice in one netlist.
+    DuplicateComponent {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A net handle did not belong to the netlist.
+    UnknownNet {
+        /// The out-of-range net index.
+        index: usize,
+    },
+    /// A component id did not belong to the netlist.
+    UnknownComponent {
+        /// The out-of-range component index.
+        index: usize,
+    },
+    /// A component parameter was out of its physical range.
+    InvalidParameter {
+        /// The component being created.
+        component: String,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The DC operating-point solve failed (singular matrix — usually a
+    /// floating net or a short loop of ideal sources).
+    SingularSystem,
+    /// The nonlinear device-state iteration did not converge.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// A fault was attached to a component kind that does not support it
+    /// (e.g. shorting a current source).
+    UnsupportedFault {
+        /// The target component name.
+        component: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateComponent { name } => {
+                write!(f, "duplicate component name {name:?}")
+            }
+            CircuitError::UnknownNet { index } => write!(f, "unknown net index {index}"),
+            CircuitError::UnknownComponent { index } => {
+                write!(f, "unknown component index {index}")
+            }
+            CircuitError::InvalidParameter { component, what } => {
+                write!(f, "invalid parameter for {component:?}: {what}")
+            }
+            CircuitError::SingularSystem => {
+                write!(f, "singular system: floating net or inconsistent sources")
+            }
+            CircuitError::NoConvergence { iterations } => {
+                write!(f, "device-state iteration did not converge in {iterations} steps")
+            }
+            CircuitError::UnsupportedFault { component } => {
+                write!(f, "fault kind not supported by component {component:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

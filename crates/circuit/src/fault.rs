@@ -1,0 +1,339 @@
+//! Fault injection: the defect menu of the paper's Fig. 7 experiments.
+
+use crate::error::CircuitError;
+use crate::netlist::{CompId, ComponentKind, Net, Netlist};
+use crate::Result;
+use std::fmt;
+
+/// A physical defect injected into a component — the paper's §7 "common
+/// fault modes (such as open, short, high, or low for resistors)" plus the
+/// parametric (*soft*) faults its Fig. 7 experiments revolve around.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The component no longer conducts (open circuit).
+    Open,
+    /// The component is a near-perfect conductor (short circuit).
+    Short,
+    /// The primary parameter takes an absolute new value (e.g. the paper's
+    /// `R2 = 12.18 kΩ`, `β2 = 194`).
+    Param(f64),
+    /// The primary parameter is scaled by a factor (e.g. `0.9` = 10 % low).
+    ParamFactor(f64),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Open => write!(f, "open"),
+            Fault::Short => write!(f, "short"),
+            Fault::Param(v) => write!(f, "param={v}"),
+            Fault::ParamFactor(k) => write!(f, "param×{k}"),
+        }
+    }
+}
+
+/// Resistance standing in for an open circuit (finite to keep the solver
+/// well-conditioned; far above any circuit impedance).
+pub const OPEN_OHMS: f64 = 1e12;
+
+/// Resistance standing in for a short circuit.
+pub const SHORT_OHMS: f64 = 1e-3;
+
+/// Returns a copy of `netlist` with the given faults injected.
+///
+/// The faulty netlist keeps the same component ids and names; only the
+/// electrical behaviour changes:
+///
+/// * resistors: open → [`OPEN_OHMS`], short → [`SHORT_OHMS`], `Param`
+///   replaces the resistance;
+/// * diodes: open → an [`OPEN_OHMS`] resistor, short → a [`SHORT_OHMS`]
+///   resistor, `Param` changes the forward drop;
+/// * transistors: open (dead device) → an [`OPEN_OHMS`]
+///   collector-emitter resistor, `Param` changes β;
+/// * gain blocks / sources: `Param` changes gain / level; an open current
+///   source delivers zero.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownComponent`] for a foreign id, or
+/// [`CircuitError::UnsupportedFault`] for physically meaningless
+/// combinations (e.g. shorting a current source).
+pub fn inject_faults(netlist: &Netlist, faults: &[(CompId, Fault)]) -> Result<Netlist> {
+    let mut out = netlist.clone();
+    for &(id, fault) in faults {
+        if id.index() >= netlist.component_count() {
+            return Err(CircuitError::UnknownComponent { index: id.index() });
+        }
+        let comp = netlist.component(id);
+        let name = comp.name().to_owned();
+        let new_kind = match (comp.kind().clone(), fault) {
+            (ComponentKind::Resistor { a, b, .. }, Fault::Open) => {
+                ComponentKind::Resistor { a, b, ohms: OPEN_OHMS }
+            }
+            (ComponentKind::Resistor { a, b, .. }, Fault::Short) => {
+                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
+            }
+            (ComponentKind::Resistor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
+                ComponentKind::Resistor { a, b, ohms: v }
+            }
+            (ComponentKind::Resistor { a, b, ohms }, Fault::ParamFactor(k)) if k > 0.0 => {
+                ComponentKind::Resistor { a, b, ohms: ohms * k }
+            }
+            (ComponentKind::Capacitor { a, b, .. }, Fault::Open) => {
+                // A cracked capacitor: vanishing capacitance.
+                ComponentKind::Capacitor { a, b, farads: 1e-18 }
+            }
+            (ComponentKind::Capacitor { a, b, .. }, Fault::Short) => {
+                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
+            }
+            (ComponentKind::Capacitor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
+                ComponentKind::Capacitor { a, b, farads: v }
+            }
+            (ComponentKind::Capacitor { a, b, farads }, Fault::ParamFactor(k)) if k > 0.0 => {
+                ComponentKind::Capacitor { a, b, farads: farads * k }
+            }
+            (ComponentKind::Inductor { a, b, .. }, Fault::Open) => {
+                ComponentKind::Resistor { a, b, ohms: OPEN_OHMS }
+            }
+            (ComponentKind::Inductor { a, b, .. }, Fault::Short) => {
+                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
+            }
+            (ComponentKind::Inductor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
+                ComponentKind::Inductor { a, b, henries: v }
+            }
+            (ComponentKind::Inductor { a, b, henries }, Fault::ParamFactor(k)) if k > 0.0 => {
+                ComponentKind::Inductor { a, b, henries: henries * k }
+            }
+            (ComponentKind::Diode { anode, cathode, .. }, Fault::Open) => {
+                ComponentKind::Resistor { a: anode, b: cathode, ohms: OPEN_OHMS }
+            }
+            (ComponentKind::Diode { anode, cathode, .. }, Fault::Short) => {
+                ComponentKind::Resistor { a: anode, b: cathode, ohms: SHORT_OHMS }
+            }
+            (ComponentKind::Diode { anode, cathode, .. }, Fault::Param(v)) => {
+                ComponentKind::Diode { anode, cathode, drop_volts: v }
+            }
+            (ComponentKind::Diode { anode, cathode, drop_volts }, Fault::ParamFactor(k)) => {
+                ComponentKind::Diode { anode, cathode, drop_volts: drop_volts * k }
+            }
+            (ComponentKind::Npn { collector, emitter, .. }, Fault::Open) => {
+                ComponentKind::Resistor { a: collector, b: emitter, ohms: OPEN_OHMS }
+            }
+            (ComponentKind::Npn { collector, emitter, .. }, Fault::Short) => {
+                ComponentKind::Resistor { a: collector, b: emitter, ohms: SHORT_OHMS }
+            }
+            (
+                ComponentKind::Npn { collector, base, emitter, vbe, .. },
+                Fault::Param(v),
+            ) if v > 0.0 => ComponentKind::Npn { collector, base, emitter, beta: v, vbe },
+            (
+                ComponentKind::Npn { collector, base, emitter, beta, vbe },
+                Fault::ParamFactor(k),
+            ) if k > 0.0 => ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta: beta * k,
+                vbe,
+            },
+            (ComponentKind::Gain { input, output, .. }, Fault::Param(v)) => {
+                ComponentKind::Gain { input, output, gain: v }
+            }
+            (ComponentKind::Gain { input, output, gain }, Fault::ParamFactor(k)) => {
+                ComponentKind::Gain { input, output, gain: gain * k }
+            }
+            (ComponentKind::Gain { input, output, .. }, Fault::Open) => {
+                ComponentKind::Gain { input, output, gain: 0.0 }
+            }
+            (ComponentKind::VoltageSource { plus, minus, .. }, Fault::Param(v)) => {
+                ComponentKind::VoltageSource { plus, minus, volts: v }
+            }
+            (ComponentKind::VoltageSource { plus, minus, volts }, Fault::ParamFactor(k)) => {
+                ComponentKind::VoltageSource { plus, minus, volts: volts * k }
+            }
+            (ComponentKind::CurrentSource { from, to, .. }, Fault::Open) => {
+                ComponentKind::CurrentSource { from, to, amps: 0.0 }
+            }
+            (ComponentKind::CurrentSource { from, to, .. }, Fault::Param(v)) => {
+                ComponentKind::CurrentSource { from, to, amps: v }
+            }
+            (ComponentKind::CurrentSource { from, to, amps }, Fault::ParamFactor(k)) => {
+                ComponentKind::CurrentSource { from, to, amps: amps * k }
+            }
+            _ => return Err(CircuitError::UnsupportedFault { component: name }),
+        };
+        out.replace_component_kind(id, new_kind);
+    }
+    Ok(out)
+}
+
+/// Detaches one terminal of a component from `net`, reconnecting it to a
+/// fresh floating net — an **interconnect open** (the paper's Fig. 7
+/// "open circuit in N1" defect).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownComponent`] for a foreign id, or
+/// [`CircuitError::UnknownNet`] if the component does not touch `net`.
+pub fn open_connection(netlist: &Netlist, id: CompId, net: Net) -> Result<Netlist> {
+    if id.index() >= netlist.component_count() {
+        return Err(CircuitError::UnknownComponent { index: id.index() });
+    }
+    let comp = netlist.component(id);
+    if !comp.nets().contains(&net) {
+        return Err(CircuitError::UnknownNet { index: net.index() });
+    }
+    let mut out = netlist.clone();
+    let floating = out.add_net(format!("float_{}_{}", comp.name(), netlist.net_name(net)));
+    let remap = |n: Net| if n == net { floating } else { n };
+    let new_kind = match *comp.kind() {
+        ComponentKind::Resistor { a, b, ohms } => ComponentKind::Resistor {
+            a: remap(a),
+            b: remap(b),
+            ohms,
+        },
+        ComponentKind::Capacitor { a, b, farads } => ComponentKind::Capacitor {
+            a: remap(a),
+            b: remap(b),
+            farads,
+        },
+        ComponentKind::Inductor { a, b, henries } => ComponentKind::Inductor {
+            a: remap(a),
+            b: remap(b),
+            henries,
+        },
+        ComponentKind::VoltageSource { plus, minus, volts } => ComponentKind::VoltageSource {
+            plus: remap(plus),
+            minus: remap(minus),
+            volts,
+        },
+        ComponentKind::CurrentSource { from, to, amps } => ComponentKind::CurrentSource {
+            from: remap(from),
+            to: remap(to),
+            amps,
+        },
+        ComponentKind::Diode { anode, cathode, drop_volts } => ComponentKind::Diode {
+            anode: remap(anode),
+            cathode: remap(cathode),
+            drop_volts,
+        },
+        ComponentKind::Npn { collector, base, emitter, beta, vbe } => ComponentKind::Npn {
+            collector: remap(collector),
+            base: remap(base),
+            emitter: remap(emitter),
+            beta,
+            vbe,
+        },
+        ComponentKind::Gain { input, output, gain } => ComponentKind::Gain {
+            input: remap(input),
+            output: remap(output),
+            gain,
+        },
+    };
+    out.replace_component_kind(id, new_kind);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> (Netlist, CompId, CompId, Net) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        let r1 = nl.add_resistor("R1", vin, mid, 1e3, 0.05).unwrap();
+        let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1e3, 0.05).unwrap();
+        (nl, r1, r2, mid)
+    }
+
+    #[test]
+    fn open_and_short_resistor() {
+        let (nl, r1, r2, _) = divider();
+        let f = inject_faults(&nl, &[(r1, Fault::Open)]).unwrap();
+        match f.component(r1).kind() {
+            ComponentKind::Resistor { ohms, .. } => assert_eq!(*ohms, OPEN_OHMS),
+            _ => panic!("kind changed unexpectedly"),
+        }
+        let f = inject_faults(&nl, &[(r2, Fault::Short)]).unwrap();
+        match f.component(r2).kind() {
+            ComponentKind::Resistor { ohms, .. } => assert_eq!(*ohms, SHORT_OHMS),
+            _ => panic!("kind changed unexpectedly"),
+        }
+        // Name and id survive.
+        assert_eq!(f.component(r2).name(), "R2");
+    }
+
+    #[test]
+    fn param_faults() {
+        let (nl, r1, _, _) = divider();
+        let f = inject_faults(&nl, &[(r1, Fault::Param(12_180.0))]).unwrap();
+        assert_eq!(f.component(r1).primary_param(), 12_180.0);
+        let f = inject_faults(&nl, &[(r1, Fault::ParamFactor(0.5))]).unwrap();
+        assert_eq!(f.component(r1).primary_param(), 500.0);
+        // Invalid new values are rejected.
+        assert!(inject_faults(&nl, &[(r1, Fault::Param(-3.0))]).is_err());
+    }
+
+    #[test]
+    fn diode_and_npn_hard_faults_degenerate_to_resistors() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let k = nl.add_net("k");
+        let d = nl.add_diode("D1", a, k, 0.2, 0.0).unwrap();
+        let c = nl.add_net("c");
+        let b = nl.add_net("b");
+        let t = nl.add_npn("T1", c, b, Net::GROUND, 100.0, 0.7, 0.05).unwrap();
+        let f = inject_faults(&nl, &[(d, Fault::Open), (t, Fault::Open)]).unwrap();
+        assert!(matches!(
+            f.component(d).kind(),
+            ComponentKind::Resistor { ohms, .. } if *ohms == OPEN_OHMS
+        ));
+        assert!(matches!(
+            f.component(t).kind(),
+            ComponentKind::Resistor { ohms, .. } if *ohms == OPEN_OHMS
+        ));
+        // Beta fault keeps the transistor a transistor.
+        let f = inject_faults(&nl, &[(t, Fault::Param(194.0))]).unwrap();
+        assert!(matches!(
+            f.component(t).kind(),
+            ComponentKind::Npn { beta, .. } if *beta == 194.0
+        ));
+    }
+
+    #[test]
+    fn unsupported_faults_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V", a, Net::GROUND, 5.0).unwrap();
+        let v = nl.component_by_name("V").unwrap();
+        assert!(matches!(
+            inject_faults(&nl, &[(v, Fault::Short)]),
+            Err(CircuitError::UnsupportedFault { .. })
+        ));
+        assert!(inject_faults(&nl, &[(CompId(99), Fault::Open)]).is_err());
+    }
+
+    #[test]
+    fn open_connection_splits_net() {
+        let (nl, _, r2, mid) = divider();
+        let f = open_connection(&nl, r2, mid).unwrap();
+        assert_eq!(f.net_count(), nl.net_count() + 1);
+        // R2 no longer touches `mid`.
+        assert!(!f.component(r2).nets().contains(&mid));
+        // A net the component does not touch is rejected (R1 spans
+        // vin–mid, not ground), as is a foreign component id.
+        let r1 = nl.component_by_name("R1").unwrap();
+        assert!(open_connection(&nl, r1, Net::GROUND).is_err());
+        assert!(open_connection(&nl, CompId(99), mid).is_err());
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(format!("{}", Fault::Open), "open");
+        assert_eq!(format!("{}", Fault::Short), "short");
+        assert_eq!(format!("{}", Fault::Param(2.0)), "param=2");
+        assert_eq!(format!("{}", Fault::ParamFactor(0.5)), "param×0.5");
+    }
+}

@@ -1,0 +1,58 @@
+//! Analog-circuit substrate of the FLAMES reproduction.
+//!
+//! The FLAMES paper diagnoses physical analog boards; this crate supplies
+//! everything that stood on the lab bench:
+//!
+//! * [`Netlist`] — nets and components (resistors, sources, constant-drop
+//!   diodes, linear-region NPN transistors, ideal gain blocks);
+//! * [`fault`] — injectable defects (open / short / parametric) including
+//!   interconnect opens, the paper's Fig. 7 defect menu;
+//! * [`solve`] — a modified-nodal-analysis DC solver that plays the role
+//!   of the measurement bench: it produces the "measured" node voltages
+//!   the diagnosis engine consumes;
+//! * [`constraint`] — extraction of the *model database* (§6.2 of the
+//!   paper): Ohm/Kirchhoff/device constraints, each guarded by the
+//!   correctness assumptions of the components involved;
+//! * [`predict`] — tolerance-aware fuzzy predictions of nominal test-point
+//!   values (sensitivity corners around the nominal solve);
+//! * [`circuits`] — ready-made builders for every circuit in the paper
+//!   (Fig. 2 amplifier branch, Fig. 5 diode network, Fig. 6 three-stage
+//!   amplifier) plus parameterizable cascades for scaling experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use flames_circuit::{solve::solve_dc, Net, Netlist};
+//!
+//! # fn main() -> Result<(), flames_circuit::CircuitError> {
+//! let mut nl = Netlist::new();
+//! let vin = nl.add_net("vin");
+//! let out = nl.add_net("out");
+//! nl.add_voltage_source("V", vin, Net::GROUND, 10.0)?;
+//! nl.add_resistor("R1", vin, out, 1000.0, 0.05)?;
+//! nl.add_resistor("R2", out, Net::GROUND, 1000.0, 0.05)?;
+//! let op = solve_dc(&nl)?;
+//! assert!((op.voltage(out) - 5.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod netlist;
+
+pub mod ac;
+pub mod circuits;
+pub mod constraint;
+pub mod fault;
+pub mod predict;
+pub mod solve;
+
+pub use error::CircuitError;
+pub use fault::Fault;
+pub use netlist::{CompId, Component, ComponentKind, Net, Netlist};
+
+/// Convenient result alias for fallible circuit operations.
+pub type Result<T, E = CircuitError> = std::result::Result<T, E>;

@@ -1,0 +1,664 @@
+use crate::error::CircuitError;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A circuit node (electrical net). Net 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Net(pub(crate) u32);
+
+impl Net {
+    /// The ground net.
+    pub const GROUND: Net = Net(0);
+
+    /// Raw index of the net (0 = ground).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the ground net.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "net{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a component inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// Raw index of the component.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index; only meaningful against the
+    /// netlist it indexes.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_raw_for_tests(index: usize) -> Self {
+        CompId(u32::try_from(index).expect("< 2^32 components"))
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The electrical behaviour of a component.
+///
+/// The set covers what the paper's circuits need: passive resistors,
+/// independent sources, the constant-drop diode of Fig. 5, the
+/// `Vbe = 0.7 V`, `Ic = β·Ib` linear-region bipolar model of Fig. 6, and
+/// the ideal gain blocks of Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentKind {
+    /// Linear resistor between `a` and `b` with nominal resistance `ohms`.
+    Resistor {
+        /// First terminal.
+        a: Net,
+        /// Second terminal.
+        b: Net,
+        /// Nominal resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor (open at DC; admittance `jωC` in the dynamic
+    /// mode).
+    Capacitor {
+        /// First terminal.
+        a: Net,
+        /// Second terminal.
+        b: Net,
+        /// Nominal capacitance in farads.
+        farads: f64,
+    },
+    /// Linear inductor (a short at DC; impedance `jωL` in the dynamic
+    /// mode).
+    Inductor {
+        /// First terminal.
+        a: Net,
+        /// Second terminal.
+        b: Net,
+        /// Nominal inductance in henries.
+        henries: f64,
+    },
+    /// Independent voltage source: `V(plus) − V(minus) = volts`.
+    VoltageSource {
+        /// Positive terminal.
+        plus: Net,
+        /// Negative terminal.
+        minus: Net,
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// Independent current source driving `amps` from `from` into `to`.
+    CurrentSource {
+        /// Current leaves this net.
+        from: Net,
+        /// Current enters this net.
+        to: Net,
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Forward-drop diode: conducting it holds `V(anode) − V(cathode) =
+    /// drop_volts`; blocking it carries no current.
+    Diode {
+        /// Anode.
+        anode: Net,
+        /// Cathode.
+        cathode: Net,
+        /// Forward drop in volts (the paper's Fig. 5 uses 0.2 V).
+        drop_volts: f64,
+    },
+    /// NPN bipolar transistor in the paper's linear-region model:
+    /// `V(base) − V(emitter) = vbe`, `Ic = beta · Ib`.
+    Npn {
+        /// Collector.
+        collector: Net,
+        /// Base.
+        base: Net,
+        /// Emitter.
+        emitter: Net,
+        /// Forward current gain β.
+        beta: f64,
+        /// Base-emitter drop in volts (0.7 V in Fig. 6).
+        vbe: f64,
+    },
+    /// Ideal voltage gain block: `V(output) = gain · V(input)` with
+    /// infinite input impedance (the Fig. 2 "amplifiers").
+    Gain {
+        /// Input net (no current drawn).
+        input: Net,
+        /// Output net (ideal source).
+        output: Net,
+        /// Voltage gain.
+        gain: f64,
+    },
+}
+
+/// A named component with a tolerance on its primary parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    name: String,
+    kind: ComponentKind,
+    tolerance: f64,
+}
+
+impl Component {
+    /// The component's name (e.g. `"R2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component's electrical behaviour.
+    #[must_use]
+    pub fn kind(&self) -> &ComponentKind {
+        &self.kind
+    }
+
+    /// Relative tolerance of the primary parameter (resistance, gain, β, …).
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The nominal value of the primary parameter.
+    #[must_use]
+    pub fn primary_param(&self) -> f64 {
+        match self.kind {
+            ComponentKind::Resistor { ohms, .. } => ohms,
+            ComponentKind::Capacitor { farads, .. } => farads,
+            ComponentKind::Inductor { henries, .. } => henries,
+            ComponentKind::VoltageSource { volts, .. } => volts,
+            ComponentKind::CurrentSource { amps, .. } => amps,
+            ComponentKind::Diode { drop_volts, .. } => drop_volts,
+            ComponentKind::Npn { beta, .. } => beta,
+            ComponentKind::Gain { gain, .. } => gain,
+        }
+    }
+
+    /// The nets this component touches.
+    #[must_use]
+    pub fn nets(&self) -> Vec<Net> {
+        match self.kind {
+            ComponentKind::Resistor { a, b, .. }
+            | ComponentKind::Capacitor { a, b, .. }
+            | ComponentKind::Inductor { a, b, .. } => vec![a, b],
+            ComponentKind::VoltageSource { plus, minus, .. } => vec![plus, minus],
+            ComponentKind::CurrentSource { from, to, .. } => vec![from, to],
+            ComponentKind::Diode { anode, cathode, .. } => vec![anode, cathode],
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                ..
+            } => vec![collector, base, emitter],
+            ComponentKind::Gain { input, output, .. } => vec![input, output],
+        }
+    }
+}
+
+/// A flat netlist: named nets, named components, ground at net 0.
+///
+/// # Example
+///
+/// ```
+/// use flames_circuit::{ComponentKind, Net, Netlist};
+///
+/// # fn main() -> Result<(), flames_circuit::CircuitError> {
+/// let mut nl = Netlist::new();
+/// let vin = nl.add_net("vin");
+/// let out = nl.add_net("out");
+/// nl.add_voltage_source("Vin", vin, Net::GROUND, 5.0)?;
+/// let r = nl.add_resistor("R1", vin, out, 1000.0, 0.05)?;
+/// nl.add_resistor("R2", out, Net::GROUND, 1000.0, 0.05)?;
+/// assert_eq!(nl.component(r).name(), "R1");
+/// assert_eq!(nl.net_count(), 3); // gnd, vin, out
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    net_names: Vec<String>,
+    components: Vec<Component>,
+    by_name: HashMap<String, CompId>,
+}
+
+impl Netlist {
+    /// Creates a netlist containing only the ground net.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            net_names: vec!["gnd".to_owned()],
+            components: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Adds a named net and returns its handle.
+    pub fn add_net(&mut self, name: impl Into<String>) -> Net {
+        let id = Net(u32::try_from(self.net_names.len()).expect("< 2^32 nets"));
+        self.net_names.push(name.into());
+        id
+    }
+
+    /// Number of nets including ground.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The name of a net.
+    #[must_use]
+    pub fn net_name(&self, net: Net) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Looks up a net handle by name.
+    #[must_use]
+    pub fn net_by_name(&self, name: &str) -> Option<Net> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Net(i as u32))
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    #[must_use]
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Looks a component up by name.
+    #[must_use]
+    pub fn component_by_name(&self, name: &str) -> Option<CompId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(CompId, &Component)` pairs.
+    pub fn components(&self) -> impl Iterator<Item = (CompId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompId(i as u32), c))
+    }
+
+    /// Iterates over all net handles (including ground).
+    pub fn nets(&self) -> impl Iterator<Item = Net> {
+        (0..self.net_names.len() as u32).map(Net)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on a non-positive resistance, an unknown
+    /// net, or a duplicate component name.
+    pub fn add_resistor(
+        &mut self,
+        name: impl Into<String>,
+        a: Net,
+        b: Net,
+        ohms: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        if !(ohms > 0.0 && ohms.is_finite()) {
+            return Err(CircuitError::InvalidParameter {
+                component: name.into(),
+                what: "resistance must be positive and finite",
+            });
+        }
+        self.push(name.into(), ComponentKind::Resistor { a, b, ohms }, tolerance)
+    }
+
+    /// Adds a capacitor (open at DC, `jωC` in the dynamic mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on a non-positive capacitance, an unknown
+    /// net, or a duplicate component name.
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        a: Net,
+        b: Net,
+        farads: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        if !(farads > 0.0 && farads.is_finite()) {
+            return Err(CircuitError::InvalidParameter {
+                component: name.into(),
+                what: "capacitance must be positive and finite",
+            });
+        }
+        self.push(name.into(), ComponentKind::Capacitor { a, b, farads }, tolerance)
+    }
+
+    /// Adds an inductor (a short at DC, `jωL` in the dynamic mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on a non-positive inductance, an unknown
+    /// net, or a duplicate component name.
+    pub fn add_inductor(
+        &mut self,
+        name: impl Into<String>,
+        a: Net,
+        b: Net,
+        henries: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        if !(henries > 0.0 && henries.is_finite()) {
+            return Err(CircuitError::InvalidParameter {
+                component: name.into(),
+                what: "inductance must be positive and finite",
+            });
+        }
+        self.push(name.into(), ComponentKind::Inductor { a, b, henries }, tolerance)
+    }
+
+    /// Adds an independent voltage source (zero tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on an unknown net or duplicate name.
+    pub fn add_voltage_source(
+        &mut self,
+        name: impl Into<String>,
+        plus: Net,
+        minus: Net,
+        volts: f64,
+    ) -> Result<CompId> {
+        self.push(
+            name.into(),
+            ComponentKind::VoltageSource { plus, minus, volts },
+            0.0,
+        )
+    }
+
+    /// Adds an independent current source (zero tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on an unknown net or duplicate name.
+    pub fn add_current_source(
+        &mut self,
+        name: impl Into<String>,
+        from: Net,
+        to: Net,
+        amps: f64,
+    ) -> Result<CompId> {
+        self.push(
+            name.into(),
+            ComponentKind::CurrentSource { from, to, amps },
+            0.0,
+        )
+    }
+
+    /// Adds a constant-drop diode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on an unknown net or duplicate name.
+    pub fn add_diode(
+        &mut self,
+        name: impl Into<String>,
+        anode: Net,
+        cathode: Net,
+        drop_volts: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        self.push(
+            name.into(),
+            ComponentKind::Diode {
+                anode,
+                cathode,
+                drop_volts,
+            },
+            tolerance,
+        )
+    }
+
+    /// Adds an NPN transistor (linear-region model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on a non-positive β, an unknown net, or a
+    /// duplicate name.
+    #[allow(clippy::too_many_arguments)] // three terminals + β + Vbe + tolerance is the device
+    pub fn add_npn(
+        &mut self,
+        name: impl Into<String>,
+        collector: Net,
+        base: Net,
+        emitter: Net,
+        beta: f64,
+        vbe: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(CircuitError::InvalidParameter {
+                component: name.into(),
+                what: "beta must be positive and finite",
+            });
+        }
+        self.push(
+            name.into(),
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta,
+                vbe,
+            },
+            tolerance,
+        )
+    }
+
+    /// Adds an ideal gain block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] on an unknown net or duplicate name.
+    pub fn add_gain(
+        &mut self,
+        name: impl Into<String>,
+        input: Net,
+        output: Net,
+        gain: f64,
+        tolerance: f64,
+    ) -> Result<CompId> {
+        self.push(
+            name.into(),
+            ComponentKind::Gain { input, output, gain },
+            tolerance,
+        )
+    }
+
+    /// Replaces a component's electrical behaviour in place (fault
+    /// injection); name, id and tolerance are preserved.
+    pub(crate) fn replace_component_kind(&mut self, id: CompId, kind: ComponentKind) {
+        self.components[id.index()].kind = kind;
+    }
+
+    fn push(&mut self, name: String, kind: ComponentKind, tolerance: f64) -> Result<CompId> {
+        if self.by_name.contains_key(&name) {
+            return Err(CircuitError::DuplicateComponent { name });
+        }
+        if !(0.0..1.0).contains(&tolerance) {
+            return Err(CircuitError::InvalidParameter {
+                component: name,
+                what: "tolerance must lie in [0, 1)",
+            });
+        }
+        let max = self.net_names.len() as u32;
+        let comp = Component {
+            name: name.clone(),
+            kind,
+            tolerance,
+        };
+        for net in comp.nets() {
+            if net.0 >= max {
+                return Err(CircuitError::UnknownNet { index: net.index() });
+            }
+        }
+        let id = CompId(u32::try_from(self.components.len()).expect("< 2^32 components"));
+        self.by_name.insert(name, id);
+        self.components.push(comp);
+        Ok(id)
+    }
+}
+
+impl fmt::Display for Netlist {
+    /// Renders a human-readable SPICE-flavoured listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "* netlist: {} nets, {} components", self.net_count(), self.component_count())?;
+        for (_, comp) in self.components() {
+            let nets: Vec<&str> = comp.nets().iter().map(|&n| self.net_name(n)).collect();
+            let kind = match comp.kind() {
+                ComponentKind::Resistor { .. } => "R",
+                ComponentKind::Capacitor { .. } => "C",
+                ComponentKind::Inductor { .. } => "L",
+                ComponentKind::VoltageSource { .. } => "V",
+                ComponentKind::CurrentSource { .. } => "I",
+                ComponentKind::Diode { .. } => "D",
+                ComponentKind::Npn { .. } => "Q",
+                ComponentKind::Gain { .. } => "E",
+            };
+            writeln!(
+                f,
+                "{kind} {:<8} {:<24} {:>12.4e}  tol {:.1}%",
+                comp.name(),
+                nets.join(" "),
+                comp.primary_param(),
+                100.0 * comp.tolerance()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_components() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V1", a, Net::GROUND, 5.0).unwrap();
+        nl.add_resistor("R1", a, Net::GROUND, 1e3, 0.05).unwrap();
+        let text = format!("{nl}");
+        assert!(text.contains("2 components"));
+        assert!(text.contains("R R1"));
+        assert!(text.contains("V V1"));
+        assert!(text.contains("tol 5.0%"));
+    }
+
+    #[test]
+    fn ground_is_always_present() {
+        let nl = Netlist::new();
+        assert_eq!(nl.net_count(), 1);
+        assert_eq!(nl.net_name(Net::GROUND), "gnd");
+        assert!(Net::GROUND.is_ground());
+        assert_eq!(format!("{}", Net::GROUND), "gnd");
+    }
+
+    #[test]
+    fn add_and_lookup_components() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let r = nl.add_resistor("R1", a, Net::GROUND, 1e3, 0.05).unwrap();
+        assert_eq!(nl.component_by_name("R1"), Some(r));
+        assert_eq!(nl.component_by_name("R9"), None);
+        assert_eq!(nl.component(r).primary_param(), 1e3);
+        assert_eq!(nl.component(r).tolerance(), 0.05);
+        assert_eq!(nl.component(r).nets(), vec![a, Net::GROUND]);
+        assert_eq!(nl.net_by_name("a"), Some(a));
+        assert_eq!(nl.net_by_name("zz"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_resistor("R1", a, Net::GROUND, 1.0, 0.0).unwrap();
+        assert!(matches!(
+            nl.add_resistor("R1", a, Net::GROUND, 2.0, 0.0),
+            Err(CircuitError::DuplicateComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        assert!(nl.add_resistor("R1", a, Net::GROUND, 0.0, 0.0).is_err());
+        assert!(nl.add_resistor("R2", a, Net::GROUND, -5.0, 0.0).is_err());
+        assert!(nl.add_resistor("R3", a, Net::GROUND, 1.0, 1.0).is_err());
+        assert!(nl.add_npn("T1", a, a, Net::GROUND, 0.0, 0.7, 0.0).is_err());
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut nl = Netlist::new();
+        let foreign = Net(42);
+        assert!(matches!(
+            nl.add_resistor("R1", foreign, Net::GROUND, 1.0, 0.0),
+            Err(CircuitError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn npn_nets_and_params() {
+        let mut nl = Netlist::new();
+        let c = nl.add_net("c");
+        let b = nl.add_net("b");
+        let e = nl.add_net("e");
+        let t = nl.add_npn("T1", c, b, e, 300.0, 0.7, 0.05).unwrap();
+        let comp = nl.component(t);
+        assert_eq!(comp.primary_param(), 300.0);
+        assert_eq!(comp.nets(), vec![c, b, e]);
+        match comp.kind() {
+            ComponentKind::Npn { vbe, .. } => assert_eq!(*vbe, 0.7),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn iteration_covers_everything() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V1", a, Net::GROUND, 5.0).unwrap();
+        nl.add_resistor("R1", a, Net::GROUND, 1e3, 0.01).unwrap();
+        assert_eq!(nl.components().count(), 2);
+        assert_eq!(nl.nets().count(), 2);
+        assert_eq!(nl.component_count(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Tolerance-aware nominal predictions and simulated measurements.
+//!
+//! FLAMES compares *predicted* values (from the model, with component
+//! tolerances) against *measured* values (from the bench, with instrument
+//! imprecision). This module supplies both sides for the reproduction:
+//!
+//! * [`nominal_predictions`] solves the healthy netlist at its nominal
+//!   parameters and at one-at-a-time tolerance corners, building a
+//!   trapezoidal prediction per net: core at the nominal voltage, spreads
+//!   from the accumulated (linearized, conservative) corner deviations.
+//!   This stands in for the paper's "database of models … predicted
+//!   values"; the assumption support of a prediction is the test point's
+//!   declared dependency cone.
+//! * [`measure`] solves a (possibly faulted) netlist and wraps the reading
+//!   in the measurement-equipment imprecision — the paper's §4.2 fuzzy
+//!   measured values.
+
+use crate::error::CircuitError;
+use crate::fault::inject_faults;
+use crate::netlist::{CompId, Net, Netlist};
+use crate::solve::solve_dc;
+use crate::{Fault, Result};
+use flames_fuzzy::FuzzyInterval;
+
+/// A probe-able point of the circuit with the components its predicted
+/// value depends on (the paper's per-point suspect sets, e.g. Fig. 7's
+/// `{R1, R2, R3, T1}` for V1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestPoint {
+    /// The probed net.
+    pub net: Net,
+    /// Display name (`"V1"`).
+    pub name: String,
+    /// Components whose correctness the predicted value rests on.
+    pub support: Vec<CompId>,
+    /// Relative cost of probing this point (used by the best-test
+    /// strategy; 1.0 = nominal effort).
+    pub cost: f64,
+}
+
+impl TestPoint {
+    /// Creates a test point with unit probing cost.
+    #[must_use]
+    pub fn new(net: Net, name: impl Into<String>, support: Vec<CompId>) -> Self {
+        Self {
+            net,
+            name: name.into(),
+            support,
+            cost: 1.0,
+        }
+    }
+
+    /// Sets a non-unit probing cost.
+    #[must_use]
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// Fuzzy nominal predictions for the given nets of a healthy netlist.
+///
+/// The core of each prediction is the nominal solve; the spreads
+/// accumulate, per component, the worst one-at-a-time deviation when that
+/// component's primary parameter moves to its ±tolerance corner. Summing
+/// per-component worst cases linearizes the joint tolerance region
+/// conservatively — predictions *contain* the truth for any in-tolerance
+/// board, which is the soundness the diagnosis needs.
+///
+/// # Errors
+///
+/// Propagates solver failures ([`CircuitError::SingularSystem`],
+/// [`CircuitError::NoConvergence`]) from the nominal or corner solves.
+pub fn nominal_predictions(netlist: &Netlist, nets: &[Net]) -> Result<Vec<FuzzyInterval>> {
+    let nominal = solve_dc(netlist)?;
+    let mut lo = vec![0.0f64; nets.len()];
+    let mut hi = vec![0.0f64; nets.len()];
+    for (id, comp) in netlist.components() {
+        let tol = comp.tolerance();
+        if tol <= 0.0 {
+            continue;
+        }
+        let plus = solve_dc(&inject_faults(netlist, &[(id, Fault::ParamFactor(1.0 + tol))])?)?;
+        let minus = solve_dc(&inject_faults(netlist, &[(id, Fault::ParamFactor(1.0 - tol))])?)?;
+        for (k, &net) in nets.iter().enumerate() {
+            let d1 = plus.voltage(net) - nominal.voltage(net);
+            let d2 = minus.voltage(net) - nominal.voltage(net);
+            let up = d1.max(d2).max(0.0);
+            let down = (-d1).max(-d2).max(0.0);
+            hi[k] += up;
+            lo[k] += down;
+        }
+    }
+    let mut out = Vec::with_capacity(nets.len());
+    for (k, &net) in nets.iter().enumerate() {
+        let v = nominal.voltage(net);
+        out.push(
+            FuzzyInterval::new(v, v, lo[k], hi[k])
+                .expect("nominal prediction spreads are non-negative"),
+        );
+    }
+    Ok(out)
+}
+
+/// Solves a (possibly faulted) netlist and returns the reading at `net`
+/// as a fuzzy value with absolute instrument imprecision
+/// `imprecision_volts` on both sides.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn measure(netlist: &Netlist, net: Net, imprecision_volts: f64) -> Result<FuzzyInterval> {
+    let op = solve_dc(netlist)?;
+    FuzzyInterval::crisp(op.voltage(net))
+        .widened(imprecision_volts)
+        .map_err(|_| CircuitError::InvalidParameter {
+            component: "measurement".to_owned(),
+            what: "imprecision must be non-negative",
+        })
+}
+
+/// Measures several nets of the same (possibly faulted) netlist in one
+/// solve.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn measure_all(
+    netlist: &Netlist,
+    nets: &[Net],
+    imprecision_volts: f64,
+) -> Result<Vec<FuzzyInterval>> {
+    let op = solve_dc(netlist)?;
+    nets.iter()
+        .map(|&net| {
+            FuzzyInterval::crisp(op.voltage(net))
+                .widened(imprecision_volts)
+                .map_err(|_| CircuitError::InvalidParameter {
+                    component: "measurement".to_owned(),
+                    what: "imprecision must be non-negative",
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider(tol: f64) -> (Netlist, Net) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1e3, tol).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1e3, tol).unwrap();
+        (nl, mid)
+    }
+
+    #[test]
+    fn prediction_core_is_nominal() {
+        let (nl, mid) = divider(0.05);
+        let preds = nominal_predictions(&nl, &[mid]).unwrap();
+        assert!((preds[0].core_midpoint() - 5.0).abs() < 1e-6);
+        assert!(preds[0].spread_left() > 0.0);
+        assert!(preds[0].spread_right() > 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_gives_crisp_prediction() {
+        let (nl, mid) = divider(0.0);
+        let preds = nominal_predictions(&nl, &[mid]).unwrap();
+        assert!(preds[0].is_point());
+    }
+
+    #[test]
+    fn prediction_contains_in_tolerance_boards() {
+        let (nl, mid) = divider(0.05);
+        let preds = nominal_predictions(&nl, &[mid]).unwrap();
+        // Perturb both resistors inside tolerance; the actual voltage must
+        // fall in the prediction's support.
+        for (f1, f2) in [(1.04, 0.97), (0.96, 1.05), (1.05, 1.05), (0.95, 1.02)] {
+            let r1 = nl.component_by_name("R1").unwrap();
+            let r2 = nl.component_by_name("R2").unwrap();
+            let board = inject_faults(
+                &nl,
+                &[(r1, Fault::ParamFactor(f1)), (r2, Fault::ParamFactor(f2))],
+            )
+            .unwrap();
+            let v = solve_dc(&board).unwrap().voltage(mid);
+            assert!(
+                v >= preds[0].support_lo() - 1e-9 && v <= preds[0].support_hi() + 1e-9,
+                "voltage {v} escapes prediction {}",
+                preds[0]
+            );
+        }
+    }
+
+    #[test]
+    fn wider_tolerance_widens_prediction() {
+        let (nl5, mid) = divider(0.05);
+        let (nl10, _) = divider(0.10);
+        let p5 = nominal_predictions(&nl5, &[mid]).unwrap();
+        let p10 = nominal_predictions(&nl10, &[mid]).unwrap();
+        assert!(p10[0].support_width() > p5[0].support_width());
+    }
+
+    #[test]
+    fn measurement_wraps_reading() {
+        let (nl, mid) = divider(0.05);
+        let m = measure(&nl, mid, 0.05).unwrap();
+        assert!((m.core_midpoint() - 5.0).abs() < 1e-6);
+        assert_eq!(m.spread_left(), 0.05);
+        let ms = measure_all(&nl, &[mid, Net::GROUND], 0.01).unwrap();
+        assert_eq!(ms.len(), 2);
+        assert!((ms[1].core_midpoint()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_board_measurement_escapes_prediction() {
+        let (nl, mid) = divider(0.05);
+        let preds = nominal_predictions(&nl, &[mid]).unwrap();
+        let r1 = nl.component_by_name("R1").unwrap();
+        let bad = inject_faults(&nl, &[(r1, Fault::ParamFactor(2.0))]).unwrap();
+        let m = measure(&bad, mid, 0.01).unwrap();
+        // A 2× resistor pushes the reading clearly out of the prediction.
+        assert!(m.core_midpoint() < preds[0].support_lo());
+    }
+
+    #[test]
+    fn test_point_builder() {
+        let (nl, mid) = divider(0.05);
+        let r1 = nl.component_by_name("R1").unwrap();
+        let tp = TestPoint::new(mid, "Vmid", vec![r1]).with_cost(2.5);
+        assert_eq!(tp.cost, 2.5);
+        assert_eq!(tp.name, "Vmid");
+        assert_eq!(tp.support, vec![r1]);
+    }
+}

@@ -1,0 +1,760 @@
+//! DC operating-point solver (modified nodal analysis).
+//!
+//! This is the "bench instrument" of the reproduction: the paper measured
+//! real boards on a Sun workstation; we solve the (possibly faulted)
+//! netlist and hand the node voltages to the diagnosis engine as
+//! *measurements*. The solver is deliberately independent from the
+//! constraint models used for diagnosis — the engine never sees netlist
+//! internals, only test-point readings, exactly like FLAMES.
+//!
+//! Devices are piecewise linear: diodes are constant-drop/off, transistors
+//! follow the paper's linear-region model (`Vbe` fixed, `Ic = β·Ib`) with
+//! cutoff and saturation states. States are chosen by fixed-point
+//! iteration over the linear MNA solve.
+
+use crate::error::CircuitError;
+use crate::netlist::{CompId, ComponentKind, Net, Netlist};
+use crate::Result;
+
+/// Conductance tied from every net to ground to keep floating nets
+/// solvable (standard SPICE `GMIN`).
+const GMIN: f64 = 1e-12;
+
+/// Collector-emitter voltage at the saturation boundary of the
+/// piecewise-linear BJT model.
+const VCE_SAT: f64 = 0.2;
+
+/// Iteration budget for the device-state fixed point.
+const MAX_STATE_ITERS: usize = 64;
+
+/// Operating region of a bipolar transistor in the solved circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BjtRegion {
+    /// Forward-active: `Vbe` clamped, `Ic = β·Ib` (the paper's "linear
+    /// region").
+    Active,
+    /// No conduction.
+    Cutoff,
+    /// `Vce` clamped at the saturation boundary.
+    Saturated,
+}
+
+/// Conduction state of a diode in the solved circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiodeState {
+    /// Conducting with the constant forward drop.
+    On,
+    /// Blocking (no current).
+    Off,
+}
+
+/// Per-component solution details.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceSolution {
+    /// Resistor: terminal current `a → b` in amperes.
+    Resistor {
+        /// Current from terminal `a` to terminal `b`.
+        amps: f64,
+    },
+    /// Voltage source: current delivered from the positive terminal.
+    VoltageSource {
+        /// Branch current (plus → through source → minus).
+        amps: f64,
+    },
+    /// Current source (echoes its setpoint).
+    CurrentSource {
+        /// Source current.
+        amps: f64,
+    },
+    /// Diode with its conduction state and current (anode → cathode).
+    Diode {
+        /// Conduction state.
+        state: DiodeState,
+        /// Forward current in amperes.
+        amps: f64,
+    },
+    /// Bipolar transistor with region and currents.
+    Npn {
+        /// Operating region.
+        region: BjtRegion,
+        /// Base current in amperes.
+        ib: f64,
+        /// Collector current in amperes.
+        ic: f64,
+    },
+    /// Gain block: output source current.
+    Gain {
+        /// Current injected by the ideal output source.
+        amps: f64,
+    },
+}
+
+/// The solved DC operating point of a netlist.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    voltages: Vec<f64>,
+    devices: Vec<DeviceSolution>,
+}
+
+impl OperatingPoint {
+    /// Voltage of a net relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to the solved netlist.
+    #[must_use]
+    pub fn voltage(&self, net: Net) -> f64 {
+        self.voltages[net.index()]
+    }
+
+    /// Per-device solution details.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the solved netlist.
+    #[must_use]
+    pub fn device(&self, id: CompId) -> DeviceSolution {
+        self.devices[id.index()]
+    }
+
+    /// All node voltages indexed by net.
+    #[must_use]
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// True when every transistor is forward-active — the condition the
+    /// paper says its Fig. 6 component values were chosen to ensure.
+    #[must_use]
+    pub fn all_bjts_active(&self) -> bool {
+        self.devices.iter().all(|d| {
+            !matches!(
+                d,
+                DeviceSolution::Npn {
+                    region: BjtRegion::Cutoff | BjtRegion::Saturated,
+                    ..
+                }
+            )
+        })
+    }
+}
+
+/// Solves the DC operating point of `netlist`.
+///
+/// # Errors
+///
+/// * [`CircuitError::SingularSystem`] when the MNA matrix cannot be
+///   factored (inconsistent ideal sources);
+/// * [`CircuitError::NoConvergence`] when the diode/BJT state iteration
+///   cycles without settling.
+pub fn solve_dc(netlist: &Netlist) -> Result<OperatingPoint> {
+    let mut states = initial_states(netlist);
+    let mut seen: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..MAX_STATE_ITERS {
+        let solution = solve_linear(netlist, &states)?;
+        let next = refine_states(netlist, &solution, &states);
+        if next == states {
+            return Ok(solution);
+        }
+        let encoded = encode(&next);
+        if seen.contains(&encoded) {
+            // A state cycle: accept the current solution as the best
+            // piecewise-linear answer rather than oscillating forever.
+            return Ok(solution);
+        }
+        seen.push(encoded);
+        states = next;
+    }
+    Err(CircuitError::NoConvergence {
+        iterations: MAX_STATE_ITERS,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeviceState {
+    None,
+    Diode(DiodeState),
+    Bjt(BjtRegion),
+}
+
+fn initial_states(netlist: &Netlist) -> Vec<DeviceState> {
+    netlist
+        .components()
+        .map(|(_, c)| match *c.kind() {
+            // A diode across a single net can never conduct its drop.
+            ComponentKind::Diode { anode, cathode, .. } if anode == cathode => {
+                DeviceState::Diode(DiodeState::Off)
+            }
+            ComponentKind::Diode { .. } => DeviceState::Diode(DiodeState::On),
+            // Base tied to the emitter: the Vbe clamp is unsatisfiable,
+            // the transistor is permanently cut off.
+            ComponentKind::Npn { base, emitter, .. } if base == emitter => {
+                DeviceState::Bjt(BjtRegion::Cutoff)
+            }
+            ComponentKind::Npn { .. } => DeviceState::Bjt(BjtRegion::Active),
+            _ => DeviceState::None,
+        })
+        .collect()
+}
+
+fn encode(states: &[DeviceState]) -> Vec<u8> {
+    states
+        .iter()
+        .map(|s| match s {
+            DeviceState::None => 0,
+            DeviceState::Diode(DiodeState::On) => 1,
+            DeviceState::Diode(DiodeState::Off) => 2,
+            DeviceState::Bjt(BjtRegion::Active) => 3,
+            DeviceState::Bjt(BjtRegion::Cutoff) => 4,
+            DeviceState::Bjt(BjtRegion::Saturated) => 5,
+        })
+        .collect()
+}
+
+/// One linear MNA solve for fixed device states.
+fn solve_linear(netlist: &Netlist, states: &[DeviceState]) -> Result<OperatingPoint> {
+    // Unknowns: node voltages (ground folded out) + one branch current per
+    // voltage-defined element.
+    let n_nets = netlist.net_count();
+    let mut branch_of: Vec<Option<usize>> = vec![None; netlist.component_count()];
+    let mut n_branches = 0usize;
+    for (id, comp) in netlist.components() {
+        let needs_branch = match (comp.kind(), states[id.index()]) {
+            (ComponentKind::VoltageSource { .. }, _) | (ComponentKind::Gain { .. }, _) => true,
+            (ComponentKind::Diode { .. }, DeviceState::Diode(DiodeState::On)) => true,
+            (ComponentKind::Npn { .. }, DeviceState::Bjt(BjtRegion::Active)) => true,
+            // Saturated BJT: two branch currents (ib through the Vbe clamp
+            // and ic through the Vce clamp) — allocate two slots.
+            (ComponentKind::Npn { .. }, DeviceState::Bjt(BjtRegion::Saturated)) => {
+                branch_of[id.index()] = Some(n_nets - 1 + n_branches);
+                n_branches += 2;
+                continue;
+            }
+            _ => false,
+        };
+        if needs_branch {
+            branch_of[id.index()] = Some(n_nets - 1 + n_branches);
+            n_branches += 1;
+        }
+    }
+    let dim = n_nets - 1 + n_branches;
+    let mut a = vec![0.0f64; dim * dim];
+    let mut b = vec![0.0f64; dim];
+
+    // Node voltage indices: net k (k >= 1) -> k - 1; ground -> None.
+    let vid = |net: Net| -> Option<usize> {
+        if net.is_ground() {
+            None
+        } else {
+            Some(net.index() - 1)
+        }
+    };
+    let stamp = |m: &mut Vec<f64>, r: Option<usize>, c: Option<usize>, val: f64| {
+        if let (Some(r), Some(c)) = (r, c) {
+            m[r * dim + c] += val;
+        }
+    };
+
+    // GMIN to ground on every non-ground net.
+    for net in netlist.nets() {
+        if let Some(i) = vid(net) {
+            a[i * dim + i] += GMIN;
+        }
+    }
+
+    for (id, comp) in netlist.components() {
+        let br = branch_of[id.index()];
+        match *comp.kind() {
+            ComponentKind::Resistor { a: na, b: nb, ohms } => {
+                let g = 1.0 / ohms;
+                let (ia, ib_) = (vid(na), vid(nb));
+                stamp(&mut a, ia, ia, g);
+                stamp(&mut a, ib_, ib_, g);
+                stamp(&mut a, ia, ib_, -g);
+                stamp(&mut a, ib_, ia, -g);
+            }
+            ComponentKind::Capacitor { .. } => {
+                // Open at DC: no stamp.
+            }
+            ComponentKind::Inductor { a: na, b: nb, .. } => {
+                // A short at DC (modelled as a milliohm bond).
+                let g = 1.0 / crate::fault::SHORT_OHMS;
+                let (ia, ib_) = (vid(na), vid(nb));
+                stamp(&mut a, ia, ia, g);
+                stamp(&mut a, ib_, ib_, g);
+                stamp(&mut a, ia, ib_, -g);
+                stamp(&mut a, ib_, ia, -g);
+            }
+            ComponentKind::CurrentSource { from, to, amps } => {
+                if let Some(i) = vid(from) {
+                    b[i] -= amps;
+                }
+                if let Some(i) = vid(to) {
+                    b[i] += amps;
+                }
+            }
+            ComponentKind::VoltageSource { plus, minus, volts } => {
+                let k = br.expect("voltage source has a branch");
+                let (ip, im) = (vid(plus), vid(minus));
+                // KCL: branch current leaves plus, enters minus.
+                stamp(&mut a, ip, Some(k), 1.0);
+                stamp(&mut a, im, Some(k), -1.0);
+                // Branch equation: V(plus) − V(minus) = volts.
+                stamp(&mut a, Some(k), ip, 1.0);
+                stamp(&mut a, Some(k), im, -1.0);
+                b[k] = volts;
+            }
+            ComponentKind::Diode { anode, cathode, drop_volts } => {
+                if states[id.index()] == DeviceState::Diode(DiodeState::On) {
+                    let k = br.expect("conducting diode has a branch");
+                    let (ia, ik) = (vid(anode), vid(cathode));
+                    stamp(&mut a, ia, Some(k), 1.0);
+                    stamp(&mut a, ik, Some(k), -1.0);
+                    stamp(&mut a, Some(k), ia, 1.0);
+                    stamp(&mut a, Some(k), ik, -1.0);
+                    b[k] = drop_volts;
+                }
+            }
+            ComponentKind::Npn { collector, base, emitter, beta, .. } => {
+                match states[id.index()] {
+                    DeviceState::Bjt(BjtRegion::Active) => {
+                        let k = br.expect("active BJT has a branch");
+                        let vbe = match *comp.kind() {
+                            ComponentKind::Npn { vbe, .. } => vbe,
+                            _ => unreachable!(),
+                        };
+                        let (ic_, ib_, ie_) = (vid(collector), vid(base), vid(emitter));
+                        // Branch variable: Ib (base -> emitter).
+                        stamp(&mut a, ib_, Some(k), 1.0);
+                        stamp(&mut a, ie_, Some(k), -(1.0 + beta));
+                        stamp(&mut a, ic_, Some(k), beta);
+                        // Branch equation: V(base) − V(emitter) = Vbe.
+                        stamp(&mut a, Some(k), ib_, 1.0);
+                        stamp(&mut a, Some(k), ie_, -1.0);
+                        b[k] = vbe;
+                    }
+                    DeviceState::Bjt(BjtRegion::Saturated) => {
+                        let k = br.expect("saturated BJT has branches");
+                        let vbe = match *comp.kind() {
+                            ComponentKind::Npn { vbe, .. } => vbe,
+                            _ => unreachable!(),
+                        };
+                        let (ic_, ib_, ie_) = (vid(collector), vid(base), vid(emitter));
+                        // Branch k: Ib via Vbe clamp; branch k+1: Ic via Vce clamp.
+                        stamp(&mut a, ib_, Some(k), 1.0);
+                        stamp(&mut a, ie_, Some(k), -1.0);
+                        stamp(&mut a, Some(k), ib_, 1.0);
+                        stamp(&mut a, Some(k), ie_, -1.0);
+                        b[k] = vbe;
+                        stamp(&mut a, ic_, Some(k + 1), 1.0);
+                        stamp(&mut a, ie_, Some(k + 1), -1.0);
+                        stamp(&mut a, Some(k + 1), ic_, 1.0);
+                        stamp(&mut a, Some(k + 1), ie_, -1.0);
+                        b[k + 1] = VCE_SAT;
+                    }
+                    _ => {} // cutoff: open
+                }
+            }
+            ComponentKind::Gain { input, output, gain } => {
+                let k = br.expect("gain block has a branch");
+                let (ii, io) = (vid(input), vid(output));
+                // Output source injects branch current at the output node.
+                stamp(&mut a, io, Some(k), 1.0);
+                // Branch equation: V(out) − gain · V(in) = 0.
+                stamp(&mut a, Some(k), io, 1.0);
+                stamp(&mut a, Some(k), ii, -gain);
+            }
+        }
+    }
+
+    let x = gauss_solve(a, b, dim)?;
+
+    // Decode voltages.
+    let mut voltages = vec![0.0; n_nets];
+    for net in netlist.nets() {
+        if let Some(i) = vid(net) {
+            voltages[net.index()] = x[i];
+        }
+    }
+    // Decode per-device solutions.
+    let mut devices = Vec::with_capacity(netlist.component_count());
+    for (id, comp) in netlist.components() {
+        let br = branch_of[id.index()];
+        let dev = match *comp.kind() {
+            ComponentKind::Resistor { a: na, b: nb, ohms } => DeviceSolution::Resistor {
+                amps: (voltages[na.index()] - voltages[nb.index()]) / ohms,
+            },
+            ComponentKind::Capacitor { .. } => DeviceSolution::Resistor { amps: 0.0 },
+            ComponentKind::Inductor { a: na, b: nb, .. } => DeviceSolution::Resistor {
+                amps: (voltages[na.index()] - voltages[nb.index()]) / crate::fault::SHORT_OHMS,
+            },
+            ComponentKind::VoltageSource { .. } => DeviceSolution::VoltageSource {
+                amps: x[br.expect("branch")],
+            },
+            ComponentKind::CurrentSource { amps, .. } => DeviceSolution::CurrentSource { amps },
+            ComponentKind::Diode { .. } => match states[id.index()] {
+                DeviceState::Diode(DiodeState::On) => DeviceSolution::Diode {
+                    state: DiodeState::On,
+                    amps: x[br.expect("branch")],
+                },
+                _ => DeviceSolution::Diode {
+                    state: DiodeState::Off,
+                    amps: 0.0,
+                },
+            },
+            ComponentKind::Npn { beta, .. } => match states[id.index()] {
+                DeviceState::Bjt(BjtRegion::Active) => {
+                    let ib = x[br.expect("branch")];
+                    DeviceSolution::Npn {
+                        region: BjtRegion::Active,
+                        ib,
+                        ic: beta * ib,
+                    }
+                }
+                DeviceState::Bjt(BjtRegion::Saturated) => {
+                    let k = br.expect("branches");
+                    DeviceSolution::Npn {
+                        region: BjtRegion::Saturated,
+                        ib: x[k],
+                        ic: x[k + 1],
+                    }
+                }
+                _ => DeviceSolution::Npn {
+                    region: BjtRegion::Cutoff,
+                    ib: 0.0,
+                    ic: 0.0,
+                },
+            },
+            ComponentKind::Gain { .. } => DeviceSolution::Gain {
+                amps: x[br.expect("branch")],
+            },
+        };
+        devices.push(dev);
+    }
+    Ok(OperatingPoint { voltages, devices })
+}
+
+/// Re-evaluates device states against a candidate solution.
+fn refine_states(
+    netlist: &Netlist,
+    sol: &OperatingPoint,
+    states: &[DeviceState],
+) -> Vec<DeviceState> {
+    let mut next = states.to_vec();
+    for (id, comp) in netlist.components() {
+        match *comp.kind() {
+            ComponentKind::Diode { anode, cathode, drop_volts } => {
+                let state = match sol.device(id) {
+                    DeviceSolution::Diode { state, amps } => match state {
+                        DiodeState::On if amps < -1e-12 => DiodeState::Off,
+                        DiodeState::Off
+                            if sol.voltage(anode) - sol.voltage(cathode)
+                                > drop_volts + 1e-9 =>
+                        {
+                            DiodeState::On
+                        }
+                        s => s,
+                    },
+                    _ => DiodeState::Off,
+                };
+                next[id.index()] = DeviceState::Diode(state);
+            }
+            ComponentKind::Npn { collector, base, emitter, beta, vbe } => {
+                if let DeviceSolution::Npn { region, ib, ic } = sol.device(id) {
+                    let vce = sol.voltage(collector) - sol.voltage(emitter);
+                    let vbe_now = sol.voltage(base) - sol.voltage(emitter);
+                    let region = match region {
+                        BjtRegion::Active => {
+                            if ib < -1e-12 {
+                                BjtRegion::Cutoff
+                            } else if vce < VCE_SAT - 1e-9 {
+                                BjtRegion::Saturated
+                            } else {
+                                BjtRegion::Active
+                            }
+                        }
+                        BjtRegion::Cutoff => {
+                            if vbe_now > vbe + 1e-9 {
+                                BjtRegion::Active
+                            } else {
+                                BjtRegion::Cutoff
+                            }
+                        }
+                        BjtRegion::Saturated => {
+                            if ib < -1e-12 {
+                                BjtRegion::Cutoff
+                            } else if ic > beta * ib + 1e-12 {
+                                BjtRegion::Active
+                            } else {
+                                BjtRegion::Saturated
+                            }
+                        }
+                    };
+                    next[id.index()] = DeviceState::Bjt(region);
+                }
+            }
+            _ => {}
+        }
+    }
+    next
+}
+
+/// Dense Gaussian elimination with partial pivoting.
+fn gauss_solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Result<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        let mut best_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best_val {
+                best = row;
+                best_val = v;
+            }
+        }
+        if best_val < 1e-300 {
+            return Err(CircuitError::SingularSystem);
+        }
+        if best != col {
+            for k in 0..n {
+                a.swap(col * n + k, best * n + k);
+            }
+            b.swap(col, best);
+        }
+        // Eliminate below.
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject_faults, open_connection, Fault};
+
+    fn assert_close(x: f64, y: f64, tol: f64) {
+        assert!((x - y).abs() <= tol, "{x} != {y} (tol {tol})");
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1e3, 0.0).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 3e3, 0.0).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        assert_close(op.voltage(mid), 7.5, 1e-6);
+        assert_close(op.voltage(vin), 10.0, 1e-12);
+        let r1 = nl.component_by_name("R1").unwrap();
+        match op.device(r1) {
+            DeviceSolution::Resistor { amps } => assert_close(amps, 2.5e-3, 1e-9),
+            _ => panic!("wrong device solution"),
+        }
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut nl = Netlist::new();
+        let n = nl.add_net("n");
+        nl.add_current_source("I", Net::GROUND, n, 1e-3).unwrap();
+        nl.add_resistor("R", n, Net::GROUND, 2e3, 0.0).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        assert_close(op.voltage(n), 2.0, 1e-6);
+    }
+
+    #[test]
+    fn conducting_diode_drops_constant() {
+        // 5 V -> R 1k -> diode(0.2) -> gnd: I = (5 − 0.2)/1k.
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V", vin, Net::GROUND, 5.0).unwrap();
+        nl.add_resistor("R", vin, a, 1e3, 0.0).unwrap();
+        let d = nl.add_diode("D", a, Net::GROUND, 0.2, 0.0).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        assert_close(op.voltage(a), 0.2, 1e-6);
+        match op.device(d) {
+            DeviceSolution::Diode { state, amps } => {
+                assert_eq!(state, DiodeState::On);
+                assert_close(amps, 4.8e-3, 1e-6);
+            }
+            _ => panic!("wrong device solution"),
+        }
+    }
+
+    #[test]
+    fn reverse_biased_diode_blocks() {
+        // −5 V at the anode side: the diode must switch off.
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V", vin, Net::GROUND, -5.0).unwrap();
+        nl.add_resistor("R", vin, a, 1e3, 0.0).unwrap();
+        let d = nl.add_diode("D", a, Net::GROUND, 0.2, 0.0).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        match op.device(d) {
+            DeviceSolution::Diode { state, amps } => {
+                assert_eq!(state, DiodeState::Off);
+                assert_eq!(amps, 0.0);
+            }
+            _ => panic!("wrong device solution"),
+        }
+        // Node floats to the source level through R (no current).
+        assert_close(op.voltage(a), -5.0, 1e-6);
+    }
+
+    #[test]
+    fn gain_blocks_chain_like_fig2() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let d = nl.add_net("d");
+        nl.add_voltage_source("Va", a, Net::GROUND, 3.0).unwrap();
+        nl.add_gain("amp1", a, b, 1.0, 0.05).unwrap();
+        nl.add_gain("amp2", b, c, 2.0, 0.05).unwrap();
+        nl.add_gain("amp3", b, d, 3.0, 0.05).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        assert_close(op.voltage(b), 3.0, 1e-6);
+        assert_close(op.voltage(c), 6.0, 1e-6);
+        assert_close(op.voltage(d), 9.0, 1e-6);
+    }
+
+    #[test]
+    fn common_emitter_stage_is_active() {
+        // Feedback-biased CE stage: Vcc 18, R1 200k V1->base, R3 24k
+        // base->gnd, R2 12k Vcc->V1, beta 300.
+        let mut nl = Netlist::new();
+        let vcc = nl.add_net("vcc");
+        let n1 = nl.add_net("n1");
+        let v1 = nl.add_net("v1");
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        nl.add_resistor("R1", v1, n1, 200e3, 0.05).unwrap();
+        nl.add_resistor("R3", n1, Net::GROUND, 24e3, 0.05).unwrap();
+        nl.add_resistor("R2", vcc, v1, 12e3, 0.05).unwrap();
+        let t = nl.add_npn("T1", v1, n1, Net::GROUND, 300.0, 0.7, 0.05).unwrap();
+        let op = solve_dc(&nl).unwrap();
+        assert_close(op.voltage(n1), 0.7, 1e-6);
+        // Hand analysis (see DESIGN.md): V1 ≈ 7.12 V, Ib ≈ 2.92 µA.
+        assert_close(op.voltage(v1), 7.12, 0.02);
+        match op.device(t) {
+            DeviceSolution::Npn { region, ib, ic } => {
+                assert_eq!(region, BjtRegion::Active);
+                assert_close(ib, 2.92e-6, 5e-8);
+                assert_close(ic, 875e-6, 5e-6);
+            }
+            _ => panic!("wrong device solution"),
+        }
+        assert!(op.all_bjts_active());
+    }
+
+    #[test]
+    fn cutoff_when_base_grounded() {
+        let mut nl = Netlist::new();
+        let vcc = nl.add_net("vcc");
+        let v1 = nl.add_net("v1");
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        nl.add_resistor("Rc", vcc, v1, 1e3, 0.0).unwrap();
+        let t = nl
+            .add_npn("T1", v1, Net::GROUND, Net::GROUND, 100.0, 0.7, 0.0)
+            .unwrap();
+        let op = solve_dc(&nl).unwrap();
+        match op.device(t) {
+            DeviceSolution::Npn { region, .. } => assert_eq!(region, BjtRegion::Cutoff),
+            _ => panic!("wrong device solution"),
+        }
+        assert_close(op.voltage(v1), 18.0, 1e-6);
+        assert!(!op.all_bjts_active());
+    }
+
+    #[test]
+    fn saturation_when_base_overdriven() {
+        // Huge base drive through a small base resistor with a large
+        // collector resistor: Vce pins at VCE_SAT.
+        let mut nl = Netlist::new();
+        let vcc = nl.add_net("vcc");
+        let vb = nl.add_net("vb");
+        let base = nl.add_net("base");
+        let v1 = nl.add_net("v1");
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 10.0).unwrap();
+        nl.add_voltage_source("Vb", vb, Net::GROUND, 5.0).unwrap();
+        nl.add_resistor("Rb", vb, base, 1e3, 0.0).unwrap();
+        nl.add_resistor("Rc", vcc, v1, 10e3, 0.0).unwrap();
+        let t = nl
+            .add_npn("T1", v1, base, Net::GROUND, 100.0, 0.7, 0.0)
+            .unwrap();
+        let op = solve_dc(&nl).unwrap();
+        match op.device(t) {
+            DeviceSolution::Npn { region, ib, ic } => {
+                assert_eq!(region, BjtRegion::Saturated);
+                assert!(ib > 0.0);
+                assert!(ic <= 100.0 * ib + 1e-12);
+            }
+            _ => panic!("wrong device solution"),
+        }
+        assert_close(op.voltage(v1), VCE_SAT, 1e-6);
+    }
+
+    #[test]
+    fn injected_fault_changes_operating_point() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        let r1 = nl.add_resistor("R1", vin, mid, 1e3, 0.0).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1e3, 0.0).unwrap();
+        let healthy = solve_dc(&nl).unwrap();
+        assert_close(healthy.voltage(mid), 5.0, 1e-6);
+        let faulty = inject_faults(&nl, &[(r1, Fault::Open)]).unwrap();
+        let op = solve_dc(&faulty).unwrap();
+        assert!(op.voltage(mid) < 0.01);
+        let faulty = inject_faults(&nl, &[(r1, Fault::Short)]).unwrap();
+        let op = solve_dc(&faulty).unwrap();
+        assert_close(op.voltage(mid), 10.0, 1e-4);
+    }
+
+    #[test]
+    fn open_connection_floats_branch() {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1e3, 0.0).unwrap();
+        let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1e3, 0.0).unwrap();
+        let cut = open_connection(&nl, r2, mid).unwrap();
+        let op = solve_dc(&cut).unwrap();
+        // With R2 detached, no current flows: mid sits at the source level.
+        assert_close(op.voltage(mid), 10.0, 1e-5);
+    }
+
+    #[test]
+    fn singular_systems_are_reported() {
+        // Two ideal sources fighting over one net.
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        nl.add_voltage_source("V1", a, Net::GROUND, 1.0).unwrap();
+        nl.add_voltage_source("V2", a, Net::GROUND, 2.0).unwrap();
+        assert!(matches!(solve_dc(&nl), Err(CircuitError::SingularSystem)));
+    }
+}

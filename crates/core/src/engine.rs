@@ -1,0 +1,752 @@
+use crate::propagation::{CoincidenceRecord, Propagator, PropagatorConfig, ValueEntry};
+use crate::Result;
+use flames_atms::{Env, Nogood, RankedDiagnosis};
+use flames_circuit::constraint::{extract, ExtractOptions, Network, QuantityId};
+use flames_circuit::predict::{nominal_predictions, TestPoint};
+use flames_circuit::{Net, Netlist};
+use flames_fuzzy::{Consistency, FuzzyInterval};
+use std::fmt;
+
+/// Configuration of a [`Diagnoser`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiagnoserConfig {
+    /// Propagation engine knobs (t-norm, conflict threshold, caps).
+    pub propagator: PropagatorConfig,
+    /// Model extraction options.
+    pub extract: ExtractOptions,
+}
+
+/// A ranked diagnosis candidate with human-readable member names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Names of the implicated components (or `conn:<net>` connections).
+    pub members: Vec<String>,
+    /// The underlying assumption set.
+    pub env: Env,
+    /// Seriousness degree (see
+    /// [`flames_atms::FuzzyAtms::ranked_diagnoses`]).
+    pub degree: f64,
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] @ {:.2}", self.members.join(", "), self.degree)
+    }
+}
+
+/// Per-test-point entry of a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReport {
+    /// The test point's name.
+    pub name: String,
+    /// The model's fuzzy prediction.
+    pub predicted: FuzzyInterval,
+    /// The measured value, if this point has been probed.
+    pub measured: Option<FuzzyInterval>,
+    /// `Dc(measured, predicted)` with deviation direction, if probed.
+    pub consistency: Option<Consistency>,
+}
+
+/// A diagnosis snapshot: per-point consistencies, the graded nogoods, and
+/// the ranked candidates — the content of the paper's Fig. 7 table rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// One entry per test point.
+    pub points: Vec<PointReport>,
+    /// Nogoods as (rendered member set, degree), strongest first.
+    pub nogoods: Vec<(String, f64)>,
+    /// Ranked candidates (initial suspects).
+    pub candidates: Vec<Candidate>,
+    /// Refined candidates (degree-filtered, Dc-exonerated) — the paper's
+    /// `==>` column.
+    pub refined: Vec<Candidate>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test points:")?;
+        for p in &self.points {
+            match (&p.measured, &p.consistency) {
+                (Some(m), Some(dc)) => writeln!(
+                    f,
+                    "  {:<6} predicted {:.3}  measured {:.3}  Dc = {}",
+                    p.name, p.predicted, m, dc
+                )?,
+                _ => writeln!(f, "  {:<6} predicted {:.3}  (not probed)", p.name, p.predicted)?,
+            }
+        }
+        writeln!(f, "nogoods:")?;
+        for (set, degree) in &self.nogoods {
+            writeln!(f, "  {set} @ {degree:.2}")?;
+        }
+        writeln!(f, "candidates:")?;
+        for c in &self.candidates {
+            writeln!(f, "  {c}")?;
+        }
+        writeln!(f, "refined:")?;
+        for c in &self.refined {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The FLAMES diagnoser for one circuit: the extracted model database,
+/// the declared test points, and their tolerance-aware nominal
+/// predictions.
+///
+/// Build once per circuit; open a fresh [`Session`] per board under test.
+#[derive(Debug, Clone)]
+pub struct Diagnoser {
+    netlist: Netlist,
+    network: Network,
+    test_points: Vec<TestPoint>,
+    predictions: Vec<FuzzyInterval>,
+    config: DiagnoserConfig,
+}
+
+impl Diagnoser {
+    /// Builds a diagnoser: extracts the constraint network and computes
+    /// fuzzy nominal predictions for every test point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-solver failures from the prediction corners.
+    pub fn from_netlist(
+        netlist: &Netlist,
+        test_points: Vec<TestPoint>,
+        config: DiagnoserConfig,
+    ) -> Result<Self> {
+        let network = extract(netlist, config.extract);
+        let nets: Vec<Net> = test_points.iter().map(|tp| tp.net).collect();
+        let predictions = nominal_predictions(netlist, &nets)?;
+        Ok(Self {
+            netlist: netlist.clone(),
+            network,
+            test_points,
+            predictions,
+            config,
+        })
+    }
+
+    /// Builds a diagnoser from an already-extracted network (used when
+    /// the builder added specs or extra seeds) with explicit predictions.
+    #[must_use]
+    pub fn from_network(
+        netlist: &Netlist,
+        network: Network,
+        test_points: Vec<TestPoint>,
+        predictions: Vec<FuzzyInterval>,
+        config: DiagnoserConfig,
+    ) -> Self {
+        Self {
+            netlist: netlist.clone(),
+            network,
+            test_points,
+            predictions,
+            config,
+        }
+    }
+
+    /// The declared test points.
+    #[must_use]
+    pub fn test_points(&self) -> &[TestPoint] {
+        &self.test_points
+    }
+
+    /// The fuzzy nominal prediction of a test point (by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    #[must_use]
+    pub fn prediction(&self, point: usize) -> &FuzzyInterval {
+        &self.predictions[point]
+    }
+
+    /// The extracted constraint network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The netlist the diagnoser was built from.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Opens a fresh diagnosis session: a propagator loaded with the
+    /// model seeds and the test-point predictions.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        self.session_excusing(&[])
+    }
+
+    /// Opens a session with the listed components' models *withdrawn*
+    /// (their constraints and parameter seeds skipped) — the §6.2
+    /// model-validity mechanism: a device driven out of the operating
+    /// region its model assumes must not generate secondary conflicts.
+    /// Test-point predictions whose cone contains an excused component
+    /// are withheld too (they were computed with the invalid model).
+    #[must_use]
+    pub fn session_excusing(&self, excused: &[flames_circuit::CompId]) -> Session<'_> {
+        let mut prop = if excused.is_empty() {
+            Propagator::new(&self.netlist, &self.network, self.config.propagator)
+        } else {
+            Propagator::new_excusing(&self.netlist, &self.network, self.config.propagator, excused)
+        };
+        for (tp, pred) in self.test_points.iter().zip(&self.predictions) {
+            if tp.support.iter().any(|c| excused.contains(c)) {
+                continue;
+            }
+            let q = self.network.voltage_quantity(tp.net);
+            prop.predict(q, *pred, &tp.support, 1.0)
+                .expect("test-point quantities exist in the extracted network");
+        }
+        Session {
+            diagnoser: self,
+            prop,
+            measured: vec![None; self.test_points.len()],
+            priors: vec![None; self.netlist.component_count()],
+        }
+    }
+}
+
+/// One diagnosis run against one (possibly faulty) board.
+#[derive(Debug, Clone)]
+pub struct Session<'d> {
+    diagnoser: &'d Diagnoser,
+    prop: Propagator<'d>,
+    measured: Vec<Option<FuzzyInterval>>,
+    priors: Vec<Option<FuzzyInterval>>,
+}
+
+impl<'d> Session<'d> {
+    /// Records a measurement at a test point, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::UnknownName`] for an unknown point.
+    pub fn measure(&mut self, point: &str, value: FuzzyInterval) -> Result<()> {
+        let idx = self
+            .diagnoser
+            .test_points
+            .iter()
+            .position(|tp| tp.name == point)
+            .ok_or_else(|| crate::CoreError::UnknownName {
+                name: point.to_owned(),
+            })?;
+        self.measure_point(idx, value)
+    }
+
+    /// Records a measurement at a test point, by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::UnknownName`] for an out-of-range
+    /// index.
+    pub fn measure_point(&mut self, idx: usize, value: FuzzyInterval) -> Result<()> {
+        let tp = self.diagnoser.test_points.get(idx).ok_or_else(|| {
+            crate::CoreError::UnknownName {
+                name: format!("test point #{idx}"),
+            }
+        })?;
+        let q = self.diagnoser.network.voltage_quantity(tp.net);
+        self.prop.observe(q, value)?;
+        self.measured[idx] = Some(value);
+        Ok(())
+    }
+
+    /// Runs propagation to quiescence; returns the number of constraint
+    /// applications.
+    pub fn propagate(&mut self) -> usize {
+        self.prop.run()
+    }
+
+    /// `Dc(measured, predicted)` of a probed test point.
+    #[must_use]
+    pub fn consistency(&self, point: &str) -> Option<Consistency> {
+        let idx = self
+            .diagnoser
+            .test_points
+            .iter()
+            .position(|tp| tp.name == point)?;
+        let measured = self.measured[idx]?;
+        Some(Consistency::between(
+            &measured,
+            &self.diagnoser.predictions[idx],
+        ))
+    }
+
+    /// Ranked candidates (minimal hitting sets of the graded nogoods),
+    /// rendered with component names.
+    #[must_use]
+    pub fn candidates(&self, max_size: usize, max_count: usize) -> Vec<Candidate> {
+        self.prop
+            .atms()
+            .ranked_diagnoses(max_size, max_count)
+            .into_iter()
+            .map(|RankedDiagnosis { env, degree }| Candidate {
+                members: env
+                    .iter()
+                    .map(|a| self.prop.assumption_name(a).to_owned())
+                    .collect(),
+                env,
+                degree,
+            })
+            .collect()
+    }
+
+    /// Refined candidates — the right-hand side of the paper's Fig. 7
+    /// rows (`{initial} ==> {refined}`): the **single-fault refinement**.
+    ///
+    /// Three gradings are applied on top of [`Session::candidates`]:
+    ///
+    /// * **degree filtering** (the paper's "list of nogoods sorted
+    ///   according to their consistency degrees … allows to restrict the
+    ///   effect of explosion"): only nogoods with degree at least
+    ///   `rho × max_degree` are considered, so noise-level conflicts stop
+    ///   steering the refinement;
+    /// * **specificity**: among the strong nogoods, the smallest
+    ///   (most informative) conflict sets name the suspects — secondary
+    ///   conflicts raised downstream of an already-deviating point do not
+    ///   dilute them;
+    /// * **exoneration by Dc**: each suspect is scored by its strongest
+    ///   conflict, discounted by the degree of consistency of the most
+    ///   specific probed test point covering it — "thanks to Dc" a
+    ///   component sitting under a consistent probe drops down the
+    ///   ranking. Assumptions with no covering point (connections) are
+    ///   discounted by the best Dc observed anywhere.
+    ///
+    /// The returned candidates are single components; use
+    /// [`Session::candidates`] for the complete multiple-fault lattice.
+    #[must_use]
+    pub fn refined_candidates(&self, max_count: usize, rho: f64) -> Vec<Candidate> {
+        let nogoods = self.prop.atms().nogoods();
+        let max_degree = nogoods.iter().map(|n| n.degree).fold(0.0, f64::max);
+        if max_degree <= 0.0 {
+            return Vec::new();
+        }
+        let cut = rho.clamp(0.0, 1.0) * max_degree;
+        let strong: Vec<&flames_atms::Nogood> =
+            nogoods.iter().filter(|n| n.degree >= cut).collect();
+        let min_size = strong.iter().map(|n| n.env.len()).min().unwrap_or(0);
+        let mut members: Vec<flames_atms::Assumption> = strong
+            .iter()
+            .filter(|n| n.env.len() == min_size)
+            .flat_map(|n| n.env.iter())
+            .collect();
+        members.sort();
+        members.dedup();
+        let mut out: Vec<Candidate> = members
+            .into_iter()
+            .map(|a| {
+                let degree = self.prop.atms().suspicion(a) * (1.0 - self.exoneration(a));
+                Candidate {
+                    members: vec![self.prop.assumption_name(a).to_owned()],
+                    env: Env::singleton(a),
+                    degree,
+                }
+            })
+            .collect();
+        out.sort_by(|p, q| {
+            q.degree
+                .partial_cmp(&p.degree)
+                .expect("finite degrees")
+                .then_with(|| p.env.cmp(&q.env))
+        });
+        out.truncate(max_count);
+        out
+    }
+
+    /// Dc-based exoneration of an assumption: the consistency degree of
+    /// the most specific (smallest-cone) probed point covering it, or the
+    /// best Dc observed anywhere for assumptions outside every cone.
+    fn exoneration(&self, a: flames_atms::Assumption) -> f64 {
+        let mut best: Option<(usize, f64)> = None;
+        let mut any_dc: f64 = 0.0;
+        for (idx, tp) in self.diagnoser.test_points.iter().enumerate() {
+            let Some(measured) = self.measured[idx] else {
+                continue;
+            };
+            let dc = Consistency::between(&measured, &self.diagnoser.predictions[idx]).degree();
+            any_dc = any_dc.max(dc);
+            let covers = tp
+                .support
+                .iter()
+                .any(|c| self.prop.component_assumption(c.index()) == a);
+            if covers {
+                let cone = tp.support.len();
+                if best.is_none_or(|(sz, _)| cone < sz) {
+                    best = Some((cone, dc));
+                }
+            }
+        }
+        best.map_or(any_dc, |(_, dc)| dc)
+    }
+
+    /// Suspicion degree of a component (strongest conflict implicating
+    /// it), by name; `None` for unknown names.
+    #[must_use]
+    pub fn suspicion(&self, component: &str) -> Option<f64> {
+        let id = self.diagnoser.netlist.component_by_name(component)?;
+        Some(
+            self.prop
+                .atms()
+                .suspicion(self.prop.component_assumption(id.index())),
+        )
+    }
+
+    /// Records the expert's a priori faultiness estimation of a component
+    /// (§5: "a priori estimations of faultiness in components"). The set
+    /// must live inside `[0, 1]`; it replaces the default "unknown"
+    /// estimation and floors the suspicion-based one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::UnknownName`] for an unknown
+    /// component, or a fuzzy-calculus error if the set leaves the unit
+    /// interval.
+    pub fn set_prior(&mut self, component: &str, estimation: FuzzyInterval) -> Result<()> {
+        let id = self
+            .diagnoser
+            .netlist
+            .component_by_name(component)
+            .ok_or_else(|| crate::CoreError::UnknownName {
+                name: component.to_owned(),
+            })?;
+        let (lo, hi) = estimation.support();
+        if lo < -1e-9 || hi > 1.0 + 1e-9 {
+            return Err(crate::CoreError::Fuzzy(
+                flames_fuzzy::FuzzyError::EstimationOutOfRange {
+                    value: if lo < 0.0 { lo } else { hi },
+                },
+            ));
+        }
+        self.priors[id.index()] = Some(estimation);
+        Ok(())
+    }
+
+    /// Fuzzy faultiness estimations per component (§8.1): suspicion-based
+    /// fuzzy numbers for implicated components (floored by any expert
+    /// prior), near-"correct" sets for components exonerated by a
+    /// consistent measurement covering them, the expert's prior where one
+    /// was given, and a mid-scale "unknown" otherwise. Returned in
+    /// netlist component order as `(name, estimation)`.
+    #[must_use]
+    pub fn estimations(&self) -> Vec<(String, FuzzyInterval)> {
+        let exonerated = self.exonerated_components();
+        self.diagnoser
+            .netlist
+            .components()
+            .map(|(id, comp)| {
+                let a = self.prop.component_assumption(id.index());
+                let s = self.prop.atms().suspicion(a);
+                let prior = self.priors[id.index()];
+                let est = if s > 0.0 {
+                    // Suspicion s as a fuzzy estimation around s.
+                    let lo = (s - 0.1).max(0.0);
+                    let hi = (s + 0.05).min(1.0);
+                    let from_suspicion =
+                        FuzzyInterval::new(lo, hi, lo.min(0.05), (1.0 - hi).min(0.05))
+                            .expect("estimation inside unit interval");
+                    match prior {
+                        Some(p) => from_suspicion.max_ext(&p),
+                        None => from_suspicion,
+                    }
+                } else if exonerated[id.index()] {
+                    FuzzyInterval::new(0.0, 0.05, 0.0, 0.05).expect("static")
+                } else if let Some(p) = prior {
+                    p
+                } else {
+                    FuzzyInterval::new(0.3, 0.5, 0.1, 0.1).expect("static")
+                };
+                (comp.name().to_owned(), est)
+            })
+            .collect()
+    }
+
+    /// Marks components covered by a fully consistent probed point.
+    fn exonerated_components(&self) -> Vec<bool> {
+        let mut out = vec![false; self.diagnoser.netlist.component_count()];
+        for (idx, tp) in self.diagnoser.test_points.iter().enumerate() {
+            let Some(measured) = self.measured[idx] else {
+                continue;
+            };
+            let dc = Consistency::between(&measured, &self.diagnoser.predictions[idx]);
+            if dc.is_consistent() {
+                for comp in &tp.support {
+                    out[comp.index()] = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the full snapshot report.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let points = self
+            .diagnoser
+            .test_points
+            .iter()
+            .enumerate()
+            .map(|(idx, tp)| PointReport {
+                name: tp.name.clone(),
+                predicted: self.diagnoser.predictions[idx],
+                measured: self.measured[idx],
+                consistency: self.measured[idx].map(|m| {
+                    Consistency::between(&m, &self.diagnoser.predictions[idx])
+                }),
+            })
+            .collect();
+        let nogoods = self
+            .prop
+            .atms()
+            .sorted_nogoods()
+            .into_iter()
+            .map(|Nogood { env, degree }| {
+                (
+                    self.prop.pool().render(env.iter()),
+                    degree,
+                )
+            })
+            .collect();
+        let candidates = self.candidates(3, 64);
+        let refined = self.refined_candidates(16, 0.5);
+        Report {
+            points,
+            nogoods,
+            candidates,
+            refined,
+        }
+    }
+
+    /// The diagnoser this session runs against.
+    #[must_use]
+    pub fn diagnoser(&self) -> &'d Diagnoser {
+        self.diagnoser
+    }
+
+    /// The underlying propagator (labels, coincidences, ATMS).
+    #[must_use]
+    pub fn propagator(&self) -> &Propagator<'d> {
+        &self.prop
+    }
+
+    /// Mutable access to the propagator, for expert extensions (extra
+    /// nogoods, fault-model rules).
+    #[must_use]
+    pub fn propagator_mut(&mut self) -> &mut Propagator<'d> {
+        &mut self.prop
+    }
+
+    /// All coincidences recorded by propagation.
+    #[must_use]
+    pub fn coincidences(&self) -> &[CoincidenceRecord] {
+        self.prop.coincidences()
+    }
+
+    /// Which test points have been probed so far (by index).
+    #[must_use]
+    pub fn probed(&self) -> Vec<bool> {
+        self.measured.iter().map(Option::is_some).collect()
+    }
+
+    /// The best derived value of a quantity, if any (exposes the label
+    /// store for inspection and for fault-model parameter inference).
+    #[must_use]
+    pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
+        self.prop.best_value(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flames_circuit::{Fault, Net};
+
+    fn divider_diagnoser() -> Diagnoser {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
+        let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+        let points = vec![
+            TestPoint::new(mid, "Vmid", vec![r1, r2]),
+            TestPoint::new(vin, "Vin", vec![]),
+        ];
+        Diagnoser::from_netlist(&nl, points, DiagnoserConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn healthy_board_reports_consistent() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        s.measure("Vmid", FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        let dc = s.consistency("Vmid").unwrap();
+        assert!(dc.is_consistent());
+        assert!(s.candidates(2, 16).is_empty());
+        let report = s.report();
+        assert!(report.nogoods.is_empty());
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points[1].measured.is_none());
+    }
+
+    #[test]
+    fn faulty_board_yields_candidates() {
+        let d = divider_diagnoser();
+        // R1 drifted 40 % high: mid voltage drops to 10·(1/2.4) ≈ 4.17.
+        let r1 = d.netlist().component_by_name("R1").unwrap();
+        let bad = flames_circuit::fault::inject_faults(d.netlist(), &[(r1, Fault::ParamFactor(1.4))])
+            .unwrap();
+        let reading = flames_circuit::predict::measure(&bad, d.test_points()[0].net, 0.02).unwrap();
+        let mut s = d.session();
+        s.measure("Vmid", reading).unwrap();
+        s.propagate();
+        let dc = s.consistency("Vmid").unwrap();
+        assert!(!dc.is_consistent());
+        assert_eq!(dc.direction(), flames_fuzzy::Direction::Low);
+        let candidates = s.candidates(2, 32);
+        assert!(!candidates.is_empty());
+        let names: Vec<&str> = candidates
+            .iter()
+            .flat_map(|c| c.members.iter().map(String::as_str))
+            .collect();
+        assert!(names.contains(&"R1") || names.contains(&"R2"));
+        // Suspicion is positive for the divider resistors.
+        assert!(s.suspicion("R1").unwrap() > 0.0);
+        assert_eq!(s.suspicion("nope"), None);
+    }
+
+    #[test]
+    fn estimations_reflect_session_state() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        // Nothing measured: everything mid-scale except nothing exonerated.
+        let est0 = s.estimations();
+        assert_eq!(est0.len(), 3);
+        for (_, e) in &est0 {
+            assert!(e.core_lo() >= 0.2);
+        }
+        // Healthy measurement exonerates the support cone.
+        s.measure("Vmid", FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        let est = s.estimations();
+        let r1 = est.iter().find(|(n, _)| n == "R1").unwrap();
+        assert!(r1.1.core_hi() <= 0.1, "R1 exonerated: {}", r1.1);
+    }
+
+    #[test]
+    fn unknown_point_is_an_error() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        assert!(matches!(
+            s.measure("nope", FuzzyInterval::crisp(0.0)),
+            Err(crate::CoreError::UnknownName { .. })
+        ));
+        assert!(s.measure_point(99, FuzzyInterval::crisp(0.0)).is_err());
+        assert!(s.consistency("nope").is_none());
+    }
+
+    #[test]
+    fn report_renders() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        s.measure("Vmid", FuzzyInterval::crisp(6.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        let text = format!("{}", s.report());
+        assert!(text.contains("Vmid"));
+        assert!(text.contains("candidates:"));
+        assert!(!s.report().candidates.is_empty());
+        let c = &s.report().candidates[0];
+        assert!(format!("{c}").contains('@'));
+    }
+
+    #[test]
+    fn expert_priors_shape_estimations() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        // The expert believes R2 came from a bad batch.
+        let suspect = FuzzyInterval::new(0.7, 0.8, 0.1, 0.1).unwrap();
+        s.set_prior("R2", suspect).unwrap();
+        let est = s.estimations();
+        let r2 = est.iter().find(|(n, _)| n == "R2").unwrap();
+        assert!(r2.1.core_lo() >= 0.7 - 1e-9);
+        let r1 = est.iter().find(|(n, _)| n == "R1").unwrap();
+        assert!(r1.1.core_lo() < 0.7, "R1 keeps the default estimation");
+        // Priors outside the unit interval are rejected, as are unknown names.
+        assert!(s
+            .set_prior("R2", FuzzyInterval::new(0.9, 1.4, 0.0, 0.0).unwrap())
+            .is_err());
+        assert!(s.set_prior("nope", suspect).is_err());
+        // After exoneration by a consistent probe, the prior yields.
+        s.measure("Vmid", FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        let est = s.estimations();
+        let r2 = est.iter().find(|(n, _)| n == "R2").unwrap();
+        assert!(r2.1.core_hi() <= 0.1, "consistent evidence overrides the prior");
+    }
+
+    #[test]
+    fn refinement_rho_extremes() {
+        let d = divider_diagnoser();
+        let mut s = d.session();
+        s.measure("Vmid", FuzzyInterval::crisp(7.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        // rho = 0 keeps every nogood; rho = 1 keeps only the strongest.
+        let all = s.refined_candidates(64, 0.0);
+        let strongest = s.refined_candidates(64, 1.0);
+        assert!(!all.is_empty());
+        assert!(!strongest.is_empty());
+        assert!(strongest.len() <= all.len());
+        for c in all.iter().chain(&strongest) {
+            assert_eq!(c.members.len(), 1);
+            assert!((0.0..=1.0).contains(&c.degree));
+        }
+        // No conflicts -> empty refinement.
+        let clean = d.session();
+        assert!(clean.refined_candidates(8, 0.5).is_empty());
+    }
+
+    #[test]
+    fn excused_session_skips_models() {
+        let d = divider_diagnoser();
+        let r1 = d.netlist().component_by_name("R1").unwrap();
+        // With R1's model withdrawn, a wildly wrong reading cannot
+        // implicate R1's constraints (no derivation uses them), so the
+        // conflicts fall on R2 and the connection.
+        let mut s = d.session_excusing(&[r1]);
+        s.measure("Vmid", FuzzyInterval::crisp(9.0).widened(0.02).unwrap())
+            .unwrap();
+        s.propagate();
+        let nogoods = s.propagator().atms().nogoods();
+        let a_r1 = s.propagator().component_assumption(r1.index());
+        assert!(
+            nogoods.iter().all(|n| !n.env.contains(a_r1)),
+            "withdrawn model must not appear in conflicts: {nogoods:?}"
+        );
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let d = divider_diagnoser();
+        let mut s1 = d.session();
+        s1.measure("Vmid", FuzzyInterval::crisp(9.0).widened(0.02).unwrap())
+            .unwrap();
+        s1.propagate();
+        assert!(!s1.candidates(2, 16).is_empty());
+        // A fresh session starts clean.
+        let s2 = d.session();
+        assert!(s2.candidates(2, 16).is_empty());
+        assert_eq!(s2.probed(), vec![false, false]);
+    }
+}

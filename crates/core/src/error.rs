@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors produced by the FLAMES diagnosis engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A quantity id did not belong to the engine's constraint network.
+    UnknownQuantity {
+        /// The out-of-range quantity index.
+        index: usize,
+    },
+    /// A test-point or component name was not found.
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An error bubbled up from the fuzzy calculus.
+    Fuzzy(flames_fuzzy::FuzzyError),
+    /// An error bubbled up from the truth-maintenance kernel.
+    Atms(flames_atms::AtmsError),
+    /// An error bubbled up from the circuit substrate.
+    Circuit(flames_circuit::CircuitError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownQuantity { index } => write!(f, "unknown quantity index {index}"),
+            CoreError::UnknownName { name } => write!(f, "unknown name {name:?}"),
+            CoreError::Fuzzy(e) => write!(f, "fuzzy calculus: {e}"),
+            CoreError::Atms(e) => write!(f, "truth maintenance: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit substrate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Fuzzy(e) => Some(e),
+            CoreError::Atms(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flames_fuzzy::FuzzyError> for CoreError {
+    fn from(e: flames_fuzzy::FuzzyError) -> Self {
+        CoreError::Fuzzy(e)
+    }
+}
+
+impl From<flames_atms::AtmsError> for CoreError {
+    fn from(e: flames_atms::AtmsError) -> Self {
+        CoreError::Atms(e)
+    }
+}
+
+impl From<flames_circuit::CircuitError> for CoreError {
+    fn from(e: flames_circuit::CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}

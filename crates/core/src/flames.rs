@@ -1,0 +1,378 @@
+//! The assembled FLAMES expert system — the paper's Fig. 3.
+//!
+//! [`Flames`] wires the five units of the architecture diagram around one
+//! circuit:
+//!
+//! * the **fuzzy-ATMS unit** (kernel): propagation, coincidences, graded
+//!   nogoods, ranked candidates ([`crate::propagation`], [`crate::engine`]);
+//! * the **database unit**: extracted models and tolerance-aware
+//!   predictions ([`Diagnoser`]);
+//! * the **knowledge-base unit**: fuzzy qualitative rules and component
+//!   fault models ([`crate::rules`], [`crate::fault_model`]);
+//! * the **search-strategy unit**: best-test recommendation
+//!   ([`crate::strategy`]);
+//! * the **learning unit**: symptom→failure rules built from confirmed
+//!   diagnoses ([`crate::learning`]).
+//!
+//! "Since we want to keep FLAMES as an open system, an expert can
+//! interact with each of its main units": every unit is a public field or
+//! builder knob, a priori estimations enter through
+//! [`FlamesConfig::priors`], and [`Flames::confirm`] is the expert's
+//! accept button that feeds the learning loop.
+
+use crate::engine::{Diagnoser, DiagnoserConfig, Report, Session};
+use crate::fault_model::{infer_fault_mode, standard_modes, FaultMode};
+use crate::learning::{symptoms_of, KnowledgeBase, Suggestion};
+use crate::rules::{bjt_region_rules, RuleBase, RuleTarget};
+use crate::strategy::{probe_until_isolated, Policy, ProbeRun};
+use crate::Result;
+use flames_circuit::predict::TestPoint;
+use flames_circuit::{CompId, Netlist};
+use flames_fuzzy::FuzzyInterval;
+use std::fmt;
+
+/// Configuration of the assembled system.
+#[derive(Debug, Clone)]
+pub struct FlamesConfig {
+    /// Engine configuration (propagator + extraction).
+    pub diagnoser: DiagnoserConfig,
+    /// Probe-selection policy (§8).
+    pub policy: Policy,
+    /// Cost weight `λ` in the test scores.
+    pub lambda_cost: f64,
+    /// Relative degree cut `ρ` for the refined candidates.
+    pub rho: f64,
+    /// Component tolerance assumed by the standard fault-mode vocabulary.
+    pub mode_tolerance: f64,
+    /// Expert a priori faultiness estimations, by component name (§5).
+    pub priors: Vec<(String, FuzzyInterval)>,
+}
+
+impl Default for FlamesConfig {
+    fn default() -> Self {
+        Self {
+            diagnoser: DiagnoserConfig::default(),
+            policy: Policy::FuzzyEntropy,
+            lambda_cost: 0.05,
+            rho: 0.5,
+            mode_tolerance: 0.05,
+            priors: Vec::new(),
+        }
+    }
+}
+
+/// One complete diagnosis of a board under test.
+#[derive(Debug, Clone)]
+pub struct DiagnosisOutcome {
+    /// The final snapshot (points, Dc values, nogoods, candidates,
+    /// refinement).
+    pub report: Report,
+    /// Components whose models were withdrawn as out-of-region (§6.2).
+    pub excused: Vec<String>,
+    /// Fault-mode findings for the top refined suspects:
+    /// `(component, mode, degree)` (§7).
+    pub mode_findings: Vec<(String, String, f64)>,
+    /// Knowledge-base suggestions from earlier confirmed diagnoses (§7).
+    pub suggestions: Vec<Suggestion>,
+    /// The probes made, in order.
+    pub probes: Vec<String>,
+    /// Their total cost.
+    pub cost: f64,
+}
+
+impl DiagnosisOutcome {
+    /// The best single-fault suspect, if the refinement produced one:
+    /// among the refined candidates (already ranked by degree and
+    /// Dc-exoneration), the first whose inferred fault mode is an actual
+    /// fault wins — "considering the fault modes … drives us to strongly
+    /// suspect" (§6.3). Falls back to the top refined candidate when no
+    /// mode was inferable.
+    #[must_use]
+    pub fn prime_suspect(&self) -> Option<&str> {
+        let mode_of = |name: &str| -> Option<&(String, String, f64)> {
+            self.mode_findings.iter().find(|(c, _, _)| c == name)
+        };
+        // A faulty-mode finding promotes its candidate.
+        for cand in &self.report.refined {
+            let Some(member) = cand.members.first() else { continue };
+            if let Some((_, mode, degree)) = mode_of(member) {
+                if mode != "nominal" && *degree >= 0.5 {
+                    return Some(member);
+                }
+            }
+        }
+        self.report
+            .refined
+            .first()
+            .and_then(|c| c.members.first())
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for DiagnosisOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.report)?;
+        if !self.excused.is_empty() {
+            writeln!(f, "models withdrawn (out of region): {}", self.excused.join(", "))?;
+        }
+        for (comp, mode, degree) in &self.mode_findings {
+            writeln!(f, "fault model: {comp} -> '{mode}' @ {degree:.2}")?;
+        }
+        for s in &self.suggestions {
+            writeln!(
+                f,
+                "experience suggests: {}{} @ {:.2}",
+                s.culprit,
+                s.mode.as_deref().map(|m| format!(" ({m})")).unwrap_or_default(),
+                s.score
+            )?;
+        }
+        writeln!(f, "probes: {} (cost {:.1})", self.probes.join(" -> "), self.cost)
+    }
+}
+
+/// The assembled FLAMES system for one circuit.
+#[derive(Debug, Clone)]
+pub struct Flames {
+    diagnoser: Diagnoser,
+    /// The learning unit: symptom→failure rules with certainty degrees.
+    pub knowledge: KnowledgeBase,
+    /// The expert's fuzzy qualitative rules (evaluated on every
+    /// diagnosis, in addition to the built-in region rules).
+    pub rules: RuleBase,
+    /// The fault-mode vocabulary used for refinement.
+    pub modes: Vec<FaultMode>,
+    config: FlamesConfig,
+}
+
+impl Flames {
+    /// Assembles the system: builds the diagnoser (model extraction +
+    /// fuzzy predictions) and the standard fault-mode vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-solver failures from the prediction corners.
+    pub fn new(
+        netlist: &Netlist,
+        test_points: Vec<TestPoint>,
+        config: FlamesConfig,
+    ) -> Result<Self> {
+        let diagnoser = Diagnoser::from_netlist(netlist, test_points, config.diagnoser)?;
+        let modes = standard_modes(config.mode_tolerance);
+        Ok(Self {
+            diagnoser,
+            knowledge: KnowledgeBase::new(),
+            rules: RuleBase::new(),
+            modes,
+            config,
+        })
+    }
+
+    /// The underlying diagnoser (model database + predictions).
+    #[must_use]
+    pub fn diagnoser(&self) -> &Diagnoser {
+        &self.diagnoser
+    }
+
+    /// Runs one complete diagnosis against a board: strategy-guided
+    /// probing (readings supplied by `read`, indexed like the test
+    /// points), model-validity revalidation, candidate refinement,
+    /// fault-mode inference, and knowledge-base lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (unknown points, solver failures in mode
+    /// inference).
+    pub fn diagnose(&self, read: &dyn Fn(usize) -> FuzzyInterval) -> Result<DiagnosisOutcome> {
+        // 1. Guided probing.
+        let mut session = self.session_with_priors();
+        let ProbeRun { probes, cost, .. } =
+            probe_until_isolated(&mut session, self.config.policy, self.config.lambda_cost, read)?;
+
+        // 2. Model-validity revalidation against the measured operating
+        //    point (built-in BJT region rules + the expert's own).
+        let measurements: Vec<(String, FuzzyInterval)> = session
+            .report()
+            .points
+            .iter()
+            .filter_map(|p| p.measured.map(|m| (p.name.clone(), m)))
+            .collect();
+        let region = RuleBase::from_rules(bjt_region_rules(&self.diagnoser));
+        let mut excused: Vec<String> = region
+            .evaluate(&session)
+            .into_iter()
+            .chain(self.rules.evaluate(&session))
+            .filter(|firing| firing.degree >= 0.5)
+            .filter_map(|firing| match firing.target {
+                RuleTarget::ModelInvalid { component } => Some(component),
+                RuleTarget::Estimation { .. } => None,
+            })
+            .collect();
+        excused.sort();
+        excused.dedup();
+        let session = if excused.is_empty() {
+            session
+        } else {
+            let ids: Vec<CompId> = excused
+                .iter()
+                .filter_map(|name| self.diagnoser.netlist().component_by_name(name))
+                .collect();
+            let mut redo = self.diagnoser.session_excusing(&ids);
+            for (point, value) in &measurements {
+                redo.measure(point, *value)?;
+            }
+            redo.propagate();
+            redo
+        };
+
+        // 3. Refinement + fault-mode inference for the top suspects.
+        let report = session.report();
+        let mut mode_findings = Vec::new();
+        for cand in report.refined.iter().take(3) {
+            let Some(member) = cand.members.first() else { continue };
+            let Some(comp) = self.diagnoser.netlist().component_by_name(member) else {
+                continue; // connection assumptions carry no parameter
+            };
+            let md = infer_fault_mode(
+                &self.diagnoser,
+                &measurements,
+                comp,
+                &self.modes,
+                self.config.diagnoser.propagator,
+            )?;
+            if let Some((mode, degree)) = md.best() {
+                mode_findings.push((member.clone(), mode.to_owned(), degree));
+            }
+        }
+
+        // 4. Experience lookup.
+        let suggestions = self.knowledge.suggest(&symptoms_of(&report));
+
+        Ok(DiagnosisOutcome {
+            report,
+            excused,
+            mode_findings,
+            suggestions,
+            probes,
+            cost,
+        })
+    }
+
+    /// The expert confirms a diagnosis: the outcome's symptoms and the
+    /// culprit (with its mode, if identified) enter the knowledge base
+    /// (§7 — "when the system succeeds to locate a faulty component, a
+    /// symptom-failure rule … would be formed").
+    pub fn confirm(&mut self, outcome: &DiagnosisOutcome, culprit: &str) {
+        let mode = outcome
+            .mode_findings
+            .iter()
+            .find(|(c, _, _)| c == culprit)
+            .map(|(_, m, _)| m.clone());
+        self.knowledge
+            .learn(symptoms_of(&outcome.report), culprit, mode);
+    }
+
+    fn session_with_priors(&self) -> Session<'_> {
+        let mut session = self.diagnoser.session();
+        for (name, prior) in &self.config.priors {
+            // Unknown names in priors are an expert typo; surface loudly
+            // in debug builds, ignore in release (the prior is advisory).
+            let applied = session.set_prior(name, *prior);
+            debug_assert!(applied.is_ok(), "invalid prior for {name:?}");
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flames_circuit::circuits::three_stage;
+    use flames_circuit::fault::inject_faults;
+    use flames_circuit::predict::measure_all;
+    use flames_circuit::Fault;
+
+    fn system() -> (flames_circuit::circuits::ThreeStage, Flames) {
+        let ts = three_stage(0.02);
+        let flames = Flames::new(
+            &ts.netlist,
+            ts.test_points.clone(),
+            FlamesConfig::default(),
+        )
+        .unwrap();
+        (ts, flames)
+    }
+
+    fn readings_for(
+        ts: &flames_circuit::circuits::ThreeStage,
+        board: &Netlist,
+    ) -> Vec<FuzzyInterval> {
+        measure_all(board, &[ts.v1, ts.v2, ts.vs], 0.05).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_on_short_r2() {
+        let (ts, flames) = system();
+        let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap();
+        let readings = readings_for(&ts, &board);
+        let outcome = flames.diagnose(&|i| readings[i]).unwrap();
+        assert!(!outcome.probes.is_empty());
+        assert!(outcome.cost > 0.0);
+        // The saturated T2 model is withdrawn and R2 reads 'short'.
+        assert!(outcome.excused.contains(&"T2".to_owned()), "{outcome}");
+        assert!(
+            outcome
+                .mode_findings
+                .iter()
+                .any(|(c, m, d)| c == "R2" && m == "short" && *d > 0.9),
+            "{outcome}"
+        );
+        let text = format!("{outcome}");
+        assert!(text.contains("fault model"));
+    }
+
+    #[test]
+    fn learning_loop_suggests_on_recurrence() {
+        let (ts, mut flames) = system();
+        let board = inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap();
+        let readings = readings_for(&ts, &board);
+        let outcome = flames.diagnose(&|i| readings[i]).unwrap();
+        assert!(outcome.suggestions.is_empty(), "fresh system knows nothing");
+        flames.confirm(&outcome, "R3");
+        assert_eq!(flames.knowledge.len(), 1);
+        // The same defect on the next board is suggested from experience.
+        let outcome2 = flames.diagnose(&|i| readings[i]).unwrap();
+        assert_eq!(
+            outcome2.suggestions.first().map(|s| s.culprit.as_str()),
+            Some("R3"),
+            "{outcome2}"
+        );
+    }
+
+    #[test]
+    fn healthy_board_produces_clean_outcome() {
+        let (ts, flames) = system();
+        let readings = readings_for(&ts, &ts.netlist);
+        let outcome = flames.diagnose(&|i| readings[i]).unwrap();
+        assert!(outcome.report.refined.is_empty(), "{outcome}");
+        assert!(outcome.excused.is_empty());
+        assert!(outcome.prime_suspect().is_none());
+    }
+
+    #[test]
+    fn priors_flow_into_the_session() {
+        let (ts, _) = system();
+        let config = FlamesConfig {
+            priors: vec![(
+                "R2".to_owned(),
+                FuzzyInterval::new(0.7, 0.8, 0.1, 0.1).unwrap(),
+            )],
+            ..Default::default()
+        };
+        let flames = Flames::new(&ts.netlist, ts.test_points.clone(), config).unwrap();
+        let session = flames.session_with_priors();
+        let est = session.estimations();
+        let r2 = est.iter().find(|(n, _)| n == "R2").unwrap();
+        assert!(r2.1.core_lo() >= 0.7 - 1e-9);
+    }
+}

@@ -1,0 +1,518 @@
+//! Learning from experience (§7 of the paper).
+//!
+//! "When the system succeeds to locate a faulty component, a
+//! symptom-failure rule which summarizes the work would be formed … This
+//! rule is given with a degree of certainty … In future diagnosis, FLAMES
+//! will give the expert the rules which are attached to some candidates to
+//! help him in making his decision."
+//!
+//! A [`Symptom`] is a discretized observation at a test point (deviation
+//! direction + severity bucket of the `Dc`); a [`SymptomRule`] maps a
+//! symptom set to a culprit (and optionally its fault mode) with a
+//! certainty degree that grows as the rule is re-confirmed.
+
+use crate::engine::Report;
+use flames_fuzzy::{Consistency, Direction};
+use std::fmt;
+
+/// Severity bucket of a degree of consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// `Dc = 1`: the point corroborates the model.
+    Consistent,
+    /// `0.5 ≤ Dc < 1`: a slight (soft-fault) deviation.
+    Slight,
+    /// `0 < Dc < 0.5`: a strong deviation.
+    Strong,
+    /// `Dc = 0`: a total conflict.
+    Total,
+}
+
+impl Severity {
+    /// Buckets a degree of consistency.
+    #[must_use]
+    pub fn from_consistency(dc: &Consistency) -> Self {
+        let d = dc.degree();
+        if d >= 1.0 {
+            Severity::Consistent
+        } else if d >= 0.5 {
+            Severity::Slight
+        } else if d > 0.0 {
+            Severity::Strong
+        } else {
+            Severity::Total
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Consistent => write!(f, "consistent"),
+            Severity::Slight => write!(f, "slight"),
+            Severity::Strong => write!(f, "strong"),
+            Severity::Total => write!(f, "total"),
+        }
+    }
+}
+
+/// A discretized observation at one test point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symptom {
+    /// Test-point name.
+    pub point: String,
+    /// Deviation direction.
+    pub direction: Direction,
+    /// Severity bucket.
+    pub severity: Severity,
+}
+
+impl fmt::Display for Symptom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({})", self.point, self.direction, self.severity)
+    }
+}
+
+/// Extracts the symptom set of a diagnosis [`Report`] (probed points
+/// only, consistent points included — they are discriminating evidence).
+#[must_use]
+pub fn symptoms_of(report: &Report) -> Vec<Symptom> {
+    let mut out: Vec<Symptom> = report
+        .points
+        .iter()
+        .filter_map(|p| {
+            let dc = p.consistency?;
+            Some(Symptom {
+                point: p.name.clone(),
+                direction: dc.direction(),
+                severity: Severity::from_consistency(&dc),
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// A learned symptom→failure rule with a certainty degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymptomRule {
+    /// The symptom set (sorted).
+    pub symptoms: Vec<Symptom>,
+    /// The culprit component's name.
+    pub culprit: String,
+    /// The fault mode, when the refinement step identified one.
+    pub mode: Option<String>,
+    /// Certainty degree in `(0, 1)` — grows with confirmations.
+    pub certainty: f64,
+    /// How many confirmed diagnoses support the rule.
+    pub confirmations: u32,
+}
+
+impl fmt::Display for SymptomRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let syms: Vec<String> = self.symptoms.iter().map(Symptom::to_string).collect();
+        write!(
+            f,
+            "if {} then {}{} @ {:.2} (×{})",
+            syms.join(" & "),
+            self.culprit,
+            self.mode
+                .as_deref()
+                .map(|m| format!(" {m}"))
+                .unwrap_or_default(),
+            self.certainty,
+            self.confirmations
+        )
+    }
+}
+
+/// Certainty of a rule after its first confirmation.
+const INITIAL_CERTAINTY: f64 = 0.5;
+/// Fraction of the remaining doubt removed per re-confirmation.
+const REINFORCEMENT: f64 = 0.3;
+
+/// A ranked suggestion produced by [`KnowledgeBase::suggest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// The suspected culprit.
+    pub culprit: String,
+    /// Its fault mode, if the rule recorded one.
+    pub mode: Option<String>,
+    /// Suggestion score: rule certainty × symptom-match fraction.
+    pub score: f64,
+}
+
+/// The knowledge base of learned symptom→failure rules.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    rules: Vec<SymptomRule>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rule has been learned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over the rules.
+    pub fn iter(&self) -> std::slice::Iter<'_, SymptomRule> {
+        self.rules.iter()
+    }
+
+    /// Records a confirmed diagnosis: creates a new rule at
+    /// `INITIAL_CERTAINTY` (0.5), or reinforces an existing rule with the
+    /// same symptoms and culprit (each confirmation removes
+    /// `REINFORCEMENT` (30 %) of the remaining doubt).
+    pub fn learn(
+        &mut self,
+        mut symptoms: Vec<Symptom>,
+        culprit: impl Into<String>,
+        mode: Option<String>,
+    ) {
+        symptoms.sort();
+        let culprit = culprit.into();
+        if let Some(rule) = self
+            .rules
+            .iter_mut()
+            .find(|r| r.symptoms == symptoms && r.culprit == culprit)
+        {
+            rule.confirmations += 1;
+            rule.certainty += (1.0 - rule.certainty) * REINFORCEMENT;
+            if mode.is_some() {
+                rule.mode = mode;
+            }
+            return;
+        }
+        self.rules.push(SymptomRule {
+            symptoms,
+            culprit,
+            mode,
+            certainty: INITIAL_CERTAINTY,
+            confirmations: 1,
+        });
+    }
+
+    /// The expert disconfirms a rule (the suspected culprit turned out
+    /// healthy for these symptoms): the matching rule loses
+    /// `REINFORCEMENT` (30 %) of its certainty and is dropped entirely once it
+    /// falls below half of `INITIAL_CERTAINTY` (0.5).
+    pub fn disconfirm(&mut self, symptoms: &[Symptom], culprit: &str) {
+        let mut sorted = symptoms.to_vec();
+        sorted.sort();
+        if let Some(rule) = self
+            .rules
+            .iter_mut()
+            .find(|r| r.symptoms == sorted && r.culprit == culprit)
+        {
+            rule.certainty *= 1.0 - REINFORCEMENT;
+        }
+        self.rules
+            .retain(|r| r.certainty >= INITIAL_CERTAINTY * 0.5);
+    }
+
+    /// Suggests culprits for an observed symptom set, ranked by score
+    /// (rule certainty × fraction of the rule's symptoms present in the
+    /// observation). Rules with no symptom overlap are skipped.
+    #[must_use]
+    pub fn suggest(&self, observed: &[Symptom]) -> Vec<Suggestion> {
+        let mut out: Vec<Suggestion> = self
+            .rules
+            .iter()
+            .filter_map(|rule| {
+                if rule.symptoms.is_empty() {
+                    return None;
+                }
+                let matched = rule
+                    .symptoms
+                    .iter()
+                    .filter(|s| observed.contains(s))
+                    .count();
+                if matched == 0 {
+                    return None;
+                }
+                let fraction = matched as f64 / rule.symptoms.len() as f64;
+                Some(Suggestion {
+                    culprit: rule.culprit.clone(),
+                    mode: rule.mode.clone(),
+                    score: rule.certainty * fraction,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        out.dedup_by(|a, b| a.culprit == b.culprit && a.mode == b.mode);
+        out
+    }
+}
+
+impl KnowledgeBase {
+    /// Serializes the knowledge base to a plain-text format (one rule per
+    /// line), so a bench session's experience survives restarts:
+    ///
+    /// ```text
+    /// culprit \t mode-or-'-' \t certainty \t confirmations \t point,direction,severity ; …
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            let syms: Vec<String> = rule
+                .symptoms
+                .iter()
+                .map(|s| format!("{},{},{}", s.point, s.direction, s.severity))
+                .collect();
+            out.push_str(&format!(
+                "{}\t{}\t{:.6}\t{}\t{}\n",
+                rule.culprit,
+                rule.mode.as_deref().unwrap_or("-"),
+                rule.certainty,
+                rule.confirmations,
+                syms.join(";")
+            ));
+        }
+        out
+    }
+
+    /// Parses a knowledge base previously written by
+    /// [`KnowledgeBase::to_text`]. Malformed lines are reported with their
+    /// 1-based line number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::UnknownName`] naming the offending line
+    /// when a field fails to parse.
+    pub fn from_text(text: &str) -> crate::Result<Self> {
+        let bad = |lineno: usize| crate::CoreError::UnknownName {
+            name: format!("knowledge-base line {lineno}"),
+        };
+        let mut kb = Self::new();
+        for (k, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 5 {
+                return Err(bad(k + 1));
+            }
+            let culprit = fields[0].to_owned();
+            let mode = (fields[1] != "-").then(|| fields[1].to_owned());
+            let certainty: f64 = fields[2].parse().map_err(|_| bad(k + 1))?;
+            let confirmations: u32 = fields[3].parse().map_err(|_| bad(k + 1))?;
+            if !(0.0..=1.0).contains(&certainty) {
+                return Err(bad(k + 1));
+            }
+            let mut symptoms = Vec::new();
+            for part in fields[4].split(';').filter(|p| !p.is_empty()) {
+                let bits: Vec<&str> = part.split(',').collect();
+                if bits.len() != 3 {
+                    return Err(bad(k + 1));
+                }
+                let direction = match bits[1] {
+                    "low" => Direction::Low,
+                    "within" => Direction::Within,
+                    "high" => Direction::High,
+                    _ => return Err(bad(k + 1)),
+                };
+                let severity = match bits[2] {
+                    "consistent" => Severity::Consistent,
+                    "slight" => Severity::Slight,
+                    "strong" => Severity::Strong,
+                    "total" => Severity::Total,
+                    _ => return Err(bad(k + 1)),
+                };
+                symptoms.push(Symptom {
+                    point: bits[0].to_owned(),
+                    direction,
+                    severity,
+                });
+            }
+            symptoms.sort();
+            kb.rules.push(SymptomRule {
+                symptoms,
+                culprit,
+                mode,
+                certainty,
+                confirmations,
+            });
+        }
+        Ok(kb)
+    }
+}
+
+impl<'a> IntoIterator for &'a KnowledgeBase {
+    type Item = &'a SymptomRule;
+    type IntoIter = std::slice::Iter<'a, SymptomRule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(point: &str, dir: Direction, sev: Severity) -> Symptom {
+        Symptom {
+            point: point.to_owned(),
+            direction: dir,
+            severity: sev,
+        }
+    }
+
+    #[test]
+    fn severity_bucketing() {
+        let mk = |d: f64| Consistency::from_parts(d, Direction::High);
+        assert_eq!(Severity::from_consistency(&mk(1.0)), Severity::Consistent);
+        assert_eq!(Severity::from_consistency(&mk(0.89)), Severity::Slight);
+        assert_eq!(Severity::from_consistency(&mk(0.3)), Severity::Strong);
+        assert_eq!(Severity::from_consistency(&mk(0.0)), Severity::Total);
+    }
+
+    #[test]
+    fn learning_creates_then_reinforces() {
+        let mut kb = KnowledgeBase::new();
+        let syms = vec![sym("V1", Direction::Low, Severity::Total)];
+        kb.learn(syms.clone(), "R3", Some("open".to_owned()));
+        assert_eq!(kb.len(), 1);
+        let c1 = kb.iter().next().unwrap().certainty;
+        assert!((c1 - 0.5).abs() < 1e-12);
+        kb.learn(syms.clone(), "R3", None);
+        assert_eq!(kb.len(), 1, "same rule reinforced, not duplicated");
+        let rule = kb.iter().next().unwrap();
+        assert!(rule.certainty > c1);
+        assert_eq!(rule.confirmations, 2);
+        assert_eq!(rule.mode.as_deref(), Some("open"), "mode survives");
+        // Different culprit with same symptoms is a separate rule.
+        kb.learn(syms, "R2", Some("short".to_owned()));
+        assert_eq!(kb.len(), 2);
+    }
+
+    #[test]
+    fn certainty_saturates_below_one() {
+        let mut kb = KnowledgeBase::new();
+        let syms = vec![sym("Vs", Direction::High, Severity::Slight)];
+        for _ in 0..50 {
+            kb.learn(syms.clone(), "T2", None);
+        }
+        let c = kb.iter().next().unwrap().certainty;
+        assert!(c > 0.99);
+        assert!(c < 1.0);
+    }
+
+    #[test]
+    fn suggestions_ranked_by_certainty_and_match() {
+        let mut kb = KnowledgeBase::new();
+        let full = vec![
+            sym("V1", Direction::Low, Severity::Total),
+            sym("V2", Direction::High, Severity::Slight),
+        ];
+        kb.learn(full.clone(), "R3", Some("open".to_owned()));
+        kb.learn(full.clone(), "R3", None);
+        kb.learn(
+            vec![sym("V2", Direction::High, Severity::Slight)],
+            "T2",
+            None,
+        );
+        // Observation matches both rules fully / partially.
+        let suggestions = kb.suggest(&full);
+        assert_eq!(suggestions[0].culprit, "R3");
+        assert!(suggestions[0].score > suggestions.last().unwrap().score);
+        // Observation with only the V2 symptom: R3 rule half-matches.
+        let partial = vec![sym("V2", Direction::High, Severity::Slight)];
+        let s2 = kb.suggest(&partial);
+        assert!(s2.iter().any(|s| s.culprit == "T2"));
+        let r3 = s2.iter().find(|s| s.culprit == "R3").unwrap();
+        let r3_full = suggestions.iter().find(|s| s.culprit == "R3").unwrap();
+        assert!(r3.score < r3_full.score);
+        // Disjoint observation: nothing suggested.
+        assert!(kb
+            .suggest(&[sym("Vx", Direction::Low, Severity::Total)])
+            .is_empty());
+    }
+
+    #[test]
+    fn disconfirmation_decays_and_eventually_drops() {
+        let mut kb = KnowledgeBase::new();
+        let syms = vec![sym("V1", Direction::Low, Severity::Total)];
+        kb.learn(syms.clone(), "R3", None);
+        kb.learn(syms.clone(), "R3", None);
+        let before = kb.iter().next().unwrap().certainty;
+        kb.disconfirm(&syms, "R3");
+        let after = kb.iter().next().unwrap().certainty;
+        assert!(after < before);
+        // Disconfirming an unknown rule is a no-op.
+        kb.disconfirm(&syms, "T1");
+        assert_eq!(kb.len(), 1);
+        // Repeated disconfirmation removes the rule.
+        for _ in 0..10 {
+            kb.disconfirm(&syms, "R3");
+        }
+        assert!(kb.is_empty());
+    }
+
+    #[test]
+    fn text_round_trip_preserves_rules() {
+        let mut kb = KnowledgeBase::new();
+        kb.learn(
+            vec![
+                sym("V1", Direction::Low, Severity::Total),
+                sym("V2", Direction::High, Severity::Slight),
+            ],
+            "R3",
+            Some("open".to_owned()),
+        );
+        kb.learn(vec![sym("Vs", Direction::High, Severity::Strong)], "T2", None);
+        kb.learn(vec![sym("Vs", Direction::High, Severity::Strong)], "T2", None);
+        let text = kb.to_text();
+        let restored = KnowledgeBase::from_text(&text).unwrap();
+        assert_eq!(restored.len(), kb.len());
+        for (a, b) in restored.iter().zip(kb.iter()) {
+            assert_eq!(a.culprit, b.culprit);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.symptoms, b.symptoms);
+            assert_eq!(a.confirmations, b.confirmations);
+            assert!((a.certainty - b.certainty).abs() < 1e-6);
+        }
+        // Suggestions behave identically after the round trip.
+        let obs = vec![sym("Vs", Direction::High, Severity::Strong)];
+        assert_eq!(restored.suggest(&obs).len(), kb.suggest(&obs).len());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_line_numbers() {
+        assert!(KnowledgeBase::from_text("").unwrap().is_empty());
+        assert!(KnowledgeBase::from_text("only\tthree\tfields").is_err());
+        let bad_degree = "R1\t-\t1.7\t2\tV1,low,total";
+        assert!(KnowledgeBase::from_text(bad_degree).is_err());
+        let bad_dir = "R1\t-\t0.5\t2\tV1,sideways,total";
+        assert!(KnowledgeBase::from_text(bad_dir).is_err());
+        let err = KnowledgeBase::from_text("ok\t-\t0.5\t1\tV1,low,total\nbroken").unwrap_err();
+        assert!(format!("{err}").contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn display_renders_rule() {
+        let mut kb = KnowledgeBase::new();
+        kb.learn(
+            vec![sym("V1", Direction::Low, Severity::Total)],
+            "R3",
+            Some("open".to_owned()),
+        );
+        let text = kb.iter().next().unwrap().to_string();
+        assert!(text.contains("V1"));
+        assert!(text.contains("R3 open"));
+        assert!((&kb).into_iter().count() == 1);
+    }
+}

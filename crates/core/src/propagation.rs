@@ -1,0 +1,805 @@
+//! Fuzzy interval labelling — the paper's §6.1.1 propagation engine.
+//!
+//! Quantities carry sets of fuzzy values, each tagged with the assumption
+//! [`Env`]ironment and certainty degree of its derivation. Values enter as
+//! model seeds (parameters under their component's correctness
+//! assumption), expert predictions, or measurements; constraints derive
+//! new values in every direction they can be inverted.
+//!
+//! "The discovery of a known value for a point for which we already know a
+//! predicted propagated value is called a **coincidence**" — each
+//! coincidence is classified per the paper's Fig. 4 (corroboration /
+//! split / partial or total conflict) through the degree of consistency
+//! `Dc`, and conflicts become graded nogoods in the fuzzy ATMS.
+
+use crate::error::CoreError;
+use crate::Result;
+use flames_atms::{Assumption, AssumptionPool, Env, FuzzyAtms, TNorm};
+use flames_circuit::constraint::{Network, QuantityId, Relation};
+use flames_circuit::{Net, Netlist};
+use flames_fuzzy::{Consistency, FuzzyInterval};
+use std::collections::VecDeque;
+
+/// A fuzzy value for a quantity together with its derivation pedigree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueEntry {
+    /// The fuzzy value.
+    pub value: FuzzyInterval,
+    /// Assumptions the derivation rests on.
+    pub env: Env,
+    /// Certainty degree of the derivation (t-norm along the path).
+    pub degree: f64,
+    /// True when the derivation involves at least one measurement
+    /// (orients the asymmetric `Dc` computation).
+    pub measured: bool,
+}
+
+/// Fig. 4 classification of a coincidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoincidenceKind {
+    /// Case c: the values agree (`Dc = 1` both ways).
+    Corroboration,
+    /// Case a: one value refines (splits) the other.
+    Split,
+    /// Case b with `0 < Dc < 1`.
+    PartialConflict,
+    /// Case b with `Dc = 0`.
+    TotalConflict,
+}
+
+/// A recorded coincidence between two values of one quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoincidenceRecord {
+    /// The quantity on which the values met.
+    pub quantity: QuantityId,
+    /// Fig. 4 classification.
+    pub kind: CoincidenceKind,
+    /// Degree of consistency (with deviation direction) of the
+    /// measurement-side value against the prediction-side value.
+    pub consistency: Consistency,
+    /// Union of the two environments (the nogood, for conflicts).
+    pub env: Env,
+}
+
+/// Tuning knobs of the propagation engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropagatorConfig {
+    /// T-norm combining certainty degrees along derivations.
+    pub tnorm: TNorm,
+    /// Conflict degrees at or below this threshold are treated as noise
+    /// (no nogood). Default `0.02`.
+    pub conflict_threshold: f64,
+    /// Nogood degree at which environments are erased outright (the fuzzy
+    /// ATMS kill threshold). Default `1.0`.
+    pub kill_threshold: f64,
+    /// Maximum value entries kept per quantity (explosion guard).
+    /// Default `8`.
+    pub max_entries: usize,
+    /// Minimum relative support tightening for a refined value to be
+    /// recorded. Default `0.01`.
+    pub min_tightening: f64,
+    /// Upper bound on constraint applications per [`Propagator::run`].
+    /// Default `20_000`.
+    pub max_steps: usize,
+}
+
+impl Default for PropagatorConfig {
+    fn default() -> Self {
+        Self {
+            tnorm: TNorm::Min,
+            conflict_threshold: 0.02,
+            kill_threshold: 1.0,
+            max_entries: 8,
+            min_tightening: 0.01,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// The propagation engine: quantity labels, the fuzzy ATMS, and the
+/// assumption vocabulary for one diagnosis session.
+#[derive(Debug, Clone)]
+pub struct Propagator<'n> {
+    network: &'n Network,
+    config: PropagatorConfig,
+    entries: Vec<Vec<ValueEntry>>,
+    atms: FuzzyAtms,
+    pool: AssumptionPool,
+    comp_assumptions: Vec<Assumption>,
+    conn_assumptions: Vec<Option<Assumption>>,
+    coincidences: Vec<CoincidenceRecord>,
+    /// Constraints withdrawn by model-validity excusal (indexed like
+    /// `network.constraints()`).
+    disabled_constraints: Vec<bool>,
+}
+
+impl<'n> Propagator<'n> {
+    /// Builds a propagator for `network`, creating one correctness
+    /// assumption per component of `netlist` and one connection assumption
+    /// per net that owns a Kirchhoff constraint, then loads the network's
+    /// seed values.
+    #[must_use]
+    pub fn new(netlist: &Netlist, network: &'n Network, config: PropagatorConfig) -> Self {
+        Self::new_with_unknown(netlist, network, config, &[])
+    }
+
+    /// Like [`Propagator::new`], but the parameters of the listed
+    /// components are left *unknown* (their seeds are withheld). Used by
+    /// fault-mode refinement to infer a suspect's actual parameter from
+    /// the measurements.
+    #[must_use]
+    pub fn new_with_unknown(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        unknown: &[flames_circuit::CompId],
+    ) -> Self {
+        Self::new_filtered(netlist, network, config, unknown, &[])
+    }
+
+    /// Like [`Propagator::new`], but the listed components' *models* are
+    /// withdrawn entirely: their parameter seeds are skipped and every
+    /// constraint they support is disabled. Used by the §6.2
+    /// model-validity machinery when a device is driven out of the
+    /// operating region its model assumes.
+    #[must_use]
+    pub fn new_excusing(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        excused: &[flames_circuit::CompId],
+    ) -> Self {
+        Self::new_filtered(netlist, network, config, excused, excused)
+    }
+
+    fn new_filtered(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        unknown: &[flames_circuit::CompId],
+        excused: &[flames_circuit::CompId],
+    ) -> Self {
+        let mut atms = FuzzyAtms::new()
+            .with_tnorm(config.tnorm)
+            .with_kill_threshold(config.kill_threshold);
+        let mut pool = AssumptionPool::new();
+        let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
+        for (_, comp) in netlist.components() {
+            let a = atms.add_assumption(comp.name());
+            debug_assert_eq!(a, pool.intern(comp.name()));
+            comp_assumptions.push(a);
+        }
+        let mut conn_assumptions = vec![None; netlist.net_count()];
+        for constraint in network.constraints() {
+            if let Some(net) = constraint.conn {
+                if conn_assumptions[net.index()].is_none() {
+                    let name = format!("conn:{}", netlist.net_name(net));
+                    let a = atms.add_assumption(&name);
+                    debug_assert_eq!(a, pool.intern(&name));
+                    conn_assumptions[net.index()] = Some(a);
+                }
+            }
+        }
+        let mut prop = Self {
+            network,
+            config,
+            entries: vec![Vec::new(); network.quantity_count()],
+            atms,
+            pool,
+            comp_assumptions,
+            conn_assumptions,
+            coincidences: Vec::new(),
+            disabled_constraints: network
+                .constraints()
+                .iter()
+                .map(|c| c.support.iter().any(|s| excused.contains(s)))
+                .collect(),
+        };
+        for seed in network.seeds() {
+            if seed.support.iter().any(|c| unknown.contains(c)) {
+                continue;
+            }
+            let env = prop.env_of_comps(&seed.support);
+            prop.insert(seed.quantity, seed.value, env, 1.0, false);
+        }
+        prop
+    }
+
+    /// The assumption standing for "component `comp` (by netlist index)
+    /// behaves correctly".
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range component index.
+    #[must_use]
+    pub fn component_assumption(&self, comp_index: usize) -> Assumption {
+        self.comp_assumptions[comp_index]
+    }
+
+    /// The connection assumption of a net, if it has Kirchhoff constraints.
+    #[must_use]
+    pub fn connection_assumption(&self, net: Net) -> Option<Assumption> {
+        self.conn_assumptions.get(net.index()).copied().flatten()
+    }
+
+    /// Human-readable name of an assumption.
+    #[must_use]
+    pub fn assumption_name(&self, a: Assumption) -> &str {
+        self.pool.name(a).unwrap_or("?")
+    }
+
+    /// The assumption vocabulary.
+    #[must_use]
+    pub fn pool(&self) -> &AssumptionPool {
+        &self.pool
+    }
+
+    /// The underlying fuzzy ATMS (nogoods, suspicion, diagnoses).
+    #[must_use]
+    pub fn atms(&self) -> &FuzzyAtms {
+        &self.atms
+    }
+
+    /// All coincidences recorded so far.
+    #[must_use]
+    pub fn coincidences(&self) -> &[CoincidenceRecord] {
+        &self.coincidences
+    }
+
+    /// Current value entries of a quantity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
+    pub fn entries(&self, q: QuantityId) -> Result<&[ValueEntry]> {
+        self.entries
+            .get(q.index())
+            .map(Vec::as_slice)
+            .ok_or(CoreError::UnknownQuantity { index: q.index() })
+    }
+
+    /// The tightest (smallest-support) value of a quantity, if any.
+    #[must_use]
+    pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
+        self.entries.get(q.index())?.iter().min_by(|a, b| {
+            a.value
+                .support_width()
+                .partial_cmp(&b.value.support_width())
+                .expect("finite widths")
+        })
+    }
+
+    /// Enters a *measurement* for a quantity (premise environment,
+    /// degree 1, measurement-rooted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
+    pub fn observe(&mut self, q: QuantityId, value: FuzzyInterval) -> Result<()> {
+        self.check(q)?;
+        self.insert(q, value, Env::empty(), 1.0, true);
+        Ok(())
+    }
+
+    /// Enters a *predicted* value under the correctness assumptions of
+    /// `support` (netlist component indices) — the model-database entry
+    /// point for test-point predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
+    pub fn predict(
+        &mut self,
+        q: QuantityId,
+        value: FuzzyInterval,
+        support: &[flames_circuit::CompId],
+        degree: f64,
+    ) -> Result<()> {
+        self.check(q)?;
+        let env = self.env_of_comps(support);
+        self.insert(q, value, env, degree.clamp(f64::MIN_POSITIVE, 1.0), false);
+        Ok(())
+    }
+
+    /// Installs an external graded nogood (e.g. from a fault-model rule).
+    pub fn add_nogood(&mut self, env: Env, degree: f64) {
+        self.atms.add_nogood(env, degree);
+    }
+
+    /// Runs constraint propagation to quiescence (bounded by
+    /// [`PropagatorConfig::max_steps`]), then grades every spec condition.
+    ///
+    /// Returns the number of constraint applications performed.
+    pub fn run(&mut self) -> usize {
+        // All constraints are initially dirty.
+        let mut steps = 0usize;
+        let mut queue: VecDeque<usize> = (0..self.network.constraints().len()).collect();
+        let mut queued: Vec<bool> = vec![true; self.network.constraints().len()];
+        while let Some(ci) = queue.pop_front() {
+            queued[ci] = false;
+            if steps >= self.config.max_steps {
+                break;
+            }
+            if self.disabled_constraints[ci] {
+                continue;
+            }
+            steps += 1;
+            let changed = self.apply_constraint(ci);
+            if !changed.is_empty() {
+                for (cj, constraint) in self.network.constraints().iter().enumerate() {
+                    if queued[cj] {
+                        continue;
+                    }
+                    if constraint
+                        .relation
+                        .quantities()
+                        .iter()
+                        .any(|q| changed.contains(&q.index()))
+                    {
+                        queue.push_back(cj);
+                        queued[cj] = true;
+                    }
+                }
+            }
+        }
+        self.grade_specs();
+        steps
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn check(&self, q: QuantityId) -> Result<()> {
+        if q.index() < self.entries.len() {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownQuantity { index: q.index() })
+        }
+    }
+
+    fn env_of_comps(&self, comps: &[flames_circuit::CompId]) -> Env {
+        Env::from_assumptions(comps.iter().map(|c| self.comp_assumptions[c.index()]))
+    }
+
+    fn constraint_env(&self, ci: usize) -> Env {
+        let c = &self.network.constraints()[ci];
+        let mut env = self.env_of_comps(&c.support);
+        if let Some(net) = c.conn {
+            if let Some(a) = self.conn_assumptions[net.index()] {
+                env = env.with(a);
+            }
+        }
+        env
+    }
+
+    /// Applies one constraint in every invertible direction; returns the
+    /// indices of quantities whose labels changed.
+    fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
+        let relation = self.network.constraints()[ci].relation.clone();
+        let base_env = self.constraint_env(ci);
+        let mut changed = Vec::new();
+        match relation {
+            Relation::Linear { ref terms, bias } => {
+                for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
+                    let others: Vec<(f64, QuantityId)> = terms
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != target_idx)
+                        .map(|(_, &t)| t)
+                        .collect();
+                    if others.iter().any(|&(_, q)| self.entries[q.index()].is_empty()) {
+                        continue;
+                    }
+                    for combo in self.combos(&others.iter().map(|&(_, q)| q).collect::<Vec<_>>()) {
+                        // target = −(bias + Σ coef_j · v_j) / coef.
+                        let mut sum = FuzzyInterval::crisp(bias);
+                        let mut env = base_env.clone();
+                        let mut degree = 1.0;
+                        let mut measured = false;
+                        for (&(coef, _), entry) in others.iter().zip(&combo) {
+                            sum = sum + entry.value.scaled(coef);
+                            env = env.union(&entry.env);
+                            degree = self.config.tnorm.combine(degree, entry.degree);
+                            measured |= entry.measured;
+                        }
+                        let value = sum.scaled(-1.0 / target_coef);
+                        if self.insert(target_q, value, env, degree, measured) {
+                            changed.push(target_q.index());
+                        }
+                    }
+                }
+            }
+            Relation::Product { p, x, y } => {
+                // p = x · y
+                for combo in self.combos(&[x, y]) {
+                    if let Ok(value) = combo[0].value.mul(&combo[1].value) {
+                        let env = base_env.union(&combo[0].env).union(&combo[1].env);
+                        let degree = self
+                            .config
+                            .tnorm
+                            .combine(combo[0].degree, combo[1].degree);
+                        let measured = combo[0].measured || combo[1].measured;
+                        if self.insert(p, value, env, degree, measured) {
+                            changed.push(p.index());
+                        }
+                    }
+                }
+                // x = p / y and y = p / x.
+                for (target, divisor) in [(x, y), (y, x)] {
+                    for combo in self.combos(&[p, divisor]) {
+                        if let Ok(value) = combo[0].value.div(&combo[1].value) {
+                            let env = base_env.union(&combo[0].env).union(&combo[1].env);
+                            let degree = self
+                                .config
+                                .tnorm
+                                .combine(combo[0].degree, combo[1].degree);
+                            let measured = combo[0].measured || combo[1].measured;
+                            if self.insert(target, value, env, degree, measured) {
+                                changed.push(target.index());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Cartesian combinations of current entries of the given quantities
+    /// (bounded).
+    fn combos(&self, qs: &[QuantityId]) -> Vec<Vec<ValueEntry>> {
+        const COMBO_CAP: usize = 64;
+        let mut acc: Vec<Vec<ValueEntry>> = vec![Vec::new()];
+        for &q in qs {
+            let list = &self.entries[q.index()];
+            if list.is_empty() {
+                return Vec::new();
+            }
+            let mut next = Vec::with_capacity(acc.len() * list.len());
+            'outer: for prefix in &acc {
+                for e in list {
+                    let mut row = prefix.clone();
+                    row.push(e.clone());
+                    next.push(row);
+                    if next.len() >= COMBO_CAP {
+                        break 'outer;
+                    }
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// Records a value for a quantity, running the Fig. 4 coincidence
+    /// resolution against every held entry. Returns whether the label
+    /// changed.
+    fn insert(
+        &mut self,
+        q: QuantityId,
+        value: FuzzyInterval,
+        env: Env,
+        degree: f64,
+        measured: bool,
+    ) -> bool {
+        // Environments already erased by a killing nogood derive nothing.
+        if self.atms.plausibility(&env) <= 0.0 {
+            return false;
+        }
+        let incoming = ValueEntry {
+            value,
+            env,
+            degree,
+            measured,
+        };
+        let list = &self.entries[q.index()];
+
+        // Coincidence resolution against existing entries (Fig. 4):
+        // inclusion is a split (refinement), overlapping cores a
+        // corroboration, and anything else a conflict graded by the
+        // *possibility of agreement* `π = sup min(μ₁, μ₂)` — the
+        // possibilistic-ATMS reading of the paper's partial conflicts.
+        // (The asymmetric area-based Dc is reserved for the
+        // measured-vs-nominal test-point comparison in the engine.)
+        let mut dominated = false;
+        for existing in list {
+            // Orient the record: the measurement side plays Vm.
+            let (vm, vn) = if existing.measured && !incoming.measured {
+                (&existing.value, &incoming.value)
+            } else {
+                (&incoming.value, &existing.value)
+            };
+            let nested = incoming.value.is_included_in(&existing.value)
+                || existing.value.is_included_in(&incoming.value);
+            let pi = vm.possibility_of(vn);
+            let conflict = if nested { 0.0 } else { 1.0 - pi };
+            let union_env = incoming.env.union(&existing.env);
+            let kind = if conflict <= self.config.conflict_threshold {
+                if nested && incoming.value != existing.value {
+                    CoincidenceKind::Split
+                } else {
+                    CoincidenceKind::Corroboration
+                }
+            } else if pi <= 0.0 {
+                CoincidenceKind::TotalConflict
+            } else {
+                CoincidenceKind::PartialConflict
+            };
+            if matches!(
+                kind,
+                CoincidenceKind::PartialConflict | CoincidenceKind::TotalConflict
+            ) {
+                let direction = if vm.centroid() < vn.centroid() {
+                    flames_fuzzy::Direction::Low
+                } else {
+                    flames_fuzzy::Direction::High
+                };
+                let nogood_degree = self.config.tnorm.combine(
+                    conflict,
+                    self.config.tnorm.combine(incoming.degree, existing.degree),
+                );
+                self.coincidences.push(CoincidenceRecord {
+                    quantity: q,
+                    kind,
+                    consistency: Consistency::from_parts(pi, direction),
+                    env: union_env.clone(),
+                });
+                self.atms.add_nogood(union_env, nogood_degree);
+            }
+            // Dominance: an existing entry that is at least as general
+            // (subset environment), at least as certain, and at least as
+            // tight — or within the tightening threshold — makes the
+            // incoming value redundant. The threshold is what keeps
+            // fixpoint iteration from churning on infinitesimal
+            // refinements.
+            if existing.env.is_subset_of(&incoming.env)
+                && existing.degree >= incoming.degree - 1e-12
+            {
+                let meaningful = incoming.value.support_width()
+                    <= existing.value.support_width() * (1.0 - self.config.min_tightening);
+                if existing.value.is_included_in(&incoming.value)
+                    || (!meaningful && incoming.value.is_included_in(&existing.value))
+                {
+                    dominated = true;
+                }
+            }
+        }
+        if dominated {
+            return false;
+        }
+        let list = &mut self.entries[q.index()];
+        // Drop entries the incoming one meaningfully improves on.
+        let min_tightening = self.config.min_tightening;
+        let before = list.len();
+        list.retain(|e| {
+            !(incoming.env.is_subset_of(&e.env)
+                && incoming.degree >= e.degree - 1e-12
+                && incoming.value.is_included_in(&e.value)
+                && incoming.value.support_width()
+                    <= e.value.support_width() * (1.0 - min_tightening))
+        });
+        let dropped = before - list.len();
+        if list.len() >= self.config.max_entries {
+            // The label is full: the incoming value may still replace the
+            // widest held entry if it is strictly tighter. (The raw
+            // measurement is always the narrowest entry, so it can never
+            // be evicted by derived values.) This keeps the cap from
+            // making results order-dependent — a late probe or a tight
+            // conditional derivation must never bounce off stale wide
+            // values.
+            let widest = list
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.value
+                        .support_width()
+                        .partial_cmp(&b.value.support_width())
+                        .expect("finite widths")
+                })
+                .map(|(i, e)| (i, e.value.support_width()));
+            match widest {
+                Some((i, width)) if incoming.value.support_width() < width => {
+                    list[i] = incoming;
+                    return true;
+                }
+                _ => return dropped > 0,
+            }
+        }
+        list.push(incoming);
+        true
+    }
+
+    /// Grades every spec condition against the current best value of its
+    /// quantity; violations raise nogoods over spec support ∪ value env.
+    fn grade_specs(&mut self) {
+        let specs: Vec<_> = self.network.specs().to_vec();
+        for spec in specs {
+            let Some(best) = self.best_value(spec.quantity).cloned() else {
+                continue;
+            };
+            let satisfaction = best.value.satisfaction_of(&spec.condition);
+            let violation = 1.0 - satisfaction;
+            if violation > self.config.conflict_threshold {
+                let env = best.env.union(&self.env_of_comps(&spec.support));
+                self.coincidences.push(CoincidenceRecord {
+                    quantity: spec.quantity,
+                    kind: if satisfaction <= 0.0 {
+                        CoincidenceKind::TotalConflict
+                    } else {
+                        CoincidenceKind::PartialConflict
+                    },
+                    consistency: Consistency::from_parts(
+                        satisfaction,
+                        flames_fuzzy::Direction::High,
+                    ),
+                    env: env.clone(),
+                });
+                self.atms
+                    .add_nogood(env, self.config.tnorm.combine(violation, best.degree));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flames_circuit::constraint::{extract, ExtractOptions};
+
+    /// vin —R1— mid —R2— gnd divider network.
+    fn divider(tol: f64) -> (Netlist, Network) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1000.0, tol).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol).unwrap();
+        let network = extract(&nl, ExtractOptions::default());
+        (nl, network)
+    }
+
+    #[test]
+    fn seeds_are_loaded() {
+        let (nl, network) = divider(0.05);
+        let prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let vg = network.voltage_quantity(Net::GROUND);
+        let entries = prop.entries(vg).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].value.is_point());
+        assert!(entries[0].env.is_empty());
+    }
+
+    #[test]
+    fn healthy_divider_propagates_and_corroborates() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        // Measure the true mid voltage with a little imprecision.
+        prop.observe(vq, FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        prop.run();
+        assert!(prop.atms().nogoods().is_empty(), "healthy board: no conflicts");
+        // The engine derives the mid voltage from the model too.
+        let best = prop.best_value(vq).unwrap();
+        assert!(best.value.membership(5.0) > 0.0);
+    }
+
+    #[test]
+    fn shifted_measurement_raises_graded_nogood() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        // Slightly off: a soft fault somewhere.
+        prop.observe(vq, FuzzyInterval::crisp(5.4).widened(0.05).unwrap())
+            .unwrap();
+        prop.run();
+        let nogoods = prop.atms().nogoods();
+        assert!(!nogoods.is_empty(), "5.4 V against ~5±tolerances must conflict");
+        // The conflict implicates the divider resistors, not the source alone.
+        let r1 = prop.component_assumption(nl.component_by_name("R1").unwrap().index());
+        let r2 = prop.component_assumption(nl.component_by_name("R2").unwrap().index());
+        assert!(nogoods
+            .iter()
+            .any(|n| n.env.contains(r1) || n.env.contains(r2)));
+    }
+
+    #[test]
+    fn hard_fault_raises_total_conflict() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        prop.observe(vq, FuzzyInterval::crisp(9.99).widened(0.02).unwrap())
+            .unwrap();
+        prop.run();
+        let max_degree = prop
+            .atms()
+            .nogoods()
+            .iter()
+            .map(|n| n.degree)
+            .fold(0.0, f64::max);
+        assert!(max_degree >= 0.99, "a near-rail reading is a total conflict");
+        assert!(prop
+            .coincidences()
+            .iter()
+            .any(|c| c.kind == CoincidenceKind::TotalConflict));
+    }
+
+    #[test]
+    fn soft_fault_conflict_is_graded_below_one() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        // Just at the edge of tolerance: partial conflict expected.
+        prop.observe(vq, FuzzyInterval::crisp(5.3).widened(0.15).unwrap())
+            .unwrap();
+        prop.run();
+        assert!(prop
+            .coincidences()
+            .iter()
+            .any(|c| c.kind == CoincidenceKind::PartialConflict));
+        let has_partial = prop
+            .atms()
+            .nogoods()
+            .iter()
+            .any(|n| n.degree > 0.02 && n.degree < 1.0);
+        assert!(has_partial, "graded nogood expected");
+    }
+
+    #[test]
+    fn diagnoses_point_at_divider_components() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        prop.observe(vq, FuzzyInterval::crisp(7.0).widened(0.05).unwrap())
+            .unwrap();
+        prop.run();
+        let diags = prop.atms().ranked_diagnoses(2, 100);
+        assert!(!diags.is_empty());
+        // Single-component candidates must be among R1, R2, V or a
+        // connection — never empty.
+        let names: Vec<String> = diags
+            .iter()
+            .flat_map(|d| d.env.iter().map(|a| prop.assumption_name(a).to_owned()))
+            .collect();
+        assert!(names.iter().any(|n| n == "R1" || n == "R2"));
+    }
+
+    #[test]
+    fn unknown_quantity_is_reported() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let bogus =
+            flames_circuit::constraint::QuantityId::from_raw(network.quantity_count() + 5);
+        let res = prop.observe(bogus, FuzzyInterval::crisp(0.0));
+        assert!(matches!(res, Err(CoreError::UnknownQuantity { .. })));
+        assert!(prop.entries(bogus).is_err());
+    }
+
+    #[test]
+    fn observe_then_rerun_is_incremental() {
+        let (nl, network) = divider(0.05);
+        let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
+        let vin = nl.net_by_name("vin").unwrap();
+        let mid = nl.net_by_name("mid").unwrap();
+        prop.observe(
+            network.voltage_quantity(vin),
+            FuzzyInterval::crisp(10.0).widened(0.01).unwrap(),
+        )
+        .unwrap();
+        prop.run();
+        let before = prop.atms().nogoods().len();
+        prop.observe(
+            network.voltage_quantity(mid),
+            FuzzyInterval::crisp(5.0).widened(0.05).unwrap(),
+        )
+        .unwrap();
+        prop.run();
+        assert_eq!(prop.atms().nogoods().len(), before, "still healthy");
+    }
+}

@@ -1,0 +1,374 @@
+//! Best-test strategies (§8 of the paper).
+//!
+//! "We want FLAMES to be able to recommend at any point the next best
+//! test to make, from a set of predefined available tests." The fuzzy
+//! strategy scores each unprobed test point by the **expected fuzzy
+//! entropy** of the component-faultiness estimations after the
+//! measurement, moving away from "the probabilistic approach with its
+//! heavy calculus and hard assumptions"; that probabilistic (GDE-style)
+//! approach is kept as a baseline, alongside a naive fixed-order probing.
+
+use crate::engine::Session;
+use flames_fuzzy::entropy::{expected_entropy, fuzzy_entropy, shannon_entropy};
+use flames_fuzzy::FuzzyInterval;
+use std::fmt;
+
+/// Which selection policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Fuzzy-entropy-guided (the paper's §8 proposal).
+    FuzzyEntropy,
+    /// GDE-style probabilistic expected Shannon entropy (the baseline the
+    /// paper moves away from).
+    Probabilistic,
+    /// Probe test points in declaration order (naive baseline).
+    FixedOrder,
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::FuzzyEntropy => write!(f, "fuzzy-entropy"),
+            Policy::Probabilistic => write!(f, "probabilistic"),
+            Policy::FixedOrder => write!(f, "fixed-order"),
+        }
+    }
+}
+
+/// A scored recommendation for one unprobed test point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestChoice {
+    /// Index of the test point in the diagnoser's declaration order.
+    pub point: usize,
+    /// The point's name.
+    pub name: String,
+    /// Expected post-measurement entropy (fuzzy for the fuzzy policy, a
+    /// crisp number wrapped as a point for the baselines).
+    pub expected_entropy: FuzzyInterval,
+    /// Final score: defuzzified expected entropy + `λ · cost`
+    /// (lower is better).
+    pub score: f64,
+    /// The probing cost of the point.
+    pub cost: f64,
+}
+
+/// Posterior estimation of a support-cone component when the probe comes
+/// back consistent: (close to) correct.
+fn posterior_consistent() -> FuzzyInterval {
+    FuzzyInterval::new(0.0, 0.05, 0.0, 0.05).expect("static")
+}
+
+/// Posterior estimation of a support-cone component when the probe
+/// deviates: at least as suspect as before, and clearly suspect.
+fn posterior_deviating(prior: &FuzzyInterval) -> FuzzyInterval {
+    let suspect = FuzzyInterval::new(0.6, 0.8, 0.1, 0.1).expect("static");
+    prior.max_ext(&suspect)
+}
+
+/// Ranks the unprobed test points of a session under the given policy;
+/// the best choice (lowest score) comes first. `lambda_cost` trades
+/// information against probing cost (the paper's "expected total cost").
+///
+/// Returns an empty list when every point has been probed.
+#[must_use]
+pub fn recommend(session: &Session<'_>, policy: Policy, lambda_cost: f64) -> Vec<TestChoice> {
+    let probed = session.probed();
+    let estimations = session.estimations();
+    let diagnoser = session.diagnoser();
+    let mut out = Vec::new();
+    for (idx, tp) in diagnoser.test_points().iter().enumerate() {
+        if probed[idx] {
+            continue;
+        }
+        let in_support: Vec<bool> = diagnoser
+            .netlist()
+            .components()
+            .map(|(id, _)| tp.support.contains(&id))
+            .collect();
+        let (expected, info_score) = match policy {
+            Policy::FuzzyEntropy => {
+                // Outcome "consistent": the cone is exonerated.
+                let post_cons: Vec<FuzzyInterval> = estimations
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, e))| {
+                        if in_support[k] {
+                            posterior_consistent()
+                        } else {
+                            *e
+                        }
+                    })
+                    .collect();
+                // Outcome "deviates": the cone is implicated.
+                let post_dev: Vec<FuzzyInterval> = estimations
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, e))| {
+                        if in_support[k] {
+                            posterior_deviating(e)
+                        } else {
+                            *e
+                        }
+                    })
+                    .collect();
+                let ent_cons =
+                    fuzzy_entropy(&post_cons).unwrap_or_else(|_| FuzzyInterval::crisp(0.0));
+                let ent_dev =
+                    fuzzy_entropy(&post_dev).unwrap_or_else(|_| FuzzyInterval::crisp(0.0));
+                // Outcome possibilities: the share of the current
+                // suspicion mass sitting inside the point's cone — a
+                // mid-cone probe splits the mass and gets informative
+                // weights on both outcomes.
+                let total_mass: f64 = estimations.iter().map(|(_, e)| e.centroid()).sum();
+                let cone_mass: f64 = estimations
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| in_support[*k])
+                    .map(|(_, (_, e))| e.centroid())
+                    .sum();
+                let w_dev = if total_mass > 0.0 {
+                    (cone_mass / total_mass).clamp(0.05, 0.95)
+                } else {
+                    0.5
+                };
+                let expected = expected_entropy(&[(1.0 - w_dev, ent_cons), (w_dev, ent_dev)]);
+                let score = expected.centroid();
+                (expected, score)
+            }
+            Policy::Probabilistic => {
+                // GDE-style: candidates predict the probe outcome by
+                // whether they intersect the point's support cone; the
+                // expected Shannon entropy of the split scores the test.
+                let candidates = session.candidates(2, 64);
+                if candidates.is_empty() {
+                    // Fall back to cone-size heuristic: larger cones first.
+                    let h = 1.0 / (tp.support.len().max(1) as f64);
+                    (FuzzyInterval::crisp(h), h)
+                } else {
+                    let support_assumptions: Vec<_> = tp
+                        .support
+                        .iter()
+                        .map(|c| session.propagator().component_assumption(c.index()))
+                        .collect();
+                    let (mut hit, mut miss): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+                    for c in &candidates {
+                        let predicts_deviation = support_assumptions
+                            .iter()
+                            .any(|a| c.env.contains(*a));
+                        if predicts_deviation {
+                            hit.push(c.degree.max(1e-3));
+                        } else {
+                            miss.push(c.degree.max(1e-3));
+                        }
+                    }
+                    let w_hit: f64 = hit.iter().sum();
+                    let w_miss: f64 = miss.iter().sum();
+                    let total = (w_hit + w_miss).max(1e-12);
+                    let h = (w_hit / total) * shannon_entropy(&hit)
+                        + (w_miss / total) * shannon_entropy(&miss);
+                    (FuzzyInterval::crisp(h), h)
+                }
+            }
+            Policy::FixedOrder => {
+                let h = idx as f64;
+                (FuzzyInterval::crisp(h), h)
+            }
+        };
+        out.push(TestChoice {
+            point: idx,
+            name: tp.name.clone(),
+            expected_entropy: expected,
+            score: info_score + lambda_cost * tp.cost,
+            cost: tp.cost,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .expect("finite scores")
+            .then_with(|| a.point.cmp(&b.point))
+    });
+    out
+}
+
+/// Outcome of a guided probing run ([`probe_until_isolated`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRun {
+    /// Probed point names, in order.
+    pub probes: Vec<String>,
+    /// Total probing cost.
+    pub cost: f64,
+    /// The top candidate's members at the end (empty when no conflict was
+    /// ever observed).
+    pub top_candidate: Vec<String>,
+    /// Whether the run ended with a unique top single-component candidate.
+    pub isolated: bool,
+}
+
+/// Drives a session to completion under a policy: repeatedly recommend,
+/// probe (readings supplied by `read`, indexed like the diagnoser's test
+/// points), and propagate — until the top candidate is a clearly ranked
+/// single component or every point has been probed.
+///
+/// # Errors
+///
+/// Propagates measurement errors from the session.
+pub fn probe_until_isolated(
+    session: &mut Session<'_>,
+    policy: Policy,
+    lambda_cost: f64,
+    read: &dyn Fn(usize) -> FuzzyInterval,
+) -> crate::Result<ProbeRun> {
+    let mut probes = Vec::new();
+    let mut cost = 0.0;
+    loop {
+        let choices = recommend(session, policy, lambda_cost);
+        let Some(choice) = choices.first() else {
+            break;
+        };
+        session.measure_point(choice.point, read(choice.point))?;
+        session.propagate();
+        probes.push(choice.name.clone());
+        cost += choice.cost;
+        if isolated(session) {
+            break;
+        }
+    }
+    let cands = session.candidates(2, 16);
+    let top_candidate = cands
+        .first()
+        .map(|c| c.members.clone())
+        .unwrap_or_default();
+    Ok(ProbeRun {
+        probes,
+        cost,
+        top_candidate,
+        isolated: isolated(session),
+    })
+}
+
+/// A session is *isolated* when its best candidate is a single component
+/// strictly outranking every other candidate.
+fn isolated(session: &Session<'_>) -> bool {
+    let cands = session.candidates(2, 16);
+    match cands.as_slice() {
+        [] => false,
+        [only] => only.members.len() == 1,
+        [first, second, ..] => first.members.len() == 1 && first.degree > second.degree + 1e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Diagnoser, DiagnoserConfig};
+    use flames_circuit::predict::TestPoint;
+    use flames_circuit::{Net, Netlist};
+
+    /// Two independent dividers sharing a source: probing one cone says
+    /// nothing about the other.
+    fn two_branch() -> (Netlist, Diagnoser) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        let r1 = nl.add_resistor("R1", vin, a, 1e3, 0.05).unwrap();
+        let r2 = nl.add_resistor("R2", a, Net::GROUND, 1e3, 0.05).unwrap();
+        let r3 = nl.add_resistor("R3", vin, b, 1e3, 0.05).unwrap();
+        let r4 = nl.add_resistor("R4", b, Net::GROUND, 1e3, 0.05).unwrap();
+        let points = vec![
+            TestPoint::new(a, "Va", vec![r1, r2]),
+            TestPoint::new(b, "Vb", vec![r3, r4]).with_cost(3.0),
+        ];
+        let d = Diagnoser::from_netlist(&nl, points, DiagnoserConfig::default()).unwrap();
+        (nl, d)
+    }
+
+    #[test]
+    fn recommend_covers_unprobed_points_only() {
+        let (_, d) = two_branch();
+        let mut s = d.session();
+        let all = recommend(&s, Policy::FuzzyEntropy, 0.0);
+        assert_eq!(all.len(), 2);
+        s.measure("Va", FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        let rest = recommend(&s, Policy::FuzzyEntropy, 0.0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].name, "Vb");
+        s.measure("Vb", FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
+            .unwrap();
+        assert!(recommend(&s, Policy::FuzzyEntropy, 0.0).is_empty());
+    }
+
+    #[test]
+    fn cost_weight_flips_preference() {
+        let (_, d) = two_branch();
+        let s = d.session();
+        // Symmetric information; Vb costs 3×. With λ > 0 the cheap probe
+        // must rank first.
+        let ranked = recommend(&s, Policy::FuzzyEntropy, 1.0);
+        assert_eq!(ranked[0].name, "Va");
+        assert!(ranked[0].score < ranked[1].score);
+    }
+
+    #[test]
+    fn fixed_order_is_declaration_order() {
+        let (_, d) = two_branch();
+        let s = d.session();
+        let ranked = recommend(&s, Policy::FixedOrder, 0.0);
+        assert_eq!(ranked[0].name, "Va");
+        assert_eq!(ranked[1].name, "Vb");
+    }
+
+    #[test]
+    fn probabilistic_uses_candidate_split() {
+        let (nl, d) = two_branch();
+        let mut s = d.session();
+        // Fault in branch A: candidates concentrate on R1/R2.
+        let r1 = nl.component_by_name("R1").unwrap();
+        let bad =
+            flames_circuit::fault::inject_faults(&nl, &[(r1, flames_circuit::Fault::ParamFactor(1.5))])
+                .unwrap();
+        let reading =
+            flames_circuit::predict::measure(&bad, nl.net_by_name("a").unwrap(), 0.02).unwrap();
+        s.measure("Va", reading).unwrap();
+        s.propagate();
+        let ranked = recommend(&s, Policy::Probabilistic, 0.0);
+        // Only Vb remains; its score reflects the candidate split.
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked[0].score.is_finite());
+    }
+
+    #[test]
+    fn probe_run_isolates_single_branch_fault() {
+        let (nl, d) = two_branch();
+        let r1 = nl.component_by_name("R1").unwrap();
+        let bad =
+            flames_circuit::fault::inject_faults(&nl, &[(r1, flames_circuit::Fault::ParamFactor(2.0))])
+                .unwrap();
+        let nets = [nl.net_by_name("a").unwrap(), nl.net_by_name("b").unwrap()];
+        let readings: Vec<FuzzyInterval> = nets
+            .iter()
+            .map(|&n| flames_circuit::predict::measure(&bad, n, 0.02).unwrap())
+            .collect();
+        let mut s = d.session();
+        let run = probe_until_isolated(&mut s, Policy::FuzzyEntropy, 0.1, &|i| readings[i])
+            .unwrap();
+        assert!(!run.probes.is_empty());
+        assert!(run.cost > 0.0);
+        // The fault lives in branch A; the top candidate names R1 or R2.
+        assert!(
+            run.top_candidate.iter().any(|m| m == "R1" || m == "R2"),
+            "{run:?}"
+        );
+    }
+
+    #[test]
+    fn policies_display() {
+        assert_eq!(Policy::FuzzyEntropy.to_string(), "fuzzy-entropy");
+        assert_eq!(Policy::Probabilistic.to_string(), "probabilistic");
+        assert_eq!(Policy::FixedOrder.to_string(), "fixed-order");
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based / metamorphic tests for the diagnosis engine:
+//! soundness of fuzzy propagation (derived values contain the physical
+//! truth for any in-tolerance board), zero false alarms on healthy
+//! boards, detection monotonicity in fault severity, and
+//! order-insensitivity of incremental measurement.
+
+use flames_circuit::fault::{inject_faults, Fault};
+use flames_circuit::predict::{measure_all, TestPoint};
+use flames_circuit::solve::solve_dc;
+use flames_circuit::{Net, Netlist};
+use flames_core::{Diagnoser, DiagnoserConfig};
+use proptest::prelude::*;
+
+/// A three-resistor chain with probes at both internal nodes.
+fn chain() -> (Netlist, Diagnoser, [Net; 2]) {
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    let mid = nl.add_net("mid");
+    let out = nl.add_net("out");
+    nl.add_voltage_source("V", vin, Net::GROUND, 12.0).unwrap();
+    let r1 = nl.add_resistor("R1", vin, mid, 2_000.0, 0.05).unwrap();
+    let r2 = nl.add_resistor("R2", mid, out, 1_000.0, 0.05).unwrap();
+    let r3 = nl.add_resistor("R3", out, Net::GROUND, 3_000.0, 0.05).unwrap();
+    let points = vec![
+        TestPoint::new(mid, "Vmid", vec![r1, r2, r3]),
+        TestPoint::new(out, "Vout", vec![r1, r2, r3]),
+    ];
+    let d = Diagnoser::from_netlist(&nl, points, DiagnoserConfig::default()).unwrap();
+    (nl, d, [mid, out])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn near_nominal_boards_raise_only_weak_suspicion(f1 in 0.99..1.01f64,
+                                                     f2 in 0.99..1.01f64,
+                                                     f3 in 0.99..1.01f64) {
+        // Possibilistic semantics (the paper's §4.2): even in-tolerance
+        // deviations carry a membership-graded suspicion — but for a
+        // board close to nominal every conflict must stay weak, so the
+        // degree-filtered refinement has nothing strong to report.
+        let (nl, d, nets) = chain();
+        let ids: Vec<_> = ["R1", "R2", "R3"]
+            .iter()
+            .map(|n| nl.component_by_name(n).unwrap())
+            .collect();
+        let board = inject_faults(&nl, &[
+            (ids[0], Fault::ParamFactor(f1)),
+            (ids[1], Fault::ParamFactor(f2)),
+            (ids[2], Fault::ParamFactor(f3)),
+        ]).unwrap();
+        let readings = measure_all(&board, &nets, 0.01).unwrap();
+        let mut s = d.session();
+        s.measure("Vmid", readings[0]).unwrap();
+        s.measure("Vout", readings[1]).unwrap();
+        s.propagate();
+        let strongest = s
+            .propagator()
+            .atms()
+            .nogoods()
+            .iter()
+            .map(|n| n.degree)
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            strongest < 0.5,
+            "near-nominal board ({f1:.3},{f2:.3},{f3:.3}) raised a strong conflict ({strongest:.2})"
+        );
+        // And the exact-nominal board raises nothing at all.
+        let exact = measure_all(&nl, &nets, 0.01).unwrap();
+        let mut s = d.session();
+        s.measure("Vmid", exact[0]).unwrap();
+        s.measure("Vout", exact[1]).unwrap();
+        s.propagate();
+        prop_assert!(s.candidates(2, 16).is_empty());
+    }
+
+    #[test]
+    fn derived_values_contain_truth(f1 in 0.95..1.05f64,
+                                    f2 in 0.95..1.05f64,
+                                    f3 in 0.95..1.05f64) {
+        // Soundness: after measuring one point of an in-tolerance board,
+        // the best derived value of the *other* point contains its true
+        // voltage.
+        let (nl, d, nets) = chain();
+        let ids: Vec<_> = ["R1", "R2", "R3"]
+            .iter()
+            .map(|n| nl.component_by_name(n).unwrap())
+            .collect();
+        let board = inject_faults(&nl, &[
+            (ids[0], Fault::ParamFactor(f1)),
+            (ids[1], Fault::ParamFactor(f2)),
+            (ids[2], Fault::ParamFactor(f3)),
+        ]).unwrap();
+        let op = solve_dc(&board).unwrap();
+        let readings = measure_all(&board, &nets, 0.01).unwrap();
+        let mut s = d.session();
+        s.measure("Vmid", readings[0]).unwrap();
+        s.propagate();
+        let q_out = d.network().voltage_quantity(nets[1]);
+        let best = s.best_value(q_out).expect("out is derivable from mid");
+        let truth = op.voltage(nets[1]);
+        prop_assert!(
+            best.value.support_lo() <= truth + 1e-9
+                && truth <= best.value.support_hi() + 1e-9,
+            "truth {truth} escapes {} (env {})",
+            best.value,
+            best.env
+        );
+    }
+
+    #[test]
+    fn detection_is_monotone_in_severity(base in 1.3..1.6f64) {
+        // If a smaller deviation of R2 is flagged, a larger one is too,
+        // with at-least-as-strong nogoods.
+        let (nl, d, nets) = chain();
+        let r2 = nl.component_by_name("R2").unwrap();
+        let run = |factor: f64| {
+            let board = inject_faults(&nl, &[(r2, Fault::ParamFactor(factor))]).unwrap();
+            let readings = measure_all(&board, &nets, 0.01).unwrap();
+            let mut s = d.session();
+            s.measure("Vmid", readings[0]).unwrap();
+            s.measure("Vout", readings[1]).unwrap();
+            s.propagate();
+            s.propagator()
+                .atms()
+                .nogoods()
+                .iter()
+                .map(|n| n.degree)
+                .fold(0.0f64, f64::max)
+        };
+        let small = run(base);
+        let large = run(base + 0.4);
+        prop_assert!(small > 0.0, "a {base:.2}× shift must be flagged");
+        prop_assert!(large >= small - 1e-9);
+    }
+
+    #[test]
+    fn measurement_order_does_not_change_the_verdict(factor in 1.4..2.0f64,
+                                                     first in 0usize..2) {
+        let (nl, d, nets) = chain();
+        let r1 = nl.component_by_name("R1").unwrap();
+        let board = inject_faults(&nl, &[(r1, Fault::ParamFactor(factor))]).unwrap();
+        let readings = measure_all(&board, &nets, 0.01).unwrap();
+        let order: [usize; 2] = if first == 0 { [0, 1] } else { [1, 0] };
+        let mut s = d.session();
+        for &k in &order {
+            s.measure_point(k, readings[k]).unwrap();
+            s.propagate();
+        }
+        let cands = s.candidates(2, 32);
+        prop_assert!(!cands.is_empty());
+        // R1 must be implicated regardless of probing order.
+        prop_assert!(
+            cands.iter().any(|c| c.members.iter().any(|m| m == "R1")),
+            "{cands:?} (order {order:?})"
+        );
+    }
+
+    #[test]
+    fn suspicions_are_degrees(factor in 0.3..3.0f64) {
+        let (nl, d, nets) = chain();
+        let r3 = nl.component_by_name("R3").unwrap();
+        let board = inject_faults(&nl, &[(r3, Fault::ParamFactor(factor))]).unwrap();
+        let readings = measure_all(&board, &nets, 0.01).unwrap();
+        let mut s = d.session();
+        s.measure("Vmid", readings[0]).unwrap();
+        s.measure("Vout", readings[1]).unwrap();
+        s.propagate();
+        for name in ["R1", "R2", "R3"] {
+            let susp = s.suspicion(name).unwrap();
+            prop_assert!((0.0..=1.0).contains(&susp));
+        }
+        for c in s.candidates(2, 32) {
+            prop_assert!((0.0..=1.0).contains(&c.degree));
+        }
+        for (_, e) in s.estimations() {
+            prop_assert!(e.support_lo() >= -1e-9 && e.support_hi() <= 1.0 + 1e-9);
+        }
+    }
+}

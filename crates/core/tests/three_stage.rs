@@ -1,0 +1,194 @@
+//! End-to-end validation of the paper's Fig. 7 experiment flow on the
+//! three-stage amplifier: inject each defect, measure Vs (then V1, V2),
+//! and check that the diagnosis narrows the way the paper's table does.
+//!
+//! Fault magnitudes are calibrated to this reconstruction (see
+//! EXPERIMENTS.md): the feedback-biased stage rejects the paper's ±1.5 %/
+//! −3 % parametric faults below any realistic tolerance band, so the
+//! "slightly high R2" row uses 14 kΩ and the "β2 low" row uses β = 40 —
+//! the smallest deviations that produce the paper's graded-Dc signature
+//! at 2 % component tolerance.
+
+use flames_circuit::circuits::{three_stage, ThreeStage};
+use flames_circuit::fault::{inject_faults, open_connection};
+use flames_circuit::predict::measure_all;
+use flames_circuit::{Fault, Netlist};
+use flames_core::{Diagnoser, DiagnoserConfig};
+
+const MEAS_IMPRECISION: f64 = 0.05;
+
+fn diagnoser(ts: &ThreeStage) -> Diagnoser {
+    Diagnoser::from_netlist(&ts.netlist, ts.test_points.clone(), DiagnoserConfig::default())
+        .unwrap()
+}
+
+/// Runs a full three-point probing session against a faulty board and
+/// returns the ranked single/double-fault candidates' member lists.
+fn diagnose(ts: &ThreeStage, board: &Netlist) -> (Vec<Vec<String>>, flames_core::Report) {
+    let d = diagnoser(ts);
+    let nets = [ts.vs, ts.v1, ts.v2];
+    let readings = measure_all(board, &nets, MEAS_IMPRECISION).unwrap();
+    let mut session = d.session();
+    session.measure("Vs", readings[0]).unwrap();
+    session.measure("V1", readings[1]).unwrap();
+    session.measure("V2", readings[2]).unwrap();
+    session.propagate();
+    let report = session.report();
+    let members = report
+        .candidates
+        .iter()
+        .map(|c| c.members.clone())
+        .collect();
+    (members, report)
+}
+
+fn top_contains(cands: &[Vec<String>], name: &str, within: usize) -> bool {
+    cands
+        .iter()
+        .take(within)
+        .any(|c| c.iter().any(|m| m == name))
+}
+
+#[test]
+fn healthy_board_raises_no_candidates() {
+    let ts = three_stage(0.02);
+    let (cands, report) = diagnose(&ts, &ts.netlist);
+    assert!(
+        cands.is_empty(),
+        "healthy board produced candidates: {report}"
+    );
+    for p in &report.points {
+        let dc = p.consistency.expect("all points probed");
+        assert!(dc.is_consistent(), "{} inconsistent on healthy board", p.name);
+    }
+}
+
+#[test]
+fn short_r2_is_diagnosed() {
+    let ts = three_stage(0.02);
+    let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap();
+    let (cands, report) = diagnose(&ts, &board);
+    // The single-fault refinement points into stage 1, R2 included
+    // (paper: "{R1, R2, R3, T1} ==> {R1} {R2} {R3}").
+    let refined: Vec<Vec<String>> = report.refined.iter().map(|c| c.members.clone()).collect();
+    assert!(
+        top_contains(&refined, "R2", 4),
+        "R2 missing from refined candidates: {report}"
+    );
+    assert!(
+        cands.iter().flatten().any(|m| m == "R2"),
+        "R2 missing from the candidate lattice: {report}"
+    );
+    // V1 pinned at the rail: total conflict, deviation high.
+    let v1 = report.points.iter().find(|p| p.name == "V1").unwrap();
+    let dc = v1.consistency.unwrap();
+    assert!(dc.degree() < 0.05, "short is a hard fault: {dc}");
+    assert_eq!(dc.direction(), flames_fuzzy::Direction::High);
+}
+
+#[test]
+fn slightly_high_r2_yields_partial_conflict() {
+    let ts = three_stage(0.02);
+    let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).unwrap();
+    let (cands, report) = diagnose(&ts, &board);
+    // The soft fault must be detected at all (the crisp baseline misses it).
+    assert!(
+        !cands.is_empty(),
+        "slightly-high R2 went undetected: {report}"
+    );
+    assert!(
+        top_contains(&cands, "R2", 4),
+        "R2 missing from top candidates: {report}"
+    );
+    // At least one probed point shows a graded (not total) inconsistency —
+    // the Dc machinery at work (paper: Dc ≈ 0.89).
+    let graded = report.points.iter().filter_map(|p| p.consistency).any(|dc| {
+        dc.degree() > 0.0 && dc.degree() < 1.0
+    });
+    assert!(graded, "expected a graded Dc: {report}");
+}
+
+#[test]
+fn slightly_low_beta2_points_at_stage2() {
+    let ts = three_stage(0.02);
+    let board = inject_faults(&ts.netlist, &[(ts.t2, Fault::Param(40.0))]).unwrap();
+    let (cands, report) = diagnose(&ts, &board);
+    assert!(
+        !cands.is_empty(),
+        "slightly-low beta2 went undetected: {report}"
+    );
+    // V1 stays nearly consistent (only the base-current loading shifts
+    // it) while V2 deviates much more strongly — the graded-Dc
+    // localization signal; T2 (or its stage partners R4/R5) must surface.
+    let v1 = report.points.iter().find(|p| p.name == "V1").unwrap();
+    let v2 = report.points.iter().find(|p| p.name == "V2").unwrap();
+    let (dc1, dc2) = (v1.consistency.unwrap(), v2.consistency.unwrap());
+    assert!(dc1.degree() > 0.85, "{report}");
+    assert!(dc2.degree() < dc1.degree(), "{report}");
+    let refined: Vec<Vec<String>> = report
+        .refined
+        .iter()
+        .map(|c| c.members.clone())
+        .collect();
+    let stage2_named = top_contains(&refined, "T2", 4)
+        || top_contains(&refined, "R4", 4)
+        || top_contains(&refined, "R5", 4);
+    assert!(stage2_named, "stage-2 members missing from refined: {report}");
+    let _ = cands;
+}
+
+#[test]
+fn open_r3_shows_low_deviation_on_v1() {
+    let ts = three_stage(0.02);
+    let board = inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap();
+    let (cands, report) = diagnose(&ts, &board);
+    let v1 = report.points.iter().find(|p| p.name == "V1").unwrap();
+    let dc = v1.consistency.unwrap();
+    // The paper's signature: Dc(V1) = −1, i.e. total conflict deviating low.
+    assert!(dc.is_total_conflict(), "{report}");
+    assert_eq!(dc.direction(), flames_fuzzy::Direction::Low);
+    assert!(
+        top_contains(&cands, "R3", 4) || top_contains(&cands, "R2", 4),
+        "paper: 'R2 is very low or R3 is very high': {report}"
+    );
+}
+
+#[test]
+fn open_n1_connection_is_diagnosable() {
+    let ts = three_stage(0.02);
+    let board = open_connection(&ts.netlist, ts.r3, ts.n1).unwrap();
+    let (cands, report) = diagnose(&ts, &board);
+    assert!(!cands.is_empty(), "open N1 went undetected: {report}");
+    // Same electrical signature as R3 → ∞ (the paper maps it to "R3 very
+    // high"); with connection assumptions the interconnect itself may also
+    // surface.
+    let plausible = top_contains(&cands, "R3", 5)
+        || top_contains(&cands, "R2", 5)
+        || cands
+            .iter()
+            .take(5)
+            .any(|c| c.iter().any(|m| m.starts_with("conn:")));
+    assert!(plausible, "{report}");
+}
+
+#[test]
+fn vs_alone_suspects_every_stage() {
+    // "This is a single path circuit so measuring Vs to be faulty
+    // suspects all the modules with the same degree."
+    let ts = three_stage(0.02);
+    let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap();
+    let d = diagnoser(&ts);
+    let readings = measure_all(&board, &[ts.vs], MEAS_IMPRECISION).unwrap();
+    let mut session = d.session();
+    session.measure("Vs", readings[0]).unwrap();
+    session.propagate();
+    let cands = session.candidates(1, 64);
+    let names: Vec<&str> = cands
+        .iter()
+        .flat_map(|c| c.members.iter().map(String::as_str))
+        .collect();
+    // Members of all three stages appear among single-fault candidates.
+    assert!(names.contains(&"R2"), "{names:?}");
+    assert!(names.contains(&"T2") || names.contains(&"R4") || names.contains(&"R5"), "{names:?}");
+    assert!(names.contains(&"T3") || names.contains(&"R6"), "{names:?}");
+}

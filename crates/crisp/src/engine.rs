@@ -1,0 +1,505 @@
+//! DIANA-style crisp propagation and conflict recognition.
+//!
+//! The baseline engine mirrors the fuzzy propagator of `flames-core`, but
+//! values are plain intervals and conflicts are **boolean**: a coincidence
+//! either has a non-empty intersection (consistent — no matter how thin
+//! the overlap) or an empty one (a nogood with no degree). This is the
+//! behaviour the FLAMES paper demonstrates against in §4.2: slight
+//! parametric faults whose effects stay inside the propagated interval
+//! walls are silently masked.
+
+use crate::interval::Interval;
+use flames_atms::{Assumption, AssumptionPool, Atms, Env};
+use flames_circuit::constraint::{Network, QuantityId, Relation};
+use flames_circuit::{Net, Netlist};
+use std::collections::VecDeque;
+
+/// A crisp value for a quantity with its assumption environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrispEntry {
+    /// The interval value.
+    pub value: Interval,
+    /// Assumptions the derivation rests on.
+    pub env: Env,
+}
+
+/// Tuning knobs of the crisp engine (a subset of the fuzzy engine's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrispConfig {
+    /// Maximum value entries kept per quantity.
+    pub max_entries: usize,
+    /// Minimum relative width tightening for a refined value to count.
+    pub min_tightening: f64,
+    /// Upper bound on constraint applications per [`CrispPropagator::run`].
+    pub max_steps: usize,
+}
+
+impl Default for CrispConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 8,
+            min_tightening: 0.01,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// The crisp (DIANA-style) propagation engine.
+///
+/// # Example
+///
+/// ```
+/// use flames_circuit::constraint::{extract, ExtractOptions};
+/// use flames_circuit::{Net, Netlist};
+/// use flames_crisp::{CrispConfig, CrispPropagator, Interval};
+///
+/// # fn main() {
+/// let mut nl = Netlist::new();
+/// let vin = nl.add_net("vin");
+/// let mid = nl.add_net("mid");
+/// nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+/// nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
+/// nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+/// let network = extract(&nl, ExtractOptions::default());
+/// let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+/// // A mildly shifted reading stays inside the interval walls: masked.
+/// prop.observe(network.voltage_quantity(mid), Interval::new(5.2, 5.3));
+/// prop.run();
+/// assert!(prop.atms().nogoods().is_empty());
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrispPropagator<'n> {
+    network: &'n Network,
+    config: CrispConfig,
+    entries: Vec<Vec<CrispEntry>>,
+    atms: Atms,
+    pool: AssumptionPool,
+    comp_assumptions: Vec<Assumption>,
+    conn_assumptions: Vec<Option<Assumption>>,
+    conflicts: usize,
+}
+
+impl<'n> CrispPropagator<'n> {
+    /// Builds the engine over an extracted network, flattening every
+    /// fuzzy seed to its support interval.
+    #[must_use]
+    pub fn new(netlist: &Netlist, network: &'n Network, config: CrispConfig) -> Self {
+        let mut atms = Atms::new();
+        let mut pool = AssumptionPool::new();
+        let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
+        for (_, comp) in netlist.components() {
+            let a = atms.add_assumption(comp.name());
+            debug_assert_eq!(a, pool.intern(comp.name()));
+            comp_assumptions.push(a);
+        }
+        let mut conn_assumptions = vec![None; netlist.net_count()];
+        for constraint in network.constraints() {
+            if let Some(net) = constraint.conn {
+                if conn_assumptions[net.index()].is_none() {
+                    let name = format!("conn:{}", netlist.net_name(net));
+                    let a = atms.add_assumption(&name);
+                    debug_assert_eq!(a, pool.intern(&name));
+                    conn_assumptions[net.index()] = Some(a);
+                }
+            }
+        }
+        let mut prop = Self {
+            network,
+            config,
+            entries: vec![Vec::new(); network.quantity_count()],
+            atms,
+            pool,
+            comp_assumptions,
+            conn_assumptions,
+            conflicts: 0,
+        };
+        for seed in network.seeds() {
+            let env = Env::from_assumptions(
+                seed.support
+                    .iter()
+                    .map(|c| prop.comp_assumptions[c.index()]),
+            );
+            prop.insert(seed.quantity, Interval::from(seed.value), env);
+        }
+        prop
+    }
+
+    /// The classic ATMS holding the (boolean) nogoods.
+    #[must_use]
+    pub fn atms(&self) -> &Atms {
+        &self.atms
+    }
+
+    /// The assumption vocabulary.
+    #[must_use]
+    pub fn pool(&self) -> &AssumptionPool {
+        &self.pool
+    }
+
+    /// The assumption standing for a component (by netlist index).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range component index.
+    #[must_use]
+    pub fn component_assumption(&self, comp_index: usize) -> Assumption {
+        self.comp_assumptions[comp_index]
+    }
+
+    /// The connection assumption of a net, when it has a Kirchhoff
+    /// constraint.
+    #[must_use]
+    pub fn connection_assumption(&self, net: Net) -> Option<Assumption> {
+        self.conn_assumptions.get(net.index()).copied().flatten()
+    }
+
+    /// Number of empty-intersection conflicts detected so far.
+    #[must_use]
+    pub fn conflict_count(&self) -> usize {
+        self.conflicts
+    }
+
+    /// Current value entries of a quantity (empty slice for foreign ids).
+    #[must_use]
+    pub fn entries(&self, q: QuantityId) -> &[CrispEntry] {
+        self.entries
+            .get(q.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The tightest value of a quantity, if any.
+    #[must_use]
+    pub fn best_value(&self, q: QuantityId) -> Option<&CrispEntry> {
+        self.entries.get(q.index())?.iter().min_by(|a, b| {
+            a.value
+                .width()
+                .partial_cmp(&b.value.width())
+                .expect("finite widths")
+        })
+    }
+
+    /// Enters a measurement (premise environment).
+    pub fn observe(&mut self, q: QuantityId, value: Interval) {
+        if q.index() < self.entries.len() {
+            self.insert(q, value, Env::empty());
+        }
+    }
+
+    /// Enters a predicted value under component-correctness assumptions.
+    pub fn predict(&mut self, q: QuantityId, value: Interval, support: &[flames_circuit::CompId]) {
+        if q.index() < self.entries.len() {
+            let env = Env::from_assumptions(
+                support.iter().map(|c| self.comp_assumptions[c.index()]),
+            );
+            self.insert(q, value, env);
+        }
+    }
+
+    /// Candidate diagnoses: minimal hitting sets of the boolean nogoods
+    /// (all tied at full strength — the baseline cannot rank them).
+    #[must_use]
+    pub fn candidates(&self, max_size: usize, max_count: usize) -> Vec<Env> {
+        flames_atms::hitting::minimal_hitting_sets(self.atms.nogoods(), max_size, max_count)
+            .into_iter()
+            .filter(|env| !env.is_empty())
+            .collect()
+    }
+
+    /// Runs propagation to quiescence; returns the number of constraint
+    /// applications. Spec conditions are checked crisply: only a value
+    /// entirely outside the condition's support raises a nogood.
+    pub fn run(&mut self) -> usize {
+        let mut steps = 0usize;
+        let mut queue: VecDeque<usize> = (0..self.network.constraints().len()).collect();
+        let mut queued: Vec<bool> = vec![true; self.network.constraints().len()];
+        while let Some(ci) = queue.pop_front() {
+            queued[ci] = false;
+            if steps >= self.config.max_steps {
+                break;
+            }
+            steps += 1;
+            let changed = self.apply_constraint(ci);
+            if !changed.is_empty() {
+                for (cj, constraint) in self.network.constraints().iter().enumerate() {
+                    if queued[cj] {
+                        continue;
+                    }
+                    if constraint
+                        .relation
+                        .quantities()
+                        .iter()
+                        .any(|q| changed.contains(&q.index()))
+                    {
+                        queue.push_back(cj);
+                        queued[cj] = true;
+                    }
+                }
+            }
+        }
+        self.check_specs();
+        steps
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn constraint_env(&self, ci: usize) -> Env {
+        let c = &self.network.constraints()[ci];
+        let mut env = Env::from_assumptions(
+            c.support.iter().map(|s| self.comp_assumptions[s.index()]),
+        );
+        if let Some(net) = c.conn {
+            if let Some(a) = self.conn_assumptions[net.index()] {
+                env = env.with(a);
+            }
+        }
+        env
+    }
+
+    fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
+        let relation = self.network.constraints()[ci].relation.clone();
+        let base_env = self.constraint_env(ci);
+        let mut changed = Vec::new();
+        match relation {
+            Relation::Linear { ref terms, bias } => {
+                for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
+                    let others: Vec<(f64, QuantityId)> = terms
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != target_idx)
+                        .map(|(_, &t)| t)
+                        .collect();
+                    if others.iter().any(|&(_, q)| self.entries[q.index()].is_empty()) {
+                        continue;
+                    }
+                    for combo in self.combos(&others.iter().map(|&(_, q)| q).collect::<Vec<_>>()) {
+                        let mut sum = Interval::point(bias);
+                        let mut env = base_env.clone();
+                        for (&(coef, _), entry) in others.iter().zip(&combo) {
+                            sum = sum + entry.value.scaled(coef);
+                            env = env.union(&entry.env);
+                        }
+                        let value = sum.scaled(-1.0 / target_coef);
+                        if self.insert(target_q, value, env) {
+                            changed.push(target_q.index());
+                        }
+                    }
+                }
+            }
+            Relation::Product { p, x, y } => {
+                for combo in self.combos(&[x, y]) {
+                    let value = combo[0].value.mul(combo[1].value);
+                    let env = base_env.union(&combo[0].env).union(&combo[1].env);
+                    if self.insert(p, value, env) {
+                        changed.push(p.index());
+                    }
+                }
+                for (target, divisor) in [(x, y), (y, x)] {
+                    for combo in self.combos(&[p, divisor]) {
+                        if let Some(value) = combo[0].value.div(combo[1].value) {
+                            let env = base_env.union(&combo[0].env).union(&combo[1].env);
+                            if self.insert(target, value, env) {
+                                changed.push(target.index());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    fn combos(&self, qs: &[QuantityId]) -> Vec<Vec<CrispEntry>> {
+        const COMBO_CAP: usize = 64;
+        let mut acc: Vec<Vec<CrispEntry>> = vec![Vec::new()];
+        for &q in qs {
+            let list = &self.entries[q.index()];
+            if list.is_empty() {
+                return Vec::new();
+            }
+            let mut next = Vec::with_capacity(acc.len() * list.len());
+            'outer: for prefix in &acc {
+                for e in list {
+                    let mut row = prefix.clone();
+                    row.push(e.clone());
+                    next.push(row);
+                    if next.len() >= COMBO_CAP {
+                        break 'outer;
+                    }
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    fn insert(&mut self, q: QuantityId, value: Interval, env: Env) -> bool {
+        if !self.atms.is_consistent(&env) {
+            return false;
+        }
+        let incoming = CrispEntry { value, env };
+        let list = &self.entries[q.index()];
+        let mut dominated = false;
+        for existing in list {
+            if existing.value.intersect(incoming.value).is_none() {
+                // Boolean conflict: the union of the environments is a
+                // (degree-less) nogood.
+                self.conflicts += 1;
+                self.atms.add_nogood(incoming.env.union(&existing.env));
+            }
+            if existing.env.is_subset_of(&incoming.env) {
+                let meaningful = incoming.value.width()
+                    <= existing.value.width() * (1.0 - self.config.min_tightening);
+                if existing.value.is_subset_of(incoming.value)
+                    || (!meaningful && incoming.value.is_subset_of(existing.value))
+                {
+                    dominated = true;
+                }
+            }
+        }
+        if dominated {
+            return false;
+        }
+        let min_tightening = self.config.min_tightening;
+        let list = &mut self.entries[q.index()];
+        let before = list.len();
+        list.retain(|e| {
+            !(incoming.env.is_subset_of(&e.env)
+                && incoming.value.is_subset_of(e.value)
+                && incoming.value.width() <= e.value.width() * (1.0 - min_tightening))
+        });
+        let dropped = before - list.len();
+        if list.len() >= self.config.max_entries {
+            return dropped > 0;
+        }
+        list.push(incoming);
+        true
+    }
+
+    /// Crisp spec checking: a nogood only when the derived value lies
+    /// fully outside the condition's support.
+    fn check_specs(&mut self) {
+        let specs: Vec<_> = self.network.specs().to_vec();
+        for spec in specs {
+            let Some(best) = self.best_value(spec.quantity).cloned() else {
+                continue;
+            };
+            let cond = Interval::from(spec.condition);
+            if best.value.intersect(cond).is_none() {
+                self.conflicts += 1;
+                let env = best.env.union(&Env::from_assumptions(
+                    spec.support
+                        .iter()
+                        .map(|c| self.comp_assumptions[c.index()]),
+                ));
+                self.atms.add_nogood(env);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flames_circuit::constraint::{extract, ExtractOptions};
+
+    fn divider(tol: f64) -> (Netlist, Network) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1000.0, tol).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol).unwrap();
+        let network = extract(&nl, ExtractOptions::default());
+        (nl, network)
+    }
+
+    #[test]
+    fn healthy_reading_is_consistent() {
+        let (nl, network) = divider(0.05);
+        let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        prop.observe(network.voltage_quantity(mid), Interval::new(4.95, 5.05));
+        prop.run();
+        assert!(prop.atms().nogoods().is_empty());
+        assert_eq!(prop.conflict_count(), 0);
+        assert!(prop.candidates(2, 16).is_empty());
+    }
+
+    #[test]
+    fn soft_fault_is_masked() {
+        // The paper's §4.2 point: a slight deviation that stays inside the
+        // crisp interval walls raises NO conflict.
+        let (nl, network) = divider(0.05);
+        let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        // True value 5.0; reading 5.2 (a ~4 % divider drift). Every crisp
+        // derivation keeps a non-empty intersection (the resistor ratio
+        // 0.923 sits inside the tolerance box [0.905, 1.105]), so the
+        // baseline reports a healthy board. The fuzzy engine grades this
+        // same reading as a partial conflict (see flames-core tests).
+        prop.observe(network.voltage_quantity(mid), Interval::new(5.15, 5.25));
+        prop.run();
+        assert!(
+            prop.atms().nogoods().is_empty(),
+            "crisp engine masks the soft fault"
+        );
+    }
+
+    #[test]
+    fn hard_fault_is_detected() {
+        let (nl, network) = divider(0.05);
+        let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        prop.observe(network.voltage_quantity(mid), Interval::new(8.0, 8.1));
+        prop.run();
+        assert!(!prop.atms().nogoods().is_empty());
+        let candidates = prop.candidates(2, 32);
+        assert!(!candidates.is_empty());
+        let r1 = prop.component_assumption(nl.component_by_name("R1").unwrap().index());
+        let r2 = prop.component_assumption(nl.component_by_name("R2").unwrap().index());
+        assert!(candidates
+            .iter()
+            .any(|env| env.contains(r1) || env.contains(r2)));
+    }
+
+    #[test]
+    fn seeds_flatten_to_supports() {
+        let (nl, network) = divider(0.05);
+        let prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let r1 = nl.component_by_name("R1").unwrap();
+        let rq = network
+            .find(flames_circuit::constraint::QuantityKind::Param(r1))
+            .unwrap();
+        let entry = &prop.entries(rq)[0];
+        assert_eq!(entry.value, Interval::new(950.0, 1050.0));
+    }
+
+    #[test]
+    fn connection_assumptions_exist() {
+        let (nl, network) = divider(0.05);
+        let prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        assert!(prop.connection_assumption(mid).is_some());
+        assert!(prop.connection_assumption(Net::GROUND).is_none());
+        assert!(prop.pool().len() >= 3);
+    }
+
+    #[test]
+    fn best_value_prefers_tightest() {
+        let (nl, network) = divider(0.05);
+        let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let mid = nl.net_by_name("mid").unwrap();
+        let q = network.voltage_quantity(mid);
+        prop.observe(q, Interval::new(4.0, 6.0));
+        prop.observe(q, Interval::new(4.9, 5.1));
+        let best = prop.best_value(q).unwrap();
+        assert_eq!(best.value, Interval::new(4.9, 5.1));
+        // Foreign ids yield empty entry lists, not panics.
+        let foreign = flames_circuit::constraint::QuantityId::from_raw(9999);
+        assert!(prop.entries(foreign).is_empty());
+        assert!(prop.best_value(foreign).is_none());
+    }
+}

@@ -1,0 +1,271 @@
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A crisp closed interval `[lo, hi]` — the value representation of the
+/// DIANA-style baseline the FLAMES paper argues against (§2.1, §4.2):
+/// "crisp intervals contain all sorts of inaccuracy without any
+/// distinction, which can cause an explosion in the value propagation".
+///
+/// # Example
+///
+/// ```
+/// use flames_crisp::Interval;
+///
+/// let va = Interval::new(2.95, 3.05);
+/// let amp1 = Interval::new(0.95, 1.05);
+/// let vb = va.mul(amp1);
+/// assert!((vb.lo() - 2.8025).abs() < 1e-9);
+/// assert!((vb.hi() - 3.2025).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or a bound is not finite (crisp intervals are
+    /// plain data; invalid bounds are programming errors).
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid interval [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    #[must_use]
+    pub fn point(x: f64) -> Self {
+        Self::new(x, x)
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi − lo`.
+    #[must_use]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    #[must_use]
+    pub fn midpoint(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// True if `x` lies inside the interval.
+    #[must_use]
+    pub fn contains(self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// True if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.lo >= other.lo && self.hi <= other.hi
+    }
+
+    /// Intersection, or `None` when the intervals are disjoint — the
+    /// baseline's (boolean) conflict test.
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Self::new(lo, hi))
+    }
+
+    /// Interval product (exact).
+    ///
+    /// Named `mul`/`div` (rather than implementing `Mul`/`Div`) to mirror
+    /// the fuzzy API, where division is fallible.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn mul(self, other: Self) -> Self {
+        let ps = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let mut lo = ps[0];
+        let mut hi = ps[0];
+        for &p in &ps[1..] {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Self::new(lo, hi)
+    }
+
+    /// Interval quotient; `None` when the divisor spans zero.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn div(self, other: Self) -> Option<Self> {
+        if other.lo <= 0.0 && other.hi >= 0.0 {
+            return None;
+        }
+        let qs = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let mut lo = qs[0];
+        let mut hi = qs[0];
+        for &q in &qs[1..] {
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        Some(Self::new(lo, hi))
+    }
+
+    /// Scaling by a crisp factor.
+    #[must_use]
+    pub fn scaled(self, k: f64) -> Self {
+        if k >= 0.0 {
+            Self::new(k * self.lo, k * self.hi)
+        } else {
+            Self::new(k * self.hi, k * self.lo)
+        }
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = f.precision().unwrap_or(3);
+        write!(f, "[{:.p$}, {:.p$}]", self.lo, self.hi, p = p)
+    }
+}
+
+impl From<flames_fuzzy::FuzzyInterval> for Interval {
+    /// Flattens a fuzzy interval to its support — exactly the information
+    /// loss the paper criticizes in §4.2.
+    fn from(fi: flames_fuzzy::FuzzyInterval) -> Self {
+        Interval::new(fi.support_lo(), fi.support_hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(1.0, 3.0);
+        assert_eq!(i.lo(), 1.0);
+        assert_eq!(i.hi(), 3.0);
+        assert_eq!(i.width(), 2.0);
+        assert_eq!(i.midpoint(), 2.0);
+        assert!(i.contains(2.0));
+        assert!(!i.contains(3.1));
+        assert!(Interval::point(5.0).contains(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(3.0, 5.0);
+        assert_eq!(a + b, Interval::new(4.0, 7.0));
+        assert_eq!(a - b, Interval::new(-4.0, -1.0));
+        assert_eq!(-a, Interval::new(-2.0, -1.0));
+        assert_eq!(a.mul(b), Interval::new(3.0, 10.0));
+        assert_eq!(b.div(a), Some(Interval::new(1.5, 5.0)));
+        assert_eq!(a.scaled(2.0), Interval::new(2.0, 4.0));
+        assert_eq!(a.scaled(-1.0), Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn division_by_zero_spanning_interval() {
+        let a = Interval::new(1.0, 2.0);
+        assert_eq!(a.div(Interval::new(-1.0, 1.0)), None);
+        assert_eq!(a.div(Interval::point(0.0)), None);
+        assert!(a.div(Interval::new(-2.0, -1.0)).is_some());
+    }
+
+    #[test]
+    fn negative_operand_multiplication() {
+        let a = Interval::new(-2.0, 1.0);
+        let b = Interval::new(3.0, 4.0);
+        assert_eq!(a.mul(b), Interval::new(-8.0, 4.0));
+    }
+
+    #[test]
+    fn intersection_and_subset() {
+        let a = Interval::new(1.0, 3.0);
+        let b = Interval::new(2.0, 5.0);
+        assert_eq!(a.intersect(b), Some(Interval::new(2.0, 3.0)));
+        assert_eq!(a.intersect(Interval::new(4.0, 5.0)), None);
+        assert!(Interval::new(1.5, 2.0).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+    }
+
+    #[test]
+    fn fig2_crisp_columns() {
+        // The paper's Fig. 2 crisp-interval propagation.
+        let va = Interval::new(2.95, 3.05);
+        let amp1 = Interval::new(0.95, 1.05);
+        let amp2 = Interval::new(1.95, 2.05);
+        let amp3 = Interval::new(2.95, 3.05);
+        let vb = va.mul(amp1);
+        let vc = vb.mul(amp2);
+        let vd = vb.mul(amp3);
+        assert!((vc.lo() - 5.46).abs() < 0.01);
+        assert!((vc.hi() - 6.56).abs() < 0.01);
+        assert!((vd.lo() - 8.26).abs() < 0.01);
+        assert!((vd.hi() - 9.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_fuzzy_takes_support() {
+        let fi = flames_fuzzy::FuzzyInterval::new(1.0, 2.0, 0.5, 0.5).unwrap();
+        let i = Interval::from(fi);
+        assert_eq!(i, Interval::new(0.5, 2.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.2}", Interval::new(1.0, 2.0)), "[1.00, 2.00]");
+    }
+}

@@ -1,0 +1,27 @@
+//! DIANA-style crisp interval propagation — the baseline the FLAMES paper
+//! compares its fuzzy approach against.
+//!
+//! DIANA (the paper's ref \[5\]) processes imprecision "by means of
+//! numerical (crisp) intervals; the management of intervals is done by an
+//! ATMS extension". This crate reproduces that behaviour over the same
+//! constraint networks as the fuzzy engine:
+//!
+//! * [`Interval`] — plain closed intervals with exact interval
+//!   arithmetic;
+//! * [`CrispPropagator`] — constraint propagation with assumption
+//!   tracking and **boolean** conflict recognition (empty intersection ⇒
+//!   nogood, any overlap ⇒ consistent).
+//!
+//! The experiments use it to demonstrate the paper's two criticisms:
+//! slight soft faults are *masked* (§4.2 — `soft_fault_is_masked` in the
+//! tests), and every conflict/candidate ties at full strength, so nothing
+//! restricts the candidate explosion (§6.1.3, experiment E6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod interval;
+
+pub use engine::{CrispConfig, CrispEntry, CrispPropagator};
+pub use interval::Interval;

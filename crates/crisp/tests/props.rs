@@ -1,0 +1,91 @@
+//! Property-based tests for the crisp baseline: interval-arithmetic laws
+//! and the boolean nature of its conflict recognition.
+
+use flames_circuit::constraint::{extract, ExtractOptions};
+use flames_circuit::{Net, Netlist};
+use flames_crisp::{CrispConfig, CrispPropagator, Interval};
+use proptest::prelude::*;
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (-50.0..50.0f64, 0.0..20.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+fn positive_interval() -> impl Strategy<Value = Interval> {
+    (0.5..50.0f64, 0.0..10.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in interval(), b in interval()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in interval(), b in interval()) {
+        let ab = a.mul(b);
+        let ba = b.mul(a);
+        prop_assert!((ab.lo() - ba.lo()).abs() < 1e-9);
+        prop_assert!((ab.hi() - ba.hi()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_all_pointwise_products(a in interval(), b in interval(),
+                                       ta in 0.0..1.0f64, tb in 0.0..1.0f64) {
+        let xa = a.lo() + ta * a.width();
+        let xb = b.lo() + tb * b.width();
+        let p = a.mul(b);
+        prop_assert!(p.contains(xa * xb) || (xa * xb - p.lo()).abs() < 1e-9
+            || (xa * xb - p.hi()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_round_trip_includes(a in positive_interval(), b in positive_interval()) {
+        let q = a.div(b).expect("positive divisor");
+        let rt = q.mul(b);
+        prop_assert!(a.lo() >= rt.lo() - 1e-9);
+        prop_assert!(a.hi() <= rt.hi() + 1e-9);
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_subset(a in interval(), b in interval()) {
+        match (a.intersect(b), b.intersect(a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(x.is_subset_of(a));
+                prop_assert!(x.is_subset_of(b));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive(a in interval()) {
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn conflicts_are_boolean(offset in 0.0..6.0f64) {
+        // The crisp engine either stays silent or fires a full nogood —
+        // there is no grading, whatever the deviation magnitude.
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+        let network = extract(&nl, ExtractOptions::default());
+        let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
+        let reading = 5.0 + offset.min(4.9);
+        prop.observe(
+            network.voltage_quantity(mid),
+            Interval::new(reading - 0.01, reading + 0.01),
+        );
+        prop.run();
+        // Either no nogoods, or nogoods — and candidates appear exactly
+        // when nogoods do.
+        let nogoods = prop.atms().nogoods().len();
+        let candidates = prop.candidates(2, 64).len();
+        prop_assert_eq!(nogoods == 0, candidates == 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! LR fuzzy-interval arithmetic (the paper's §3.2, following its ref \[6\],
+//! Bonissone & Decker).
+//!
+//! Addition, subtraction and negation of trapezoids are *exact*.
+//! Multiplication and division use the **vertex method**: the resulting
+//! trapezoid is exact at membership levels 1 (core) and 0 (support) and a
+//! linear (secant) approximation in between. For positive operands this
+//! reduces to the classical LR approximations
+//!
+//! ```text
+//! M ⊗ N = [ac, bd, aγ + cα − αγ, bδ + dβ + βδ]
+//! M ⊘ N = [a/d, b/c, (aδ + dα)/(d(d+δ)), (bγ + cβ)/(c(c−γ))]
+//! ```
+//!
+//! which are exactly the numbers printed in the paper's Fig. 2 propagation
+//! table (validated in this module's tests to two decimals).
+//!
+//! All binary operations are *inclusion monotone*: widening an operand can
+//! only widen the result — the property that makes fuzzy propagation sound.
+
+use crate::error::FuzzyError;
+use crate::trapezoid::FuzzyInterval;
+use crate::Result;
+use std::ops::{Add, Neg, Sub};
+
+impl FuzzyInterval {
+    /// Fuzzy negation `⊖M = [−m2, −m1, β, α]` (exact).
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Self::new(
+            -self.core_hi(),
+            -self.core_lo(),
+            self.spread_right(),
+            self.spread_left(),
+        )
+        .expect("negation of valid trapezoid is valid")
+    }
+
+    /// Multiplication by a crisp scalar (exact).
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        if k >= 0.0 {
+            Self::new(
+                k * self.core_lo(),
+                k * self.core_hi(),
+                k * self.spread_left(),
+                k * self.spread_right(),
+            )
+            .expect("scaling by non-negative finite scalar preserves validity")
+        } else {
+            self.negated().scaled(-k)
+        }
+    }
+
+    /// Fuzzy multiplication `M ⊗ N` by the vertex method — exact at the
+    /// core and support levels, a secant approximation in between.
+    ///
+    /// For positive operands this coincides with the LR approximation used
+    /// in the paper (its ref \[6\]); the Fig. 2 numbers are reproduced by
+    /// this method.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid operands; returns `Result` for
+    /// signature symmetry with [`FuzzyInterval::div`] and to keep room for
+    /// overflow detection.
+    pub fn mul(&self, other: &Self) -> Result<Self> {
+        let (core_lo, core_hi) = minmax_products(
+            self.core_lo(),
+            self.core_hi(),
+            other.core_lo(),
+            other.core_hi(),
+        );
+        let (supp_lo, supp_hi) = minmax_products(
+            self.support_lo(),
+            self.support_hi(),
+            other.support_lo(),
+            other.support_hi(),
+        );
+        trapezoid_from_levels(core_lo, core_hi, supp_lo, supp_hi)
+    }
+
+    /// Exact fuzzy multiplication by α-cut arithmetic: the cuts of the
+    /// product are the interval products of the operand cuts, sampled at
+    /// `levels` membership levels and returned as an exact
+    /// piecewise-linear function between them.
+    ///
+    /// The vertex-method [`FuzzyInterval::mul`] coincides with this at
+    /// levels 0 and 1; in between it is a secant whose deviation this
+    /// method quantifies (the `DESIGN.md` §5 ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` (at least the support and core levels are
+    /// needed).
+    #[must_use]
+    pub fn mul_exact(&self, other: &Self, levels: usize) -> crate::Pwl {
+        assert!(levels >= 2, "need at least the support and core levels");
+        let cuts: Vec<(f64, f64, f64)> = (0..levels)
+            .map(|k| {
+                let level = k as f64 / (levels - 1) as f64;
+                let (a_lo, a_hi) = self.alpha_cut(level);
+                let (b_lo, b_hi) = other.alpha_cut(level);
+                let (lo, hi) = minmax_products(a_lo, a_hi, b_lo, b_hi);
+                (level, lo, hi)
+            })
+            .collect();
+        crate::Pwl::from_alpha_cuts(&cuts)
+    }
+
+    /// Fuzzy division `M ⊘ N` by the vertex method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::DivisorSpansZero`] if zero lies in (the closure
+    /// of) the divisor's support — the quotient would be unbounded.
+    pub fn div(&self, other: &Self) -> Result<Self> {
+        let (slo, shi) = other.support();
+        if slo <= 0.0 && shi >= 0.0 {
+            return Err(FuzzyError::DivisorSpansZero {
+                support_lo: slo,
+                support_hi: shi,
+            });
+        }
+        let (core_lo, core_hi) = minmax_quotients(
+            self.core_lo(),
+            self.core_hi(),
+            other.core_lo(),
+            other.core_hi(),
+        );
+        let (supp_lo, supp_hi) =
+            minmax_quotients(self.support_lo(), self.support_hi(), slo, shi);
+        trapezoid_from_levels(core_lo, core_hi, supp_lo, supp_hi)
+    }
+
+    /// Fuzzy reciprocal `1 ⊘ M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::DivisorSpansZero`] if zero lies in the support.
+    pub fn recip(&self) -> Result<Self> {
+        Self::crisp(1.0).div(self)
+    }
+
+    /// Pointwise-minimum extension `min(M, N)` (exact: `min` is monotone in
+    /// both arguments).
+    #[must_use]
+    pub fn min_ext(&self, other: &Self) -> Self {
+        let core_lo = self.core_lo().min(other.core_lo());
+        let core_hi = self.core_hi().min(other.core_hi());
+        let supp_lo = self.support_lo().min(other.support_lo());
+        let supp_hi = self.support_hi().min(other.support_hi());
+        trapezoid_from_levels(core_lo, core_hi, supp_lo, supp_hi)
+            .expect("min of valid trapezoids is valid")
+    }
+
+    /// Pointwise-maximum extension `max(M, N)` (exact).
+    #[must_use]
+    pub fn max_ext(&self, other: &Self) -> Self {
+        let core_lo = self.core_lo().max(other.core_lo());
+        let core_hi = self.core_hi().max(other.core_hi());
+        let supp_lo = self.support_lo().max(other.support_lo());
+        let supp_hi = self.support_hi().max(other.support_hi());
+        trapezoid_from_levels(core_lo, core_hi, supp_lo, supp_hi)
+            .expect("max of valid trapezoids is valid")
+    }
+
+    /// Convex hull (the tightest trapezoid containing both operands) —
+    /// used to merge alternative predictions for one quantity.
+    #[must_use]
+    pub fn hull(&self, other: &Self) -> Self {
+        trapezoid_from_levels(
+            self.core_lo().min(other.core_lo()),
+            self.core_hi().max(other.core_hi()),
+            self.support_lo().min(other.support_lo()),
+            self.support_hi().max(other.support_hi()),
+        )
+        .expect("hull of valid trapezoids is valid")
+    }
+
+    /// Trapezoidal intersection *approximation*: core = core ∩ core,
+    /// support = support ∩ support. Returns `None` when the result would be
+    /// empty at the core level (no common fully-possible value) — callers
+    /// that need the exact (possibly sub-normal) intersection should use
+    /// [`crate::Pwl::intersection`] instead.
+    #[must_use]
+    pub fn intersect_trapezoid(&self, other: &Self) -> Option<Self> {
+        let core_lo = self.core_lo().max(other.core_lo());
+        let core_hi = self.core_hi().min(other.core_hi());
+        if core_lo > core_hi {
+            return None;
+        }
+        let supp_lo = self.support_lo().max(other.support_lo());
+        let supp_hi = self.support_hi().min(other.support_hi());
+        trapezoid_from_levels(
+            core_lo,
+            core_hi,
+            supp_lo.min(core_lo),
+            supp_hi.max(core_hi),
+        )
+        .ok()
+    }
+}
+
+/// Builds a trapezoid from its level-1 interval (core) and level-0 interval
+/// (support).
+fn trapezoid_from_levels(core_lo: f64, core_hi: f64, supp_lo: f64, supp_hi: f64) -> Result<FuzzyInterval> {
+    // Guard against tiny negative spreads introduced by rounding.
+    let alpha = (core_lo - supp_lo).max(0.0);
+    let beta = (supp_hi - core_hi).max(0.0);
+    FuzzyInterval::new(core_lo, core_hi, alpha, beta)
+}
+
+fn minmax_products(a: f64, b: f64, c: f64, d: f64) -> (f64, f64) {
+    let ps = [a * c, a * d, b * c, b * d];
+    let mut lo = ps[0];
+    let mut hi = ps[0];
+    for &p in &ps[1..] {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    (lo, hi)
+}
+
+fn minmax_quotients(a: f64, b: f64, c: f64, d: f64) -> (f64, f64) {
+    let qs = [a / c, a / d, b / c, b / d];
+    let mut lo = qs[0];
+    let mut hi = qs[0];
+    for &q in &qs[1..] {
+        lo = lo.min(q);
+        hi = hi.max(q);
+    }
+    (lo, hi)
+}
+
+impl Add for FuzzyInterval {
+    type Output = FuzzyInterval;
+    /// Fuzzy addition `M ⊕ N = [m1+n1, m2+n2, α+γ, β+δ]` (exact, §3.2).
+    fn add(self, rhs: FuzzyInterval) -> FuzzyInterval {
+        FuzzyInterval::new(
+            self.core_lo() + rhs.core_lo(),
+            self.core_hi() + rhs.core_hi(),
+            self.spread_left() + rhs.spread_left(),
+            self.spread_right() + rhs.spread_right(),
+        )
+        .expect("sum of valid trapezoids is valid")
+    }
+}
+
+impl Add for &FuzzyInterval {
+    type Output = FuzzyInterval;
+    fn add(self, rhs: &FuzzyInterval) -> FuzzyInterval {
+        *self + *rhs
+    }
+}
+
+impl Sub for FuzzyInterval {
+    type Output = FuzzyInterval;
+    /// Fuzzy subtraction `M ⊖ N = [m1−n2, m2−n1, α+δ, β+γ]` (exact, §3.2).
+    fn sub(self, rhs: FuzzyInterval) -> FuzzyInterval {
+        FuzzyInterval::new(
+            self.core_lo() - rhs.core_hi(),
+            self.core_hi() - rhs.core_lo(),
+            self.spread_left() + rhs.spread_right(),
+            self.spread_right() + rhs.spread_left(),
+        )
+        .expect("difference of valid trapezoids is valid")
+    }
+}
+
+impl Sub for &FuzzyInterval {
+    type Output = FuzzyInterval;
+    fn sub(self, rhs: &FuzzyInterval) -> FuzzyInterval {
+        *self - *rhs
+    }
+}
+
+impl Neg for FuzzyInterval {
+    type Output = FuzzyInterval;
+    fn neg(self) -> FuzzyInterval {
+        self.negated()
+    }
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fi(m1: f64, m2: f64, a: f64, b: f64) -> FuzzyInterval {
+        FuzzyInterval::new(m1, m2, a, b).unwrap()
+    }
+
+    fn assert_close(x: f64, y: f64, tol: f64) {
+        assert!((x - y).abs() <= tol, "{x} != {y} (tol {tol})");
+    }
+
+    fn assert_fi(v: &FuzzyInterval, m1: f64, m2: f64, a: f64, b: f64, tol: f64) {
+        assert_close(v.core_lo(), m1, tol);
+        assert_close(v.core_hi(), m2, tol);
+        assert_close(v.spread_left(), a, tol);
+        assert_close(v.spread_right(), b, tol);
+    }
+
+    #[test]
+    fn addition_matches_paper_definition() {
+        // M ⊕ N = [m1+n1, m2+n2, α+γ, β+δ]  (§3.2)
+        let m = fi(1.0, 2.0, 0.1, 0.2);
+        let n = fi(3.0, 5.0, 0.3, 0.4);
+        assert_fi(&(m + n), 4.0, 7.0, 0.4, 0.6, 1e-12);
+    }
+
+    #[test]
+    fn subtraction_matches_paper_definition() {
+        // M ⊖ N = [m1−n2, m2−n1, α+δ, β+γ]  (§3.2)
+        let m = fi(1.0, 2.0, 0.1, 0.2);
+        let n = fi(3.0, 5.0, 0.3, 0.4);
+        assert_fi(&(m - n), -4.0, -1.0, 0.5, 0.5, 1e-12);
+    }
+
+    #[test]
+    fn add_sub_round_trip_widens_only() {
+        let m = fi(1.0, 2.0, 0.1, 0.2);
+        let n = fi(3.0, 5.0, 0.3, 0.4);
+        let rt = (m + n) - n;
+        // Fuzzy arithmetic is sub-distributive: the round trip includes m.
+        assert!(m.is_included_in(&rt));
+    }
+
+    // --- The paper's Fig. 2 numbers, crisp-input case (1). ---
+
+    #[test]
+    fn fig2_crisp_input_case() {
+        let va = FuzzyInterval::crisp_interval(2.95, 3.05).unwrap();
+        let amp1 = fi(1.0, 1.0, 0.05, 0.05);
+        let amp2 = fi(2.0, 2.0, 0.05, 0.05);
+        let amp3 = fi(3.0, 3.0, 0.05, 0.05);
+
+        let vb = va.mul(&amp1).unwrap();
+        assert_fi(&vb, 2.95, 3.05, 0.15, 0.15, 1e-2);
+
+        let vc = vb.mul(&amp2).unwrap();
+        assert_fi(&vc, 5.90, 6.10, 0.44, 0.46, 1e-2);
+
+        let vd = vb.mul(&amp3).unwrap();
+        assert_fi(&vd, 8.85, 9.15, 0.58, 0.62, 1e-2);
+    }
+
+    // --- The paper's Fig. 2 numbers, fuzzy-input case (2). ---
+
+    #[test]
+    fn fig2_fuzzy_input_case() {
+        let va = fi(3.0, 3.0, 0.05, 0.05);
+        let amp1 = fi(1.0, 1.0, 0.05, 0.05);
+        let amp2 = fi(2.0, 2.0, 0.05, 0.05);
+        let amp3 = fi(3.0, 3.0, 0.05, 0.05);
+
+        let vb = va.mul(&amp1).unwrap();
+        assert_fi(&vb, 3.0, 3.0, 0.20, 0.20, 1e-2);
+
+        let vc = vb.mul(&amp2).unwrap();
+        assert_fi(&vc, 6.0, 6.0, 0.54, 0.57, 1e-2);
+
+        let vd = vb.mul(&amp3).unwrap();
+        assert_fi(&vd, 9.0, 9.0, 0.73, 0.77, 1e-2);
+    }
+
+    // --- The paper's Fig. 2 crisp-interval (DIANA-style) columns. ---
+
+    #[test]
+    fn fig2_pure_crisp_interval_columns() {
+        let va = FuzzyInterval::crisp_interval(2.95, 3.05).unwrap();
+        let amp1 = FuzzyInterval::crisp_interval(0.95, 1.05).unwrap();
+        let amp2 = FuzzyInterval::crisp_interval(1.95, 2.05).unwrap();
+        let amp3 = FuzzyInterval::crisp_interval(2.95, 3.05).unwrap();
+
+        let vb = va.mul(&amp1).unwrap();
+        assert_close(vb.support_lo(), 2.8025, 1e-9);
+        assert_close(vb.support_hi(), 3.2025, 1e-9);
+
+        let vc = vb.mul(&amp2).unwrap();
+        assert_close(vc.support_lo(), 5.46, 1e-2);
+        assert_close(vc.support_hi(), 6.56, 1e-2);
+
+        let vd = vb.mul(&amp3).unwrap();
+        assert_close(vd.support_lo(), 8.26, 1e-2);
+        assert_close(vd.support_hi(), 9.76, 1e-2);
+    }
+
+    // --- The paper's §4.2 back-propagation (fault-masking) numbers. ---
+
+    #[test]
+    fn sec42_crisp_backpropagation_masks_fault() {
+        // amp2 actually 1.8; Vc measured [5.6, 5.6].
+        let vc = FuzzyInterval::crisp(5.6);
+        let amp2_actual = FuzzyInterval::crisp(1.8);
+        let vb = vc.div(&amp2_actual).unwrap();
+        assert_close(vb.core_lo(), 3.111, 2e-3);
+
+        let amp1 = FuzzyInterval::crisp_interval(0.95, 1.05).unwrap();
+        let va = vb.div(&amp1).unwrap();
+        // Paper: Va = [2.96, 3.27] — overlaps the nominal [2.95, 3.05]:
+        // the fault is masked.
+        assert_close(va.support_lo(), 2.96, 1e-2);
+        assert_close(va.support_hi(), 3.27, 1e-2);
+    }
+
+    #[test]
+    fn sec42_fuzzy_backpropagation_exposes_fault() {
+        // Fuzzy reading: measurement imprecision 0.05 around 5.6.
+        let vc = FuzzyInterval::crisp(5.6).widened(0.05).unwrap();
+        let amp2_actual = FuzzyInterval::crisp(1.8);
+        let vb = vc.div(&amp2_actual).unwrap();
+        // Paper: Vb = [3.11, 3.11, 0.027, 0.027].
+        assert_fi(&vb, 3.111, 3.111, 0.0278, 0.0278, 2e-3);
+
+        let amp1 = fi(1.0, 1.0, 0.05, 0.05);
+        let va = vb.div(&amp1).unwrap();
+        // Paper: Va = [3.11, 3.11, 0.17, 0.17] (approximation; our vertex
+        // method gives 0.175/0.193 — same two-decimal neighbourhood).
+        assert_close(va.core_lo(), 3.111, 2e-3);
+        assert_close(va.spread_left(), 0.17, 2e-2);
+        assert_close(va.spread_right(), 0.19, 2e-2);
+        // The nominal Va = [3, 3, 0.05, 0.05]: its core (3.0) has membership
+        // < 1 in the back-propagated value — a graded inconsistency the
+        // crisp run cannot see.
+        let nominal = fi(3.0, 3.0, 0.05, 0.05);
+        assert!(va.membership(nominal.core_lo()) < 0.55);
+        assert!(va.membership(nominal.core_lo()) > 0.0);
+    }
+
+    #[test]
+    fn negation_mirrors() {
+        let m = fi(1.0, 2.0, 0.25, 0.5);
+        assert_fi(&m.negated(), -2.0, -1.0, 0.5, 0.25, 1e-12);
+        assert_fi(&m.negated().negated(), 1.0, 2.0, 0.25, 0.5, 1e-12);
+    }
+
+    #[test]
+    fn scaling_positive_and_negative() {
+        let m = fi(1.0, 2.0, 0.25, 0.5);
+        assert_fi(&m.scaled(2.0), 2.0, 4.0, 0.5, 1.0, 1e-12);
+        assert_fi(&m.scaled(-1.0), -2.0, -1.0, 0.5, 0.25, 1e-12);
+        assert_fi(&m.scaled(0.0), 0.0, 0.0, 0.0, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn multiplication_with_negative_operand() {
+        let m = fi(-2.0, -1.0, 0.5, 0.5);
+        let n = fi(3.0, 4.0, 1.0, 1.0);
+        let p = m.mul(&n).unwrap();
+        // Core: [-2,-1] * [3,4] = [-8, -3].
+        assert_close(p.core_lo(), -8.0, 1e-12);
+        assert_close(p.core_hi(), -3.0, 1e-12);
+        // Support: [-2.5,-0.5] * [2,5] = [-12.5, -1].
+        assert_close(p.support_lo(), -12.5, 1e-12);
+        assert_close(p.support_hi(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn multiplication_spanning_zero() {
+        let m = fi(-1.0, 1.0, 0.5, 0.5);
+        let n = fi(2.0, 2.0, 0.0, 0.0);
+        let p = m.mul(&n).unwrap();
+        assert_close(p.core_lo(), -2.0, 1e-12);
+        assert_close(p.core_hi(), 2.0, 1e-12);
+        assert_close(p.support_lo(), -3.0, 1e-12);
+        assert_close(p.support_hi(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn division_by_zero_spanning_support_fails() {
+        let m = fi(1.0, 1.0, 0.0, 0.0);
+        let n = fi(0.5, 1.0, 1.0, 0.0); // support [-0.5, 1]
+        assert!(matches!(m.div(&n), Err(FuzzyError::DivisorSpansZero { .. })));
+        let z = FuzzyInterval::crisp(0.0);
+        assert!(m.div(&z).is_err());
+    }
+
+    #[test]
+    fn division_by_negative_divisor() {
+        let m = fi(4.0, 8.0, 0.0, 0.0);
+        let n = fi(-2.0, -1.0, 0.0, 0.0);
+        let q = m.div(&n).unwrap();
+        assert_close(q.core_lo(), -8.0, 1e-12);
+        assert_close(q.core_hi(), -2.0, 1e-12);
+    }
+
+    #[test]
+    fn mul_div_round_trip_includes_original() {
+        let m = fi(2.0, 3.0, 0.2, 0.3);
+        let n = fi(4.0, 5.0, 0.1, 0.1);
+        let rt = m.mul(&n).unwrap().div(&n).unwrap();
+        assert!(m.is_included_in(&rt));
+    }
+
+    #[test]
+    fn recip_of_recip_includes_original() {
+        let m = fi(2.0, 3.0, 0.2, 0.3);
+        let rt = m.recip().unwrap().recip().unwrap();
+        assert!(m.is_included_in(&rt));
+        assert!(rt.support_width() >= m.support_width() - 1e-12);
+    }
+
+    #[test]
+    fn inclusion_monotonicity_of_mul() {
+        let narrow = fi(2.0, 3.0, 0.1, 0.1);
+        let wide = fi(2.0, 3.0, 0.5, 0.5);
+        let k = fi(4.0, 4.0, 0.2, 0.2);
+        let pn = narrow.mul(&k).unwrap();
+        let pw = wide.mul(&k).unwrap();
+        assert!(pn.is_included_in(&pw));
+    }
+
+    #[test]
+    fn min_max_extensions() {
+        let m = fi(1.0, 2.0, 0.5, 0.5);
+        let n = fi(1.5, 3.0, 0.5, 0.5);
+        let lo = m.min_ext(&n);
+        assert_close(lo.core_lo(), 1.0, 1e-12);
+        assert_close(lo.core_hi(), 2.0, 1e-12);
+        let hi = m.max_ext(&n);
+        assert_close(hi.core_lo(), 1.5, 1e-12);
+        assert_close(hi.core_hi(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn hull_contains_both() {
+        let m = fi(1.0, 2.0, 0.5, 0.5);
+        let n = fi(5.0, 6.0, 0.1, 0.1);
+        let h = m.hull(&n);
+        assert!(m.is_included_in(&h));
+        assert!(n.is_included_in(&h));
+    }
+
+    #[test]
+    fn trapezoid_intersection_overlapping() {
+        let m = fi(1.0, 3.0, 0.5, 0.5);
+        let n = fi(2.0, 4.0, 0.5, 0.5);
+        let i = m.intersect_trapezoid(&n).unwrap();
+        assert_close(i.core_lo(), 2.0, 1e-12);
+        assert_close(i.core_hi(), 3.0, 1e-12);
+        // Disjoint cores -> None (exact intersection would be sub-normal).
+        let far = fi(10.0, 11.0, 0.5, 0.5);
+        assert!(m.intersect_trapezoid(&far).is_none());
+    }
+
+    #[test]
+    fn exact_multiplication_brackets_the_vertex_method() {
+        let m = fi(2.0, 3.0, 0.5, 0.5);
+        let n = fi(4.0, 5.0, 0.4, 0.6);
+        let approx = m.mul(&n).unwrap();
+        let exact = m.mul_exact(&n, 17);
+        // Agreement at the support and core levels.
+        assert!((exact.eval(approx.support_lo()) - 0.0).abs() < 1e-9);
+        assert!((exact.eval(approx.core_lo()) - 1.0).abs() < 1e-9);
+        assert!((exact.eval(approx.core_hi()) - 1.0).abs() < 1e-9);
+        // The exact product's α-cuts sit inside the trapezoid's (the
+        // secant over-approximates): μ_exact(x) ≥ μ_trapezoid(x) on the
+        // left flank means the exact set is *tighter*.
+        for k in 1..16 {
+            let x = approx.support_lo()
+                + (approx.core_lo() - approx.support_lo()) * k as f64 / 16.0;
+            assert!(
+                exact.eval(x) >= approx.membership(x) - 1e-9,
+                "at {x}: exact {} < approx {}",
+                exact.eval(x),
+                approx.membership(x)
+            );
+        }
+        // And the deviation is small for moderate spreads.
+        let mid = 0.5 * (approx.support_lo() + approx.core_lo());
+        assert!((exact.eval(mid) - approx.membership(mid)).abs() < 0.06);
+    }
+
+    #[test]
+    #[allow(clippy::op_ref)] // the reference impls are exactly what is under test
+    fn operator_sugar() {
+        let m = fi(1.0, 2.0, 0.1, 0.1);
+        let n = fi(3.0, 4.0, 0.1, 0.1);
+        assert_eq!(&m + &n, m + n);
+        assert_eq!(&m - &n, m - n);
+        assert_eq!(-m, m.negated());
+        assert_eq!((m + n) - n, (m - n) + n);
+    }
+}

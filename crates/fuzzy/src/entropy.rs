@@ -1,0 +1,253 @@
+//! Fuzzy Shannon entropy over faultiness estimations (§8.2 of the paper).
+//!
+//! "The module under test is considered as a system of components for which
+//! we give estimations of their states in terms of fuzzy probability, so we
+//! adapted the definition of Shannon entropy to calculate the fuzzy
+//! entropy": for a set `S` of `n` components with fuzzy estimations `Fᵢ`,
+//!
+//! ```text
+//! Ent(S) = ⊕ᵢ  Fᵢ ⊗ log2(1/Fᵢ)
+//! ```
+//!
+//! computed with fuzzy arithmetic. Each summand is the fuzzy extension of
+//! `h(x) = x·log2(1/x)` (with `h(0) = h(1) = 0`), evaluated exactly on the
+//! core and support levels of the trapezoid: `h` is unimodal with its peak
+//! at `x = 1/e`, so the image of an interval is available in closed form.
+//! The result is itself a fuzzy interval; rank alternatives with
+//! [`FuzzyInterval::centroid`] or compare with the crisp
+//! [`shannon_entropy`] baseline.
+
+use crate::error::FuzzyError;
+use crate::trapezoid::FuzzyInterval;
+use crate::Result;
+
+/// `x · log2(1/x)` extended by continuity with `h(0) = 0`.
+#[must_use]
+pub fn point_entropy(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        -x * x.log2()
+    }
+}
+
+/// Location of the maximum of `h(x) = x·log2(1/x)` on `[0, 1]`.
+const H_PEAK_X: f64 = std::f64::consts::E.recip(); // 1/e
+
+/// Image `[min, max]` of `h` over the interval `[lo, hi] ⊆ [0, 1]`.
+fn interval_entropy_image(lo: f64, hi: f64) -> (f64, f64) {
+    let lo = lo.clamp(0.0, 1.0);
+    let hi = hi.clamp(0.0, 1.0);
+    let at_lo = point_entropy(lo);
+    let at_hi = point_entropy(hi);
+    let min = at_lo.min(at_hi);
+    let max = if lo <= H_PEAK_X && H_PEAK_X <= hi {
+        point_entropy(H_PEAK_X)
+    } else {
+        at_lo.max(at_hi)
+    };
+    (min, max)
+}
+
+/// Fuzzy extension of `h(x) = x·log2(1/x)` to a trapezoidal estimation
+/// (exact at the core and support levels).
+///
+/// # Errors
+///
+/// Returns [`FuzzyError::EstimationOutOfRange`] if the estimation's support
+/// leaves `[0, 1]` (faultiness estimations are degrees).
+pub fn fuzzy_point_entropy(estimation: &FuzzyInterval) -> Result<FuzzyInterval> {
+    let (slo, shi) = estimation.support();
+    if slo < -1e-9 || shi > 1.0 + 1e-9 {
+        let value = if slo < 0.0 { slo } else { shi };
+        return Err(FuzzyError::EstimationOutOfRange { value });
+    }
+    let (core_min, core_max) = interval_entropy_image(estimation.core_lo(), estimation.core_hi());
+    let (supp_min, supp_max) = interval_entropy_image(slo, shi);
+    // Support image always contains the core image (h continuous, support ⊇ core).
+    FuzzyInterval::new(
+        core_min,
+        core_max,
+        (core_min - supp_min).max(0.0),
+        (supp_max - core_max).max(0.0),
+    )
+}
+
+/// Fuzzy entropy `Ent(S)` of a system of fuzzy estimations (§8.2).
+///
+/// An empty system has zero entropy (a crisp 0).
+///
+/// # Errors
+///
+/// Returns [`FuzzyError::EstimationOutOfRange`] if any estimation leaves
+/// the unit interval.
+pub fn fuzzy_entropy(estimations: &[FuzzyInterval]) -> Result<FuzzyInterval> {
+    let mut acc = FuzzyInterval::crisp(0.0);
+    for e in estimations {
+        acc = acc + fuzzy_point_entropy(e)?;
+    }
+    Ok(acc)
+}
+
+/// Crisp Shannon entropy `−Σ pᵢ log2 pᵢ` of a weight vector, normalizing
+/// the weights first; zero for an empty or all-zero vector. This is the
+/// "numerical approach with its heavy calculus" the paper moves away from —
+/// kept as the GDE-style baseline.
+#[must_use]
+pub fn shannon_entropy(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .filter(|w| **w > 0.0)
+        .map(|w| {
+            let p = w / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Expected (fuzzy) entropy of a test: possibility-weighted fuzzy sum of
+/// the per-outcome posterior entropies. The weights are normalized crisp
+/// possibilities; outcomes with zero possibility are ignored.
+///
+/// Returns a crisp 0 when every outcome is impossible.
+#[must_use]
+pub fn expected_entropy(outcomes: &[(f64, FuzzyInterval)]) -> FuzzyInterval {
+    let total: f64 = outcomes.iter().map(|(w, _)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return FuzzyInterval::crisp(0.0);
+    }
+    let mut acc = FuzzyInterval::crisp(0.0);
+    for (w, ent) in outcomes {
+        if *w > 0.0 {
+            acc = acc + ent.scaled(w / total);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fi(m1: f64, m2: f64, a: f64, b: f64) -> FuzzyInterval {
+        FuzzyInterval::new(m1, m2, a, b).unwrap()
+    }
+
+    #[test]
+    fn point_entropy_boundaries() {
+        assert_eq!(point_entropy(0.0), 0.0);
+        assert_eq!(point_entropy(1.0), 0.0);
+        assert!((point_entropy(0.5) - 0.5).abs() < 1e-12);
+        // Peak at 1/e.
+        let peak = point_entropy(H_PEAK_X);
+        assert!(peak > point_entropy(0.3));
+        assert!(peak > point_entropy(0.45));
+        assert!((peak - std::f64::consts::LOG2_E / std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crisp_estimation_gives_crisp_entropy() {
+        let e = FuzzyInterval::crisp(0.5);
+        let h = fuzzy_point_entropy(&e).unwrap();
+        assert!(h.is_point());
+        assert!((h.core_lo() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_straddling_peak_caps_at_peak() {
+        let e = fi(0.2, 0.6, 0.0, 0.0);
+        let h = fuzzy_point_entropy(&e).unwrap();
+        assert!((h.core_hi() - point_entropy(H_PEAK_X)).abs() < 1e-12);
+        assert!((h.core_lo() - point_entropy(0.2).min(point_entropy(0.6))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuzzy_estimation_spreads_propagate() {
+        let e = fi(0.5, 0.5, 0.1, 0.1);
+        let h = fuzzy_point_entropy(&e).unwrap();
+        assert!(h.spread_left() > 0.0 || h.spread_right() > 0.0);
+        // Support image contains the core image.
+        assert!(h.support_lo() <= h.core_lo());
+        assert!(h.support_hi() >= h.core_hi());
+    }
+
+    #[test]
+    fn rejects_out_of_range_estimation() {
+        let e = fi(0.9, 1.0, 0.0, 0.3);
+        assert!(matches!(
+            fuzzy_point_entropy(&e),
+            Err(FuzzyError::EstimationOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn certain_system_has_zero_entropy() {
+        // All components certainly correct (0) or certainly faulty (1):
+        // nothing random, entropy 0.
+        let est = vec![
+            FuzzyInterval::crisp(0.0),
+            FuzzyInterval::crisp(1.0),
+            FuzzyInterval::crisp(0.0),
+        ];
+        let h = fuzzy_entropy(&est).unwrap();
+        assert!(h.is_point());
+        assert_eq!(h.core_lo(), 0.0);
+    }
+
+    #[test]
+    fn uncertain_system_has_positive_entropy() {
+        let est = vec![fi(0.5, 0.5, 0.05, 0.05); 3];
+        let h = fuzzy_entropy(&est).unwrap();
+        assert!(h.centroid() > 1.0); // three × ~0.5 bits
+    }
+
+    #[test]
+    fn entropy_decreases_as_estimations_sharpen() {
+        let vague = vec![fi(0.5, 0.5, 0.05, 0.05); 4];
+        let sharp = vec![
+            fi(0.95, 0.95, 0.02, 0.02),
+            fi(0.05, 0.05, 0.02, 0.02),
+            fi(0.05, 0.05, 0.02, 0.02),
+            fi(0.05, 0.05, 0.02, 0.02),
+        ];
+        let hv = fuzzy_entropy(&vague).unwrap();
+        let hs = fuzzy_entropy(&sharp).unwrap();
+        assert!(hs.centroid() < hv.centroid());
+    }
+
+    #[test]
+    fn empty_system_zero() {
+        let h = fuzzy_entropy(&[]).unwrap();
+        assert!(h.is_point());
+        assert_eq!(h.core_midpoint(), 0.0);
+    }
+
+    #[test]
+    fn shannon_baseline() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0.0, 0.0]), 0.0);
+        assert!((shannon_entropy(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((shannon_entropy(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        // Unnormalized weights are normalized.
+        assert!((shannon_entropy(&[2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(shannon_entropy(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn expected_entropy_weighted_mix() {
+        let low = FuzzyInterval::crisp(0.2);
+        let high = FuzzyInterval::crisp(1.0);
+        let e = expected_entropy(&[(1.0, low), (1.0, high)]);
+        assert!((e.core_midpoint() - 0.6).abs() < 1e-12);
+        // Zero-possibility outcomes are ignored.
+        let e = expected_entropy(&[(0.0, high), (1.0, low)]);
+        assert!((e.core_midpoint() - 0.2).abs() < 1e-12);
+        // All impossible -> crisp zero.
+        let e = expected_entropy(&[(0.0, high)]);
+        assert_eq!(e.core_midpoint(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors produced by the fuzzy calculus.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FuzzyError {
+    /// A trapezoid was constructed with `m1 > m2`, a negative spread, or a
+    /// non-finite parameter.
+    InvalidInterval {
+        /// Lower bound of the requested core.
+        m1: f64,
+        /// Upper bound of the requested core.
+        m2: f64,
+        /// Requested left spread.
+        alpha: f64,
+        /// Requested right spread.
+        beta: f64,
+    },
+    /// Division by a fuzzy interval whose support contains zero.
+    DivisorSpansZero {
+        /// Lower end of the divisor's support.
+        support_lo: f64,
+        /// Upper end of the divisor's support.
+        support_hi: f64,
+    },
+    /// A linguistic term set was queried while empty.
+    EmptyTermSet,
+    /// An entropy estimation fell outside the unit interval `[0, 1]`.
+    EstimationOutOfRange {
+        /// Offending support bound.
+        value: f64,
+    },
+    /// A piecewise-linear function was built from unsorted or non-finite
+    /// breakpoints.
+    InvalidPwl,
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidInterval { m1, m2, alpha, beta } => write!(
+                f,
+                "invalid fuzzy interval [m1={m1}, m2={m2}, alpha={alpha}, beta={beta}]: \
+                 requires m1 <= m2, non-negative finite spreads"
+            ),
+            FuzzyError::DivisorSpansZero { support_lo, support_hi } => write!(
+                f,
+                "division by fuzzy interval whose support [{support_lo}, {support_hi}] spans zero"
+            ),
+            FuzzyError::EmptyTermSet => write!(f, "linguistic term set is empty"),
+            FuzzyError::EstimationOutOfRange { value } => write!(
+                f,
+                "fuzzy estimation support reaches {value}, outside the unit interval"
+            ),
+            FuzzyError::InvalidPwl => {
+                write!(f, "piecewise-linear membership requires sorted finite breakpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}

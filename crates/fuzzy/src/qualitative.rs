@@ -1,0 +1,186 @@
+//! Order-of-magnitude and qualitative comparison operators defined through
+//! fuzzy sets (the paper's §4.2 and its ref \[10\]).
+//!
+//! DEDALE-style order-of-magnitude reasoning uses crisp relations
+//! (*negligible*, *close to*, *comparable*) whose all-or-nothing character
+//! the paper criticizes: "fuzzy sets allow to define the order-of-magnitude
+//! operators in an accurate manner". Here each relation returns a *degree*
+//! in `[0, 1]`, computed from the ratio of the two quantities through a
+//! trapezoidal set, and qualitative value classes (`Negative`, `Zero`,
+//! `Positive`) are graded the same way.
+
+use crate::trapezoid::FuzzyInterval;
+
+/// Degree to which `a` is **negligible** with respect to `b`
+/// (`a ≪ b`, "Ne" in order-of-magnitude calculi).
+///
+/// Graded on `|a/b|` through the set `[0, thr/2, 0, thr/2]`: fully
+/// negligible below `thr/2`, not at all beyond `thr`. `thr` defaults in
+/// [`negligible`] to `0.1` (one order of magnitude with slack).
+///
+/// A zero `b` makes nothing negligible (degree 0) except a zero `a`
+/// (degree 1).
+#[must_use]
+pub fn negligible_with(a: f64, b: f64, thr: f64) -> f64 {
+    if b == 0.0 {
+        return if a == 0.0 { 1.0 } else { 0.0 };
+    }
+    let ratio = (a / b).abs();
+    let half = 0.5 * thr.max(f64::MIN_POSITIVE);
+    let set = FuzzyInterval::new(0.0, half, 0.0, half).expect("static");
+    set.membership(ratio)
+}
+
+/// [`negligible_with`] at the default threshold `0.1`.
+#[must_use]
+pub fn negligible(a: f64, b: f64) -> f64 {
+    negligible_with(a, b, 0.1)
+}
+
+/// Degree to which `a` is **close to** `b` (`a ≈ b`, "Vo"/voisin):
+/// graded on `a/b` through `[1−tol/2, 1+tol/2, tol/2, tol/2]`.
+///
+/// With `b = 0`, closeness degenerates to `a = 0`.
+#[must_use]
+pub fn close_to_with(a: f64, b: f64, tol: f64) -> f64 {
+    if b == 0.0 {
+        return if a == 0.0 { 1.0 } else { 0.0 };
+    }
+    let ratio = a / b;
+    let half = 0.5 * tol.max(f64::MIN_POSITIVE);
+    let set = FuzzyInterval::new(1.0 - half, 1.0 + half, half, half).expect("static");
+    set.membership(ratio)
+}
+
+/// [`close_to_with`] at the default tolerance `0.2` (±10 % fully close,
+/// fading to zero at ±20 %).
+#[must_use]
+pub fn close_to(a: f64, b: f64) -> f64 {
+    close_to_with(a, b, 0.2)
+}
+
+/// Degree to which `a` and `b` are **comparable** (same order of
+/// magnitude, "Co"): graded on `|a/b|` through a set that is 1 on
+/// `[1/3, 3]` and fades to 0 at `[1/10, 10]`.
+#[must_use]
+pub fn comparable(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        return if a == 0.0 { 1.0 } else { 0.0 };
+    }
+    let ratio = (a / b).abs();
+    // Work in log10 of the ratio: 1 on [-log3, log3], 0 beyond [-1, 1].
+    let l = ratio.log10();
+    let log3 = 3f64.log10();
+    let set = FuzzyInterval::new(-log3, log3, 1.0 - log3, 1.0 - log3).expect("static");
+    set.membership(l)
+}
+
+/// Qualitative sign classes graded fuzzily around zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Distinctly below zero.
+    Negative,
+    /// Around zero.
+    Zero,
+    /// Distinctly above zero.
+    Positive,
+}
+
+/// Membership of `x` in a qualitative [`Sign`] class, with `scale` setting
+/// the width of the fuzzy "zero" band (full membership within
+/// `±scale/2`, none beyond `±scale`).
+#[must_use]
+pub fn sign_membership(x: f64, sign: Sign, scale: f64) -> f64 {
+    let s = scale.max(f64::MIN_POSITIVE);
+    let half = 0.5 * s;
+    match sign {
+        Sign::Zero => FuzzyInterval::new(-half, half, half, half)
+            .expect("static")
+            .membership(x),
+        Sign::Positive => {
+            if x >= s {
+                1.0
+            } else if x <= half {
+                0.0
+            } else {
+                (x - half) / (s - half)
+            }
+        }
+        Sign::Negative => sign_membership(-x, Sign::Positive, scale),
+    }
+}
+
+/// The qualitative sign class with the highest membership for `x`.
+#[must_use]
+pub fn qualitative_sign(x: f64, scale: f64) -> Sign {
+    let classes = [Sign::Negative, Sign::Zero, Sign::Positive];
+    let mut best = Sign::Zero;
+    let mut best_mu = -1.0;
+    for c in classes {
+        let mu = sign_membership(x, c, scale);
+        if mu > best_mu {
+            best = c;
+            best_mu = mu;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negligible_grades_smoothly() {
+        assert_eq!(negligible(1.0, 1000.0), 1.0);
+        assert_eq!(negligible(1.0, 1.0), 0.0);
+        let mid = negligible(0.075, 1.0);
+        assert!(mid > 0.0 && mid < 1.0);
+        // Monotone in the ratio.
+        assert!(negligible(0.06, 1.0) > negligible(0.09, 1.0));
+    }
+
+    #[test]
+    fn negligible_zero_denominator() {
+        assert_eq!(negligible(0.0, 0.0), 1.0);
+        assert_eq!(negligible(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn close_to_peak_at_equality() {
+        assert_eq!(close_to(5.0, 5.0), 1.0);
+        assert_eq!(close_to(5.0, 10.0), 0.0);
+        let near = close_to(5.6, 5.0); // ratio 1.12
+        assert!(near > 0.0 && near < 1.0);
+        assert!(close_to(5.3, 5.0) > close_to(5.8, 5.0));
+    }
+
+    #[test]
+    fn comparable_within_order_of_magnitude() {
+        assert_eq!(comparable(2.0, 5.0), 1.0);
+        assert_eq!(comparable(1.0, 1.0), 1.0);
+        assert_eq!(comparable(1.0, 100.0), 0.0);
+        let edge = comparable(1.0, 6.0);
+        assert!(edge > 0.0 && edge < 1.0);
+        // Symmetric in its arguments.
+        assert!((comparable(1.0, 6.0) - comparable(6.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_memberships_partition() {
+        assert_eq!(sign_membership(0.0, Sign::Zero, 1.0), 1.0);
+        assert_eq!(sign_membership(2.0, Sign::Positive, 1.0), 1.0);
+        assert_eq!(sign_membership(-2.0, Sign::Negative, 1.0), 1.0);
+        assert_eq!(sign_membership(2.0, Sign::Zero, 1.0), 0.0);
+        // Graded in the overlap band.
+        let mu = sign_membership(0.75, Sign::Positive, 1.0);
+        assert!(mu > 0.0 && mu < 1.0);
+    }
+
+    #[test]
+    fn qualitative_sign_classifies() {
+        assert_eq!(qualitative_sign(5.0, 1.0), Sign::Positive);
+        assert_eq!(qualitative_sign(-5.0, 1.0), Sign::Negative);
+        assert_eq!(qualitative_sign(0.1, 1.0), Sign::Zero);
+    }
+}

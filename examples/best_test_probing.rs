@@ -1,0 +1,54 @@
+//! Guided probing (§8): let FLAMES recommend the next best test on an
+//! 8-stage cascade with a hidden weak stage, comparing the fuzzy-entropy
+//! policy against the GDE-style probabilistic baseline.
+//!
+//! ```bash
+//! cargo run --example best_test_probing
+//! ```
+
+use flames::circuit::circuits::cascade;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure_all;
+use flames::circuit::Fault;
+use flames::core::strategy::{probe_until_isolated, recommend, Policy};
+use flames::core::{Diagnoser, DiagnoserConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = cascade(8, 1.3, 0.03);
+    let hidden_fault = 5; // amp_6 runs at 60 % gain
+    let board = inject_faults(
+        &c.netlist,
+        &[(c.amps[hidden_fault], Fault::ParamFactor(0.6))],
+    )?;
+    let readings = measure_all(&board, &c.stages, 0.02)?;
+    let diagnoser =
+        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())?;
+
+    // Peek at the first recommendation of each policy.
+    let fresh = diagnoser.session();
+    for policy in [Policy::FuzzyEntropy, Policy::Probabilistic] {
+        let choices = recommend(&fresh, policy, 0.05);
+        let best = choices.first().expect("unprobed points exist");
+        println!(
+            "{policy}: first probe {} (score {:.3}, expected entropy {:.3})",
+            best.name, best.score, best.expected_entropy
+        );
+    }
+    println!();
+
+    // Drive both policies to isolation.
+    for policy in [Policy::FuzzyEntropy, Policy::Probabilistic, Policy::FixedOrder] {
+        let mut session = diagnoser.session();
+        let run = probe_until_isolated(&mut session, policy, 0.05, &|i| readings[i])?;
+        println!(
+            "{policy:<14} probes: {:<42} cost {:>4.1}  isolated: {:<5}  top: [{}]",
+            run.probes.join(" -> "),
+            run.cost,
+            run.isolated,
+            run.top_candidate.join(", ")
+        );
+    }
+    println!();
+    println!("hidden defect was amp_{} at 60 % gain", hidden_fault + 1);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The assembled FLAMES expert system (the paper's Fig. 3): guided
+//! probing, model revalidation, fault-mode refinement, expert priors and
+//! the learning loop — all through the one-call [`Flames::diagnose`] API.
+//!
+//! ```bash
+//! cargo run --example full_flames
+//! ```
+
+use flames::circuit::circuits::three_stage;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure_all;
+use flames::circuit::Fault;
+use flames::core::{Flames, FlamesConfig};
+use flames::fuzzy::FuzzyInterval;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ts = three_stage(0.02);
+
+    // The expert seeds the system: R2 has a bad-batch history.
+    let config = FlamesConfig {
+        priors: vec![(
+            "R2".to_owned(),
+            FuzzyInterval::new(0.5, 0.6, 0.1, 0.1)?,
+        )],
+        ..Default::default()
+    };
+    let mut flames = Flames::new(&ts.netlist, ts.test_points.clone(), config)?;
+
+    // A batch of boards arrives, some sharing the same defect.
+    let defects: Vec<(&str, flames::circuit::Netlist)> = vec![
+        ("board 1: short R2", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?),
+        ("board 2: healthy", ts.netlist.clone()),
+        ("board 3: short R2 again", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?),
+    ];
+
+    for (label, board) in defects {
+        println!("=== {label} ===");
+        let readings = measure_all(&board, &[ts.v1, ts.v2, ts.vs], 0.05)?;
+        let outcome = flames.diagnose(&|i| readings[i])?;
+        print!("{outcome}");
+        if let Some(suspect) = outcome.prime_suspect() {
+            let suspect = suspect.to_owned();
+            println!("prime suspect: {suspect}");
+            // The technician pulls the part, confirms, and FLAMES learns.
+            if suspect == "R2" {
+                flames.confirm(&outcome, "R2");
+                println!("confirmed R2 -> learned ({} rule(s) in the knowledge base)", flames.knowledge.len());
+            }
+        } else {
+            println!("board passes");
+        }
+        println!();
+    }
+
+    println!("knowledge base after the batch:");
+    for rule in flames.knowledge.iter() {
+        println!("  {rule}");
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Learning from experience (§7): after each confirmed diagnosis a
+//! symptom→failure rule enters the knowledge base; on later boards with
+//! the same symptoms FLAMES suggests the culprit before any search.
+//!
+//! ```bash
+//! cargo run --example learning_session
+//! ```
+
+use flames::circuit::circuits::three_stage;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure_all;
+use flames::circuit::Fault;
+use flames::core::learning::{symptoms_of, KnowledgeBase};
+use flames::core::{Diagnoser, DiagnoserConfig, Report};
+
+fn diagnose_board(
+    diagnoser: &Diagnoser,
+    board: &flames::circuit::Netlist,
+    nets: &[flames::circuit::Net],
+) -> Result<Report, Box<dyn std::error::Error>> {
+    let readings = measure_all(board, nets, 0.05)?;
+    let mut session = diagnoser.session();
+    session.measure("Vs", readings[0])?;
+    session.measure("V1", readings[1])?;
+    session.measure("V2", readings[2])?;
+    session.propagate();
+    Ok(session.report())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ts = three_stage(0.02);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )?;
+    let nets = [ts.vs, ts.v1, ts.v2];
+    let mut kb = KnowledgeBase::new();
+
+    // --- Monday: a board with an open R3 comes in. The technician works
+    //     it through and confirms the culprit; FLAMES learns the rule.
+    let board = inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)])?;
+    let report = diagnose_board(&diagnoser, &board, &nets)?;
+    let symptoms = symptoms_of(&report);
+    println!("board #1 symptoms:");
+    for s in &symptoms {
+        println!("  {s}");
+    }
+    kb.learn(symptoms, "R3", Some("open".to_owned()));
+    println!("learned: {}", kb.iter().next().expect("one rule"));
+    println!();
+
+    // --- Tuesday, Wednesday: two more boards with the same defect.
+    for _ in 0..2 {
+        let report = diagnose_board(&diagnoser, &board, &nets)?;
+        kb.learn(symptoms_of(&report), "R3", None);
+    }
+    println!("after three confirmations: {}", kb.iter().next().expect("one rule"));
+    println!();
+
+    // --- Thursday: a new board shows the same symptom pattern. Before
+    //     any model-based search, the knowledge base already points at R3.
+    let report = diagnose_board(&diagnoser, &board, &nets)?;
+    let suggestions = kb.suggest(&symptoms_of(&report));
+    println!("suggestions for the new board:");
+    for s in &suggestions {
+        println!(
+            "  {}{} @ {:.2}",
+            s.culprit,
+            s.mode.as_deref().map(|m| format!(" ({m})")).unwrap_or_default(),
+            s.score
+        );
+    }
+    assert_eq!(suggestions.first().map(|s| s.culprit.as_str()), Some("R3"));
+
+    // A different defect does not match the learned rule blindly.
+    let other = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?;
+    let report = diagnose_board(&diagnoser, &other, &nets)?;
+    let other_suggestions = kb.suggest(&symptoms_of(&report));
+    println!();
+    println!(
+        "a short-R2 board gets {} suggestion(s) from the R3 rule (partial match only)",
+        other_suggestions.len()
+    );
+    Ok(())
+}

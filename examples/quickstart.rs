@@ -1,0 +1,37 @@
+//! Quickstart: diagnose a resistive divider in a dozen lines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use flames::circuit::predict::TestPoint;
+use flames::circuit::{Net, Netlist};
+use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::fuzzy::FuzzyInterval;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the board: a 10 V source driving two 1 kΩ ± 5 % resistors.
+    let mut netlist = Netlist::new();
+    let vin = netlist.add_net("vin");
+    let mid = netlist.add_net("mid");
+    netlist.add_voltage_source("V", vin, Net::GROUND, 10.0)?;
+    let r1 = netlist.add_resistor("R1", vin, mid, 1_000.0, 0.05)?;
+    let r2 = netlist.add_resistor("R2", mid, Net::GROUND, 1_000.0, 0.05)?;
+
+    // 2. Declare what can be probed and what each probe depends on.
+    let points = vec![TestPoint::new(mid, "Vmid", vec![r1, r2])];
+    let diagnoser = Diagnoser::from_netlist(&netlist, points, DiagnoserConfig::default())?;
+
+    // 3. A board under test reads 6.2 V where ~5 V is expected.
+    let mut session = diagnoser.session();
+    session.measure("Vmid", FuzzyInterval::crisp(6.2).widened(0.05)?)?;
+    session.propagate();
+
+    // 4. Read the diagnosis.
+    let report = session.report();
+    print!("{report}");
+    let dc = session.consistency("Vmid").expect("probed point");
+    println!("degree of consistency at Vmid: {dc}");
+    assert!(!report.candidates.is_empty(), "a 24% deviation must be flagged");
+    Ok(())
+}

@@ -1,0 +1,231 @@
+//! Workspace-level end-to-end tests: the full FLAMES pipeline (solver →
+//! measurements → fuzzy propagation → graded nogoods → candidates →
+//! fault modes) against the crisp baseline, on the paper's circuits.
+
+use flames::circuit::circuits::{cascade, three_stage};
+use flames::circuit::constraint::{extract, ExtractOptions};
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure_all;
+use flames::circuit::Fault;
+use flames::core::fault_model::{infer_fault_mode, standard_modes};
+use flames::core::propagation::PropagatorConfig;
+use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::crisp::{CrispConfig, CrispPropagator, Interval};
+
+#[test]
+fn soft_fault_fuzzy_detects_crisp_masks() {
+    // A cascade stage at 96 % of its gain: inside every crisp wall.
+    let c = cascade(6, 1.3, 0.05);
+    let board = inject_faults(&c.netlist, &[(c.amps[3], Fault::ParamFactor(0.96))]).unwrap();
+    let readings = measure_all(&board, &c.stages, 0.01).unwrap();
+
+    // Fuzzy engine: flags and ranks the weak stage.
+    let diagnoser =
+        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
+            .unwrap();
+    let mut session = diagnoser.session();
+    for (k, r) in readings.iter().enumerate() {
+        session.measure_point(k, *r).unwrap();
+    }
+    session.propagate();
+    assert!(
+        !session.propagator().atms().nogoods().is_empty(),
+        "fuzzy engine must flag the soft fault"
+    );
+    let refined = session.refined_candidates(16, 0.5);
+    assert_eq!(
+        refined.first().map(|c| c.members[0].as_str()),
+        Some("amp_4"),
+        "weak stage must rank first: {refined:?}"
+    );
+
+    // Crisp engine: total silence.
+    let network = extract(&c.netlist, ExtractOptions::default());
+    let mut crisp = CrispPropagator::new(&c.netlist, &network, CrispConfig::default());
+    for (k, r) in readings.iter().enumerate() {
+        crisp.observe(network.voltage_quantity(c.stages[k]), Interval::from(*r));
+    }
+    crisp.run();
+    assert!(
+        crisp.atms().nogoods().is_empty(),
+        "crisp engine masks the soft fault (the paper's §4.2 at scale)"
+    );
+}
+
+#[test]
+fn hard_fault_both_engines_detect() {
+    let c = cascade(6, 1.3, 0.05);
+    let board = inject_faults(&c.netlist, &[(c.amps[3], Fault::ParamFactor(0.6))]).unwrap();
+    let readings = measure_all(&board, &c.stages, 0.01).unwrap();
+
+    let diagnoser =
+        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
+            .unwrap();
+    let mut session = diagnoser.session();
+    for (k, r) in readings.iter().enumerate() {
+        session.measure_point(k, *r).unwrap();
+    }
+    session.propagate();
+    assert!(!session.candidates(2, 64).is_empty());
+
+    let network = extract(&c.netlist, ExtractOptions::default());
+    let mut crisp = CrispPropagator::new(&c.netlist, &network, CrispConfig::default());
+    for (k, r) in readings.iter().enumerate() {
+        crisp.observe(network.voltage_quantity(c.stages[k]), Interval::from(*r));
+    }
+    crisp.run();
+    assert!(!crisp.atms().nogoods().is_empty());
+    let amp4 = crisp.component_assumption(c.amps[3].index());
+    assert!(crisp
+        .candidates(2, 256)
+        .iter()
+        .any(|env| env.contains(amp4)));
+}
+
+#[test]
+fn fig7_defect_menu_smoke() {
+    let ts = three_stage(0.02);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap();
+    let boards = vec![
+        ("short R2", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap()),
+        (
+            "R2 high",
+            inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).unwrap(),
+        ),
+        (
+            "beta2 low",
+            inject_faults(&ts.netlist, &[(ts.t2, Fault::Param(40.0))]).unwrap(),
+        ),
+        ("open R3", inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap()),
+    ];
+    for (label, board) in boards {
+        let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).unwrap();
+        let mut session = diagnoser.session();
+        session.measure("Vs", readings[0]).unwrap();
+        session.measure("V1", readings[1]).unwrap();
+        session.measure("V2", readings[2]).unwrap();
+        session.propagate();
+        let report = session.report();
+        assert!(
+            !report.refined.is_empty(),
+            "{label}: refinement must produce suspects\n{report}"
+        );
+        // Every refined candidate is a single component or connection.
+        for cand in &report.refined {
+            assert_eq!(cand.members.len(), 1, "{label}: {report}");
+        }
+    }
+}
+
+#[test]
+fn fault_mode_refinement_identifies_short() {
+    let ts = three_stage(0.02);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap();
+    let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap();
+    let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).unwrap();
+    let measurements = vec![
+        ("Vs".to_owned(), readings[0]),
+        ("V1".to_owned(), readings[1]),
+        ("V2".to_owned(), readings[2]),
+    ];
+    let modes = standard_modes(0.02);
+    let md = infer_fault_mode(
+        &diagnoser,
+        &measurements,
+        ts.r2,
+        &modes,
+        PropagatorConfig::default(),
+    )
+    .unwrap();
+    let (mode, degree) = md.best().expect("R2's value is inferable");
+    assert_eq!(mode, "short");
+    assert!(degree > 0.9);
+}
+
+#[test]
+fn double_fault_yields_pair_candidates() {
+    // "We entertain the possibility of multiple faults where the space of
+    // potential candidates grows exponentially" (§6). Two simultaneous
+    // hard faults in different cascade stages: no single component hits
+    // every conflict, so pair candidates appear — containing the truth.
+    let c = cascade(6, 1.3, 0.05);
+    let board = inject_faults(
+        &c.netlist,
+        &[
+            (c.amps[1], Fault::ParamFactor(0.6)),
+            (c.amps[4], Fault::ParamFactor(0.6)),
+        ],
+    )
+    .unwrap();
+    let readings = measure_all(&board, &c.stages, 0.01).unwrap();
+    let diagnoser =
+        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
+            .unwrap();
+    let mut session = diagnoser.session();
+    for (k, r) in readings.iter().enumerate() {
+        session.measure_point(k, *r).unwrap();
+    }
+    session.propagate();
+    let cands = session.candidates(2, 256);
+    assert!(!cands.is_empty());
+    // The true double fault {amp_2, amp_5} must be among the candidates.
+    let truth = cands.iter().any(|c| {
+        c.members.len() == 2
+            && c.members.contains(&"amp_2".to_owned())
+            && c.members.contains(&"amp_5".to_owned())
+    });
+    assert!(truth, "{cands:?}");
+    // And no *single* component explains both conflicts.
+    assert!(cands.iter().all(|c| c.members.len() > 1), "{cands:?}");
+}
+
+#[test]
+fn healthy_boards_stay_clean_across_circuits() {
+    for netcase in 0..2 {
+        let (netlist, points, nets): (
+            flames::circuit::Netlist,
+            Vec<flames::circuit::predict::TestPoint>,
+            Vec<flames::circuit::Net>,
+        ) = match netcase {
+            0 => {
+                let ts = three_stage(0.02);
+                (
+                    ts.netlist.clone(),
+                    ts.test_points.clone(),
+                    vec![ts.vs, ts.v1, ts.v2],
+                )
+            }
+            _ => {
+                let c = cascade(5, 1.4, 0.04);
+                (c.netlist.clone(), c.test_points.clone(), c.stages.clone())
+            }
+        };
+        let diagnoser =
+            Diagnoser::from_netlist(&netlist, points, DiagnoserConfig::default()).unwrap();
+        let readings = measure_all(&netlist, &nets, 0.01).unwrap();
+        let mut session = diagnoser.session();
+        for (k, net) in nets.iter().enumerate() {
+            let idx = diagnoser
+                .test_points()
+                .iter()
+                .position(|tp| tp.net == *net)
+                .unwrap();
+            session.measure_point(idx, readings[k]).unwrap();
+        }
+        session.propagate();
+        assert!(
+            session.candidates(2, 16).is_empty(),
+            "healthy board produced candidates (case {netcase})"
+        );
+    }
+}
