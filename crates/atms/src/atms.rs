@@ -1,8 +1,8 @@
 use crate::assumptions::Assumption;
-use crate::env::{minimize, Env};
+use crate::env::Env;
 use crate::error::AtmsError;
+use crate::interner::{DirtyQueue, EnvId, EnvTable};
 use crate::Result;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifier of an ATMS node.
@@ -36,7 +36,8 @@ struct Justification {
 
 #[derive(Debug, Clone)]
 struct NodeData {
-    label: Vec<Env>,
+    /// Minimal consistent label as interned environment ids.
+    label: Vec<EnvId>,
     /// Justifications in which this node is an antecedent.
     consumers: Vec<JustificationId>,
     is_contradiction: bool,
@@ -55,7 +56,10 @@ struct NodeData {
 ///
 /// Labels are kept *sound* (every environment derives the node), *minimal*
 /// (no environment contains another), and *consistent* (no environment
-/// contains a nogood) — the classical invariants.
+/// contains a nogood) — the classical invariants. Environments are
+/// hash-consed through an [`EnvTable`], so labels are flat id vectors and
+/// every subset test goes through the cached length/signature subsumption
+/// index; installing a nogood prunes labels against the new nogood only.
 ///
 /// # Example
 ///
@@ -78,7 +82,11 @@ struct NodeData {
 pub struct Atms {
     nodes: Vec<NodeData>,
     justifications: Vec<Justification>,
+    /// Minimal nogood store, materialized for [`Atms::nogoods`].
     nogoods: Vec<Env>,
+    /// Interned ids parallel to `nogoods`.
+    nogood_ids: Vec<EnvId>,
+    envs: EnvTable,
     assumption_nodes: Vec<NodeId>,
 }
 
@@ -96,7 +104,8 @@ impl Atms {
 
     /// Adds a *premise* node: true in every environment (label `{{}}`).
     pub fn add_premise(&mut self, name: impl Into<String>) -> NodeId {
-        self.push_node(name.into(), vec![Env::empty()], false)
+        let empty = self.envs.intern_owned(Env::empty());
+        self.push_node(name.into(), vec![empty], false)
     }
 
     /// Adds a contradiction node: environments derived for it become
@@ -111,8 +120,8 @@ impl Atms {
     /// singleton environment).
     pub fn add_assumption(&mut self, name: impl Into<String>) -> Assumption {
         let a = Assumption(u32::try_from(self.assumption_nodes.len()).expect("< 2^32 assumptions"));
-        let name = name.into();
-        let node = self.push_node(name, vec![Env::singleton(a)], false);
+        let singleton = self.envs.intern_owned(Env::singleton(a));
+        let node = self.push_node(name.into(), vec![singleton], false);
         self.assumption_nodes.push(node);
         a
     }
@@ -186,13 +195,19 @@ impl Atms {
     }
 
     /// The current label of a node: the minimal consistent environments
-    /// under which it holds.
+    /// under which it holds, materialized from the interned store (sorted
+    /// by cardinality, then lexicographically).
     ///
     /// # Errors
     ///
     /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
-    pub fn label(&self, node: NodeId) -> Result<&[Env]> {
-        self.node(node).map(|n| n.label.as_slice())
+    pub fn label(&self, node: NodeId) -> Result<Vec<Env>> {
+        Ok(self
+            .node(node)?
+            .label
+            .iter()
+            .map(|&id| self.envs.env(id).clone())
+            .collect())
     }
 
     /// True if the node holds under the given environment (some label
@@ -202,11 +217,12 @@ impl Atms {
     ///
     /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
     pub fn holds_under(&self, node: NodeId, env: &Env) -> Result<bool> {
+        let sig = env.signature();
         Ok(self
             .node(node)?
             .label
             .iter()
-            .any(|e| e.is_subset_of(env)))
+            .any(|&id| self.envs.is_subset_of_raw(id, env, sig)))
     }
 
     /// The minimal nogoods discovered so far.
@@ -218,7 +234,11 @@ impl Atms {
     /// True if `env` contains no nogood.
     #[must_use]
     pub fn is_consistent(&self, env: &Env) -> bool {
-        !self.nogoods.iter().any(|n| n.is_subset_of(env))
+        let sig = env.signature();
+        !self
+            .nogood_ids
+            .iter()
+            .any(|&id| self.envs.is_subset_of_raw(id, env, sig))
     }
 
     /// Directly asserts an environment as contradictory (used when the
@@ -237,28 +257,25 @@ impl Atms {
     /// `max_count` caps the enumeration.
     #[must_use]
     pub fn interpretations(&self, max_count: usize) -> Vec<Env> {
-        let universe: Vec<Assumption> =
-            (0..self.assumption_nodes.len() as u32).map(Assumption).collect();
+        let universe: Vec<Assumption> = (0..self.assumption_nodes.len() as u32)
+            .map(Assumption)
+            .collect();
         crate::hitting::minimal_hitting_sets(&self.nogoods, usize::MAX, max_count)
             .into_iter()
             .take(max_count)
-            .map(|hs| {
-                Env::from_assumptions(
-                    universe.iter().copied().filter(|a| !hs.contains(*a)),
-                )
-            })
+            .map(|hs| Env::from_assumptions(universe.iter().copied().filter(|a| !hs.contains(*a))))
             .collect()
     }
 
     // ----- internals -------------------------------------------------
 
     fn node(&self, id: NodeId) -> Result<&NodeData> {
-        self.nodes.get(id.index()).ok_or(AtmsError::UnknownNode {
-            index: id.index(),
-        })
+        self.nodes
+            .get(id.index())
+            .ok_or(AtmsError::UnknownNode { index: id.index() })
     }
 
-    fn push_node(&mut self, name: String, label: Vec<Env>, is_contradiction: bool) -> NodeId {
+    fn push_node(&mut self, name: String, label: Vec<EnvId>, is_contradiction: bool) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("< 2^32 nodes"));
         self.nodes.push(NodeData {
             label,
@@ -270,16 +287,20 @@ impl Atms {
     }
 
     /// Label-update loop: recompute the consequent of `start` and ripple
-    /// through consumers until a fixpoint.
+    /// through consumers until a fixpoint. The dirty queue deduplicates
+    /// pending justifications with a bitmask instead of scanning.
     fn propagate_from(&mut self, start: JustificationId) {
-        let mut queue: VecDeque<JustificationId> = VecDeque::new();
-        queue.push_back(start);
-        while let Some(jid) = queue.pop_front() {
-            let j = self.justifications[jid.0 as usize].clone();
+        let mut queue = DirtyQueue::new();
+        queue.push(start.0);
+        while let Some(jid) = queue.pop() {
+            let (antecedents, consequent) = {
+                let j = &self.justifications[jid as usize];
+                (j.antecedents.clone(), j.consequent)
+            };
             // Candidate environments: minimal unions across antecedent labels.
             let mut candidates = vec![Env::empty()];
             let mut dead = false;
-            for &a in &j.antecedents {
+            for &a in &antecedents {
                 let label = &self.nodes[a.index()].label;
                 if label.is_empty() {
                     dead = true;
@@ -287,11 +308,11 @@ impl Atms {
                 }
                 let mut next = Vec::with_capacity(candidates.len() * label.len());
                 for c in &candidates {
-                    for e in label {
-                        next.push(c.union(e));
+                    for &eid in label {
+                        next.push(c.union(self.envs.env(eid)));
                     }
                 }
-                candidates = minimize(next);
+                candidates = crate::env::minimize(next);
             }
             if dead {
                 continue;
@@ -300,48 +321,78 @@ impl Atms {
             if candidates.is_empty() {
                 continue;
             }
-            if self.nodes[j.consequent.index()].is_contradiction {
+            if self.nodes[consequent.index()].is_contradiction {
                 for env in candidates {
                     self.install_nogood(env);
                 }
                 continue;
             }
-            let changed = self.merge_label(j.consequent, candidates);
+            let changed = self.merge_label(consequent, candidates);
             if changed {
-                for &c in &self.nodes[j.consequent.index()].consumers {
-                    if !queue.contains(&c) {
-                        queue.push_back(c);
-                    }
+                for &c in &self.nodes[consequent.index()].consumers {
+                    queue.push(c.0);
                 }
             }
         }
     }
 
-    /// Merges candidate environments into a node's label, keeping it
-    /// minimal; returns whether the label gained any environment.
+    /// Incrementally merges candidate environments into a node's label,
+    /// keeping it minimal; returns whether the label gained any
+    /// environment. No snapshot of the previous label is taken — each
+    /// candidate is checked against the interned entries through the
+    /// subsumption index.
     fn merge_label(&mut self, node: NodeId, candidates: Vec<Env>) -> bool {
-        let label = &mut self.nodes[node.index()].label;
-        let before = label.clone();
-        let mut all = before.clone();
-        all.extend(candidates);
-        let merged = minimize(all);
-        let changed = merged.iter().any(|e| !before.contains(e));
-        self.nodes[node.index()].label = merged;
+        let mut changed = false;
+        for env in candidates {
+            let id = self.envs.intern_owned(env);
+            let envs = &self.envs;
+            let label = &mut self.nodes[node.index()].label;
+            if label.iter().any(|&kid| envs.is_subset(kid, id)) {
+                continue;
+            }
+            label.retain(|&kid| !envs.is_subset(id, kid));
+            label.push(id);
+            changed = true;
+        }
+        if changed {
+            let envs = &self.envs;
+            self.nodes[node.index()].label.sort_by(|&a, &b| {
+                envs.card(a)
+                    .cmp(&envs.card(b))
+                    .then_with(|| envs.env(a).cmp(envs.env(b)))
+            });
+        }
         changed
     }
 
-    /// Installs a new nogood (if not subsumed), minimizes the nogood set,
-    /// and prunes every label.
+    /// Installs a new nogood (if not subsumed), keeps the store minimal,
+    /// and prunes every label **against the new nogood only** — labels are
+    /// invariantly consistent with the older nogoods already.
     fn install_nogood(&mut self, env: Env) {
-        if self.nogoods.iter().any(|n| n.is_subset_of(&env)) {
+        let ngid = self.envs.intern_owned(env);
+        if self
+            .nogood_ids
+            .iter()
+            .any(|&id| self.envs.is_subset(id, ngid))
+        {
             return;
         }
-        self.nogoods.retain(|n| !env.is_subset_of(n));
-        self.nogoods.push(env);
+        // Drop nogoods the new one subsumes (order-preserving compaction).
+        let mut w = 0;
+        for r in 0..self.nogoods.len() {
+            if !self.envs.is_subset(ngid, self.nogood_ids[r]) {
+                self.nogoods.swap(w, r);
+                self.nogood_ids.swap(w, r);
+                w += 1;
+            }
+        }
+        self.nogoods.truncate(w);
+        self.nogood_ids.truncate(w);
+        self.nogoods.push(self.envs.env(ngid).clone());
+        self.nogood_ids.push(ngid);
+        let envs = &self.envs;
         for node in &mut self.nodes {
-            let nogoods = &self.nogoods;
-            node.label
-                .retain(|e| !nogoods.iter().any(|n| n.is_subset_of(e)));
+            node.label.retain(|&eid| !envs.is_subset(ngid, eid));
         }
     }
 }
@@ -359,10 +410,7 @@ mod tests {
         let g = atms.add_node("g");
         let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
         atms.justify([na, nb], g, "and").unwrap();
-        assert_eq!(
-            atms.label(g).unwrap(),
-            &[Env::from_assumptions([a, b])]
-        );
+        assert_eq!(atms.label(g).unwrap(), &[Env::from_assumptions([a, b])]);
     }
 
     /// Two independent derivations produce a two-environment label; a
@@ -392,10 +440,7 @@ mod tests {
         let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
         atms.justify([na], mid, "a=>mid").unwrap();
         atms.justify([mid, nb], out, "mid&b=>out").unwrap();
-        assert_eq!(
-            atms.label(out).unwrap(),
-            &[Env::from_assumptions([a, b])]
-        );
+        assert_eq!(atms.label(out).unwrap(), &[Env::from_assumptions([a, b])]);
         // Adding a second route to mid extends out's label too.
         let c = atms.add_assumption("c");
         let nc = atms.assumption_node(c);
@@ -506,7 +551,8 @@ mod tests {
         atms.justify([n1, n2], out_predicted, "model").unwrap();
         // Observation contradicts the prediction.
         let bottom = atms.add_contradiction("⊥");
-        atms.justify([out_predicted], bottom, "out measured 0").unwrap();
+        atms.justify([out_predicted], bottom, "out measured 0")
+            .unwrap();
         assert_eq!(atms.nogoods().len(), 1);
         assert_eq!(atms.nogoods()[0], Env::from_assumptions([ok1, ok2]));
     }

@@ -1,9 +1,9 @@
 use crate::assumptions::Assumption;
 use crate::env::Env;
 use crate::error::AtmsError;
-use crate::hitting::minimal_hitting_sets;
+use crate::hitting::minimal_hitting_sets_iter;
+use crate::interner::{DirtyQueue, EnvId, EnvTable};
 use crate::Result;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Triangular norm used to combine certainty degrees along a derivation.
@@ -91,7 +91,8 @@ impl NodeRef {
 
 #[derive(Debug, Clone)]
 struct FuzzyNode {
-    label: Vec<WeightedEnv>,
+    /// Pareto-minimal label as flat interned `(environment, degree)` pairs.
+    label: Vec<(EnvId, f64)>,
     consumers: Vec<u32>,
     is_contradiction: bool,
     name: String,
@@ -114,6 +115,12 @@ struct FuzzyNode {
 ///   [plausibility](FuzzyAtms::plausibility) — "the possibility to give the
 ///   user a list of nogoods sorted according to their consistency degrees
 ///   … allows to restrict the effect of explosion".
+///
+/// Internally environments are hash-consed through an [`EnvTable`]: labels
+/// are flat `(EnvId, degree)` pairs, subset tests run through the cached
+/// length/signature subsumption index, and nogood installation prunes
+/// labels against the *new* nogood only (labels are invariantly consistent
+/// with every older one).
 ///
 /// # Example
 ///
@@ -140,7 +147,11 @@ struct FuzzyNode {
 pub struct FuzzyAtms {
     nodes: Vec<FuzzyNode>,
     justifications: Vec<FuzzyJustification>,
+    /// Pareto-minimal nogood store, materialized for [`FuzzyAtms::nogoods`].
     nogoods: Vec<Nogood>,
+    /// Interned ids parallel to `nogoods` (the subsumption index handles).
+    nogood_ids: Vec<EnvId>,
+    envs: EnvTable,
     assumption_nodes: Vec<NodeRef>,
     tnorm: TNorm,
     kill_threshold: f64,
@@ -161,6 +172,8 @@ impl FuzzyAtms {
             nodes: Vec::new(),
             justifications: Vec::new(),
             nogoods: Vec::new(),
+            nogood_ids: Vec::new(),
+            envs: EnvTable::new(),
             assumption_nodes: Vec::new(),
             tnorm: TNorm::Min,
             kill_threshold: 1.0,
@@ -181,6 +194,23 @@ impl FuzzyAtms {
     #[must_use]
     pub fn with_kill_threshold(mut self, threshold: f64) -> Self {
         self.kill_threshold = threshold.clamp(f64::MIN_POSITIVE, 1.0);
+        // Restore the invariant that every label environment is consistent
+        // with every nogood at or above the (possibly lowered) threshold.
+        let kill = self.kill_threshold;
+        let envs = &self.envs;
+        let strong: Vec<EnvId> = self
+            .nogood_ids
+            .iter()
+            .zip(&self.nogoods)
+            .filter(|(_, n)| n.degree >= kill)
+            .map(|(&id, _)| id)
+            .collect();
+        if !strong.is_empty() {
+            for node in &mut self.nodes {
+                node.label
+                    .retain(|&(eid, _)| !strong.iter().any(|&ng| envs.is_subset(ng, eid)));
+            }
+        }
         self
     }
 
@@ -203,14 +233,8 @@ impl FuzzyAtms {
 
     /// Adds a premise node (true everywhere with degree 1).
     pub fn add_premise(&mut self, name: impl Into<String>) -> NodeRef {
-        self.push_node(
-            name.into(),
-            vec![WeightedEnv {
-                env: Env::empty(),
-                degree: 1.0,
-            }],
-            false,
-        )
+        let empty = self.envs.intern_owned(Env::empty());
+        self.push_node(name.into(), vec![(empty, 1.0)], false)
     }
 
     /// Adds a contradiction node; environments derived for it become
@@ -224,14 +248,8 @@ impl FuzzyAtms {
     /// Creates a fresh assumption with its singleton-labelled node.
     pub fn add_assumption(&mut self, name: impl Into<String>) -> Assumption {
         let a = Assumption(u32::try_from(self.assumption_nodes.len()).expect("< 2^32"));
-        let node = self.push_node(
-            name.into(),
-            vec![WeightedEnv {
-                env: Env::singleton(a),
-                degree: 1.0,
-            }],
-            false,
-        );
+        let singleton = self.envs.intern_owned(Env::singleton(a));
+        let node = self.push_node(name.into(), vec![(singleton, 1.0)], false);
         self.assumption_nodes.push(node);
         a
     }
@@ -305,14 +323,23 @@ impl FuzzyAtms {
         Ok(())
     }
 
-    /// The Pareto-minimal weighted label of a node.
+    /// The Pareto-minimal weighted label of a node, materialized from the
+    /// interned store (sorted by cardinality, then decreasing degree, then
+    /// lexicographically).
     ///
     /// # Errors
     ///
     /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
-    pub fn label(&self, node: NodeRef) -> Result<&[WeightedEnv]> {
+    pub fn label(&self, node: NodeRef) -> Result<Vec<WeightedEnv>> {
         self.check_node(node)?;
-        Ok(&self.nodes[node.index()].label)
+        Ok(self.nodes[node.index()]
+            .label
+            .iter()
+            .map(|&(id, degree)| WeightedEnv {
+                env: self.envs.env(id).clone(),
+                degree,
+            })
+            .collect())
     }
 
     /// The name a node was created with.
@@ -340,11 +367,12 @@ impl FuzzyAtms {
     /// Returns [`AtmsError::UnknownNode`] for a foreign node id.
     pub fn holds_degree(&self, node: NodeRef, env: &Env) -> Result<f64> {
         self.check_node(node)?;
+        let sig = env.signature();
         let best = self.nodes[node.index()]
             .label
             .iter()
-            .filter(|we| we.env.is_subset_of(env))
-            .map(|we| we.degree)
+            .filter(|&&(id, _)| self.envs.is_subset_of_raw(id, env, sig))
+            .map(|&(_, degree)| degree)
             .fold(0.0, f64::max);
         Ok(self.tnorm.combine(best, self.plausibility(env)))
     }
@@ -357,10 +385,7 @@ impl FuzzyAtms {
         if degree <= 0.0 {
             return;
         }
-        self.install_nogood(Nogood {
-            env,
-            degree: degree.min(1.0),
-        });
+        self.install_nogood(env, degree.min(1.0));
     }
 
     /// The current nogood store (Pareto-minimal: no nogood has a subset
@@ -388,11 +413,13 @@ impl FuzzyAtms {
     /// (1 when no nogood applies).
     #[must_use]
     pub fn plausibility(&self, env: &Env) -> f64 {
+        let sig = env.signature();
         1.0 - self
-            .nogoods
+            .nogood_ids
             .iter()
-            .filter(|n| n.env.is_subset_of(env))
-            .map(|n| n.degree)
+            .zip(&self.nogoods)
+            .filter(|(&id, _)| self.envs.is_subset_of_raw(id, env, sig))
+            .map(|(_, n)| n.degree)
             .fold(0.0, f64::max)
     }
 
@@ -416,16 +443,13 @@ impl FuzzyAtms {
     /// degree-1 conflict) outranks `[r1, r2]` (dragged down by r1's 0.5).
     #[must_use]
     pub fn ranked_diagnoses(&self, max_size: usize, max_count: usize) -> Vec<RankedDiagnosis> {
-        let conflict_envs: Vec<Env> = self.nogoods.iter().map(|n| n.env.clone()).collect();
-        let sets = minimal_hitting_sets(&conflict_envs, max_size, max_count);
+        let sets =
+            minimal_hitting_sets_iter(self.nogoods.iter().map(|n| &n.env), max_size, max_count);
         let mut out: Vec<RankedDiagnosis> = sets
             .into_iter()
             .filter(|env| !env.is_empty())
             .map(|env| {
-                let degree = env
-                    .iter()
-                    .map(|a| self.suspicion(a))
-                    .fold(1.0, f64::min);
+                let degree = env.iter().map(|a| self.suspicion(a)).fold(1.0, f64::min);
                 RankedDiagnosis { env, degree }
             })
             .collect();
@@ -449,7 +473,12 @@ impl FuzzyAtms {
         }
     }
 
-    fn push_node(&mut self, name: String, label: Vec<WeightedEnv>, is_contradiction: bool) -> NodeRef {
+    fn push_node(
+        &mut self,
+        name: String,
+        label: Vec<(EnvId, f64)>,
+        is_contradiction: bool,
+    ) -> NodeRef {
         let id = NodeRef(u32::try_from(self.nodes.len()).expect("< 2^32 nodes"));
         self.nodes.push(FuzzyNode {
             label,
@@ -461,126 +490,171 @@ impl FuzzyAtms {
     }
 
     /// True when an environment is erased outright by a strong nogood.
-    fn is_killed(&self, env: &Env) -> bool {
-        self.nogoods
-            .iter()
-            .any(|n| n.degree >= self.kill_threshold && n.env.is_subset_of(env))
+    fn is_killed(&self, env: &Env, sig: u64) -> bool {
+        self.nogood_ids.iter().zip(&self.nogoods).any(|(&id, n)| {
+            n.degree >= self.kill_threshold && self.envs.is_subset_of_raw(id, env, sig)
+        })
     }
 
     fn propagate_from(&mut self, start: u32) {
-        let mut queue: VecDeque<u32> = VecDeque::new();
-        queue.push_back(start);
-        while let Some(jid) = queue.pop_front() {
-            let j = self.justifications[jid as usize].clone();
-            let mut candidates = vec![WeightedEnv {
-                env: Env::empty(),
-                degree: j.degree,
-            }];
+        let mut queue = DirtyQueue::new();
+        queue.push(start);
+        while let Some(jid) = queue.pop() {
+            let (antecedents, consequent, jdegree) = {
+                let j = &self.justifications[jid as usize];
+                (j.antecedents.clone(), j.consequent, j.degree)
+            };
+            let mut candidates: Vec<(Env, f64)> = vec![(Env::empty(), jdegree)];
             let mut dead = false;
-            for &a in &j.antecedents {
+            for &a in &antecedents {
                 let label = &self.nodes[a.index()].label;
                 if label.is_empty() {
                     dead = true;
                     break;
                 }
                 let mut next = Vec::with_capacity(candidates.len() * label.len());
-                for c in &candidates {
-                    for e in label {
-                        next.push(WeightedEnv {
-                            env: c.env.union(&e.env),
-                            degree: self.tnorm.combine(c.degree, e.degree),
-                        });
+                for (cenv, cdeg) in &candidates {
+                    for &(eid, edeg) in label {
+                        next.push((
+                            cenv.union(self.envs.env(eid)),
+                            self.tnorm.combine(*cdeg, edeg),
+                        ));
                     }
                 }
-                candidates = pareto_minimize(next);
+                candidates = pareto_minimize_raw(next);
             }
             if dead {
                 continue;
             }
-            candidates.retain(|we| !self.is_killed(&we.env));
+            candidates.retain(|(env, _)| !self.is_killed(env, env.signature()));
             if candidates.is_empty() {
                 continue;
             }
-            if self.nodes[j.consequent.index()].is_contradiction {
-                for we in candidates {
-                    self.install_nogood(Nogood {
-                        env: we.env,
-                        degree: we.degree,
-                    });
+            if self.nodes[consequent.index()].is_contradiction {
+                for (env, degree) in candidates {
+                    self.install_nogood(env, degree);
                 }
                 continue;
             }
-            if self.merge_label(j.consequent, candidates) {
-                for &c in &self.nodes[j.consequent.index()].consumers {
-                    if !queue.contains(&c) {
-                        queue.push_back(c);
-                    }
+            if self.merge_label(consequent, candidates) {
+                for &c in &self.nodes[consequent.index()].consumers {
+                    queue.push(c);
                 }
             }
         }
     }
 
-    fn merge_label(&mut self, node: NodeRef, candidates: Vec<WeightedEnv>) -> bool {
-        let label = &mut self.nodes[node.index()].label;
-        let before = label.clone();
-        let mut all = before.clone();
-        all.extend(candidates);
-        let merged = pareto_minimize(all);
-        let changed = merged.len() != before.len()
-            || merged.iter().any(|we| {
-                !before
-                    .iter()
-                    .any(|b| b.env == we.env && (b.degree - we.degree).abs() < 1e-12)
-            });
-        self.nodes[node.index()].label = merged;
+    /// Incrementally merges Pareto-minimal candidates into a node's label.
+    ///
+    /// Each candidate is interned once, then checked against the existing
+    /// pairs through the subsumption index — no snapshot of the previous
+    /// label is taken, and untouched entries are never re-minimized.
+    fn merge_label(&mut self, node: NodeRef, candidates: Vec<(Env, f64)>) -> bool {
+        let mut changed = false;
+        for (env, degree) in candidates {
+            let id = self.envs.intern_owned(env);
+            let envs = &self.envs;
+            let label = &mut self.nodes[node.index()].label;
+            let dominated = label
+                .iter()
+                .any(|&(kid, kdeg)| kdeg >= degree && envs.is_subset(kid, id));
+            if dominated {
+                continue;
+            }
+            label.retain(|&(kid, kdeg)| !(degree >= kdeg && envs.is_subset(id, kid)));
+            label.push((id, degree));
+            changed = true;
+        }
+        if changed {
+            let envs = &self.envs;
+            self.nodes[node.index()]
+                .label
+                .sort_by(|&(a, da), &(b, db)| {
+                    envs.card(a)
+                        .cmp(&envs.card(b))
+                        .then_with(|| db.partial_cmp(&da).expect("finite"))
+                        .then_with(|| envs.env(a).cmp(envs.env(b)))
+                });
+        }
         changed
     }
 
-    fn install_nogood(&mut self, ng: Nogood) {
+    /// Installs a graded nogood, keeping the store Pareto-minimal and
+    /// pruning labels **against the new nogood only** — every label
+    /// environment is already consistent with the older nogoods, so the
+    /// classic full rescan over `nodes × labels × nogoods` is unnecessary.
+    fn install_nogood(&mut self, env: Env, degree: f64) {
+        let ngid = self.envs.intern_owned(env);
         // Subsumed by an existing subset nogood at least as strong?
         if self
-            .nogoods
+            .nogood_ids
             .iter()
-            .any(|n| n.env.is_subset_of(&ng.env) && n.degree >= ng.degree)
+            .zip(&self.nogoods)
+            .any(|(&id, n)| n.degree >= degree && self.envs.is_subset(id, ngid))
         {
             return;
         }
-        // Drop existing nogoods this one dominates.
-        self.nogoods
-            .retain(|n| !(ng.env.is_subset_of(&n.env) && ng.degree >= n.degree));
-        self.nogoods.push(ng);
-        // Erase environments killed by strong nogoods.
-        let kill = self.kill_threshold;
-        let nogoods = self.nogoods.clone();
-        for node in &mut self.nodes {
-            node.label.retain(|we| {
-                !nogoods
-                    .iter()
-                    .any(|n| n.degree >= kill && n.env.is_subset_of(&we.env))
-            });
+        // Drop existing nogoods this one dominates (order-preserving).
+        let mut w = 0;
+        for r in 0..self.nogoods.len() {
+            let dominated =
+                degree >= self.nogoods[r].degree && self.envs.is_subset(ngid, self.nogood_ids[r]);
+            if !dominated {
+                self.nogoods.swap(w, r);
+                self.nogood_ids.swap(w, r);
+                w += 1;
+            }
+        }
+        self.nogoods.truncate(w);
+        self.nogood_ids.truncate(w);
+        self.nogoods.push(Nogood {
+            env: self.envs.env(ngid).clone(),
+            degree,
+        });
+        self.nogood_ids.push(ngid);
+        // A strong nogood erases the label environments it is contained in.
+        if degree >= self.kill_threshold {
+            let envs = &self.envs;
+            for node in &mut self.nodes {
+                node.label.retain(|&(eid, _)| !envs.is_subset(ngid, eid));
+            }
         }
     }
 }
 
 /// Pareto minimization of weighted environments: keep `(E, d)` unless some
-/// other `(E′, d′)` has `E′ ⊆ E` and `d′ ≥ d` (with at least one strict).
-fn pareto_minimize(mut envs: Vec<WeightedEnv>) -> Vec<WeightedEnv> {
+/// other `(E′, d′)` has `E′ ⊆ E` and `d′ ≥ d`. Subset tests are prefiltered
+/// by the cached word signatures of the kept front.
+fn pareto_minimize_raw(mut envs: Vec<(Env, f64)>) -> Vec<(Env, f64)> {
     envs.sort_by(|a, b| {
-        a.env
-            .len()
-            .cmp(&b.env.len())
-            .then_with(|| b.degree.partial_cmp(&a.degree).expect("finite"))
+        a.0.len()
+            .cmp(&b.0.len())
+            .then_with(|| b.1.partial_cmp(&a.1).expect("finite"))
     });
-    let mut keep: Vec<WeightedEnv> = Vec::with_capacity(envs.len());
-    for we in envs {
-        let dominated = keep
-            .iter()
-            .any(|k| k.env.is_subset_of(&we.env) && k.degree >= we.degree);
+    let mut keep: Vec<(Env, f64)> = Vec::with_capacity(envs.len());
+    let mut keep_sigs: Vec<u64> = Vec::with_capacity(envs.len());
+    for (env, degree) in envs {
+        let sig = env.signature();
+        let dominated = keep.iter().zip(&keep_sigs).any(|((kenv, kdeg), &ksig)| {
+            *kdeg >= degree && ksig & !sig == 0 && kenv.is_subset_of(&env)
+        });
         if !dominated {
-            keep.push(we);
+            keep.push((env, degree));
+            keep_sigs.push(sig);
         }
     }
     keep
+}
+
+/// Pareto minimization of [`WeightedEnv`]s (kept for tests and callers
+/// working with materialized labels; same dominance rule as the kernel's
+/// interned path).
+#[cfg(test)]
+fn pareto_minimize(envs: Vec<WeightedEnv>) -> Vec<WeightedEnv> {
+    pareto_minimize_raw(envs.into_iter().map(|we| (we.env, we.degree)).collect())
+        .into_iter()
+        .map(|(env, degree)| WeightedEnv { env, degree })
+        .collect()
 }
 
 #[cfg(test)]
@@ -602,7 +676,8 @@ mod tests {
         let mid = atms.add_node("mid");
         let out = atms.add_node("out");
         atms.justify_weighted([na], mid, 0.8, "soft rule").unwrap();
-        atms.justify_weighted([mid], out, 0.6, "softer rule").unwrap();
+        atms.justify_weighted([mid], out, 0.6, "softer rule")
+            .unwrap();
         let label = atms.label(out).unwrap();
         assert_eq!(label.len(), 1);
         assert_eq!(label[0].env, Env::singleton(a));
@@ -646,7 +721,8 @@ mod tests {
         // {a} proves g weakly; {a, b} proves it strongly — both are
         // Pareto-optimal and must both survive.
         atms.justify_weighted([na], g, 0.5, "weak single").unwrap();
-        atms.justify_weighted([na, nb], g, 1.0, "strong pair").unwrap();
+        atms.justify_weighted([na, nb], g, 1.0, "strong pair")
+            .unwrap();
         let label = atms.label(g).unwrap();
         assert_eq!(label.len(), 2);
         // But {a}@0.5 + {a,b}@0.4 keeps only {a}@0.5.
@@ -655,8 +731,12 @@ mod tests {
         let b2 = atms2.add_assumption("b");
         let (na2, nb2) = (atms2.assumption_node(a2), atms2.assumption_node(b2));
         let g2 = atms2.add_node("g");
-        atms2.justify_weighted([na2], g2, 0.5, "weak single").unwrap();
-        atms2.justify_weighted([na2, nb2], g2, 0.4, "weaker pair").unwrap();
+        atms2
+            .justify_weighted([na2], g2, 0.5, "weak single")
+            .unwrap();
+        atms2
+            .justify_weighted([na2, nb2], g2, 0.4, "weaker pair")
+            .unwrap();
         assert_eq!(atms2.label(g2).unwrap().len(), 1);
     }
 
@@ -759,6 +839,20 @@ mod tests {
     }
 
     #[test]
+    fn lowering_threshold_resweeps_labels() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let na = atms.assumption_node(a);
+        let g = atms.add_node("g");
+        atms.justify([na], g, "a=>g").unwrap();
+        atms.add_nogood(Env::singleton(a), 0.4);
+        assert_eq!(atms.label(g).unwrap().len(), 1);
+        // Dropping the threshold below the partial conflict kills the label.
+        let atms = atms.with_kill_threshold(0.3);
+        assert!(atms.label(g).unwrap().is_empty());
+    }
+
+    #[test]
     fn holds_degree_accounts_for_plausibility() {
         let mut atms = FuzzyAtms::new();
         let a = atms.add_assumption("a");
@@ -779,7 +873,8 @@ mod tests {
         let a = atms.add_assumption("a");
         let na = atms.assumption_node(a);
         let bottom = atms.add_contradiction("⊥");
-        atms.justify_weighted([p, na], bottom, 0.7, "soft conflict").unwrap();
+        atms.justify_weighted([p, na], bottom, 0.7, "soft conflict")
+            .unwrap();
         assert_eq!(atms.nogoods().len(), 1);
         assert_eq!(atms.nogoods()[0].env, Env::singleton(a));
         assert!((atms.nogoods()[0].degree - 0.7).abs() < 1e-12);
@@ -805,5 +900,99 @@ mod tests {
     fn diagnoses_empty_when_no_conflicts() {
         let atms = FuzzyAtms::new();
         assert!(atms.ranked_diagnoses(usize::MAX, 10).is_empty());
+    }
+
+    // ----- pareto_minimize algebra (satellite: idempotence/orders) ----
+
+    fn we(ids: &[u32], degree: f64) -> WeightedEnv {
+        WeightedEnv {
+            env: Env::from_ids(ids.iter().copied()),
+            degree,
+        }
+    }
+
+    #[test]
+    fn pareto_minimize_is_idempotent() {
+        let input = vec![
+            we(&[0], 0.5),
+            we(&[0, 1], 1.0),
+            we(&[0, 1], 0.4), // dominated by {0}@0.5 (and {0,1}@1.0)
+            we(&[2], 0.3),
+            we(&[0, 2], 0.3), // dominated by {2}@0.3
+        ];
+        let once = pareto_minimize(input);
+        let twice = pareto_minimize(once.clone());
+        assert_eq!(once, twice);
+        assert_eq!(once.len(), 3);
+    }
+
+    #[test]
+    fn pareto_minimize_is_order_insensitive() {
+        let items = vec![
+            we(&[0], 0.5),
+            we(&[1], 0.9),
+            we(&[0, 1], 0.7),
+            we(&[0, 1, 2], 0.7),
+            we(&[2], 0.2),
+            we(&[0], 0.5), // duplicate
+        ];
+        let forward = pareto_minimize(items.clone());
+        let mut reversed = items.clone();
+        reversed.reverse();
+        let backward = pareto_minimize(reversed);
+        let mut rotated = items;
+        rotated.rotate_left(3);
+        let rotated = pareto_minimize(rotated);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, rotated);
+    }
+
+    #[test]
+    fn incremental_merge_matches_batch_pareto() {
+        // Drive the engine through many merges and check the final label is
+        // exactly the batch Pareto front of all derivations.
+        let mut atms = FuzzyAtms::new();
+        let ids: Vec<Assumption> = (0..6)
+            .map(|i| atms.add_assumption(format!("a{i}")))
+            .collect();
+        let g = atms.add_node("g");
+        let derivations = [
+            (vec![0usize, 1], 0.8),
+            (vec![0], 0.4),
+            (vec![1, 2], 0.9),
+            (vec![0, 1, 2], 1.0),
+            (vec![3], 0.6),
+            (vec![3, 4], 0.5),
+            (vec![5], 1.0),
+        ];
+        for (members, degree) in &derivations {
+            let nodes: Vec<NodeRef> = members
+                .iter()
+                .map(|&i| atms.assumption_node(ids[i]))
+                .collect();
+            atms.justify_weighted(nodes, g, *degree, "derivation")
+                .unwrap();
+        }
+        let batch = pareto_minimize(
+            derivations
+                .iter()
+                .map(|(members, degree)| WeightedEnv {
+                    env: Env::from_assumptions(members.iter().map(|&i| ids[i])),
+                    degree: *degree,
+                })
+                .collect(),
+        );
+        let label = atms.label(g).unwrap();
+        assert_eq!(label.len(), batch.len());
+        for we in &batch {
+            assert!(
+                label
+                    .iter()
+                    .any(|l| l.env == we.env && (l.degree - we.degree).abs() < 1e-12),
+                "missing {}@{}",
+                we.env,
+                we.degree
+            );
+        }
     }
 }

@@ -9,13 +9,17 @@
 //! `[r1,r2]`).
 //!
 //! The search below is a depth-first tree construction in the spirit of
-//! Reiter's HS-tree with two standard prunings (skip elements already
-//! hitting, discard branches subsumed by found sets), followed by a final
-//! minimization pass. Exponential in the worst case — which is exactly the
+//! Reiter's HS-tree. Each branch carries a word-packed **hit mask** over
+//! the conflict list, updated by OR-ing the chosen assumption's
+//! precomputed conflict-occurrence mask — so "which conflict is still
+//! unhit?" is a word scan instead of a set-intersection sweep, and the
+//! found-set subsumption prune is prefiltered by cardinality and word
+//! signature. Exponential in the worst case — which is exactly the
 //! "explosion" the paper's graded nogoods are designed to curb; the `E6`
 //! experiment measures this.
 
 use crate::env::{minimize, Env};
+use std::collections::HashMap;
 
 /// Computes the ⊆-minimal hitting sets of `conflicts`.
 ///
@@ -28,31 +32,83 @@ use crate::env::{minimize, Env};
 /// non-empty conflicts the unique minimal hitting set is the empty set.
 #[must_use]
 pub fn minimal_hitting_sets(conflicts: &[Env], max_size: usize, max_count: usize) -> Vec<Env> {
-    let mut conflicts: Vec<&Env> = conflicts.iter().filter(|c| !c.is_empty()).collect();
+    minimal_hitting_sets_iter(conflicts, max_size, max_count)
+}
+
+/// Borrowing variant of [`minimal_hitting_sets`]: works directly on
+/// references so callers holding environments inside larger records (e.g.
+/// graded nogoods) need not clone them into a temporary slice.
+#[must_use]
+pub fn minimal_hitting_sets_iter<'a>(
+    conflicts: impl IntoIterator<Item = &'a Env>,
+    max_size: usize,
+    max_count: usize,
+) -> Vec<Env> {
+    let mut conflicts: Vec<&Env> = conflicts.into_iter().filter(|c| !c.is_empty()).collect();
     if conflicts.is_empty() {
         return vec![Env::empty()];
     }
     // Smaller conflicts first: they branch less.
     conflicts.sort_by_key(|c| c.len());
+    let n = conflicts.len();
+    let mask_words = n.div_ceil(64);
+    // Per-assumption occurrence mask: bit `i` set when the assumption
+    // appears in conflict `i`. Choosing an assumption hits exactly the
+    // conflicts in its mask.
+    let mut occurrence: HashMap<u32, Vec<u64>> = HashMap::new();
+    for (ci, c) in conflicts.iter().enumerate() {
+        for a in c.iter() {
+            let mask = occurrence
+                .entry(a.index() as u32)
+                .or_insert_with(|| vec![0u64; mask_words]);
+            mask[ci / 64] |= 1u64 << (ci % 64);
+        }
+    }
+    // All-ones over the `n` valid bits, for the word-level unhit scan.
+    let mut full = vec![u64::MAX; mask_words];
+    if !n.is_multiple_of(64) {
+        full[mask_words - 1] = (1u64 << (n % 64)) - 1;
+    }
     let mut found: Vec<Env> = Vec::new();
-    let mut stack: Vec<Env> = vec![Env::empty()];
-    while let Some(partial) = stack.pop() {
+    let mut found_meta: Vec<(usize, u64)> = Vec::new(); // (len, sig)
+    let mut stack: Vec<(Env, Vec<u64>)> = vec![(Env::empty(), vec![0u64; mask_words])];
+    while let Some((partial, hit)) = stack.pop() {
         if found.len() >= max_count {
             break;
         }
         // Subsumption prune: a found hitting set inside `partial` makes
         // every extension non-minimal.
-        if found.iter().any(|f| f.is_subset_of(&partial)) {
+        let plen = partial.len();
+        let psig = partial.signature();
+        if found
+            .iter()
+            .zip(&found_meta)
+            .any(|(f, &(flen, fsig))| flen <= plen && fsig & !psig == 0 && f.is_subset_of(&partial))
+        {
             continue;
         }
-        match conflicts.iter().find(|c| !partial.intersects(c)) {
-            None => found.push(partial),
-            Some(unhit) => {
-                if partial.len() >= max_size {
+        // First conflict not yet hit: first zero bit among the n valid ones.
+        let unhit = hit.iter().zip(&full).enumerate().find_map(|(w, (&h, &f))| {
+            let miss = !h & f;
+            (miss != 0).then(|| w * 64 + miss.trailing_zeros() as usize)
+        });
+        match unhit {
+            None => {
+                found_meta.push((plen, psig));
+                found.push(partial);
+            }
+            Some(ci) => {
+                if plen >= max_size {
                     continue;
                 }
-                for a in unhit.iter() {
-                    stack.push(partial.with(a));
+                for a in conflicts[ci].iter() {
+                    let mut next_hit = hit.clone();
+                    if let Some(mask) = occurrence.get(&(a.index() as u32)) {
+                        for (nh, m) in next_hit.iter_mut().zip(mask) {
+                            *nh |= m;
+                        }
+                    }
+                    stack.push((partial.with(a), next_hit));
                 }
             }
         }
@@ -126,12 +182,7 @@ mod tests {
 
     #[test]
     fn results_are_minimal_and_hitting() {
-        let conflicts = vec![
-            env(&[1, 2, 3]),
-            env(&[2, 4]),
-            env(&[3, 4, 5]),
-            env(&[1, 5]),
-        ];
+        let conflicts = vec![env(&[1, 2, 3]), env(&[2, 4]), env(&[3, 4, 5]), env(&[1, 5])];
         let hs = minimal_hitting_sets(&conflicts, usize::MAX, 10_000);
         for s in &hs {
             assert!(is_hitting_set(s, &conflicts), "{s} must hit all");
@@ -176,5 +227,30 @@ mod tests {
         let mut hs = minimal_hitting_sets(&conflicts, usize::MAX, 100);
         hs.sort();
         assert_eq!(hs, vec![env(&[1]), env(&[2])]);
+    }
+
+    #[test]
+    fn many_conflicts_cross_word_boundary() {
+        // More than 64 conflicts exercises the multi-word hit masks.
+        let conflicts: Vec<Env> = (0..70u32).map(|i| env(&[2 * i, 2 * i + 1])).collect();
+        let hs = minimal_hitting_sets(&conflicts, usize::MAX, 4);
+        assert!(!hs.is_empty());
+        for s in &hs {
+            assert!(is_hitting_set(s, &conflicts));
+        }
+        // The all-even choice is one minimal hitting set.
+        let evens = Env::from_ids((0..70u32).map(|i| 2 * i));
+        assert!(is_hitting_set(&evens, &conflicts));
+    }
+
+    #[test]
+    fn iter_variant_borrows() {
+        struct Holder {
+            env: Env,
+        }
+        let hold = [Holder { env: env(&[1, 0]) }, Holder { env: env(&[2, 0]) }];
+        let mut hs = minimal_hitting_sets_iter(hold.iter().map(|h| &h.env), usize::MAX, 1000);
+        hs.sort();
+        assert_eq!(hs, vec![env(&[0]), env(&[1, 2])]);
     }
 }

@@ -41,15 +41,17 @@ mod atms;
 mod env;
 mod error;
 mod fuzzy_atms;
+mod interner;
 
 pub mod hitting;
 pub mod possibilistic;
 
 pub use assumptions::{Assumption, AssumptionPool};
 pub use atms::{Atms, JustificationId, NodeId};
-pub use env::{minimize, Env};
+pub use env::{minimize, Env, EnvIter};
 pub use error::AtmsError;
 pub use fuzzy_atms::{FuzzyAtms, NodeRef, Nogood, RankedDiagnosis, TNorm, WeightedEnv};
+pub use interner::{EnvId, EnvTable};
 
 /// Convenient result alias for fallible ATMS operations.
 pub type Result<T, E = AtmsError> = std::result::Result<T, E>;

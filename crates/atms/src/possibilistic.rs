@@ -12,6 +12,12 @@
 //! (c₁ ∨ ℓ, α)  and  (c₂ ∨ ¬ℓ, β)   ⊢   (c₁ ∨ c₂, min(α, β))
 //! ```
 //!
+//! Clauses are stored as a **pair of variable bitsets** — positive and
+//! negative occurrence sets backed by the same inline-word [`Env`] the
+//! ATMS kernel uses — so subsumption is two word-wise subset tests,
+//! tautology checking is an intersection, and resolution is a handful of
+//! bitops instead of sorted-list merges.
+//!
 //! The two standard queries are supported:
 //!
 //! * [`PossibilisticBase::inconsistency_degree`] — the strongest
@@ -25,6 +31,8 @@
 //! layer is where non-Horn expert knowledge ("the diode is open **or**
 //! shorted, certainty 0.8") is compiled down to graded nogoods.
 
+use crate::assumptions::Assumption;
+use crate::env::Env;
 use crate::error::AtmsError;
 use crate::Result;
 use std::collections::HashMap;
@@ -41,7 +49,10 @@ impl Literal {
     /// The positive literal of a variable.
     #[must_use]
     pub fn pos(var: u32) -> Self {
-        Self { var, positive: true }
+        Self {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of a variable.
@@ -85,17 +96,20 @@ impl fmt::Display for Literal {
     }
 }
 
-/// A weighted clause `(ℓ₁ ∨ … ∨ ℓₖ, necessity)`.
+/// A weighted clause `(ℓ₁ ∨ … ∨ ℓₖ, necessity)`, stored as positive and
+/// negative variable bitsets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedClause {
-    /// Sorted, deduplicated literals; an empty list is the empty clause.
-    literals: Vec<Literal>,
+    /// Variables occurring positively.
+    pos: Env,
+    /// Variables occurring negatively.
+    neg: Env,
     /// Necessity degree in `(0, 1]`.
     necessity: f64,
 }
 
 impl WeightedClause {
-    /// Builds a clause, normalizing the literal list.
+    /// Builds a clause (duplicate literals collapse in the bitsets).
     ///
     /// # Errors
     ///
@@ -105,19 +119,33 @@ impl WeightedClause {
         if !(necessity > 0.0 && necessity <= 1.0) {
             return Err(AtmsError::invalid_degree(necessity));
         }
-        let mut literals: Vec<Literal> = literals.into_iter().collect();
-        literals.sort();
-        literals.dedup();
+        let mut pos = Env::empty();
+        let mut neg = Env::empty();
+        for l in literals {
+            if l.positive {
+                pos.insert(Assumption(l.var));
+            } else {
+                neg.insert(Assumption(l.var));
+            }
+        }
         Ok(Self {
-            literals,
+            pos,
+            neg,
             necessity,
         })
     }
 
-    /// The clause's literals (sorted).
+    /// The clause's literals, sorted by variable with `¬x` before `x`.
     #[must_use]
-    pub fn literals(&self) -> &[Literal] {
-        &self.literals
+    pub fn literals(&self) -> Vec<Literal> {
+        let mut literals: Vec<Literal> = self
+            .neg
+            .iter()
+            .map(|a| Literal::neg(a.index() as u32))
+            .chain(self.pos.iter().map(|a| Literal::pos(a.index() as u32)))
+            .collect();
+        literals.sort();
+        literals
     }
 
     /// The necessity degree.
@@ -129,15 +157,13 @@ impl WeightedClause {
     /// True for the empty clause (⊥).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.literals.is_empty()
+        self.pos.is_empty() && self.neg.is_empty()
     }
 
     /// True if the clause is a tautology (contains `ℓ` and `¬ℓ`).
     #[must_use]
     pub fn is_tautology(&self) -> bool {
-        self.literals
-            .windows(2)
-            .any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
+        self.pos.intersects(&self.neg)
     }
 
     /// True if `self` subsumes `other`: a subset clause with at least the
@@ -145,31 +171,25 @@ impl WeightedClause {
     #[must_use]
     pub fn subsumes(&self, other: &Self) -> bool {
         self.necessity >= other.necessity
-            && self
-                .literals
-                .iter()
-                .all(|l| other.literals.binary_search(l).is_ok())
+            && self.pos.is_subset_of(&other.pos)
+            && self.neg.is_subset_of(&other.neg)
     }
 
-    /// Possibilistic resolution on the unique complementary pair, if any.
+    /// Possibilistic resolution on the lowest-indexed complementary
+    /// variable, if any; both polarities of the pivot are removed from the
+    /// resolvent (tautological resolvents are suppressed).
     #[must_use]
     pub fn resolve(&self, other: &Self) -> Option<WeightedClause> {
-        // Find a literal of self whose negation is in other.
-        let pivot = self
-            .literals
-            .iter()
-            .find(|l| other.literals.binary_search(&l.negated()).is_ok())?;
-        let mut literals: Vec<Literal> = self
-            .literals
-            .iter()
-            .chain(other.literals.iter())
-            .copied()
-            .filter(|l| l.var != pivot.var)
-            .collect();
-        literals.sort();
-        literals.dedup();
+        let pivot = [
+            self.neg.intersection(&other.pos).first(),
+            self.pos.intersection(&other.neg).first(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()?;
         let resolvent = WeightedClause {
-            literals,
+            pos: self.pos.union(&other.pos).without(pivot),
+            neg: self.neg.union(&other.neg).without(pivot),
             necessity: self.necessity.min(other.necessity),
         };
         (!resolvent.is_tautology()).then_some(resolvent)
@@ -178,10 +198,10 @@ impl WeightedClause {
 
 impl fmt::Display for WeightedClause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.literals.is_empty() {
+        if self.is_empty() {
             write!(f, "(⊥, {:.2})", self.necessity)
         } else {
-            let parts: Vec<String> = self.literals.iter().map(Literal::to_string).collect();
+            let parts: Vec<String> = self.literals().iter().map(Literal::to_string).collect();
             write!(f, "({}, {:.2})", parts.join(" ∨ "), self.necessity)
         }
     }
@@ -323,10 +343,7 @@ impl PossibilisticBase {
     #[must_use]
     pub fn entailment_degree(&self, literal: Literal) -> f64 {
         let mut probe = self.clone();
-        probe.insert(WeightedClause {
-            literals: vec![literal.negated()],
-            necessity: 1.0,
-        });
+        probe.insert(WeightedClause::new([literal.negated()], 1.0).expect("degree 1 is valid"));
         probe.inconsistency_degree()
     }
 
@@ -364,8 +381,8 @@ mod tests {
 
     #[test]
     fn clause_normalization_and_display() {
-        let c = WeightedClause::new([Literal::pos(2), Literal::pos(1), Literal::pos(2)], 0.7)
-            .unwrap();
+        let c =
+            WeightedClause::new([Literal::pos(2), Literal::pos(1), Literal::pos(2)], 0.7).unwrap();
         assert_eq!(c.literals().len(), 2);
         assert_eq!(format!("{c}"), "(x1 ∨ x2, 0.70)");
         assert!(WeightedClause::new([], 1.5).is_err());
@@ -380,7 +397,8 @@ mod tests {
         let t = WeightedClause::new([Literal::pos(1), Literal::neg(1)], 0.9).unwrap();
         assert!(t.is_tautology());
         let mut base = PossibilisticBase::new();
-        base.add_clause([Literal::pos(1), Literal::neg(1)], 0.9).unwrap();
+        base.add_clause([Literal::pos(1), Literal::neg(1)], 0.9)
+            .unwrap();
         assert!(base.clauses().is_empty());
     }
 
@@ -397,6 +415,15 @@ mod tests {
     }
 
     #[test]
+    fn resolution_removes_both_polarities_of_pivot() {
+        // (x1 ∨ ¬x2) and (x2 ∨ ¬x1): resolving on x1 would leave the
+        // tautological (x2 ∨ ¬x2) — suppressed.
+        let a = WeightedClause::new([Literal::pos(1), Literal::neg(2)], 0.8).unwrap();
+        let b = WeightedClause::new([Literal::pos(2), Literal::neg(1)], 0.7).unwrap();
+        assert!(a.resolve(&b).is_none());
+    }
+
+    #[test]
     fn subsumption() {
         let small = WeightedClause::new([Literal::pos(1)], 0.8).unwrap();
         let big = WeightedClause::new([Literal::pos(1), Literal::pos(2)], 0.6).unwrap();
@@ -405,13 +432,18 @@ mod tests {
         // Equal clause with lower necessity is subsumed.
         let weak = WeightedClause::new([Literal::pos(1)], 0.3).unwrap();
         assert!(small.subsumes(&weak));
+        // Polarity matters: {x1} does not subsume {¬x1, x2}.
+        let negated = WeightedClause::new([Literal::neg(1), Literal::pos(2)], 0.6).unwrap();
+        assert!(!small.subsumes(&negated));
     }
 
     #[test]
     fn consistent_base_has_zero_inconsistency() {
         let mut base = PossibilisticBase::new();
-        base.add_clause([Literal::pos(0), Literal::pos(1)], 0.9).unwrap();
-        base.add_clause([Literal::neg(0), Literal::pos(2)], 0.8).unwrap();
+        base.add_clause([Literal::pos(0), Literal::pos(1)], 0.9)
+            .unwrap();
+        base.add_clause([Literal::neg(0), Literal::pos(2)], 0.8)
+            .unwrap();
         assert_eq!(base.inconsistency_degree(), 0.0);
     }
 
@@ -428,8 +460,10 @@ mod tests {
         // x0 → x1 → x2, x0 asserted, ¬x2 asserted: inconsistency through
         // the chain at the weakest necessity.
         let mut base = PossibilisticBase::new();
-        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.7).unwrap();
-        base.add_clause([Literal::neg(1), Literal::pos(2)], 0.9).unwrap();
+        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.7)
+            .unwrap();
+        base.add_clause([Literal::neg(1), Literal::pos(2)], 0.9)
+            .unwrap();
         base.add_clause([Literal::pos(0)], 1.0).unwrap();
         base.add_clause([Literal::neg(2)], 1.0).unwrap();
         assert!((base.inconsistency_degree() - 0.7).abs() < 1e-12);
@@ -438,7 +472,8 @@ mod tests {
     #[test]
     fn entailment_by_refutation() {
         let mut base = PossibilisticBase::new();
-        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.8).unwrap();
+        base.add_clause([Literal::neg(0), Literal::pos(1)], 0.8)
+            .unwrap();
         base.add_clause([Literal::pos(0)], 0.6).unwrap();
         // N(x1) = min(0.8, 0.6) = 0.6; N(x0) = 0.6; N(¬x1) = 0.
         assert!((base.entailment_degree(Literal::pos(1)) - 0.6).abs() < 1e-12);
@@ -454,11 +489,8 @@ mod tests {
         let faulty = base.variable("faulty(d1)");
         let open = base.variable("open(d1)");
         let short = base.variable("short(d1)");
-        base.add_clause(
-            [lit(faulty, false), lit(open, true), lit(short, true)],
-            0.8,
-        )
-        .unwrap();
+        base.add_clause([lit(faulty, false), lit(open, true), lit(short, true)], 0.8)
+            .unwrap();
         base.add_clause([lit(open, false)], 0.9).unwrap();
         base.add_clause([lit(short, false)], 0.9).unwrap();
         assert_eq!(base.inconsistency_degree(), 0.0);
@@ -479,6 +511,18 @@ mod tests {
         let after = base.inconsistency_degree();
         assert!(before <= mid && mid <= after);
         assert!((after - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_clauses_use_spilled_bitsets() {
+        // Variables beyond the inline bitset capacity exercise the spill
+        // representation through the whole clause pipeline.
+        let mut base = PossibilisticBase::new();
+        base.add_clause([Literal::neg(200), Literal::pos(300)], 0.7)
+            .unwrap();
+        base.add_clause([Literal::pos(200)], 1.0).unwrap();
+        base.add_clause([Literal::neg(300)], 1.0).unwrap();
+        assert!((base.inconsistency_degree() - 0.7).abs() < 1e-12);
     }
 
     #[test]

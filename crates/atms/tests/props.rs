@@ -1,76 +1,220 @@
-//! Property-based tests for the ATMS engines: label invariants (soundness,
-//! minimality, consistency), hitting-set correctness, and the grading laws
-//! of the fuzzy extension.
+//! Randomized property suites for the ATMS engines: observational
+//! equivalence of the bitset [`Env`] against a sorted-set reference
+//! model, label invariants (soundness, minimality, consistency),
+//! hitting-set correctness, and the grading laws of the fuzzy extension.
+//!
+//! Dependency-free: cases are generated with an inline SplitMix64 and
+//! checked with plain `assert!`. Gated behind `--features proptest`
+//! (the historical feature name) because the suites are slow, not
+//! because they need the external crate.
 
 use flames_atms::hitting::{is_hitting_set, minimal_hitting_sets};
 use flames_atms::possibilistic::{Literal, PossibilisticBase};
-use flames_atms::{minimize, Atms, Env, FuzzyAtms};
-use proptest::prelude::*;
+use flames_atms::{minimize, Assumption, Atms, Env, FuzzyAtms};
+use std::collections::BTreeSet;
 
-fn env_strategy(universe: u32) -> impl Strategy<Value = Env> {
-    prop::collection::btree_set(0..universe, 0..5)
-        .prop_map(Env::from_ids)
-}
+/// SplitMix64 — the same mixer as `flames_bench::rng`, inlined because
+/// integration tests cannot depend on the bench crate.
+struct Rng(u64);
 
-fn conflicts_strategy(universe: u32, n: usize) -> impl Strategy<Value = Vec<Env>> {
-    prop::collection::vec(
-        prop::collection::btree_set(0..universe, 1..4).prop_map(Env::from_ids),
-        0..n,
-    )
-}
-
-proptest! {
-    #[test]
-    fn union_is_commutative_associative(a in env_strategy(12), b in env_strategy(12), c in env_strategy(12)) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        prop_assert_eq!(a.union(&a), a.clone());
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn subset_iff_union_absorbs(a in env_strategy(12), b in env_strategy(12)) {
-        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    #[test]
-    fn minimize_yields_antichain(envs in prop::collection::vec(env_strategy(10), 0..12)) {
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A random id set of up to `max_len` ids below `universe`.
+fn rand_ids(r: &mut Rng, universe: u32, max_len: usize) -> BTreeSet<u32> {
+    let n = r.below(max_len as u64 + 1) as usize;
+    (0..n)
+        .map(|_| r.below(u64::from(universe)) as u32)
+        .collect()
+}
+
+fn rand_env(r: &mut Rng, universe: u32, max_len: usize) -> Env {
+    Env::from_ids(rand_ids(r, universe, max_len))
+}
+
+const CASES: usize = 300;
+
+// ----- bitset Env vs sorted-set model ----------------------------------
+
+/// The reference model: every Env operation restated over `BTreeSet<u32>`.
+/// The bitset must agree observationally on every probe — including
+/// across the inline→spill boundary (ids up to 300 force spilled words).
+#[test]
+fn env_is_observationally_a_sorted_set() {
+    let mut r = Rng(0xE75);
+    for case in 0..CASES {
+        // Mix small and large universes so both inline and spilled
+        // representations (and their interactions) are exercised.
+        let universe = if case % 3 == 0 { 300 } else { 100 };
+        let ma = rand_ids(&mut r, universe, 8);
+        let mb = rand_ids(&mut r, universe, 8);
+        let a = Env::from_ids(ma.iter().copied());
+        let b = Env::from_ids(mb.iter().copied());
+
+        // Cardinality, emptiness, membership.
+        assert_eq!(a.len(), ma.len());
+        assert_eq!(a.is_empty(), ma.is_empty());
+        for id in 0..universe {
+            assert_eq!(
+                a.contains(Assumption(id)),
+                ma.contains(&id),
+                "contains {id}"
+            );
+        }
+
+        // Iteration yields the sorted id sequence; `first` is its head.
+        let ids: Vec<u32> = a.iter().map(|x| x.index() as u32).collect();
+        let model_ids: Vec<u32> = ma.iter().copied().collect();
+        assert_eq!(ids, model_ids);
+        assert_eq!(a.first().map(|x| x.index() as u32), ma.first().copied());
+
+        // Set algebra.
+        let union: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        let inter: BTreeSet<u32> = ma.intersection(&mb).copied().collect();
+        assert_eq!(a.union(&b), Env::from_ids(union.iter().copied()));
+        assert_eq!(a.intersection(&b), Env::from_ids(inter.iter().copied()));
+        assert_eq!(a.is_subset_of(&b), ma.is_subset(&mb));
+        assert_eq!(a.intersects(&b), !inter.is_empty());
+
+        // In-place union agrees with the pure one.
+        let mut acc = a.clone();
+        acc.union_with(&b);
+        assert_eq!(acc, a.union(&b));
+
+        // Ordering matches lexicographic comparison of sorted id vectors
+        // (the old sorted-`Vec<u32>` derive order).
+        let model_b: Vec<u32> = mb.iter().copied().collect();
+        assert_eq!(a.cmp(&b), model_ids.cmp(&model_b));
+
+        // Equality and hashing are structural.
+        let a2 = Env::from_ids(model_ids.iter().rev().copied());
+        assert_eq!(a, a2);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&a2));
+
+        // insert / with / without against model insert/remove.
+        if let Some(&pick) = model_b.first() {
+            let mut mi = ma.clone();
+            mi.insert(pick);
+            assert_eq!(a.with(Assumption(pick)), Env::from_ids(mi.iter().copied()));
+            let mut mo = ma.clone();
+            mo.remove(&pick);
+            assert_eq!(
+                a.without(Assumption(pick)),
+                Env::from_ids(mo.iter().copied())
+            );
+        }
+
+        // Signature prefilter soundness: subset ⇒ sig(a) ⊆ sig(b).
+        if a.is_subset_of(&b) {
+            assert_eq!(a.signature() & !b.signature(), 0);
+        }
+    }
+}
+
+#[test]
+fn union_is_commutative_associative() {
+    let mut r = Rng(1);
+    for _ in 0..CASES {
+        let a = rand_env(&mut r, 12, 5);
+        let b = rand_env(&mut r, 12, 5);
+        let c = rand_env(&mut r, 12, 5);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a.clone());
+    }
+}
+
+#[test]
+fn subset_iff_union_absorbs() {
+    let mut r = Rng(2);
+    for _ in 0..CASES {
+        let a = rand_env(&mut r, 12, 5);
+        let b = rand_env(&mut r, 12, 5);
+        assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    }
+}
+
+#[test]
+fn minimize_yields_antichain() {
+    let mut r = Rng(3);
+    for _ in 0..CASES {
+        let envs: Vec<Env> = (0..r.below(12)).map(|_| rand_env(&mut r, 10, 5)).collect();
         let min = minimize(envs.clone());
         // Pairwise incomparable.
         for (i, p) in min.iter().enumerate() {
             for (j, q) in min.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!p.is_subset_of(q));
+                    assert!(!p.is_subset_of(q));
                 }
             }
         }
         // Every input is covered by some kept element.
         for e in &envs {
-            prop_assert!(min.iter().any(|m| m.is_subset_of(e)));
+            assert!(min.iter().any(|m| m.is_subset_of(e)));
         }
     }
+}
 
-    #[test]
-    fn hitting_sets_hit_and_are_minimal(conflicts in conflicts_strategy(8, 6)) {
+fn rand_conflicts(r: &mut Rng, universe: u32, n: u64) -> Vec<Env> {
+    (0..r.below(n))
+        .map(|_| {
+            let mut ids = rand_ids(r, universe, 3);
+            ids.insert(r.below(u64::from(universe)) as u32); // non-empty
+            Env::from_ids(ids)
+        })
+        .collect()
+}
+
+#[test]
+fn hitting_sets_hit_and_are_minimal() {
+    let mut r = Rng(4);
+    for _ in 0..CASES {
+        let conflicts = rand_conflicts(&mut r, 8, 6);
         let hs = minimal_hitting_sets(&conflicts, usize::MAX, 10_000);
-        prop_assert!(!hs.is_empty() || conflicts.iter().any(|c| !c.is_empty()));
+        assert!(!hs.is_empty() || conflicts.iter().any(|c| !c.is_empty()));
         for s in &hs {
-            prop_assert!(is_hitting_set(s, &conflicts));
+            assert!(is_hitting_set(s, &conflicts));
             for a in s.iter() {
-                prop_assert!(!is_hitting_set(&s.without(a), &conflicts));
+                assert!(!is_hitting_set(&s.without(a), &conflicts));
             }
         }
         // Antichain.
         for (i, p) in hs.iter().enumerate() {
             for (j, q) in hs.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!p.is_subset_of(q));
+                    assert!(!p.is_subset_of(q));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hitting_sets_complete_for_small_universes(conflicts in conflicts_strategy(5, 4)) {
+#[test]
+fn hitting_sets_complete_for_small_universes() {
+    let mut r = Rng(5);
+    for _ in 0..CASES {
+        let conflicts = rand_conflicts(&mut r, 5, 4);
         // Brute-force all subsets of the universe and compare.
         let hs = minimal_hitting_sets(&conflicts, usize::MAX, 100_000);
         let live: Vec<&Env> = conflicts.iter().filter(|c| !c.is_empty()).collect();
@@ -79,19 +223,29 @@ proptest! {
             let hits = live.iter().all(|c| candidate.intersects(c));
             if hits {
                 // Some returned minimal set must be inside it.
-                prop_assert!(hs.iter().any(|m| m.is_subset_of(&candidate)),
-                    "missing cover for {candidate}");
+                assert!(
+                    hs.iter().any(|m| m.is_subset_of(&candidate)),
+                    "missing cover for {candidate}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn atms_labels_stay_consistent_and_minimal(
-        just_pairs in prop::collection::vec((0u32..6, 0u32..6), 1..8),
-        nogood in prop::collection::btree_set(0u32..6, 1..3),
-    ) {
+#[test]
+fn atms_labels_stay_consistent_and_minimal() {
+    let mut r = Rng(6);
+    for _ in 0..CASES {
+        let just_pairs: Vec<(u32, u32)> = (0..1 + r.below(7))
+            .map(|_| (r.below(6) as u32, r.below(6) as u32))
+            .collect();
+        let mut nogood = rand_ids(&mut r, 6, 2);
+        nogood.insert(r.below(6) as u32);
+
         let mut atms = Atms::new();
-        let assumptions: Vec<_> = (0..6).map(|i| atms.add_assumption(format!("a{i}"))).collect();
+        let assumptions: Vec<_> = (0..6)
+            .map(|i| atms.add_assumption(format!("a{i}")))
+            .collect();
         let goal = atms.add_node("goal");
         let bottom = atms.add_contradiction("⊥");
         for (x, y) in &just_pairs {
@@ -109,23 +263,25 @@ proptest! {
 
         let label = atms.label(goal).unwrap();
         // Consistency: no label environment contains a nogood.
-        for e in label {
-            prop_assert!(atms.is_consistent(e));
+        for e in &label {
+            assert!(atms.is_consistent(e));
         }
         // Minimality: antichain.
         for (i, p) in label.iter().enumerate() {
             for (j, q) in label.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!p.is_subset_of(q));
+                    assert!(!p.is_subset_of(q));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn fuzzy_degrees_never_leave_unit_interval(
-        degrees in prop::collection::vec(0.05f64..1.0, 1..6),
-    ) {
+#[test]
+fn fuzzy_degrees_never_leave_unit_interval() {
+    let mut r = Rng(7);
+    for _ in 0..CASES {
+        let degrees: Vec<f64> = (0..1 + r.below(5)).map(|_| r.range(0.05, 1.0)).collect();
         let mut atms = FuzzyAtms::new();
         let a = atms.add_assumption("a");
         let mut prev = atms.assumption_node(a);
@@ -135,114 +291,152 @@ proptest! {
             prev = next;
         }
         let label = atms.label(prev).unwrap();
-        prop_assert_eq!(label.len(), 1);
+        assert_eq!(label.len(), 1);
         let expected: f64 = degrees.iter().copied().fold(1.0, f64::min);
-        prop_assert!((label[0].degree - expected).abs() < 1e-12);
+        assert!((label[0].degree - expected).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn plausibility_is_monotone_in_nogoods(
-        base in prop::collection::btree_set(0u32..6, 1..4),
-        d1 in 0.1f64..1.0,
-        d2 in 0.1f64..1.0,
-    ) {
+#[test]
+fn plausibility_is_monotone_in_nogoods() {
+    let mut r = Rng(8);
+    for _ in 0..CASES {
+        let mut base = rand_ids(&mut r, 6, 3);
+        base.insert(r.below(6) as u32);
+        let d1 = r.range(0.1, 1.0);
+        let d2 = r.range(0.1, 1.0);
         let mut atms = FuzzyAtms::new();
         for i in 0..6 {
             atms.add_assumption(format!("a{i}"));
         }
         let env = Env::from_ids(base.iter().copied());
         let before = atms.plausibility(&env);
-        prop_assert_eq!(before, 1.0);
+        assert_eq!(before, 1.0);
         atms.add_nogood(env.clone(), d1);
         let mid = atms.plausibility(&env);
         atms.add_nogood(env.clone(), d2);
         let after = atms.plausibility(&env);
         // More/stronger conflicts never raise plausibility.
-        prop_assert!(mid <= before + 1e-12);
-        prop_assert!(after <= mid + 1e-12);
-        prop_assert!((after - (1.0 - d1.max(d2))).abs() < 1e-12);
+        assert!(mid <= before + 1e-12);
+        assert!(after <= mid + 1e-12);
+        assert!((after - (1.0 - d1.max(d2))).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn ranked_diagnoses_are_hitting_sets(conflict_data in prop::collection::vec(
-        (prop::collection::btree_set(0u32..6, 1..4), 0.1f64..1.0), 1..5)) {
+#[test]
+fn ranked_diagnoses_are_hitting_sets() {
+    let mut r = Rng(9);
+    for _ in 0..CASES {
+        let conflict_data: Vec<(BTreeSet<u32>, f64)> = (0..1 + r.below(4))
+            .map(|_| {
+                let mut ids = rand_ids(&mut r, 6, 3);
+                ids.insert(r.below(6) as u32);
+                (ids, r.range(0.1, 1.0))
+            })
+            .collect();
         let mut atms = FuzzyAtms::new();
         for i in 0..6 {
             atms.add_assumption(format!("a{i}"));
         }
-        let mut envs = Vec::new();
         for (ids, d) in &conflict_data {
-            let env = Env::from_ids(ids.iter().copied());
-            envs.push(env.clone());
-            atms.add_nogood(env, *d);
+            atms.add_nogood(Env::from_ids(ids.iter().copied()), *d);
         }
         let diags = atms.ranked_diagnoses(usize::MAX, 10_000);
         // Diagnoses hit all *retained* nogoods; the store is Pareto-minimal
         // so hitting the store hits every reported conflict.
         let store: Vec<Env> = atms.nogoods().iter().map(|n| n.env.clone()).collect();
         for d in &diags {
-            prop_assert!(is_hitting_set(&d.env, &store));
-            prop_assert!((0.0..=1.0).contains(&d.degree));
+            assert!(is_hitting_set(&d.env, &store));
+            assert!((0.0..=1.0).contains(&d.degree));
         }
         // Sorted by decreasing degree.
         for w in diags.windows(2) {
-            prop_assert!(w[0].degree >= w[1].degree - 1e-12);
+            assert!(w[0].degree >= w[1].degree - 1e-12);
         }
     }
+}
 
-    #[test]
-    fn positive_clause_bases_are_consistent(
-        clauses in prop::collection::vec(prop::collection::btree_set(0u32..6, 1..4), 0..8),
-        weights in prop::collection::vec(0.1f64..1.0, 8),
-    ) {
+#[test]
+fn positive_clause_bases_are_consistent() {
+    let mut r = Rng(10);
+    for _ in 0..CASES {
         // All-positive clauses are satisfied by the all-true assignment:
         // the inconsistency degree must be zero.
         let mut base = PossibilisticBase::new();
-        for (c, w) in clauses.iter().zip(&weights) {
-            base.add_clause(c.iter().map(|&v| Literal::pos(v)), *w).unwrap();
+        for _ in 0..r.below(8) {
+            let mut ids = rand_ids(&mut r, 6, 3);
+            ids.insert(r.below(6) as u32);
+            let w = r.range(0.1, 1.0);
+            base.add_clause(ids.iter().map(|&v| Literal::pos(v)), w)
+                .unwrap();
         }
-        prop_assert_eq!(base.inconsistency_degree(), 0.0);
+        assert_eq!(base.inconsistency_degree(), 0.0);
     }
+}
 
-    #[test]
-    fn unit_clause_entailment_at_least_its_necessity(
-        var in 0u32..6,
-        w in 0.1f64..1.0,
-        noise in prop::collection::vec((prop::collection::btree_set(0u32..6, 1..3), 0.1f64..1.0), 0..4),
-    ) {
+#[test]
+fn unit_clause_entailment_at_least_its_necessity() {
+    let mut r = Rng(11);
+    for _ in 0..CASES {
+        let var = r.below(6) as u32;
+        let w = r.range(0.1, 1.0);
         let mut base = PossibilisticBase::new();
         base.add_clause([Literal::pos(var)], w).unwrap();
         // Positive side clauses cannot reduce the entailment of x_var.
-        for (c, cw) in &noise {
-            base.add_clause(c.iter().map(|&v| Literal::pos(v)), *cw).unwrap();
+        for _ in 0..r.below(4) {
+            let mut ids = rand_ids(&mut r, 6, 2);
+            ids.insert(r.below(6) as u32);
+            let cw = r.range(0.1, 1.0);
+            base.add_clause(ids.iter().map(|&v| Literal::pos(v)), cw)
+                .unwrap();
         }
         let degree = base.entailment_degree(Literal::pos(var));
-        prop_assert!(degree >= w - 1e-9, "{degree} < {w}");
+        assert!(degree >= w - 1e-9, "{degree} < {w}");
     }
+}
 
-    #[test]
-    fn inconsistency_bounded_by_weakest_contradiction(w1 in 0.1f64..1.0, w2 in 0.1f64..1.0) {
+#[test]
+fn inconsistency_bounded_by_weakest_contradiction() {
+    let mut r = Rng(12);
+    for _ in 0..CASES {
+        let w1 = r.range(0.1, 1.0);
+        let w2 = r.range(0.1, 1.0);
         let mut base = PossibilisticBase::new();
         base.add_clause([Literal::pos(0)], w1).unwrap();
         base.add_clause([Literal::neg(0)], w2).unwrap();
         let inc = base.inconsistency_degree();
-        prop_assert!((inc - w1.min(w2)).abs() < 1e-9);
+        assert!((inc - w1.min(w2)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn interpretations_complement_diagnoses(nogood_sets in prop::collection::vec(
-        prop::collection::btree_set(0u32..5, 1..3), 0..4)) {
+#[test]
+fn interpretations_complement_diagnoses() {
+    let mut r = Rng(13);
+    for _ in 0..CASES {
+        let nogood_sets: Vec<BTreeSet<u32>> = (0..r.below(4))
+            .map(|_| {
+                let mut ids = rand_ids(&mut r, 5, 2);
+                ids.insert(r.below(5) as u32);
+                ids
+            })
+            .collect();
         let mut atms = Atms::new();
-        let assumptions: Vec<_> = (0..5).map(|k| atms.add_assumption(format!("a{k}"))).collect();
+        let assumptions: Vec<_> = (0..5)
+            .map(|k| atms.add_assumption(format!("a{k}")))
+            .collect();
         for ids in &nogood_sets {
-            atms.add_nogood(Env::from_assumptions(ids.iter().map(|&i| assumptions[i as usize])));
+            atms.add_nogood(Env::from_assumptions(
+                ids.iter().map(|&i| assumptions[i as usize]),
+            ));
         }
         for interp in atms.interpretations(10_000) {
-            prop_assert!(atms.is_consistent(&interp));
+            assert!(atms.is_consistent(&interp));
             for &a in &assumptions {
                 if !interp.contains(a) {
-                    prop_assert!(!atms.is_consistent(&interp.with(a)),
-                        "interpretation {interp} is not maximal (missing {a})");
+                    assert!(
+                        !atms.is_consistent(&interp.with(a)),
+                        "interpretation {interp} is not maximal (missing {a})"
+                    );
                 }
             }
         }

@@ -1,9 +1,12 @@
-//! Criterion benches for the design-choice ablations called out in
-//! `DESIGN.md` §5: t-norm, kill threshold, and conflict threshold of the
-//! fuzzy engine, measured on the Fig. 7 soft-fault scenario.
+//! Benches for the design-choice ablations called out in `DESIGN.md` §5:
+//! t-norm, kill threshold, and conflict threshold of the fuzzy engine,
+//! measured on the Fig. 7 soft-fault scenario.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flames_atms::TNorm;
+use flames_bench::harness::Harness;
 use flames_circuit::circuits::three_stage;
 use flames_circuit::fault::inject_faults;
 use flames_circuit::predict::measure_all;
@@ -21,12 +24,12 @@ fn session_run(diagnoser: &Diagnoser, readings: &[flames_fuzzy::FuzzyInterval]) 
     s.refined_candidates(16, 0.5).len()
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let ts = three_stage(0.02);
     let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).unwrap();
     let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).unwrap();
 
-    let mut g = c.benchmark_group("ablation");
+    let h = Harness::new("ablation");
     let variants: Vec<(&str, PropagatorConfig)> = vec![
         ("tnorm_min", PropagatorConfig::default()),
         (
@@ -75,12 +78,8 @@ fn bench_ablation(c: &mut Criterion) {
             },
         )
         .unwrap();
-        g.bench_with_input(BenchmarkId::new("soft_r2", name), &(), |bench, ()| {
-            bench.iter(|| black_box(session_run(&diagnoser, &readings)))
+        h.bench(&format!("soft_r2/{name}"), || {
+            black_box(session_run(&diagnoser, &readings))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

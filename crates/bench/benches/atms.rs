@@ -1,8 +1,11 @@
-//! Criterion benches for the truth-maintenance kernels: classic label
-//! propagation and the fuzzy extension's graded updates.
+//! Benches for the truth-maintenance kernels: classic label propagation
+//! and the fuzzy extension's graded updates.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flames_atms::{Atms, Env, FuzzyAtms};
+use flames_bench::harness::Harness;
 use std::hint::black_box;
 
 /// Builds a chain n0 → n1 → … of `depth` justified nodes over `width`
@@ -25,59 +28,49 @@ fn classic_chain(width: usize, depth: usize) -> Atms {
     atms
 }
 
-fn bench_classic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("atms_classic");
+fn bench_classic() {
+    let h = Harness::new("atms_classic");
     for (width, depth) in [(4usize, 8usize), (8, 16), (16, 32)] {
-        g.bench_with_input(
-            BenchmarkId::new("chain", format!("{width}x{depth}")),
-            &(width, depth),
-            |bench, &(w, d)| bench.iter(|| classic_chain(black_box(w), black_box(d))),
-        );
+        h.bench(&format!("chain/{width}x{depth}"), || {
+            classic_chain(black_box(width), black_box(depth))
+        });
     }
-    g.bench_function("nogood_install_64", |bench| {
-        bench.iter(|| {
-            let mut atms = classic_chain(8, 8);
-            for k in 0..64u32 {
-                atms.add_nogood(Env::from_ids([k % 8, (k + 1) % 8]));
-            }
-            black_box(atms.nogoods().len())
-        })
+    h.bench("nogood_install_64", || {
+        let mut atms = classic_chain(8, 8);
+        for k in 0..64u32 {
+            atms.add_nogood(Env::from_ids([k % 8, (k + 1) % 8]));
+        }
+        black_box(atms.nogoods().len())
     });
-    g.finish();
 }
 
-fn bench_fuzzy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("atms_fuzzy");
-    g.bench_function("weighted_chain_8x16", |bench| {
-        bench.iter(|| {
-            let mut atms = FuzzyAtms::new();
-            let a = atms.add_assumption("a");
-            let mut prev = atms.assumption_node(a);
-            for d in 0..16 {
-                let next = atms.add_node(format!("n{d}"));
-                atms.justify_weighted([prev], next, 0.9, "step").unwrap();
-                prev = next;
-            }
-            black_box(atms.label(prev).unwrap().len())
-        })
+fn bench_fuzzy() {
+    let h = Harness::new("atms_fuzzy");
+    h.bench("weighted_chain_8x16", || {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        let mut prev = atms.assumption_node(a);
+        for d in 0..16 {
+            let next = atms.add_node(format!("n{d}"));
+            atms.justify_weighted([prev], next, 0.9, "step").unwrap();
+            prev = next;
+        }
+        black_box(atms.label(prev).unwrap().len())
     });
-    g.bench_function("graded_nogoods_and_rank", |bench| {
-        bench.iter(|| {
-            let mut atms = FuzzyAtms::new();
-            let assumptions: Vec<_> =
-                (0..12).map(|k| atms.add_assumption(format!("a{k}"))).collect();
-            for k in 0..12 {
-                let env = Env::from_assumptions([
-                    assumptions[k % 12],
-                    assumptions[(k + 3) % 12],
-                ]);
-                atms.add_nogood(env, 0.3 + 0.05 * k as f64);
-            }
-            black_box(atms.ranked_diagnoses(2, 256).len())
-        })
+    h.bench("graded_nogoods_and_rank", || {
+        let mut atms = FuzzyAtms::new();
+        let assumptions: Vec<_> = (0..12)
+            .map(|k| atms.add_assumption(format!("a{k}")))
+            .collect();
+        for k in 0..12 {
+            let env = Env::from_assumptions([assumptions[k % 12], assumptions[(k + 3) % 12]]);
+            atms.add_nogood(env, 0.3 + 0.05 * k as f64);
+        }
+        black_box(atms.ranked_diagnoses(2, 256).len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_classic, bench_fuzzy);
-criterion_main!(benches);
+fn main() {
+    bench_classic();
+    bench_fuzzy();
+}

@@ -1,19 +1,21 @@
-//! Criterion benches for E6: end-to-end fuzzy vs crisp diagnosis of a
-//! weak cascade stage, across depths.
+//! Benches for E6: end-to-end fuzzy vs crisp diagnosis of a weak cascade
+//! stage, across depths.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flames_bench::harness::Harness;
 use flames_circuit::circuits::cascade;
 use flames_circuit::constraint::{extract, ExtractOptions};
 use flames_circuit::fault::inject_faults;
 use flames_circuit::predict::measure_all;
 use flames_circuit::Fault;
-use flames_crisp::{CrispConfig, CrispPropagator, Interval};
 use flames_core::{Diagnoser, DiagnoserConfig};
+use flames_crisp::{CrispConfig, CrispPropagator, Interval};
 use std::hint::black_box;
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("explosion");
-    g.sample_size(15);
+fn main() {
+    let h = Harness::new("explosion");
     for n in [8usize, 16] {
         let cas = cascade(n, 1.3, 0.05);
         let board =
@@ -25,30 +27,22 @@ fn bench_engines(c: &mut Criterion) {
             DiagnoserConfig::default(),
         )
         .unwrap();
-        g.bench_with_input(BenchmarkId::new("fuzzy", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut s = diagnoser.session();
-                for (k, r) in readings.iter().enumerate() {
-                    s.measure_point(k, *r).unwrap();
-                }
-                s.propagate();
-                black_box(s.refined_candidates(64, 0.5).len())
-            })
+        h.bench(&format!("fuzzy/{n}"), || {
+            let mut s = diagnoser.session();
+            for (k, r) in readings.iter().enumerate() {
+                s.measure_point(k, *r).unwrap();
+            }
+            s.propagate();
+            black_box(s.refined_candidates(64, 0.5).len())
         });
         let network = extract(&cas.netlist, ExtractOptions::default());
-        g.bench_with_input(BenchmarkId::new("crisp", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut p = CrispPropagator::new(&cas.netlist, &network, CrispConfig::default());
-                for (k, r) in readings.iter().enumerate() {
-                    p.observe(network.voltage_quantity(cas.stages[k]), Interval::from(*r));
-                }
-                p.run();
-                black_box(p.candidates(2, 4096).len())
-            })
+        h.bench(&format!("crisp/{n}"), || {
+            let mut p = CrispPropagator::new(&cas.netlist, &network, CrispConfig::default());
+            for (k, r) in readings.iter().enumerate() {
+                p.observe(network.voltage_quantity(cas.stages[k]), Interval::from(*r));
+            }
+            p.run();
+            black_box(p.candidates(2, 4096).len())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

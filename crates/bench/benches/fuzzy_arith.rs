@@ -1,50 +1,43 @@
-//! Criterion benches for the fuzzy-calculus kernel: LR arithmetic, exact
-//! PWL intersections, the degree of consistency, and fuzzy entropy.
+//! Benches for the fuzzy-calculus kernel: LR arithmetic, exact PWL
+//! intersections, the degree of consistency, and fuzzy entropy.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flames_bench::harness::Harness;
 use flames_fuzzy::entropy::{fuzzy_entropy, shannon_entropy};
 use flames_fuzzy::{Consistency, FuzzyInterval};
 use std::hint::black_box;
 
-fn bench_arith(c: &mut Criterion) {
+fn bench_arith() {
     let a = FuzzyInterval::new(2.95, 3.05, 0.15, 0.15).unwrap();
     let b = FuzzyInterval::new(2.0, 2.0, 0.05, 0.05).unwrap();
-    let mut g = c.benchmark_group("fuzzy_arith");
-    g.bench_function("add", |bench| bench.iter(|| black_box(a) + black_box(b)));
-    g.bench_function("mul", |bench| {
-        bench.iter(|| black_box(a).mul(&black_box(b)).unwrap())
-    });
-    g.bench_function("div", |bench| {
-        bench.iter(|| black_box(a).div(&black_box(b)).unwrap())
-    });
-    g.bench_function("membership", |bench| {
-        bench.iter(|| black_box(a).membership(black_box(3.01)))
-    });
-    g.finish();
+    let h = Harness::new("fuzzy_arith");
+    h.bench("add", || black_box(a) + black_box(b));
+    h.bench("mul", || black_box(a).mul(&black_box(b)).unwrap());
+    h.bench("div", || black_box(a).div(&black_box(b)).unwrap());
+    h.bench("membership", || black_box(a).membership(black_box(3.01)));
 }
 
-fn bench_consistency(c: &mut Criterion) {
+fn bench_consistency() {
     let vm = FuzzyInterval::new(5.6, 5.6, 0.05, 0.05).unwrap();
     let vn = FuzzyInterval::new(6.0, 6.0, 0.54, 0.57).unwrap();
-    let mut g = c.benchmark_group("consistency");
-    g.bench_function("dc_partial_overlap", |bench| {
-        bench.iter(|| Consistency::between(&black_box(vm), &black_box(vn)))
+    let h = Harness::new("consistency");
+    h.bench("dc_partial_overlap", || {
+        Consistency::between(&black_box(vm), &black_box(vn))
     });
-    g.bench_function("pwl_intersection_area", |bench| {
-        bench.iter(|| {
-            black_box(vm)
-                .to_pwl()
-                .intersection(&black_box(vn).to_pwl())
-                .area()
-        })
+    h.bench("pwl_intersection_area", || {
+        black_box(vm)
+            .to_pwl()
+            .intersection(&black_box(vn).to_pwl())
+            .area()
     });
-    g.bench_function("possibility", |bench| {
-        bench.iter(|| black_box(vm).possibility_of(&black_box(vn)))
+    h.bench("possibility", || {
+        black_box(vm).possibility_of(&black_box(vn))
     });
-    g.finish();
 }
 
-fn bench_entropy(c: &mut Criterion) {
+fn bench_entropy() {
     let estimations: Vec<FuzzyInterval> = (0..9)
         .map(|k| {
             let x = 0.1 + 0.08 * k as f64;
@@ -52,15 +45,15 @@ fn bench_entropy(c: &mut Criterion) {
         })
         .collect();
     let weights: Vec<f64> = (1..10).map(|k| k as f64).collect();
-    let mut g = c.benchmark_group("entropy");
-    g.bench_function("fuzzy_entropy_9", |bench| {
-        bench.iter(|| fuzzy_entropy(black_box(&estimations)).unwrap())
+    let h = Harness::new("entropy");
+    h.bench("fuzzy_entropy_9", || {
+        fuzzy_entropy(black_box(&estimations)).unwrap()
     });
-    g.bench_function("shannon_entropy_9", |bench| {
-        bench.iter(|| shannon_entropy(black_box(&weights)))
-    });
-    g.finish();
+    h.bench("shannon_entropy_9", || shannon_entropy(black_box(&weights)));
 }
 
-criterion_group!(benches, bench_arith, bench_consistency, bench_entropy);
-criterion_main!(benches);
+fn main() {
+    bench_arith();
+    bench_consistency();
+    bench_entropy();
+}

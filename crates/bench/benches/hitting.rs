@@ -1,40 +1,33 @@
-//! Criterion benches for minimal hitting-set generation — the candidate
-//! lattice the paper's §6 builds from nogoods.
+//! Benches for minimal hitting-set generation — the candidate lattice the
+//! paper's §6 builds from nogoods.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flames_atms::hitting::minimal_hitting_sets;
 use flames_atms::Env;
+use flames_bench::harness::Harness;
 use std::hint::black_box;
 
 /// Overlapping conflicts over a `universe`-sized assumption pool.
 fn conflicts(universe: u32, count: usize, size: u32) -> Vec<Env> {
     (0..count)
-        .map(|k| {
-            Env::from_ids((0..size).map(|j| (k as u32 * 3 + j * 5) % universe))
-        })
+        .map(|k| Env::from_ids((0..size).map(|j| (k as u32 * 3 + j * 5) % universe)))
         .collect()
 }
 
-fn bench_hitting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hitting_sets");
+fn main() {
+    let h = Harness::new("hitting_sets");
     for (universe, count, size) in [(8u32, 4usize, 3u32), (12, 8, 3), (16, 12, 4), (24, 16, 4)] {
         let cs = conflicts(universe, count, size);
-        g.bench_with_input(
-            BenchmarkId::new("minimal", format!("{universe}u_{count}c_{size}s")),
-            &cs,
-            |bench, cs| {
-                bench.iter(|| minimal_hitting_sets(black_box(cs), usize::MAX, 100_000).len())
-            },
-        );
+        h.bench(&format!("minimal/{universe}u_{count}c_{size}s"), || {
+            minimal_hitting_sets(black_box(&cs), usize::MAX, 100_000).len()
+        });
     }
     // Bounded-size diagnosis query (the paper's "number of faults under
     // consideration").
     let cs = conflicts(24, 16, 4);
-    g.bench_function("minimal_capped_double_faults", |bench| {
-        bench.iter(|| minimal_hitting_sets(black_box(&cs), 2, 100_000).len())
+    h.bench("minimal_capped_double_faults", || {
+        minimal_hitting_sets(black_box(&cs), 2, 100_000).len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_hitting);
-criterion_main!(benches);

@@ -1,15 +1,18 @@
-//! Criterion benches for the fuzzy propagation engine on the paper's
-//! circuits and generated cascades.
+//! Benches for the fuzzy propagation engine on the paper's circuits and
+//! generated cascades.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flames_circuit::circuits::{cascade, three_stage};
+use flames_bench::harness::Harness;
+use flames_circuit::circuits::{cascade, ladder, three_stage};
 use flames_circuit::fault::inject_faults;
 use flames_circuit::predict::measure_all;
 use flames_circuit::Fault;
 use flames_core::{Diagnoser, DiagnoserConfig};
 use std::hint::black_box;
 
-fn bench_three_stage(c: &mut Criterion) {
+fn bench_three_stage() {
     let ts = three_stage(0.02);
     let diagnoser = Diagnoser::from_netlist(
         &ts.netlist,
@@ -19,32 +22,26 @@ fn bench_three_stage(c: &mut Criterion) {
     .unwrap();
     let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).unwrap();
     let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).unwrap();
-    let mut g = c.benchmark_group("propagation_three_stage");
-    g.bench_function("full_session_soft_r2", |bench| {
-        bench.iter(|| {
-            let mut s = diagnoser.session();
-            s.measure("Vs", readings[0]).unwrap();
-            s.measure("V1", readings[1]).unwrap();
-            s.measure("V2", readings[2]).unwrap();
-            black_box(s.propagate())
-        })
+    let h = Harness::new("propagation_three_stage");
+    h.bench("full_session_soft_r2", || {
+        let mut s = diagnoser.session();
+        s.measure("Vs", readings[0]).unwrap();
+        s.measure("V1", readings[1]).unwrap();
+        s.measure("V2", readings[2]).unwrap();
+        black_box(s.propagate())
     });
-    g.bench_function("diagnoser_build", |bench| {
-        bench.iter(|| {
-            Diagnoser::from_netlist(
-                &ts.netlist,
-                ts.test_points.clone(),
-                DiagnoserConfig::default(),
-            )
-            .unwrap()
-        })
+    h.bench("diagnoser_build", || {
+        Diagnoser::from_netlist(
+            &ts.netlist,
+            ts.test_points.clone(),
+            DiagnoserConfig::default(),
+        )
+        .unwrap()
     });
-    g.finish();
 }
 
-fn bench_cascade(c: &mut Criterion) {
-    let mut g = c.benchmark_group("propagation_cascade");
-    g.sample_size(20);
+fn bench_cascade() {
+    let h = Harness::new("propagation_cascade");
     for n in [4usize, 8, 16] {
         let cas = cascade(n, 1.3, 0.05);
         let diagnoser = Diagnoser::from_netlist(
@@ -56,23 +53,18 @@ fn bench_cascade(c: &mut Criterion) {
         let board =
             inject_faults(&cas.netlist, &[(cas.amps[n / 2], Fault::ParamFactor(0.7))]).unwrap();
         let readings = measure_all(&board, &cas.stages, 0.01).unwrap();
-        g.bench_with_input(BenchmarkId::new("full_session", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut s = diagnoser.session();
-                for (k, r) in readings.iter().enumerate() {
-                    s.measure_point(k, *r).unwrap();
-                }
-                black_box(s.propagate())
-            })
+        h.bench(&format!("full_session/{n}"), || {
+            let mut s = diagnoser.session();
+            for (k, r) in readings.iter().enumerate() {
+                s.measure_point(k, *r).unwrap();
+            }
+            black_box(s.propagate())
         });
     }
-    g.finish();
 }
 
-fn bench_ladder(c: &mut Criterion) {
-    use flames_circuit::circuits::ladder;
-    let mut g = c.benchmark_group("propagation_ladder");
-    g.sample_size(15);
+fn bench_ladder() {
+    let h = Harness::new("propagation_ladder");
     for n in [4usize, 8, 16] {
         let l = ladder(n, 1_000.0, 2_200.0, 0.05);
         let diagnoser = Diagnoser::from_netlist(
@@ -84,18 +76,18 @@ fn bench_ladder(c: &mut Criterion) {
         let board =
             inject_faults(&l.netlist, &[(l.shunt[n / 2], Fault::ParamFactor(0.5))]).unwrap();
         let readings = measure_all(&board, &l.nodes, 0.01).unwrap();
-        g.bench_with_input(BenchmarkId::new("full_session", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut s = diagnoser.session();
-                for (k, r) in readings.iter().enumerate() {
-                    s.measure_point(k, *r).unwrap();
-                }
-                black_box(s.propagate())
-            })
+        h.bench(&format!("full_session/{n}"), || {
+            let mut s = diagnoser.session();
+            for (k, r) in readings.iter().enumerate() {
+                s.measure_point(k, *r).unwrap();
+            }
+            black_box(s.propagate())
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_three_stage, bench_cascade, bench_ladder);
-criterion_main!(benches);
+fn main() {
+    bench_three_stage();
+    bench_cascade();
+    bench_ladder();
+}

@@ -1,7 +1,10 @@
-//! Criterion benches for best-test selection (§8): fuzzy entropy vs the
-//! GDE-style probabilistic baseline.
+//! Benches for best-test selection (§8): fuzzy entropy vs the GDE-style
+//! probabilistic baseline.
+//!
+//! Runs with `cargo bench --features bench` on the dependency-free
+//! harness in `flames_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flames_bench::harness::Harness;
 use flames_circuit::circuits::cascade;
 use flames_circuit::fault::inject_faults;
 use flames_circuit::predict::measure_all;
@@ -10,7 +13,7 @@ use flames_core::strategy::{recommend, Policy};
 use flames_core::{Diagnoser, DiagnoserConfig};
 use std::hint::black_box;
 
-fn bench_recommend(c: &mut Criterion) {
+fn main() {
     let cas = cascade(8, 1.3, 0.03);
     let diagnoser = Diagnoser::from_netlist(
         &cas.netlist,
@@ -18,26 +21,21 @@ fn bench_recommend(c: &mut Criterion) {
         DiagnoserConfig::default(),
     )
     .unwrap();
-    let board =
-        inject_faults(&cas.netlist, &[(cas.amps[4], Fault::ParamFactor(0.6))]).unwrap();
+    let board = inject_faults(&cas.netlist, &[(cas.amps[4], Fault::ParamFactor(0.6))]).unwrap();
     let readings = measure_all(&board, &cas.stages, 0.02).unwrap();
     // A mid-diagnosis session: the output probe has fired.
     let mut session = diagnoser.session();
     session.measure_point(7, readings[7]).unwrap();
     session.propagate();
 
-    let mut g = c.benchmark_group("strategy");
-    g.bench_function("recommend_fuzzy_entropy", |bench| {
-        bench.iter(|| black_box(recommend(&session, Policy::FuzzyEntropy, 0.1)).len())
+    let h = Harness::new("strategy");
+    h.bench("recommend_fuzzy_entropy", || {
+        black_box(recommend(&session, Policy::FuzzyEntropy, 0.1)).len()
     });
-    g.bench_function("recommend_probabilistic", |bench| {
-        bench.iter(|| black_box(recommend(&session, Policy::Probabilistic, 0.1)).len())
+    h.bench("recommend_probabilistic", || {
+        black_box(recommend(&session, Policy::Probabilistic, 0.1)).len()
     });
-    g.bench_function("recommend_fixed_order", |bench| {
-        bench.iter(|| black_box(recommend(&session, Policy::FixedOrder, 0.1)).len())
+    h.bench("recommend_fixed_order", || {
+        black_box(recommend(&session, Policy::FixedOrder, 0.1)).len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_recommend);
-criterion_main!(benches);

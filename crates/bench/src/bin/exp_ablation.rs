@@ -19,12 +19,15 @@ fn main() {
     header("Ablations — fuzzy-engine knobs on the soft-R2 scenario (R2=14k, tol 2 %)");
 
     let ts = three_stage(0.02);
-    let board = inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))])
-        .expect("fault injects");
+    let board =
+        inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).expect("fault injects");
     let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).expect("board solves");
 
     let variants: Vec<(&str, PropagatorConfig)> = vec![
-        ("baseline (min, kill=1, thr=.02)", PropagatorConfig::default()),
+        (
+            "baseline (min, kill=1, thr=.02)",
+            PropagatorConfig::default(),
+        ),
         (
             "tnorm=product",
             PropagatorConfig {
@@ -71,7 +74,14 @@ fn main() {
 
     let w = [30, 8, 9, 10, 14, 22];
     row(
-        &["variant", "steps", "nogoods", "max-deg", "refined-size", "refined contains R2"],
+        &[
+            "variant",
+            "steps",
+            "nogoods",
+            "max-deg",
+            "refined-size",
+            "refined contains R2",
+        ],
         &w,
     );
     for (name, propagator) in variants {
@@ -92,9 +102,7 @@ fn main() {
         let nogoods = s.propagator().atms().nogoods();
         let max_deg = nogoods.iter().map(|n| n.degree).fold(0.0f64, f64::max);
         let refined = s.refined_candidates(32, 0.5);
-        let has_r2 = refined
-            .iter()
-            .any(|c| c.members.iter().any(|m| m == "R2"));
+        let has_r2 = refined.iter().any(|c| c.members.iter().any(|m| m == "R2"));
         row(
             &[
                 name,

@@ -44,7 +44,10 @@ fn main() {
     let w = [10, 30];
     row(&["probe", "prediction"], &w);
     for (k, probe) in diagnoser.probes().iter().enumerate() {
-        row(&[&probe.name, &format!("{:.3}", diagnoser.prediction(k))], &w);
+        row(
+            &[&probe.name, &format!("{:.3}", diagnoser.prediction(k))],
+            &w,
+        );
     }
     println!();
 

@@ -24,8 +24,8 @@ use flames_circuit::constraint::{extract, ExtractOptions};
 use flames_circuit::fault::inject_faults;
 use flames_circuit::predict::{measure_all, nominal_predictions};
 use flames_circuit::{Fault, Netlist};
-use flames_crisp::{CrispConfig, CrispPropagator, Interval};
 use flames_core::{Diagnoser, DiagnoserConfig, Session};
+use flames_crisp::{CrispConfig, CrispPropagator, Interval};
 
 const MEAS_IMPRECISION: f64 = 0.01;
 const TOLERANCE: f64 = 0.05;

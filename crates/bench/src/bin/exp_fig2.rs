@@ -23,7 +23,9 @@ fn main() {
     let vb = va.mul(amp1);
     let vc = vb.mul(amp2);
     let vd = vb.mul(amp3);
-    println!("crisp intervals (paper's bracketed figures; expected Vc=[5.46,6.56], Vd=[8.26,9.76]):");
+    println!(
+        "crisp intervals (paper's bracketed figures; expected Vc=[5.46,6.56], Vd=[8.26,9.76]):"
+    );
     let w = [6, 18];
     row(&["point", "propagated"], &w);
     row(&["Vb", &format!("{vb:.2}")], &w);

@@ -54,7 +54,10 @@ fn main() {
         format!("[{}]", names.join(", "))
     };
     let rendered: Vec<String> = hs.iter().map(name).collect();
-    println!("  CANDIDATES: {} (unranked — every candidate ties)", rendered.join(" or "));
+    println!(
+        "  CANDIDATES: {} (unranked — every candidate ties)",
+        rendered.join(" or ")
+    );
     println!();
 
     // --- Fuzzy reading: condition [-1, 100, 0, 10] µA grades the violations. ---
@@ -62,16 +65,17 @@ fn main() {
     let spec = diode_current_spec_micro_amps();
     let mu1 = spec.membership(ir1_micro);
     let mu2 = spec.membership(ir2_micro);
-    println!(
-        "  condition = [-1, 100, 0, 10] µA; µ(105) = {mu1:.2}, µ(200) = {mu2:.2}"
-    );
+    println!("  condition = [-1, 100, 0, 10] µA; µ(105) = {mu1:.2}, µ(200) = {mu2:.2}");
     let mut atms = FuzzyAtms::new();
     let d1 = atms.add_assumption("d1");
     let r1 = atms.add_assumption("r1");
     let r2 = atms.add_assumption("r2");
     atms.add_nogood(Env::from_assumptions([r1, d1]), 1.0 - mu1);
     atms.add_nogood(Env::from_assumptions([r2, d1]), 1.0 - mu2);
-    println!("  Nogood{{r1, d1}} with degree {:.2} (paper: 0.5)", 1.0 - mu1);
+    println!(
+        "  Nogood{{r1, d1}} with degree {:.2} (paper: 0.5)",
+        1.0 - mu1
+    );
     println!("  Nogood{{r2, d1}} with degree {:.2} (paper: 1)", 1.0 - mu2);
     println!();
     println!("  ranked candidates (degree = weakest member suspicion):");
@@ -81,7 +85,10 @@ fn main() {
     for diag in atms.ranked_diagnoses(usize::MAX, 100) {
         let members: Vec<&str> = diag.env.iter().map(|a| names[a.index()]).collect();
         row(
-            &[&format!("[{}]", members.join(", ")), &format!("{:.2}", diag.degree)],
+            &[
+                &format!("[{}]", members.join(", ")),
+                &format!("{:.2}", diag.degree),
+            ],
             &w,
         );
     }
@@ -96,7 +103,10 @@ fn main() {
     let nominal_current = 100e-6; // what 2 V across a healthy loop allows
     let observed_current = 200e-6;
     let implied_r2_ratio = nominal_current / observed_current; // ≈ 0.5
-    let low = modes.iter().find(|m| m.name() == "low").expect("vocabulary");
+    let low = modes
+        .iter()
+        .find(|m| m.name() == "low")
+        .expect("vocabulary");
     println!(
         "  r2 would have to be ~{:.0}% of nominal to explain 200 µA: \
          membership in mode 'low' = {:.2}",

@@ -64,16 +64,15 @@ fn main() {
         println!("DEFECT: {label}");
 
         // Step 1 — measure Vs alone: the initial suspect set.
-        let readings = measure_all(&board, &[ts.vs], MEAS_IMPRECISION)
-            .expect("faulty board still solves");
+        let readings =
+            measure_all(&board, &[ts.vs], MEAS_IMPRECISION).expect("faulty board still solves");
         let mut session = diagnoser.session();
-        session.measure("Vs", readings[0]).expect("Vs is a test point");
+        session
+            .measure("Vs", readings[0])
+            .expect("Vs is a test point");
         session.propagate();
         let initial = session.candidates(1, 64);
-        let initial_names: Vec<String> = initial
-            .iter()
-            .map(|c| c.members.join("+"))
-            .collect();
+        let initial_names: Vec<String> = initial.iter().map(|c| c.members.join("+")).collect();
         if initial_names.is_empty() {
             println!("  after Vs alone: consistent (no suspects)");
         } else {
@@ -104,7 +103,10 @@ fn main() {
         let dcs: Vec<String> = report
             .points
             .iter()
-            .filter_map(|p| p.consistency.map(|dc| format!("Dc({}m,{}n) = {dc}", p.name, p.name)))
+            .filter_map(|p| {
+                p.consistency
+                    .map(|dc| format!("Dc({}m,{}n) = {dc}", p.name, p.name))
+            })
             .collect();
         println!("  {}", dcs.join(",  "));
 

@@ -41,12 +41,20 @@ fn main() {
     let vc = FuzzyInterval::crisp(5.6)
         .widened(0.05)
         .expect("measurement imprecision");
-    let vb = vc.div(&FuzzyInterval::crisp(1.8)).expect("non-zero divisor");
+    let vb = vc
+        .div(&FuzzyInterval::crisp(1.8))
+        .expect("non-zero divisor");
     let amp1 = FuzzyInterval::new(1.0, 1.0, 0.05, 0.05).expect("static");
     let va = vb.div(&amp1).expect("non-zero divisor");
     let nominal = FuzzyInterval::new(3.0, 3.0, 0.05, 0.05).expect("static");
-    println!("fuzzy:  Vb = {}  (paper: [3.11, 3.11, 0.027, 0.027])", tuple(&vb));
-    println!("        Va = {}  (paper: [3.11, 3.11, 0.17, 0.17])", tuple(&va));
+    println!(
+        "fuzzy:  Vb = {}  (paper: [3.11, 3.11, 0.027, 0.027])",
+        tuple(&vb)
+    );
+    println!(
+        "        Va = {}  (paper: [3.11, 3.11, 0.17, 0.17])",
+        tuple(&va)
+    );
     let dc = Consistency::between(&nominal, &va);
     println!(
         "        membership of nominal Va core (3.00) in inferred Va: {:.2}",

@@ -11,6 +11,7 @@
 //!
 //! Run with `cargo run -p flames-bench --bin exp_noise`.
 
+use flames_bench::rng::SplitMix64;
 use flames_bench::{header, row};
 use flames_circuit::circuits::three_stage;
 use flames_circuit::fault::{inject_faults, open_connection};
@@ -18,8 +19,6 @@ use flames_circuit::solve::solve_dc;
 use flames_circuit::{Fault, Netlist};
 use flames_core::{Diagnoser, DiagnoserConfig};
 use flames_fuzzy::FuzzyInterval;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const TRIALS: usize = 50;
 const IMPRECISION: f64 = 0.05;
@@ -65,10 +64,16 @@ fn main() {
 
     let w = [16, 9, 18, 18, 16];
     row(
-        &["defect", "noise V", "culprit in refined", "culprit in lattice", "mean worst Dc"],
+        &[
+            "defect",
+            "noise V",
+            "culprit in refined",
+            "culprit in lattice",
+            "mean worst Dc",
+        ],
         &w,
     );
-    let mut rng = StdRng::seed_from_u64(0x464c414d); // "FLAM"
+    let mut rng = SplitMix64::new(0x464c_414d); // "FLAM"
     for (label, board, culprit) in &rows {
         let op = solve_dc(board).expect("board solves");
         let truth = [op.voltage(ts.vs), op.voltage(ts.v1), op.voltage(ts.v2)];
@@ -79,7 +84,7 @@ fn main() {
             for _ in 0..TRIALS {
                 let mut session = diagnoser.session();
                 for (name, v) in ["Vs", "V1", "V2"].iter().zip(truth) {
-                    let jitter = rng.gen_range(-noise..=noise);
+                    let jitter = rng.range_f64(-noise, noise);
                     let reading = FuzzyInterval::crisp(v + jitter)
                         .widened(IMPRECISION)
                         .expect("non-negative imprecision");

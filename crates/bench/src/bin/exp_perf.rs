@@ -1,0 +1,680 @@
+//! Perf experiment: the bitset-interned environment kernel vs the seed's
+//! sorted-vec kernel, on three ATMS workloads:
+//!
+//! * **label propagation** — a layered join network of weighted
+//!   justifications (cross-product unions + Pareto minimization), the hot
+//!   loop of §6's fuzzy ATMS;
+//! * **nogood installs** — Pareto-minimal maintenance of the graded
+//!   conflict store;
+//! * **hitting sets** — Reiter candidate generation over the conflicts.
+//!
+//! The baseline is the seed revision's `Env`/`pareto_minimize`/
+//! `install_nogood`/`minimal_hitting_sets`, embedded below verbatim
+//! (modulo naming) so the comparison survives further kernel changes.
+//! Both sides run the same randomized workloads and are cross-checked for
+//! identical results before timing. Writes `BENCH_atms.json` in the
+//! current directory.
+
+use flames_atms::hitting::minimal_hitting_sets;
+use flames_atms::{Env, FuzzyAtms};
+use flames_bench::harness::Harness;
+use flames_bench::rng::SplitMix64;
+use std::hint::black_box;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// The seed kernel, embedded as the baseline.
+// ---------------------------------------------------------------------
+
+mod legacy {
+    use std::collections::VecDeque;
+
+    /// The seed's environment: a sorted, deduplicated `Vec<u32>`.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+    pub struct Env {
+        ids: Vec<u32>,
+    }
+
+    impl Env {
+        pub fn empty() -> Self {
+            Self::default()
+        }
+
+        pub fn singleton(id: u32) -> Self {
+            Self { ids: vec![id] }
+        }
+
+        pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+            let mut ids: Vec<u32> = ids.into_iter().collect();
+            ids.sort_unstable();
+            ids.dedup();
+            Self { ids }
+        }
+
+        pub fn len(&self) -> usize {
+            self.ids.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.ids.is_empty()
+        }
+
+        pub fn ids(&self) -> &[u32] {
+            &self.ids
+        }
+
+        pub fn union(&self, other: &Self) -> Self {
+            let mut ids = Vec::with_capacity(self.ids.len() + other.ids.len());
+            let (mut i, mut j) = (0, 0);
+            while i < self.ids.len() && j < other.ids.len() {
+                match self.ids[i].cmp(&other.ids[j]) {
+                    std::cmp::Ordering::Less => {
+                        ids.push(self.ids[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        ids.push(other.ids[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        ids.push(self.ids[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            ids.extend_from_slice(&self.ids[i..]);
+            ids.extend_from_slice(&other.ids[j..]);
+            Self { ids }
+        }
+
+        pub fn is_subset_of(&self, other: &Self) -> bool {
+            if self.ids.len() > other.ids.len() {
+                return false;
+            }
+            let mut j = 0;
+            for &id in &self.ids {
+                loop {
+                    if j == other.ids.len() {
+                        return false;
+                    }
+                    match other.ids[j].cmp(&id) {
+                        std::cmp::Ordering::Less => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            j += 1;
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => return false,
+                    }
+                }
+            }
+            true
+        }
+
+        pub fn intersects(&self, other: &Self) -> bool {
+            let (mut i, mut j) = (0, 0);
+            while i < self.ids.len() && j < other.ids.len() {
+                match self.ids[i].cmp(&other.ids[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        }
+
+        pub fn with(&self, id: u32) -> Self {
+            if self.ids.binary_search(&id).is_ok() {
+                return self.clone();
+            }
+            let mut ids = self.ids.clone();
+            let pos = ids.partition_point(|&x| x < id);
+            ids.insert(pos, id);
+            Self { ids }
+        }
+    }
+
+    /// The seed's ⊆-minimization (quadratic scan over a length-sorted list).
+    pub fn minimize(mut envs: Vec<Env>) -> Vec<Env> {
+        envs.sort_by_key(Env::len);
+        let mut keep: Vec<Env> = Vec::with_capacity(envs.len());
+        for e in envs {
+            if !keep.iter().any(|k| k.is_subset_of(&e)) {
+                keep.push(e);
+            }
+        }
+        keep
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct WeightedEnv {
+        pub env: Env,
+        pub degree: f64,
+    }
+
+    /// The seed's Pareto minimization of weighted environments.
+    pub fn pareto_minimize(mut envs: Vec<WeightedEnv>) -> Vec<WeightedEnv> {
+        envs.sort_by(|a, b| {
+            a.env
+                .len()
+                .cmp(&b.env.len())
+                .then_with(|| b.degree.partial_cmp(&a.degree).expect("finite"))
+        });
+        let mut keep: Vec<WeightedEnv> = Vec::with_capacity(envs.len());
+        for we in envs {
+            let dominated = keep
+                .iter()
+                .any(|k| k.env.is_subset_of(&we.env) && k.degree >= we.degree);
+            if !dominated {
+                keep.push(we);
+            }
+        }
+        keep
+    }
+
+    struct Node {
+        label: Vec<WeightedEnv>,
+        consumers: Vec<u32>,
+        is_contradiction: bool,
+        #[allow(dead_code)] // parity with the seed's bookkeeping
+        name: String,
+    }
+
+    #[derive(Clone)]
+    struct Justification {
+        antecedents: Vec<usize>,
+        consequent: usize,
+        degree: f64,
+        #[allow(dead_code)] // parity with the seed's informant strings
+        informant: String,
+    }
+
+    /// The seed's fuzzy ATMS propagation core (min t-norm), stripped of
+    /// naming/error bookkeeping that is identical on both sides.
+    pub struct FuzzyAtms {
+        nodes: Vec<Node>,
+        justifications: Vec<Justification>,
+        nogoods: Vec<WeightedEnv>,
+        kill_threshold: f64,
+    }
+
+    impl FuzzyAtms {
+        pub fn new() -> Self {
+            Self {
+                nodes: Vec::new(),
+                justifications: Vec::new(),
+                nogoods: Vec::new(),
+                kill_threshold: 1.0,
+            }
+        }
+
+        pub fn add_node(&mut self, name: String) -> usize {
+            self.push_node(name, Vec::new(), false)
+        }
+
+        pub fn add_assumption(&mut self, id: u32, name: String) -> usize {
+            let label = vec![WeightedEnv {
+                env: Env::singleton(id),
+                degree: 1.0,
+            }];
+            self.push_node(name, label, false)
+        }
+
+        pub fn justify_weighted(
+            &mut self,
+            antecedents: Vec<usize>,
+            consequent: usize,
+            degree: f64,
+            informant: &str,
+        ) {
+            let jid = u32::try_from(self.justifications.len()).expect("< 2^32");
+            for &a in &antecedents {
+                self.nodes[a].consumers.push(jid);
+            }
+            self.justifications.push(Justification {
+                antecedents,
+                consequent,
+                degree,
+                informant: informant.to_owned(),
+            });
+            self.propagate_from(jid);
+        }
+
+        pub fn add_nogood(&mut self, env: Env, degree: f64) {
+            self.install_nogood(WeightedEnv { env, degree });
+        }
+
+        pub fn label(&self, node: usize) -> &[WeightedEnv] {
+            &self.nodes[node].label
+        }
+
+        pub fn nogoods(&self) -> &[WeightedEnv] {
+            &self.nogoods
+        }
+
+        fn push_node(
+            &mut self,
+            name: String,
+            label: Vec<WeightedEnv>,
+            is_contradiction: bool,
+        ) -> usize {
+            self.nodes.push(Node {
+                label,
+                consumers: Vec::new(),
+                is_contradiction,
+                name,
+            });
+            self.nodes.len() - 1
+        }
+
+        fn is_killed(&self, env: &Env) -> bool {
+            self.nogoods
+                .iter()
+                .any(|n| n.degree >= self.kill_threshold && n.env.is_subset_of(env))
+        }
+
+        fn propagate_from(&mut self, start: u32) {
+            let mut queue: VecDeque<u32> = VecDeque::new();
+            queue.push_back(start);
+            while let Some(jid) = queue.pop_front() {
+                let j = self.justifications[jid as usize].clone();
+                let mut candidates = vec![WeightedEnv {
+                    env: Env::empty(),
+                    degree: j.degree,
+                }];
+                let mut dead = false;
+                for &a in &j.antecedents {
+                    let label = &self.nodes[a].label;
+                    if label.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                    let mut next = Vec::with_capacity(candidates.len() * label.len());
+                    for c in &candidates {
+                        for e in label {
+                            next.push(WeightedEnv {
+                                env: c.env.union(&e.env),
+                                degree: c.degree.min(e.degree),
+                            });
+                        }
+                    }
+                    candidates = pareto_minimize(next);
+                }
+                if dead {
+                    continue;
+                }
+                candidates.retain(|we| !self.is_killed(&we.env));
+                if candidates.is_empty() {
+                    continue;
+                }
+                if self.nodes[j.consequent].is_contradiction {
+                    for we in candidates {
+                        self.install_nogood(we);
+                    }
+                    continue;
+                }
+                if self.merge_label(j.consequent, candidates) {
+                    for &c in &self.nodes[j.consequent].consumers {
+                        if !queue.contains(&c) {
+                            queue.push_back(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn merge_label(&mut self, node: usize, candidates: Vec<WeightedEnv>) -> bool {
+            let label = &mut self.nodes[node].label;
+            let before = label.clone();
+            let mut all = before.clone();
+            all.extend(candidates);
+            let merged = pareto_minimize(all);
+            let changed = merged.len() != before.len()
+                || merged.iter().any(|we| {
+                    !before
+                        .iter()
+                        .any(|b| b.env == we.env && (b.degree - we.degree).abs() < 1e-12)
+                });
+            self.nodes[node].label = merged;
+            changed
+        }
+
+        fn install_nogood(&mut self, ng: WeightedEnv) {
+            if self
+                .nogoods
+                .iter()
+                .any(|n| n.env.is_subset_of(&ng.env) && n.degree >= ng.degree)
+            {
+                return;
+            }
+            self.nogoods
+                .retain(|n| !(ng.env.is_subset_of(&n.env) && ng.degree >= n.degree));
+            self.nogoods.push(ng);
+            let kill = self.kill_threshold;
+            let nogoods = self.nogoods.clone();
+            for node in &mut self.nodes {
+                node.label.retain(|we| {
+                    !nogoods
+                        .iter()
+                        .any(|n| n.degree >= kill && n.env.is_subset_of(&we.env))
+                });
+            }
+        }
+    }
+
+    /// The seed's Reiter HS-tree search.
+    pub fn minimal_hitting_sets(conflicts: &[Env], max_size: usize, max_count: usize) -> Vec<Env> {
+        let mut conflicts: Vec<&Env> = conflicts.iter().filter(|c| !c.is_empty()).collect();
+        if conflicts.is_empty() {
+            return vec![Env::empty()];
+        }
+        conflicts.sort_by_key(|c| c.len());
+        let mut found: Vec<Env> = Vec::new();
+        let mut stack: Vec<Env> = vec![Env::empty()];
+        while let Some(partial) = stack.pop() {
+            if found.len() >= max_count {
+                break;
+            }
+            if found.iter().any(|f| f.is_subset_of(&partial)) {
+                continue;
+            }
+            match conflicts.iter().find(|c| !partial.intersects(c)) {
+                None => found.push(partial),
+                Some(unhit) => {
+                    if partial.len() >= max_size {
+                        continue;
+                    }
+                    for &a in unhit.ids() {
+                        stack.push(partial.with(a));
+                    }
+                }
+            }
+        }
+        minimize(found)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload descriptions, generated once and replayed on both kernels.
+// ---------------------------------------------------------------------
+
+/// One internal node of the layered join network: alternative
+/// justifications, each a set of antecedent indices into the previous
+/// layer plus a degree. Multiple incomparable derivations are what make
+/// labels grow — the explosion the fuzzy ATMS must manage.
+struct JoinNode {
+    justs: Vec<(Vec<usize>, f64)>,
+}
+
+struct PropagationWorkload {
+    assumptions: usize,
+    /// `layers[l][k]` is node `k` of layer `l + 1` (layer 0 = assumptions).
+    layers: Vec<Vec<JoinNode>>,
+    /// Graded conflicts installed before the network is built.
+    nogoods: Vec<(Vec<u32>, f64)>,
+}
+
+fn propagation_workload(r: &mut SplitMix64) -> PropagationWorkload {
+    // Explosion-prone regime (the paper's E6): three-way joins over a wide
+    // assumption base grow labels to dozens of alternative environments,
+    // which is where label maintenance dominates diagnosis time. The
+    // nogoods are partial (below the kill threshold), so they grade but
+    // do not prune.
+    let assumptions = 48;
+    let depth = 3;
+    let width = 12;
+    let layers: Vec<Vec<JoinNode>> = (0..depth)
+        .map(|_| {
+            (0..width)
+                .map(|_| JoinNode {
+                    justs: (0..3)
+                        .map(|_| {
+                            let ants = (0..2).map(|_| r.below(width as u64) as usize).collect();
+                            (ants, r.range_f64(0.3, 1.0))
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect();
+    let nogoods = (0..6)
+        .map(|_| {
+            let ids = (0..3).map(|_| r.below(assumptions as u64) as u32).collect();
+            (ids, r.range_f64(0.2, 0.9))
+        })
+        .collect();
+    PropagationWorkload {
+        assumptions,
+        layers,
+        nogoods,
+    }
+}
+
+/// Runs the layered network on the current kernel; returns the total
+/// number of label environments (the unit of the throughput metric).
+fn run_new_propagation(w: &PropagationWorkload) -> usize {
+    let mut atms = FuzzyAtms::new();
+    let assumptions: Vec<_> = (0..w.assumptions)
+        .map(|i| atms.add_assumption(format!("a{i}")))
+        .collect();
+    for (ids, d) in &w.nogoods {
+        atms.add_nogood(Env::from_ids(ids.iter().copied()), *d);
+    }
+    let mut prev: Vec<_> = assumptions
+        .iter()
+        .map(|&a| atms.assumption_node(a))
+        .collect();
+    let mut all_nodes = Vec::new();
+    for (l, layer) in w.layers.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len());
+        for (k, jn) in layer.iter().enumerate() {
+            let node = atms.add_node(format!("n{l}_{k}"));
+            for (antecedents, degree) in &jn.justs {
+                let mut idx: Vec<usize> = antecedents.clone();
+                idx.sort_unstable();
+                idx.dedup();
+                let ants: Vec<_> = idx.into_iter().map(|i| prev[i]).collect();
+                atms.justify_weighted(ants, node, *degree, "join").unwrap();
+            }
+            next.push(node);
+            all_nodes.push(node);
+        }
+        prev = next;
+    }
+    all_nodes
+        .iter()
+        .map(|&n| atms.label(n).unwrap().len())
+        .sum()
+}
+
+/// The same network on the embedded seed kernel.
+fn run_legacy_propagation(w: &PropagationWorkload) -> usize {
+    let mut atms = legacy::FuzzyAtms::new();
+    let assumptions: Vec<_> = (0..w.assumptions)
+        .map(|i| atms.add_assumption(u32::try_from(i).expect("small"), format!("a{i}")))
+        .collect();
+    for (ids, d) in &w.nogoods {
+        atms.add_nogood(legacy::Env::from_ids(ids.iter().copied()), *d);
+    }
+    let mut prev = assumptions;
+    let mut all_nodes = Vec::new();
+    for (l, layer) in w.layers.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len());
+        for (k, jn) in layer.iter().enumerate() {
+            let node = atms.add_node(format!("n{l}_{k}"));
+            for (antecedents, degree) in &jn.justs {
+                let mut idx: Vec<usize> = antecedents.clone();
+                idx.sort_unstable();
+                idx.dedup();
+                let ants: Vec<_> = idx.into_iter().map(|i| prev[i]).collect();
+                atms.justify_weighted(ants, node, *degree, "join");
+            }
+            next.push(node);
+            all_nodes.push(node);
+        }
+        prev = next;
+    }
+    all_nodes.iter().map(|&n| atms.label(n).len()).sum()
+}
+
+fn nogood_workload(r: &mut SplitMix64) -> Vec<(Vec<u32>, f64)> {
+    (0..400)
+        .map(|_| {
+            let len = 1 + r.below(4) as usize;
+            let ids = (0..len).map(|_| r.below(32) as u32).collect();
+            (ids, r.range_f64(0.05, 1.0))
+        })
+        .collect()
+}
+
+fn run_new_nogoods(w: &[(Vec<u32>, f64)]) -> usize {
+    let mut atms = FuzzyAtms::new();
+    for i in 0..32 {
+        atms.add_assumption(format!("a{i}"));
+    }
+    for (ids, d) in w {
+        atms.add_nogood(Env::from_ids(ids.iter().copied()), *d);
+    }
+    atms.nogoods().len()
+}
+
+fn run_legacy_nogoods(w: &[(Vec<u32>, f64)]) -> usize {
+    let mut atms = legacy::FuzzyAtms::new();
+    for (ids, d) in w {
+        atms.add_nogood(legacy::Env::from_ids(ids.iter().copied()), *d);
+    }
+    atms.nogoods().len()
+}
+
+fn hitting_workload(r: &mut SplitMix64) -> Vec<Vec<u32>> {
+    (0..12)
+        .map(|_| {
+            let len = 2 + r.below(3) as usize;
+            (0..len).map(|_| r.below(20) as u32).collect()
+        })
+        .collect()
+}
+
+fn run_new_hitting(w: &[Vec<u32>]) -> usize {
+    let conflicts: Vec<Env> = w
+        .iter()
+        .map(|ids| Env::from_ids(ids.iter().copied()))
+        .collect();
+    minimal_hitting_sets(&conflicts, usize::MAX, 100_000).len()
+}
+
+fn run_legacy_hitting(w: &[Vec<u32>]) -> usize {
+    let conflicts: Vec<legacy::Env> = w
+        .iter()
+        .map(|ids| legacy::Env::from_ids(ids.iter().copied()))
+        .collect();
+    legacy::minimal_hitting_sets(&conflicts, usize::MAX, 100_000).len()
+}
+
+// ---------------------------------------------------------------------
+
+struct Row {
+    name: &'static str,
+    legacy_ns: f64,
+    new_ns: f64,
+    /// Work units per run (label envs / installs / minimal sets).
+    units: f64,
+    unit: &'static str,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns / self.new_ns
+    }
+}
+
+fn main() {
+    let mut r = SplitMix64::new(0xF1A3E5);
+    let prop = propagation_workload(&mut r);
+    let nogoods = nogood_workload(&mut r);
+    let hitting = hitting_workload(&mut r);
+
+    // Equivalence gate: both kernels must produce identical results on
+    // every workload before any timing is trusted.
+    let prop_envs = run_new_propagation(&prop);
+    assert_eq!(prop_envs, run_legacy_propagation(&prop), "label mismatch");
+    let retained = run_new_nogoods(&nogoods);
+    assert_eq!(retained, run_legacy_nogoods(&nogoods), "nogood mismatch");
+    let sets = run_new_hitting(&hitting);
+    assert_eq!(sets, run_legacy_hitting(&hitting), "hitting-set mismatch");
+
+    let h = Harness::new("exp_perf").with_budget(Duration::from_millis(400));
+    let rows = [
+        Row {
+            name: "label_propagation",
+            legacy_ns: h.bench("label_propagation/legacy", || {
+                black_box(run_legacy_propagation(&prop))
+            }),
+            new_ns: h.bench("label_propagation/new", || {
+                black_box(run_new_propagation(&prop))
+            }),
+            units: prop_envs as f64,
+            unit: "envs",
+        },
+        Row {
+            name: "nogood_install",
+            legacy_ns: h.bench("nogood_install/legacy", || {
+                black_box(run_legacy_nogoods(&nogoods))
+            }),
+            new_ns: h.bench("nogood_install/new", || {
+                black_box(run_new_nogoods(&nogoods))
+            }),
+            units: nogoods.len() as f64,
+            unit: "installs",
+        },
+        Row {
+            name: "hitting_sets",
+            legacy_ns: h.bench("hitting_sets/legacy", || {
+                black_box(run_legacy_hitting(&hitting))
+            }),
+            new_ns: h.bench("hitting_sets/new", || black_box(run_new_hitting(&hitting))),
+            units: sets as f64,
+            unit: "minimal_sets",
+        },
+    ];
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    \"{name}\": {{\n",
+                    "      \"legacy_ns_per_iter\": {legacy:.0},\n",
+                    "      \"new_ns_per_iter\": {new:.0},\n",
+                    "      \"speedup\": {speedup:.2},\n",
+                    "      \"unit\": \"{unit}\",\n",
+                    "      \"legacy_per_sec\": {legacy_rate:.0},\n",
+                    "      \"new_per_sec\": {new_rate:.0}\n",
+                    "    }}"
+                ),
+                name = row.name,
+                legacy = row.legacy_ns,
+                new = row.new_ns,
+                speedup = row.speedup(),
+                unit = row.unit,
+                legacy_rate = row.units * 1e9 / row.legacy_ns,
+                new_rate = row.units * 1e9 / row.new_ns,
+            )
+        })
+        .collect();
+    let min_speedup = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    let json = format!(
+        "{{\n  \"bench\": \"exp_perf\",\n  \"workloads\": {{\n{}\n  }},\n  \"min_speedup\": {min_speedup:.2}\n}}\n",
+        entries.join(",\n")
+    );
+
+    std::fs::write("BENCH_atms.json", &json).expect("write BENCH_atms.json");
+    println!("\n{json}");
+    for row in &rows {
+        println!("{}: {:.2}x", row.name, row.speedup());
+    }
+    assert!(
+        min_speedup >= 2.0,
+        "bitset kernel must be at least 2x the seed kernel (got {min_speedup:.2}x)"
+    );
+}

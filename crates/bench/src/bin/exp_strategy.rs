@@ -27,16 +27,15 @@ use flames_fuzzy::FuzzyInterval;
 
 const MEAS_IMPRECISION: f64 = 0.02;
 
-fn run_policies(
-    diagnoser: &Diagnoser,
-    board: &Netlist,
-    nets: &[Net],
-    label: &str,
-) {
-    let readings: Vec<FuzzyInterval> = measure_all(board, nets, MEAS_IMPRECISION)
-        .expect("faulty board still solves");
+fn run_policies(diagnoser: &Diagnoser, board: &Netlist, nets: &[Net], label: &str) {
+    let readings: Vec<FuzzyInterval> =
+        measure_all(board, nets, MEAS_IMPRECISION).expect("faulty board still solves");
     let w = [24, 15, 34, 7, 9, 24];
-    for policy in [Policy::FuzzyEntropy, Policy::Probabilistic, Policy::FixedOrder] {
+    for policy in [
+        Policy::FuzzyEntropy,
+        Policy::Probabilistic,
+        Policy::FixedOrder,
+    ] {
         let mut session = diagnoser.session();
         let ProbeRun {
             probes,
@@ -64,7 +63,14 @@ fn main() {
 
     let w = [24, 15, 34, 7, 9, 24];
     row(
-        &["defect", "policy", "probes", "cost", "isolated", "top candidate"],
+        &[
+            "defect",
+            "policy",
+            "probes",
+            "cost",
+            "isolated",
+            "top candidate",
+        ],
         &w,
     );
 

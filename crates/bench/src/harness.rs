@@ -1,0 +1,99 @@
+//! A dependency-free timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so criterion is unavailable; this is the
+//! minimal useful subset: warmup, a fixed measurement budget, and a
+//! median-of-batches report in ns/iter. Benches run with
+//! `cargo bench --features bench` and print one line per case.
+
+use std::time::{Duration, Instant};
+
+/// Runs registered benchmark cases and prints a small table.
+pub struct Harness {
+    group: String,
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Harness {
+    /// A harness for one named group of cases.
+    #[must_use]
+    pub fn new(group: impl Into<String>) -> Self {
+        Self {
+            group: group.into(),
+            warmup: Duration::from_millis(150),
+            budget: Duration::from_millis(750),
+        }
+    }
+
+    /// Overrides the per-case measurement budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Times `f`, printing `group/name: <median> ns/iter (<iters> iters)`.
+    /// Returns the median nanoseconds per iteration.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> f64 {
+        // Warmup while estimating the cost of one iteration.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.warmup || iters == 0 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos() as f64 / iters as f64;
+        // Split the budget into batches and report the median batch rate,
+        // which is robust against scheduler hiccups.
+        const BATCHES: usize = 9;
+        let batch_iters =
+            ((self.budget.as_nanos() as f64 / BATCHES as f64 / per_iter).ceil() as u64).max(1);
+        let mut rates = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            rates.push(t.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = rates[BATCHES / 2];
+        println!(
+            "{}/{}: {} ns/iter ({} iters/batch)",
+            self.group,
+            name,
+            format_ns(median),
+            batch_iters
+        );
+        median
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}M", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}k", ns / 1e3)
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let h = Harness::new("test").with_budget(Duration::from_millis(5));
+        let ns = h.bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(format_ns(12.0), "12");
+        assert_eq!(format_ns(1500.0), "1.5k");
+        assert_eq!(format_ns(2_500_000.0), "2.50M");
+    }
+}

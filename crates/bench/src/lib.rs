@@ -9,6 +9,9 @@
 
 use std::fmt::Display;
 
+pub mod harness;
+pub mod rng;
+
 /// Prints a section header in the style used by every experiment binary.
 pub fn header(title: &str) {
     println!();

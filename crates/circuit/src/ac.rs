@@ -235,19 +235,20 @@ pub fn solve_ac(
             m[r * dim + c] = m[r * dim + c] + val;
         }
     };
-    let stamp_admittance = |m: &mut Vec<Complex>, na: Net, nb: Net, y: Complex, vid: &dyn Fn(Net) -> Option<usize>| {
-        let (ia, ib) = (vid(na), vid(nb));
-        if let (Some(r), Some(_)) = (ia, ia) {
-            m[r * dim + r] = m[r * dim + r] + y;
-        }
-        if let (Some(r), Some(_)) = (ib, ib) {
-            m[r * dim + r] = m[r * dim + r] + y;
-        }
-        if let (Some(r), Some(c)) = (ia, ib) {
-            m[r * dim + c] = m[r * dim + c] - y;
-            m[c * dim + r] = m[c * dim + r] - y;
-        }
-    };
+    let stamp_admittance =
+        |m: &mut Vec<Complex>, na: Net, nb: Net, y: Complex, vid: &dyn Fn(Net) -> Option<usize>| {
+            let (ia, ib) = (vid(na), vid(nb));
+            if let (Some(r), Some(_)) = (ia, ia) {
+                m[r * dim + r] = m[r * dim + r] + y;
+            }
+            if let (Some(r), Some(_)) = (ib, ib) {
+                m[r * dim + r] = m[r * dim + r] + y;
+            }
+            if let (Some(r), Some(c)) = (ia, ib) {
+                m[r * dim + c] = m[r * dim + c] - y;
+                m[c * dim + r] = m[c * dim + r] - y;
+            }
+        };
 
     for net in netlist.nets() {
         if let Some(i) = vid(net) {
@@ -261,10 +262,18 @@ pub fn solve_ac(
             ComponentKind::Resistor { a: na, b: nb, ohms } => {
                 stamp_admittance(&mut a, na, nb, Complex::real(1.0 / ohms), &vid);
             }
-            ComponentKind::Capacitor { a: na, b: nb, farads } => {
+            ComponentKind::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 stamp_admittance(&mut a, na, nb, Complex::imag(omega * farads), &vid);
             }
-            ComponentKind::Inductor { a: na, b: nb, henries } => {
+            ComponentKind::Inductor {
+                a: na,
+                b: nb,
+                henries,
+            } => {
                 let y = if omega * henries == 0.0 {
                     Complex::real(GSHORT)
                 } else {
@@ -300,7 +309,13 @@ pub fn solve_ac(
                     stamp_admittance(&mut a, anode, cathode, Complex::real(GSHORT), &vid);
                 }
             }
-            ComponentKind::Npn { collector, base, emitter, beta, .. } => {
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta,
+                ..
+            } => {
                 if base == emitter {
                     continue;
                 }
@@ -315,7 +330,11 @@ pub fn solve_ac(
                 stamp(&mut a, Some(k), ie_, -Complex::ONE);
                 b[k] = Complex::ZERO;
             }
-            ComponentKind::Gain { input: gin, output, gain } => {
+            ComponentKind::Gain {
+                input: gin,
+                output,
+                gain,
+            } => {
                 let k = br.expect("gain branch");
                 let (ii, io) = (vid(gin), vid(output));
                 stamp(&mut a, io, Some(k), Complex::ONE);
@@ -417,7 +436,11 @@ mod tests {
         assert!(close(q.im, 3.5, 1e-12));
         assert_eq!(-a, Complex::new(-3.0, -4.0));
         assert_eq!(a.conj(), Complex::new(3.0, -4.0));
-        assert!(close(Complex::imag(1.0).arg(), std::f64::consts::FRAC_PI_2, 1e-12));
+        assert!(close(
+            Complex::imag(1.0).arg(),
+            std::f64::consts::FRAC_PI_2,
+            1e-12
+        ));
         assert!(format!("{a}").contains("+j"));
         assert!(format!("{}", a.conj()).contains("-j"));
     }
@@ -435,7 +458,11 @@ mod tests {
 
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
         let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
-        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+        assert!(close(
+            sol.amplitude(out),
+            std::f64::consts::FRAC_1_SQRT_2,
+            1e-3
+        ));
         assert!(close(sol.phase(out), -std::f64::consts::FRAC_PI_4, 1e-3));
         assert!(close(sol.amplitude(vin), 1.0, 1e-9));
         assert!(close(sol.frequency_hz(), fc, 1e-9));
@@ -458,7 +485,11 @@ mod tests {
         nl.add_resistor("R", out, Net::GROUND, 1e3, 0.0).unwrap();
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
         let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
-        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+        assert!(close(
+            sol.amplitude(out),
+            std::f64::consts::FRAC_1_SQRT_2,
+            1e-3
+        ));
         // Far below the corner the output dies.
         let sol = solve_ac(&nl, src, 1.0, fc / 100.0).unwrap();
         assert!(sol.amplitude(out) < 0.02);
@@ -475,7 +506,11 @@ mod tests {
         nl.add_resistor("R", out, Net::GROUND, 100.0, 0.0).unwrap();
         let fc = 100.0 / (2.0 * std::f64::consts::PI * 0.1);
         let sol = solve_ac(&nl, src, 1.0, fc).unwrap();
-        assert!(close(sol.amplitude(out), std::f64::consts::FRAC_1_SQRT_2, 1e-3));
+        assert!(close(
+            sol.amplitude(out),
+            std::f64::consts::FRAC_1_SQRT_2,
+            1e-3
+        ));
     }
 
     #[test]
@@ -496,7 +531,8 @@ mod tests {
         let vcc = nl.add_net("vcc");
         let vin = nl.add_net("vin");
         let out = nl.add_net("out");
-        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0)
+            .unwrap();
         let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
         nl.add_resistor("R1", vin, out, 1e3, 0.0).unwrap();
         nl.add_resistor("R2", out, vcc, 1e3, 0.0).unwrap();

@@ -44,7 +44,9 @@ pub fn amp_branch() -> AmpBranch {
     // so each gain gets 0.05/|gain|.
     let amp1 = nl.add_gain("amp1", a, b, 1.0, 0.05).expect("fresh name");
     let amp2 = nl.add_gain("amp2", b, c, 2.0, 0.025).expect("fresh name");
-    let amp3 = nl.add_gain("amp3", b, d, 3.0, 0.05 / 3.0).expect("fresh name");
+    let amp3 = nl
+        .add_gain("amp3", b, d, 3.0, 0.05 / 3.0)
+        .expect("fresh name");
     let test_points = vec![
         TestPoint::new(b, "Vb", vec![amp1]),
         TestPoint::new(c, "Vc", vec![amp1, amp2]),
@@ -95,7 +97,7 @@ mod tests {
         let bad = inject_faults(&ab.netlist, &[(ab.amp2, Fault::Param(1.8))]).unwrap();
         let op = solve_dc(&bad).unwrap();
         assert!((op.voltage(ab.c) - 5.4).abs() < 1e-9); // 3 × 1.8
-        // Paper measures Vc = 5.6 with Va slightly high; with Va = 3.1111:
+                                                        // Paper measures Vc = 5.6 with Va slightly high; with Va = 3.1111:
         let va = bad.component_by_name("Va").unwrap();
         let nl2 = inject_faults(&bad, &[(va, Fault::Param(5.6 / 1.8))]).unwrap();
         let op = solve_dc(&nl2).unwrap();

@@ -64,11 +64,21 @@ pub fn bandpass(tolerance: f64) -> Bandpass {
     let input = nl
         .add_voltage_source("Vin", vin, Net::GROUND, 0.0)
         .expect("fresh name");
-    let c1 = nl.add_capacitor("C1", vin, n1, 100e-9, tolerance).expect("fresh name");
-    let r1 = nl.add_resistor("R1", n1, Net::GROUND, 1.6e3, tolerance).expect("fresh name");
-    let amp = nl.add_gain("A", n1, n2, 10.0, tolerance).expect("fresh name");
-    let r2 = nl.add_resistor("R2", n2, out, 1.6e3, tolerance).expect("fresh name");
-    let c2 = nl.add_capacitor("C2", out, Net::GROUND, 10e-9, tolerance).expect("fresh name");
+    let c1 = nl
+        .add_capacitor("C1", vin, n1, 100e-9, tolerance)
+        .expect("fresh name");
+    let r1 = nl
+        .add_resistor("R1", n1, Net::GROUND, 1.6e3, tolerance)
+        .expect("fresh name");
+    let amp = nl
+        .add_gain("A", n1, n2, 10.0, tolerance)
+        .expect("fresh name");
+    let r2 = nl
+        .add_resistor("R2", n2, out, 1.6e3, tolerance)
+        .expect("fresh name");
+    let c2 = nl
+        .add_capacitor("C2", out, Net::GROUND, 10e-9, tolerance)
+        .expect("fresh name");
     Bandpass {
         netlist: nl,
         input,

@@ -54,10 +54,15 @@ pub fn diode_net() -> DiodeNet {
     let n2 = nl.add_net("n2");
     // A healthy board: 1.7 V across 20 kΩ + 0.2 V drop → 75 µA, inside the
     // 100 µA spec.
-    nl.add_voltage_source("Vin", vin, Net::GROUND, 1.7).expect("fresh name");
-    let r1 = nl.add_resistor("r1", vin, n1, 10_000.0, 0.05).expect("fresh name");
+    nl.add_voltage_source("Vin", vin, Net::GROUND, 1.7)
+        .expect("fresh name");
+    let r1 = nl
+        .add_resistor("r1", vin, n1, 10_000.0, 0.05)
+        .expect("fresh name");
     let d1 = nl.add_diode("d1", n1, n2, 0.2, 0.05).expect("fresh name");
-    let r2 = nl.add_resistor("r2", n2, Net::GROUND, 10_000.0, 0.05).expect("fresh name");
+    let r2 = nl
+        .add_resistor("r2", n2, Net::GROUND, 10_000.0, 0.05)
+        .expect("fresh name");
 
     let mut network = extract(&nl, ExtractOptions::default());
     let iq = network

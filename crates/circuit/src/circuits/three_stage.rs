@@ -96,18 +96,30 @@ pub fn three_stage(tolerance: f64) -> ThreeStage {
     let supply = nl
         .add_voltage_source("Vcc", vcc, Net::GROUND, 18.0)
         .expect("fresh name");
-    let r1 = nl.add_resistor("R1", v1, n1, 200e3, tolerance).expect("fresh name");
-    let r2 = nl.add_resistor("R2", vcc, v1, 12e3, tolerance).expect("fresh name");
-    let r3 = nl.add_resistor("R3", n1, Net::GROUND, 24e3, tolerance).expect("fresh name");
+    let r1 = nl
+        .add_resistor("R1", v1, n1, 200e3, tolerance)
+        .expect("fresh name");
+    let r2 = nl
+        .add_resistor("R2", vcc, v1, 12e3, tolerance)
+        .expect("fresh name");
+    let r3 = nl
+        .add_resistor("R3", n1, Net::GROUND, 24e3, tolerance)
+        .expect("fresh name");
     let t1 = nl
         .add_npn("T1", v1, n1, Net::GROUND, 300.0, 0.7, tolerance)
         .expect("fresh name");
-    let r4 = nl.add_resistor("R4", vcc, v2, 3e3, tolerance).expect("fresh name");
-    let r5 = nl.add_resistor("R5", n2, Net::GROUND, 2.2e3, tolerance).expect("fresh name");
+    let r4 = nl
+        .add_resistor("R4", vcc, v2, 3e3, tolerance)
+        .expect("fresh name");
+    let r5 = nl
+        .add_resistor("R5", n2, Net::GROUND, 2.2e3, tolerance)
+        .expect("fresh name");
     let t2 = nl
         .add_npn("T2", v2, v1, n2, 200.0, 0.7, tolerance)
         .expect("fresh name");
-    let r6 = nl.add_resistor("R6", vs, Net::GROUND, 1.8e3, tolerance).expect("fresh name");
+    let r6 = nl
+        .add_resistor("R6", vs, Net::GROUND, 1.8e3, tolerance)
+        .expect("fresh name");
     let t3 = nl
         .add_npn("T3", vcc, v2, vs, 100.0, 0.7, tolerance)
         .expect("fresh name");
@@ -162,7 +174,10 @@ mod tests {
     fn healthy_board_all_transistors_linear() {
         let ts = three_stage(0.05);
         let op = solve_dc(&ts.netlist).unwrap();
-        assert!(op.all_bjts_active(), "paper: values ensure the linear region");
+        assert!(
+            op.all_bjts_active(),
+            "paper: values ensure the linear region"
+        );
         // Hand-computed operating point (see DESIGN.md §2).
         assert!((op.voltage(ts.n1) - 0.7).abs() < 1e-6);
         assert!((op.voltage(ts.v1) - 7.11).abs() < 0.05);

@@ -220,6 +220,26 @@ impl Network {
         self.quantities.len()
     }
 
+    /// Quantity → constraint adjacency: for each quantity index, the
+    /// indices of the constraints whose relation mentions it. Engines
+    /// build this once and drive their dirty-constraint requeue loops
+    /// from it instead of rescanning every constraint (and re-collecting
+    /// every relation's quantity list) per changed quantity.
+    #[must_use]
+    pub fn quantity_consumers(&self) -> Vec<Vec<u32>> {
+        let mut consumers = vec![Vec::new(); self.quantities.len()];
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let ci = u32::try_from(ci).expect("< 2^32 constraints");
+            for q in c.relation.quantities() {
+                let list = &mut consumers[q.index()];
+                if list.last() != Some(&ci) {
+                    list.push(ci);
+                }
+            }
+        }
+        consumers
+    }
+
     /// Adds a fuzzy specification condition (builders use this to encode
     /// datasheet limits like the Fig. 5 diode-current spec).
     pub fn add_spec(
@@ -300,7 +320,10 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
 
     // Node-voltage quantities.
     for net in netlist.nets() {
-        let q = nw.push_quantity(format!("V({})", netlist.net_name(net)), QuantityKind::NodeVoltage(net));
+        let q = nw.push_quantity(
+            format!("V({})", netlist.net_name(net)),
+            QuantityKind::NodeVoltage(net),
+        );
         nw.voltage_of.push(q);
     }
     // Ground reference.
@@ -374,7 +397,11 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
             ComponentKind::VoltageSource { plus, minus, volts } => {
                 let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
                 let (vp, vm) = (nw.voltage_of[plus.index()], nw.voltage_of[minus.index()]);
-                let support = if options.trust_sources { Vec::new() } else { vec![id] };
+                let support = if options.trust_sources {
+                    Vec::new()
+                } else {
+                    vec![id]
+                };
                 nw.constraints.push(Constraint {
                     relation: Relation::Linear {
                         terms: vec![(1.0, vp), (-1.0, vm)],
@@ -389,7 +416,11 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
             }
             ComponentKind::CurrentSource { from, to, amps } => {
                 let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
-                let support = if options.trust_sources { Vec::new() } else { vec![id] };
+                let support = if options.trust_sources {
+                    Vec::new()
+                } else {
+                    vec![id]
+                };
                 nw.constraints.push(Constraint {
                     relation: Relation::Linear {
                         terms: vec![(1.0, i)],
@@ -402,7 +433,11 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 kcl[from.index()].push((1.0, i));
                 kcl[to.index()].push((-1.0, i));
             }
-            ComponentKind::Diode { anode, cathode, drop_volts } => {
+            ComponentKind::Diode {
+                anode,
+                cathode,
+                drop_volts,
+            } => {
                 let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
                 let (va, vk) = (nw.voltage_of[anode.index()], nw.voltage_of[cathode.index()]);
                 nw.constraints.push(Constraint {
@@ -417,9 +452,16 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 kcl[anode.index()].push((1.0, i));
                 kcl[cathode.index()].push((-1.0, i));
             }
-            ComponentKind::Npn { collector, base, emitter, beta, vbe } => {
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta,
+                vbe,
+            } => {
                 let ib = nw.push_quantity(format!("Ib({name})"), QuantityKind::BaseCurrent(id));
-                let ic = nw.push_quantity(format!("Ic({name})"), QuantityKind::CollectorCurrent(id));
+                let ic =
+                    nw.push_quantity(format!("Ic({name})"), QuantityKind::CollectorCurrent(id));
                 let ie = nw.push_quantity(format!("Ie({name})"), QuantityKind::EmitterCurrent(id));
                 let bq = nw.push_quantity(format!("beta({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
@@ -438,7 +480,11 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                     name: format!("Vbe({name})"),
                 });
                 nw.constraints.push(Constraint {
-                    relation: Relation::Product { p: ic, x: bq, y: ib },
+                    relation: Relation::Product {
+                        p: ic,
+                        x: bq,
+                        y: ib,
+                    },
                     support: vec![id],
                     conn: None,
                     name: format!("gain({name})"),
@@ -460,17 +506,16 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 let bq1 = nw.push_quantity(format!("beta+1({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
                     quantity: bq1,
-                    value: FuzzyInterval::new(
-                        beta + 1.0,
-                        beta + 1.0,
-                        tol * beta,
-                        tol * beta,
-                    )
-                    .expect("valid tolerance"),
+                    value: FuzzyInterval::new(beta + 1.0, beta + 1.0, tol * beta, tol * beta)
+                        .expect("valid tolerance"),
                     support: vec![id],
                 });
                 nw.constraints.push(Constraint {
-                    relation: Relation::Product { p: ie, x: bq1, y: ib },
+                    relation: Relation::Product {
+                        p: ie,
+                        x: bq1,
+                        y: ib,
+                    },
                     support: vec![id],
                     conn: None,
                     name: format!("emitter-gain({name})"),
@@ -479,7 +524,11 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 kcl[collector.index()].push((1.0, ic));
                 kcl[emitter.index()].push((-1.0, ie));
             }
-            ComponentKind::Gain { input, output, gain } => {
+            ComponentKind::Gain {
+                input,
+                output,
+                gain,
+            } => {
                 let i = nw.push_quantity(format!("I({name})"), QuantityKind::BranchCurrent(id));
                 let g = nw.push_quantity(format!("G({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
@@ -609,7 +658,9 @@ mod tests {
         let mut nl = Netlist::new();
         let c = nl.add_net("c");
         let b = nl.add_net("b");
-        let t = nl.add_npn("T1", c, b, Net::GROUND, 200.0, 0.7, 0.05).unwrap();
+        let t = nl
+            .add_npn("T1", c, b, Net::GROUND, 200.0, 0.7, 0.05)
+            .unwrap();
         let net = extract(&nl, ExtractOptions::default());
         let names: Vec<&str> = net.constraints().iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"Vbe(T1)"));
@@ -660,6 +711,27 @@ mod tests {
         let rq = net.find(QuantityKind::Param(r)).unwrap();
         let seed = net.seeds().iter().find(|s| s.quantity == rq).unwrap();
         assert_eq!(seed.value.spread_left(), 2.0);
+    }
+
+    #[test]
+    fn quantity_consumers_matches_relations() {
+        let (nl, ..) = divider();
+        let net = extract(&nl, ExtractOptions::default());
+        let consumers = net.quantity_consumers();
+        assert_eq!(consumers.len(), net.quantity_count());
+        for (qi, list) in consumers.iter().enumerate() {
+            let q = QuantityId::from_raw(qi);
+            for &ci in list {
+                let c = &net.constraints()[ci as usize];
+                assert!(c.relation.quantities().contains(&q));
+            }
+            // Completeness: every constraint mentioning q is listed.
+            for (ci, c) in net.constraints().iter().enumerate() {
+                if c.relation.quantities().contains(&q) {
+                    assert!(list.contains(&(ci as u32)));
+                }
+            }
+        }
     }
 
     #[test]

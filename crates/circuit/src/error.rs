@@ -59,7 +59,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "singular system: floating net or inconsistent sources")
             }
             CircuitError::NoConvergence { iterations } => {
-                write!(f, "device-state iteration did not converge in {iterations} steps")
+                write!(
+                    f,
+                    "device-state iteration did not converge in {iterations} steps"
+                )
             }
             CircuitError::UnsupportedFault { component } => {
                 write!(f, "fault kind not supported by component {component:?}")

@@ -67,67 +67,144 @@ pub fn inject_faults(netlist: &Netlist, faults: &[(CompId, Fault)]) -> Result<Ne
         let comp = netlist.component(id);
         let name = comp.name().to_owned();
         let new_kind = match (comp.kind().clone(), fault) {
-            (ComponentKind::Resistor { a, b, .. }, Fault::Open) => {
-                ComponentKind::Resistor { a, b, ohms: OPEN_OHMS }
-            }
-            (ComponentKind::Resistor { a, b, .. }, Fault::Short) => {
-                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
-            }
+            (ComponentKind::Resistor { a, b, .. }, Fault::Open) => ComponentKind::Resistor {
+                a,
+                b,
+                ohms: OPEN_OHMS,
+            },
+            (ComponentKind::Resistor { a, b, .. }, Fault::Short) => ComponentKind::Resistor {
+                a,
+                b,
+                ohms: SHORT_OHMS,
+            },
             (ComponentKind::Resistor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
                 ComponentKind::Resistor { a, b, ohms: v }
             }
             (ComponentKind::Resistor { a, b, ohms }, Fault::ParamFactor(k)) if k > 0.0 => {
-                ComponentKind::Resistor { a, b, ohms: ohms * k }
+                ComponentKind::Resistor {
+                    a,
+                    b,
+                    ohms: ohms * k,
+                }
             }
             (ComponentKind::Capacitor { a, b, .. }, Fault::Open) => {
                 // A cracked capacitor: vanishing capacitance.
-                ComponentKind::Capacitor { a, b, farads: 1e-18 }
+                ComponentKind::Capacitor {
+                    a,
+                    b,
+                    farads: 1e-18,
+                }
             }
-            (ComponentKind::Capacitor { a, b, .. }, Fault::Short) => {
-                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
-            }
+            (ComponentKind::Capacitor { a, b, .. }, Fault::Short) => ComponentKind::Resistor {
+                a,
+                b,
+                ohms: SHORT_OHMS,
+            },
             (ComponentKind::Capacitor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
                 ComponentKind::Capacitor { a, b, farads: v }
             }
             (ComponentKind::Capacitor { a, b, farads }, Fault::ParamFactor(k)) if k > 0.0 => {
-                ComponentKind::Capacitor { a, b, farads: farads * k }
+                ComponentKind::Capacitor {
+                    a,
+                    b,
+                    farads: farads * k,
+                }
             }
-            (ComponentKind::Inductor { a, b, .. }, Fault::Open) => {
-                ComponentKind::Resistor { a, b, ohms: OPEN_OHMS }
-            }
-            (ComponentKind::Inductor { a, b, .. }, Fault::Short) => {
-                ComponentKind::Resistor { a, b, ohms: SHORT_OHMS }
-            }
+            (ComponentKind::Inductor { a, b, .. }, Fault::Open) => ComponentKind::Resistor {
+                a,
+                b,
+                ohms: OPEN_OHMS,
+            },
+            (ComponentKind::Inductor { a, b, .. }, Fault::Short) => ComponentKind::Resistor {
+                a,
+                b,
+                ohms: SHORT_OHMS,
+            },
             (ComponentKind::Inductor { a, b, .. }, Fault::Param(v)) if v > 0.0 => {
                 ComponentKind::Inductor { a, b, henries: v }
             }
             (ComponentKind::Inductor { a, b, henries }, Fault::ParamFactor(k)) if k > 0.0 => {
-                ComponentKind::Inductor { a, b, henries: henries * k }
+                ComponentKind::Inductor {
+                    a,
+                    b,
+                    henries: henries * k,
+                }
             }
-            (ComponentKind::Diode { anode, cathode, .. }, Fault::Open) => {
-                ComponentKind::Resistor { a: anode, b: cathode, ohms: OPEN_OHMS }
-            }
+            (ComponentKind::Diode { anode, cathode, .. }, Fault::Open) => ComponentKind::Resistor {
+                a: anode,
+                b: cathode,
+                ohms: OPEN_OHMS,
+            },
             (ComponentKind::Diode { anode, cathode, .. }, Fault::Short) => {
-                ComponentKind::Resistor { a: anode, b: cathode, ohms: SHORT_OHMS }
+                ComponentKind::Resistor {
+                    a: anode,
+                    b: cathode,
+                    ohms: SHORT_OHMS,
+                }
             }
             (ComponentKind::Diode { anode, cathode, .. }, Fault::Param(v)) => {
-                ComponentKind::Diode { anode, cathode, drop_volts: v }
-            }
-            (ComponentKind::Diode { anode, cathode, drop_volts }, Fault::ParamFactor(k)) => {
-                ComponentKind::Diode { anode, cathode, drop_volts: drop_volts * k }
-            }
-            (ComponentKind::Npn { collector, emitter, .. }, Fault::Open) => {
-                ComponentKind::Resistor { a: collector, b: emitter, ohms: OPEN_OHMS }
-            }
-            (ComponentKind::Npn { collector, emitter, .. }, Fault::Short) => {
-                ComponentKind::Resistor { a: collector, b: emitter, ohms: SHORT_OHMS }
+                ComponentKind::Diode {
+                    anode,
+                    cathode,
+                    drop_volts: v,
+                }
             }
             (
-                ComponentKind::Npn { collector, base, emitter, vbe, .. },
+                ComponentKind::Diode {
+                    anode,
+                    cathode,
+                    drop_volts,
+                },
+                Fault::ParamFactor(k),
+            ) => ComponentKind::Diode {
+                anode,
+                cathode,
+                drop_volts: drop_volts * k,
+            },
+            (
+                ComponentKind::Npn {
+                    collector, emitter, ..
+                },
+                Fault::Open,
+            ) => ComponentKind::Resistor {
+                a: collector,
+                b: emitter,
+                ohms: OPEN_OHMS,
+            },
+            (
+                ComponentKind::Npn {
+                    collector, emitter, ..
+                },
+                Fault::Short,
+            ) => ComponentKind::Resistor {
+                a: collector,
+                b: emitter,
+                ohms: SHORT_OHMS,
+            },
+            (
+                ComponentKind::Npn {
+                    collector,
+                    base,
+                    emitter,
+                    vbe,
+                    ..
+                },
                 Fault::Param(v),
-            ) if v > 0.0 => ComponentKind::Npn { collector, base, emitter, beta: v, vbe },
+            ) if v > 0.0 => ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta: v,
+                vbe,
+            },
             (
-                ComponentKind::Npn { collector, base, emitter, beta, vbe },
+                ComponentKind::Npn {
+                    collector,
+                    base,
+                    emitter,
+                    beta,
+                    vbe,
+                },
                 Fault::ParamFactor(k),
             ) if k > 0.0 => ComponentKind::Npn {
                 collector,
@@ -136,29 +213,58 @@ pub fn inject_faults(netlist: &Netlist, faults: &[(CompId, Fault)]) -> Result<Ne
                 beta: beta * k,
                 vbe,
             },
-            (ComponentKind::Gain { input, output, .. }, Fault::Param(v)) => {
-                ComponentKind::Gain { input, output, gain: v }
-            }
-            (ComponentKind::Gain { input, output, gain }, Fault::ParamFactor(k)) => {
-                ComponentKind::Gain { input, output, gain: gain * k }
-            }
-            (ComponentKind::Gain { input, output, .. }, Fault::Open) => {
-                ComponentKind::Gain { input, output, gain: 0.0 }
-            }
+            (ComponentKind::Gain { input, output, .. }, Fault::Param(v)) => ComponentKind::Gain {
+                input,
+                output,
+                gain: v,
+            },
+            (
+                ComponentKind::Gain {
+                    input,
+                    output,
+                    gain,
+                },
+                Fault::ParamFactor(k),
+            ) => ComponentKind::Gain {
+                input,
+                output,
+                gain: gain * k,
+            },
+            (ComponentKind::Gain { input, output, .. }, Fault::Open) => ComponentKind::Gain {
+                input,
+                output,
+                gain: 0.0,
+            },
             (ComponentKind::VoltageSource { plus, minus, .. }, Fault::Param(v)) => {
-                ComponentKind::VoltageSource { plus, minus, volts: v }
+                ComponentKind::VoltageSource {
+                    plus,
+                    minus,
+                    volts: v,
+                }
             }
             (ComponentKind::VoltageSource { plus, minus, volts }, Fault::ParamFactor(k)) => {
-                ComponentKind::VoltageSource { plus, minus, volts: volts * k }
+                ComponentKind::VoltageSource {
+                    plus,
+                    minus,
+                    volts: volts * k,
+                }
             }
             (ComponentKind::CurrentSource { from, to, .. }, Fault::Open) => {
-                ComponentKind::CurrentSource { from, to, amps: 0.0 }
+                ComponentKind::CurrentSource {
+                    from,
+                    to,
+                    amps: 0.0,
+                }
             }
             (ComponentKind::CurrentSource { from, to, .. }, Fault::Param(v)) => {
                 ComponentKind::CurrentSource { from, to, amps: v }
             }
             (ComponentKind::CurrentSource { from, to, amps }, Fault::ParamFactor(k)) => {
-                ComponentKind::CurrentSource { from, to, amps: amps * k }
+                ComponentKind::CurrentSource {
+                    from,
+                    to,
+                    amps: amps * k,
+                }
             }
             _ => return Err(CircuitError::UnsupportedFault { component: name }),
         };
@@ -212,19 +318,33 @@ pub fn open_connection(netlist: &Netlist, id: CompId, net: Net) -> Result<Netlis
             to: remap(to),
             amps,
         },
-        ComponentKind::Diode { anode, cathode, drop_volts } => ComponentKind::Diode {
+        ComponentKind::Diode {
+            anode,
+            cathode,
+            drop_volts,
+        } => ComponentKind::Diode {
             anode: remap(anode),
             cathode: remap(cathode),
             drop_volts,
         },
-        ComponentKind::Npn { collector, base, emitter, beta, vbe } => ComponentKind::Npn {
+        ComponentKind::Npn {
+            collector,
+            base,
+            emitter,
+            beta,
+            vbe,
+        } => ComponentKind::Npn {
             collector: remap(collector),
             base: remap(base),
             emitter: remap(emitter),
             beta,
             vbe,
         },
-        ComponentKind::Gain { input, output, gain } => ComponentKind::Gain {
+        ComponentKind::Gain {
+            input,
+            output,
+            gain,
+        } => ComponentKind::Gain {
             input: remap(input),
             output: remap(output),
             gain,
@@ -284,7 +404,9 @@ mod tests {
         let d = nl.add_diode("D1", a, k, 0.2, 0.0).unwrap();
         let c = nl.add_net("c");
         let b = nl.add_net("b");
-        let t = nl.add_npn("T1", c, b, Net::GROUND, 100.0, 0.7, 0.05).unwrap();
+        let t = nl
+            .add_npn("T1", c, b, Net::GROUND, 100.0, 0.7, 0.05)
+            .unwrap();
         let f = inject_faults(&nl, &[(d, Fault::Open), (t, Fault::Open)]).unwrap();
         assert!(matches!(
             f.component(d).kind(),

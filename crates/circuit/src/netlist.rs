@@ -334,7 +334,11 @@ impl Netlist {
                 what: "resistance must be positive and finite",
             });
         }
-        self.push(name.into(), ComponentKind::Resistor { a, b, ohms }, tolerance)
+        self.push(
+            name.into(),
+            ComponentKind::Resistor { a, b, ohms },
+            tolerance,
+        )
     }
 
     /// Adds a capacitor (open at DC, `jωC` in the dynamic mode).
@@ -357,7 +361,11 @@ impl Netlist {
                 what: "capacitance must be positive and finite",
             });
         }
-        self.push(name.into(), ComponentKind::Capacitor { a, b, farads }, tolerance)
+        self.push(
+            name.into(),
+            ComponentKind::Capacitor { a, b, farads },
+            tolerance,
+        )
     }
 
     /// Adds an inductor (a short at DC, `jωL` in the dynamic mode).
@@ -380,7 +388,11 @@ impl Netlist {
                 what: "inductance must be positive and finite",
             });
         }
-        self.push(name.into(), ComponentKind::Inductor { a, b, henries }, tolerance)
+        self.push(
+            name.into(),
+            ComponentKind::Inductor { a, b, henries },
+            tolerance,
+        )
     }
 
     /// Adds an independent voltage source (zero tolerance).
@@ -496,7 +508,11 @@ impl Netlist {
     ) -> Result<CompId> {
         self.push(
             name.into(),
-            ComponentKind::Gain { input, output, gain },
+            ComponentKind::Gain {
+                input,
+                output,
+                gain,
+            },
             tolerance,
         )
     }
@@ -538,7 +554,12 @@ impl Netlist {
 impl fmt::Display for Netlist {
     /// Renders a human-readable SPICE-flavoured listing.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "* netlist: {} nets, {} components", self.net_count(), self.component_count())?;
+        writeln!(
+            f,
+            "* netlist: {} nets, {} components",
+            self.net_count(),
+            self.component_count()
+        )?;
         for (_, comp) in self.components() {
             let nets: Vec<&str> = comp.nets().iter().map(|&n| self.net_name(n)).collect();
             let kind = match comp.kind() {

@@ -80,8 +80,14 @@ pub fn nominal_predictions(netlist: &Netlist, nets: &[Net]) -> Result<Vec<FuzzyI
         if tol <= 0.0 {
             continue;
         }
-        let plus = solve_dc(&inject_faults(netlist, &[(id, Fault::ParamFactor(1.0 + tol))])?)?;
-        let minus = solve_dc(&inject_faults(netlist, &[(id, Fault::ParamFactor(1.0 - tol))])?)?;
+        let plus = solve_dc(&inject_faults(
+            netlist,
+            &[(id, Fault::ParamFactor(1.0 + tol))],
+        )?)?;
+        let minus = solve_dc(&inject_faults(
+            netlist,
+            &[(id, Fault::ParamFactor(1.0 - tol))],
+        )?)?;
         for (k, &net) in nets.iter().enumerate() {
             let d1 = plus.voltage(net) - nominal.voltage(net);
             let d2 = minus.voltage(net) - nominal.voltage(net);

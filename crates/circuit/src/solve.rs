@@ -304,7 +304,11 @@ fn solve_linear(netlist: &Netlist, states: &[DeviceState]) -> Result<OperatingPo
                 stamp(&mut a, Some(k), im, -1.0);
                 b[k] = volts;
             }
-            ComponentKind::Diode { anode, cathode, drop_volts } => {
+            ComponentKind::Diode {
+                anode,
+                cathode,
+                drop_volts,
+            } => {
                 if states[id.index()] == DeviceState::Diode(DiodeState::On) {
                     let k = br.expect("conducting diode has a branch");
                     let (ia, ik) = (vid(anode), vid(cathode));
@@ -315,7 +319,13 @@ fn solve_linear(netlist: &Netlist, states: &[DeviceState]) -> Result<OperatingPo
                     b[k] = drop_volts;
                 }
             }
-            ComponentKind::Npn { collector, base, emitter, beta, .. } => {
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta,
+                ..
+            } => {
                 match states[id.index()] {
                     DeviceState::Bjt(BjtRegion::Active) => {
                         let k = br.expect("active BJT has a branch");
@@ -355,7 +365,11 @@ fn solve_linear(netlist: &Netlist, states: &[DeviceState]) -> Result<OperatingPo
                     _ => {} // cutoff: open
                 }
             }
-            ComponentKind::Gain { input, output, gain } => {
+            ComponentKind::Gain {
+                input,
+                output,
+                gain,
+            } => {
                 let k = br.expect("gain block has a branch");
                 let (ii, io) = (vid(input), vid(output));
                 // Output source injects branch current at the output node.
@@ -443,13 +457,16 @@ fn refine_states(
     let mut next = states.to_vec();
     for (id, comp) in netlist.components() {
         match *comp.kind() {
-            ComponentKind::Diode { anode, cathode, drop_volts } => {
+            ComponentKind::Diode {
+                anode,
+                cathode,
+                drop_volts,
+            } => {
                 let state = match sol.device(id) {
                     DeviceSolution::Diode { state, amps } => match state {
                         DiodeState::On if amps < -1e-12 => DiodeState::Off,
                         DiodeState::Off
-                            if sol.voltage(anode) - sol.voltage(cathode)
-                                > drop_volts + 1e-9 =>
+                            if sol.voltage(anode) - sol.voltage(cathode) > drop_volts + 1e-9 =>
                         {
                             DiodeState::On
                         }
@@ -459,7 +476,13 @@ fn refine_states(
                 };
                 next[id.index()] = DeviceState::Diode(state);
             }
-            ComponentKind::Npn { collector, base, emitter, beta, vbe } => {
+            ComponentKind::Npn {
+                collector,
+                base,
+                emitter,
+                beta,
+                vbe,
+            } => {
                 if let DeviceSolution::Npn { region, ib, ic } = sol.device(id) {
                     let vce = sol.voltage(collector) - sol.voltage(emitter);
                     let vbe_now = sol.voltage(base) - sol.voltage(emitter);
@@ -649,11 +672,14 @@ mod tests {
         let vcc = nl.add_net("vcc");
         let n1 = nl.add_net("n1");
         let v1 = nl.add_net("v1");
-        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0)
+            .unwrap();
         nl.add_resistor("R1", v1, n1, 200e3, 0.05).unwrap();
         nl.add_resistor("R3", n1, Net::GROUND, 24e3, 0.05).unwrap();
         nl.add_resistor("R2", vcc, v1, 12e3, 0.05).unwrap();
-        let t = nl.add_npn("T1", v1, n1, Net::GROUND, 300.0, 0.7, 0.05).unwrap();
+        let t = nl
+            .add_npn("T1", v1, n1, Net::GROUND, 300.0, 0.7, 0.05)
+            .unwrap();
         let op = solve_dc(&nl).unwrap();
         assert_close(op.voltage(n1), 0.7, 1e-6);
         // Hand analysis (see DESIGN.md): V1 ≈ 7.12 V, Ib ≈ 2.92 µA.
@@ -674,7 +700,8 @@ mod tests {
         let mut nl = Netlist::new();
         let vcc = nl.add_net("vcc");
         let v1 = nl.add_net("v1");
-        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0).unwrap();
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 18.0)
+            .unwrap();
         nl.add_resistor("Rc", vcc, v1, 1e3, 0.0).unwrap();
         let t = nl
             .add_npn("T1", v1, Net::GROUND, Net::GROUND, 100.0, 0.7, 0.0)
@@ -697,7 +724,8 @@ mod tests {
         let vb = nl.add_net("vb");
         let base = nl.add_net("base");
         let v1 = nl.add_net("v1");
-        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 10.0).unwrap();
+        nl.add_voltage_source("Vcc", vcc, Net::GROUND, 10.0)
+            .unwrap();
         nl.add_voltage_source("Vb", vb, Net::GROUND, 5.0).unwrap();
         nl.add_resistor("Rb", vb, base, 1e3, 0.0).unwrap();
         nl.add_resistor("Rc", vcc, v1, 10e3, 0.0).unwrap();

@@ -1,14 +1,44 @@
-//! Property-based and metamorphic tests for the circuit substrate:
+//! Randomized and metamorphic tests for the circuit substrate:
 //! linear-circuit laws (superposition, scaling), solver self-consistency
 //! (KCL at every net), analytic ladder checks, prediction soundness and
 //! AC/DC coherence.
+//!
+//! Dependency-free: cases are generated with an inline SplitMix64 and
+//! checked with plain `assert!`. Gated behind `--features proptest`
+//! (the historical feature name) because the suites are slow, not
+//! because they need the external crate.
 
 use flames_circuit::ac::solve_ac;
 use flames_circuit::fault::{inject_faults, Fault};
 use flames_circuit::predict::nominal_predictions;
 use flames_circuit::solve::{solve_dc, DeviceSolution};
 use flames_circuit::{ComponentKind, Net, Netlist};
-use proptest::prelude::*;
+
+/// SplitMix64 — the same mixer as `flames_bench::rng`, inlined because
+/// integration tests cannot depend on the bench crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
 
 /// A random resistive ladder: source → R → node → R → node → … → gnd,
 /// with shunt resistors to ground at every node.
@@ -20,40 +50,53 @@ fn ladder(series: &[f64], shunt: &[f64], volts: f64) -> (Netlist, Vec<Net>) {
     let mut nodes = Vec::new();
     for (k, (&rs, &rp)) in series.iter().zip(shunt).enumerate() {
         let node = nl.add_net(format!("n{k}"));
-        nl.add_resistor(format!("Rs{k}"), prev, node, rs, 0.0).unwrap();
-        nl.add_resistor(format!("Rp{k}"), node, Net::GROUND, rp, 0.0).unwrap();
+        nl.add_resistor(format!("Rs{k}"), prev, node, rs, 0.0)
+            .unwrap();
+        nl.add_resistor(format!("Rp{k}"), node, Net::GROUND, rp, 0.0)
+            .unwrap();
         nodes.push(node);
         prev = node;
     }
     (nl, nodes)
 }
 
-fn resistances() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(100.0..100_000.0f64, 1..5)
+/// 1–4 random resistances in [100, 100k).
+fn resistances(r: &mut Rng) -> Vec<f64> {
+    let n = 1 + r.below(4) as usize;
+    (0..n).map(|_| r.range(100.0, 100_000.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn source_scaling_is_linear((series, shunt) in resistances().prop_flat_map(|s| {
-        let n = s.len();
-        (Just(s), prop::collection::vec(100.0..100_000.0f64, n))
-    }), volts in 1.0..50.0f64, k in 1.1..4.0f64) {
+#[test]
+fn source_scaling_is_linear() {
+    let mut r = Rng(1);
+    for _ in 0..CASES {
+        let series = resistances(&mut r);
+        let shunt: Vec<f64> = (0..series.len())
+            .map(|_| r.range(100.0, 100_000.0))
+            .collect();
+        let volts = r.range(1.0, 50.0);
+        let k = r.range(1.1, 4.0);
         let (nl, nodes) = ladder(&series, &shunt, volts);
         let (nl2, _) = ladder(&series, &shunt, volts * k);
         let a = solve_dc(&nl).unwrap();
         let b = solve_dc(&nl2).unwrap();
         for &n in &nodes {
-            prop_assert!((b.voltage(n) - k * a.voltage(n)).abs() < 1e-6 * volts * k);
+            assert!((b.voltage(n) - k * a.voltage(n)).abs() < 1e-6 * volts * k);
         }
     }
+}
 
-    #[test]
-    fn kcl_holds_at_every_internal_node((series, shunt) in resistances().prop_flat_map(|s| {
-        let n = s.len();
-        (Just(s), prop::collection::vec(100.0..100_000.0f64, n))
-    }), volts in 1.0..50.0f64) {
+#[test]
+fn kcl_holds_at_every_internal_node() {
+    let mut r = Rng(2);
+    for _ in 0..CASES {
+        let series = resistances(&mut r);
+        let shunt: Vec<f64> = (0..series.len())
+            .map(|_| r.range(100.0, 100_000.0))
+            .collect();
+        let volts = r.range(1.0, 50.0);
         let (nl, nodes) = ladder(&series, &shunt, volts);
         let op = solve_dc(&nl).unwrap();
         // Currents: for node k, in through Rs_k, out through Rp_k and Rs_{k+1}.
@@ -71,27 +114,35 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(sum.abs() < 1e-9, "KCL violated at node {k}: {sum}");
+            assert!(sum.abs() < 1e-9, "KCL violated at node {k}: {sum}");
         }
     }
+}
 
-    #[test]
-    fn ladder_matches_analytic_two_section(rs1 in 100.0..10_000.0f64,
-                                           rp1 in 100.0..10_000.0f64,
-                                           volts in 1.0..20.0f64) {
+#[test]
+fn ladder_matches_analytic_two_section() {
+    let mut r = Rng(3);
+    for _ in 0..CASES {
+        let rs1 = r.range(100.0, 10_000.0);
+        let rp1 = r.range(100.0, 10_000.0);
+        let volts = r.range(1.0, 20.0);
         // Single-section ladder is the plain divider.
         let (nl, nodes) = ladder(&[rs1], &[rp1], volts);
         let op = solve_dc(&nl).unwrap();
         let expect = volts * rp1 / (rs1 + rp1);
-        prop_assert!((op.voltage(nodes[0]) - expect).abs() < 1e-6 * volts);
+        assert!((op.voltage(nodes[0]) - expect).abs() < 1e-6 * volts);
     }
+}
 
-    #[test]
-    fn superposition_of_two_sources(r1 in 100.0..10_000.0f64,
-                                    r2 in 100.0..10_000.0f64,
-                                    r3 in 100.0..10_000.0f64,
-                                    v1 in 1.0..20.0f64,
-                                    v2 in 1.0..20.0f64) {
+#[test]
+fn superposition_of_two_sources() {
+    let mut r = Rng(4);
+    for _ in 0..CASES {
+        let r1 = r.range(100.0, 10_000.0);
+        let r2 = r.range(100.0, 10_000.0);
+        let r3 = r.range(100.0, 10_000.0);
+        let v1 = r.range(1.0, 20.0);
+        let v2 = r.range(1.0, 20.0);
         // Two sources driving a T-network: node voltage equals the sum of
         // the single-source responses.
         let build = |va: f64, vb: f64| {
@@ -112,13 +163,17 @@ proptest! {
         let vfull = solve_dc(&full).unwrap().voltage(mid);
         let va = solve_dc(&only_a).unwrap().voltage(mid);
         let vb = solve_dc(&only_b).unwrap().voltage(mid);
-        prop_assert!((vfull - (va + vb)).abs() < 1e-6 * (v1 + v2));
+        assert!((vfull - (va + vb)).abs() < 1e-6 * (v1 + v2));
     }
+}
 
-    #[test]
-    fn predictions_contain_in_tolerance_boards(f1 in 0.95..1.05f64,
-                                               f2 in 0.95..1.05f64,
-                                               f3 in 0.95..1.05f64) {
+#[test]
+fn predictions_contain_in_tolerance_boards() {
+    let mut r = Rng(5);
+    for _ in 0..CASES {
+        let f1 = r.range(0.95, 1.05);
+        let f2 = r.range(0.95, 1.05);
+        let f3 = r.range(0.95, 1.05);
         let mut nl = Netlist::new();
         let vin = nl.add_net("vin");
         let mid = nl.add_net("mid");
@@ -126,44 +181,60 @@ proptest! {
         nl.add_voltage_source("V", vin, Net::GROUND, 12.0).unwrap();
         let r1 = nl.add_resistor("R1", vin, mid, 2_000.0, 0.05).unwrap();
         let r2 = nl.add_resistor("R2", mid, out, 1_000.0, 0.05).unwrap();
-        let r3 = nl.add_resistor("R3", out, Net::GROUND, 3_000.0, 0.05).unwrap();
+        let r3 = nl
+            .add_resistor("R3", out, Net::GROUND, 3_000.0, 0.05)
+            .unwrap();
         let preds = nominal_predictions(&nl, &[mid, out]).unwrap();
-        let board = inject_faults(&nl, &[
-            (r1, Fault::ParamFactor(f1)),
-            (r2, Fault::ParamFactor(f2)),
-            (r3, Fault::ParamFactor(f3)),
-        ]).unwrap();
+        let board = inject_faults(
+            &nl,
+            &[
+                (r1, Fault::ParamFactor(f1)),
+                (r2, Fault::ParamFactor(f2)),
+                (r3, Fault::ParamFactor(f3)),
+            ],
+        )
+        .unwrap();
         let op = solve_dc(&board).unwrap();
         for (pred, net) in preds.iter().zip([mid, out]) {
             let v = op.voltage(net);
-            prop_assert!(v >= pred.support_lo() - 1e-9 && v <= pred.support_hi() + 1e-9,
-                "{v} escapes {pred} at {net}");
+            assert!(
+                v >= pred.support_lo() - 1e-9 && v <= pred.support_hi() + 1e-9,
+                "{v} escapes {pred} at {net}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ac_amplitude_scales_with_stimulus(c in 1e-9..1e-6f64,
-                                         r in 100.0..100_000.0f64,
-                                         freq in 10.0..100_000.0f64,
-                                         amp in 0.1..10.0f64) {
+#[test]
+fn ac_amplitude_scales_with_stimulus() {
+    let mut r = Rng(6);
+    for _ in 0..CASES {
+        let c = r.range(1e-9, 1e-6);
+        let res = r.range(100.0, 100_000.0);
+        let freq = r.range(10.0, 100_000.0);
+        let amp = r.range(0.1, 10.0);
         let mut nl = Netlist::new();
         let vin = nl.add_net("vin");
         let out = nl.add_net("out");
         let src = nl.add_voltage_source("Vin", vin, Net::GROUND, 0.0).unwrap();
-        nl.add_resistor("R", vin, out, r, 0.0).unwrap();
+        nl.add_resistor("R", vin, out, res, 0.0).unwrap();
         nl.add_capacitor("C", out, Net::GROUND, c, 0.0).unwrap();
         let one = solve_ac(&nl, src, 1.0, freq).unwrap().amplitude(out);
         let scaled = solve_ac(&nl, src, amp, freq).unwrap().amplitude(out);
-        prop_assert!((scaled - amp * one).abs() < 1e-9 * amp.max(1.0));
+        assert!((scaled - amp * one).abs() < 1e-9 * amp.max(1.0));
         // The RC low-pass has the analytic magnitude 1/sqrt(1+(ωRC)²).
         let w = 2.0 * std::f64::consts::PI * freq;
-        let expect = 1.0 / (1.0 + (w * r * c).powi(2)).sqrt();
-        prop_assert!((one - expect).abs() < 1e-6);
+        let expect = 1.0 / (1.0 + (w * res * c).powi(2)).sqrt();
+        assert!((one - expect).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn ac_low_frequency_approaches_resistive_divider(r1 in 100.0..10_000.0f64,
-                                                     r2 in 100.0..10_000.0f64) {
+#[test]
+fn ac_low_frequency_approaches_resistive_divider() {
+    let mut r = Rng(7);
+    for _ in 0..CASES {
+        let r1 = r.range(100.0, 10_000.0);
+        let r2 = r.range(100.0, 10_000.0);
         // With no reactive parts, the AC response is frequency-flat and
         // equals the DC divider ratio.
         let mut nl = Netlist::new();
@@ -175,7 +246,7 @@ proptest! {
         let lo = solve_ac(&nl, src, 1.0, 1.0).unwrap().amplitude(out);
         let hi = solve_ac(&nl, src, 1.0, 1e6).unwrap().amplitude(out);
         let ratio = r2 / (r1 + r2);
-        prop_assert!((lo - ratio).abs() < 1e-6);
-        prop_assert!((hi - ratio).abs() < 1e-6);
+        assert!((lo - ratio).abs() < 1e-6);
+        assert!((hi - ratio).abs() < 1e-6);
     }
 }

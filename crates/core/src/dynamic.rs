@@ -114,7 +114,8 @@ impl AcDiagnoser {
     ) -> Result<Self> {
         let mut lo = vec![0.0f64; probes.len()];
         let mut hi = vec![0.0f64; probes.len()];
-        let observe = |sol: &flames_circuit::ac::AcSolution, probe: &AcProbe| match probe.observable {
+        let observe = |sol: &flames_circuit::ac::AcSolution, probe: &AcProbe| match probe.observable
+        {
             AcObservable::Amplitude => sol.amplitude(probe.net),
             AcObservable::PhaseDegrees => sol.phase(probe.net).to_degrees(),
         };
@@ -208,7 +209,10 @@ impl AcDiagnoser {
         let mut comp_assumptions = Vec::with_capacity(self.netlist.component_count());
         for (_, comp) in self.netlist.components() {
             let a = atms.add_assumption(comp.name());
-            debug_assert_eq!(a, pool.intern(comp.name()));
+            // The intern must run in release builds too — the pool is what
+            // names every env in reports.
+            let interned = pool.intern(comp.name());
+            debug_assert_eq!(a, interned);
             comp_assumptions.push(a);
         }
         AcSession {
@@ -413,12 +417,7 @@ impl AcSession<'_> {
                 .comp_assumptions
                 .iter()
                 .enumerate()
-                .map(|(k, _)| {
-                    probe
-                        .support
-                        .iter()
-                        .any(|c| c.index() == k)
-                })
+                .map(|(k, _)| probe.support.iter().any(|c| c.index() == k))
                 .collect();
             let post_cons: Vec<FuzzyInterval> = estimations
                 .iter()
@@ -530,7 +529,10 @@ mod tests {
             .take(3)
             .flat_map(|c| c.members.iter().map(String::as_str))
             .collect();
-        assert!(top.contains(&"C2") || top.contains(&"R2") || top.contains(&"A"), "{refined:?}");
+        assert!(
+            top.contains(&"C2") || top.contains(&"R2") || top.contains(&"A"),
+            "{refined:?}"
+        );
         let c1 = refined.iter().find(|c| c.members[0] == "C1").unwrap();
         let c2 = refined.iter().find(|c| c.members[0] == "C2").unwrap();
         assert!(c2.degree > c1.degree, "{refined:?}");

@@ -72,7 +72,11 @@ impl fmt::Display for Report {
                     "  {:<6} predicted {:.3}  measured {:.3}  Dc = {}",
                     p.name, p.predicted, m, dc
                 )?,
-                _ => writeln!(f, "  {:<6} predicted {:.3}  (not probed)", p.name, p.predicted)?,
+                _ => writeln!(
+                    f,
+                    "  {:<6} predicted {:.3}  (not probed)",
+                    p.name, p.predicted
+                )?,
             }
         }
         writeln!(f, "nogoods:")?;
@@ -194,7 +198,12 @@ impl Diagnoser {
         let mut prop = if excused.is_empty() {
             Propagator::new(&self.netlist, &self.network, self.config.propagator)
         } else {
-            Propagator::new_excusing(&self.netlist, &self.network, self.config.propagator, excused)
+            Propagator::new_excusing(
+                &self.netlist,
+                &self.network,
+                self.config.propagator,
+                excused,
+            )
         };
         for (tp, pred) in self.test_points.iter().zip(&self.predictions) {
             if tp.support.iter().any(|c| excused.contains(c)) {
@@ -247,11 +256,13 @@ impl<'d> Session<'d> {
     /// Returns [`crate::CoreError::UnknownName`] for an out-of-range
     /// index.
     pub fn measure_point(&mut self, idx: usize, value: FuzzyInterval) -> Result<()> {
-        let tp = self.diagnoser.test_points.get(idx).ok_or_else(|| {
-            crate::CoreError::UnknownName {
-                name: format!("test point #{idx}"),
-            }
-        })?;
+        let tp =
+            self.diagnoser
+                .test_points
+                .get(idx)
+                .ok_or_else(|| crate::CoreError::UnknownName {
+                    name: format!("test point #{idx}"),
+                })?;
         let q = self.diagnoser.network.voltage_quantity(tp.net);
         self.prop.observe(q, value)?;
         self.measured[idx] = Some(value);
@@ -496,9 +507,8 @@ impl<'d> Session<'d> {
                 name: tp.name.clone(),
                 predicted: self.diagnoser.predictions[idx],
                 measured: self.measured[idx],
-                consistency: self.measured[idx].map(|m| {
-                    Consistency::between(&m, &self.diagnoser.predictions[idx])
-                }),
+                consistency: self.measured[idx]
+                    .map(|m| Consistency::between(&m, &self.diagnoser.predictions[idx])),
             })
             .collect();
         let nogoods = self
@@ -506,12 +516,7 @@ impl<'d> Session<'d> {
             .atms()
             .sorted_nogoods()
             .into_iter()
-            .map(|Nogood { env, degree }| {
-                (
-                    self.prop.pool().render(env.iter()),
-                    degree,
-                )
-            })
+            .map(|Nogood { env, degree }| (self.prop.pool().render(env.iter()), degree))
             .collect();
         let candidates = self.candidates(3, 64);
         let refined = self.refined_candidates(16, 0.5);
@@ -573,7 +578,9 @@ mod tests {
         let mid = nl.add_net("mid");
         nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
         let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
-        let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+        let r2 = nl
+            .add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)
+            .unwrap();
         let points = vec![
             TestPoint::new(mid, "Vmid", vec![r1, r2]),
             TestPoint::new(vin, "Vin", vec![]),
@@ -602,8 +609,9 @@ mod tests {
         let d = divider_diagnoser();
         // R1 drifted 40 % high: mid voltage drops to 10·(1/2.4) ≈ 4.17.
         let r1 = d.netlist().component_by_name("R1").unwrap();
-        let bad = flames_circuit::fault::inject_faults(d.netlist(), &[(r1, Fault::ParamFactor(1.4))])
-            .unwrap();
+        let bad =
+            flames_circuit::fault::inject_faults(d.netlist(), &[(r1, Fault::ParamFactor(1.4))])
+                .unwrap();
         let reading = flames_circuit::predict::measure(&bad, d.test_points()[0].net, 0.02).unwrap();
         let mut s = d.session();
         s.measure("Vmid", reading).unwrap();
@@ -692,7 +700,10 @@ mod tests {
         s.propagate();
         let est = s.estimations();
         let r2 = est.iter().find(|(n, _)| n == "R2").unwrap();
-        assert!(r2.1.core_hi() <= 0.1, "consistent evidence overrides the prior");
+        assert!(
+            r2.1.core_hi() <= 0.1,
+            "consistent evidence overrides the prior"
+        );
     }
 
     #[test]

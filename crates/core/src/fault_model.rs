@@ -218,7 +218,10 @@ mod tests {
         assert_eq!(by("open").membership(1e4), 1.0);
         assert_eq!(by("open").membership(1.0), 0.0);
         // Slight deviations get graded membership in high/nominal.
-        assert!(by("high").membership(1.12) > 0.0, "1.12 should touch 'high'");
+        assert!(
+            by("high").membership(1.12) > 0.0,
+            "1.12 should touch 'high'"
+        );
     }
 
     #[test]
@@ -244,7 +247,9 @@ mod tests {
         let mid = nl.add_net("mid");
         nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
         let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
-        let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+        let r2 = nl
+            .add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)
+            .unwrap();
         let points = vec![
             TestPoint::new(mid, "Vmid", vec![r1, r2]),
             TestPoint::new(vin, "Vin", vec![]),
@@ -278,7 +283,10 @@ mod tests {
         let md2 =
             infer_fault_mode(&d, &measurements, r2, &modes, PropagatorConfig::default()).unwrap();
         let ratio2 = md2.ratio.expect("parameter should be inferable");
-        assert!((ratio2.core_midpoint() - 1.0 / 1.4).abs() < 0.05, "{ratio2}");
+        assert!(
+            (ratio2.core_midpoint() - 1.0 / 1.4).abs() < 0.05,
+            "{ratio2}"
+        );
         assert_eq!(md2.best().unwrap().0, "low");
     }
 

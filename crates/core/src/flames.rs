@@ -94,7 +94,9 @@ impl DiagnosisOutcome {
         };
         // A faulty-mode finding promotes its candidate.
         for cand in &self.report.refined {
-            let Some(member) = cand.members.first() else { continue };
+            let Some(member) = cand.members.first() else {
+                continue;
+            };
             if let Some((_, mode, degree)) = mode_of(member) {
                 if mode != "nominal" && *degree >= 0.5 {
                     return Some(member);
@@ -113,7 +115,11 @@ impl fmt::Display for DiagnosisOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.report)?;
         if !self.excused.is_empty() {
-            writeln!(f, "models withdrawn (out of region): {}", self.excused.join(", "))?;
+            writeln!(
+                f,
+                "models withdrawn (out of region): {}",
+                self.excused.join(", ")
+            )?;
         }
         for (comp, mode, degree) in &self.mode_findings {
             writeln!(f, "fault model: {comp} -> '{mode}' @ {degree:.2}")?;
@@ -123,11 +129,19 @@ impl fmt::Display for DiagnosisOutcome {
                 f,
                 "experience suggests: {}{} @ {:.2}",
                 s.culprit,
-                s.mode.as_deref().map(|m| format!(" ({m})")).unwrap_or_default(),
+                s.mode
+                    .as_deref()
+                    .map(|m| format!(" ({m})"))
+                    .unwrap_or_default(),
                 s.score
             )?;
         }
-        writeln!(f, "probes: {} (cost {:.1})", self.probes.join(" -> "), self.cost)
+        writeln!(
+            f,
+            "probes: {} (cost {:.1})",
+            self.probes.join(" -> "),
+            self.cost
+        )
     }
 }
 
@@ -186,8 +200,12 @@ impl Flames {
     pub fn diagnose(&self, read: &dyn Fn(usize) -> FuzzyInterval) -> Result<DiagnosisOutcome> {
         // 1. Guided probing.
         let mut session = self.session_with_priors();
-        let ProbeRun { probes, cost, .. } =
-            probe_until_isolated(&mut session, self.config.policy, self.config.lambda_cost, read)?;
+        let ProbeRun { probes, cost, .. } = probe_until_isolated(
+            &mut session,
+            self.config.policy,
+            self.config.lambda_cost,
+            read,
+        )?;
 
         // 2. Model-validity revalidation against the measured operating
         //    point (built-in BJT region rules + the expert's own).
@@ -229,7 +247,9 @@ impl Flames {
         let report = session.report();
         let mut mode_findings = Vec::new();
         for cand in report.refined.iter().take(3) {
-            let Some(member) = cand.members.first() else { continue };
+            let Some(member) = cand.members.first() else {
+                continue;
+            };
             let Some(comp) = self.diagnoser.netlist().component_by_name(member) else {
                 continue; // connection assumptions carry no parameter
             };
@@ -294,12 +314,8 @@ mod tests {
 
     fn system() -> (flames_circuit::circuits::ThreeStage, Flames) {
         let ts = three_stage(0.02);
-        let flames = Flames::new(
-            &ts.netlist,
-            ts.test_points.clone(),
-            FlamesConfig::default(),
-        )
-        .unwrap();
+        let flames =
+            Flames::new(&ts.netlist, ts.test_points.clone(), FlamesConfig::default()).unwrap();
         (ts, flames)
     }
 

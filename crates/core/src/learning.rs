@@ -473,8 +473,16 @@ mod tests {
             "R3",
             Some("open".to_owned()),
         );
-        kb.learn(vec![sym("Vs", Direction::High, Severity::Strong)], "T2", None);
-        kb.learn(vec![sym("Vs", Direction::High, Severity::Strong)], "T2", None);
+        kb.learn(
+            vec![sym("Vs", Direction::High, Severity::Strong)],
+            "T2",
+            None,
+        );
+        kb.learn(
+            vec![sym("Vs", Direction::High, Severity::Strong)],
+            "T2",
+            None,
+        );
         let text = kb.to_text();
         let restored = KnowledgeBase::from_text(&text).unwrap();
         assert_eq!(restored.len(), kb.len());

@@ -111,6 +111,11 @@ pub struct Propagator<'n> {
     /// Constraints withdrawn by model-validity excusal (indexed like
     /// `network.constraints()`).
     disabled_constraints: Vec<bool>,
+    /// Per-constraint support environment (component assumptions ∪
+    /// connection assumption), built once at construction.
+    constraint_envs: Vec<Env>,
+    /// Quantity → constraint adjacency for the dirty-constraint requeue.
+    consumers: Vec<Vec<u32>>,
 }
 
 impl<'n> Propagator<'n> {
@@ -166,7 +171,10 @@ impl<'n> Propagator<'n> {
         let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
         for (_, comp) in netlist.components() {
             let a = atms.add_assumption(comp.name());
-            debug_assert_eq!(a, pool.intern(comp.name()));
+            // The intern must run in release builds too — the pool is what
+            // names every env in reports.
+            let interned = pool.intern(comp.name());
+            debug_assert_eq!(a, interned);
             comp_assumptions.push(a);
         }
         let mut conn_assumptions = vec![None; netlist.net_count()];
@@ -175,11 +183,26 @@ impl<'n> Propagator<'n> {
                 if conn_assumptions[net.index()].is_none() {
                     let name = format!("conn:{}", netlist.net_name(net));
                     let a = atms.add_assumption(&name);
-                    debug_assert_eq!(a, pool.intern(&name));
+                    let interned = pool.intern(&name);
+                    debug_assert_eq!(a, interned);
                     conn_assumptions[net.index()] = Some(a);
                 }
             }
         }
+        let constraint_envs: Vec<Env> = network
+            .constraints()
+            .iter()
+            .map(|c| {
+                let mut env =
+                    Env::from_assumptions(c.support.iter().map(|s| comp_assumptions[s.index()]));
+                if let Some(net) = c.conn {
+                    if let Some(a) = conn_assumptions[net.index()] {
+                        env = env.with(a);
+                    }
+                }
+                env
+            })
+            .collect();
         let mut prop = Self {
             network,
             config,
@@ -194,6 +217,8 @@ impl<'n> Propagator<'n> {
                 .iter()
                 .map(|c| c.support.iter().any(|s| excused.contains(s)))
                 .collect(),
+            constraint_envs,
+            consumers: network.quantity_consumers(),
         };
         for seed in network.seeds() {
             if seed.support.iter().any(|c| unknown.contains(c)) {
@@ -313,8 +338,10 @@ impl<'n> Propagator<'n> {
     pub fn run(&mut self) -> usize {
         // All constraints are initially dirty.
         let mut steps = 0usize;
-        let mut queue: VecDeque<usize> = (0..self.network.constraints().len()).collect();
-        let mut queued: Vec<bool> = vec![true; self.network.constraints().len()];
+        let n = self.network.constraints().len();
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut queued: Vec<bool> = vec![true; n];
+        let mut wake: Vec<u32> = Vec::new();
         while let Some(ci) = queue.pop_front() {
             queued[ci] = false;
             if steps >= self.config.max_steps {
@@ -326,16 +353,17 @@ impl<'n> Propagator<'n> {
             steps += 1;
             let changed = self.apply_constraint(ci);
             if !changed.is_empty() {
-                for (cj, constraint) in self.network.constraints().iter().enumerate() {
-                    if queued[cj] {
-                        continue;
-                    }
-                    if constraint
-                        .relation
-                        .quantities()
-                        .iter()
-                        .any(|q| changed.contains(&q.index()))
-                    {
+                // Requeue exactly the consumers of the changed quantities,
+                // in constraint-index order (matching a full rescan).
+                wake.clear();
+                for &qi in &changed {
+                    wake.extend_from_slice(&self.consumers[qi]);
+                }
+                wake.sort_unstable();
+                wake.dedup();
+                for &cj in &wake {
+                    let cj = cj as usize;
+                    if !queued[cj] {
                         queue.push_back(cj);
                         queued[cj] = true;
                     }
@@ -360,48 +388,50 @@ impl<'n> Propagator<'n> {
         Env::from_assumptions(comps.iter().map(|c| self.comp_assumptions[c.index()]))
     }
 
-    fn constraint_env(&self, ci: usize) -> Env {
-        let c = &self.network.constraints()[ci];
-        let mut env = self.env_of_comps(&c.support);
-        if let Some(net) = c.conn {
-            if let Some(a) = self.conn_assumptions[net.index()] {
-                env = env.with(a);
-            }
-        }
-        env
-    }
-
     /// Applies one constraint in every invertible direction; returns the
     /// indices of quantities whose labels changed.
     fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
-        let relation = self.network.constraints()[ci].relation.clone();
-        let base_env = self.constraint_env(ci);
+        let network = self.network;
+        let relation = &network.constraints()[ci].relation;
+        let tnorm = self.config.tnorm;
         let mut changed = Vec::new();
-        match relation {
+        match *relation {
             Relation::Linear { ref terms, bias } => {
+                let mut others: Vec<(f64, QuantityId)> = Vec::new();
+                let mut qs: Vec<QuantityId> = Vec::new();
+                let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
                 for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
-                    let others: Vec<(f64, QuantityId)> = terms
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != target_idx)
-                        .map(|(_, &t)| t)
-                        .collect();
-                    if others.iter().any(|&(_, q)| self.entries[q.index()].is_empty()) {
-                        continue;
+                    others.clear();
+                    others.extend(
+                        terms
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != target_idx)
+                            .map(|(_, &t)| t),
+                    );
+                    qs.clear();
+                    qs.extend(others.iter().map(|&(_, q)| q));
+                    derived.clear();
+                    {
+                        let base_env = &self.constraint_envs[ci];
+                        let others = &others;
+                        let out = &mut derived;
+                        self.each_combo(&qs, |row| {
+                            // target = −(bias + Σ coef_j · v_j) / coef.
+                            let mut sum = FuzzyInterval::crisp(bias);
+                            let mut env = base_env.clone();
+                            let mut degree = 1.0;
+                            let mut measured = false;
+                            for (&(coef, _), entry) in others.iter().zip(row) {
+                                sum = sum + entry.value.scaled(coef);
+                                env.union_with(&entry.env);
+                                degree = tnorm.combine(degree, entry.degree);
+                                measured |= entry.measured;
+                            }
+                            out.push((sum.scaled(-1.0 / target_coef), env, degree, measured));
+                        });
                     }
-                    for combo in self.combos(&others.iter().map(|&(_, q)| q).collect::<Vec<_>>()) {
-                        // target = −(bias + Σ coef_j · v_j) / coef.
-                        let mut sum = FuzzyInterval::crisp(bias);
-                        let mut env = base_env.clone();
-                        let mut degree = 1.0;
-                        let mut measured = false;
-                        for (&(coef, _), entry) in others.iter().zip(&combo) {
-                            sum = sum + entry.value.scaled(coef);
-                            env = env.union(&entry.env);
-                            degree = self.config.tnorm.combine(degree, entry.degree);
-                            measured |= entry.measured;
-                        }
-                        let value = sum.scaled(-1.0 / target_coef);
+                    for (value, env, degree, measured) in derived.drain(..) {
                         if self.insert(target_q, value, env, degree, measured) {
                             changed.push(target_q.index());
                         }
@@ -409,36 +439,10 @@ impl<'n> Propagator<'n> {
                 }
             }
             Relation::Product { p, x, y } => {
-                // p = x · y
-                for combo in self.combos(&[x, y]) {
-                    if let Ok(value) = combo[0].value.mul(&combo[1].value) {
-                        let env = base_env.union(&combo[0].env).union(&combo[1].env);
-                        let degree = self
-                            .config
-                            .tnorm
-                            .combine(combo[0].degree, combo[1].degree);
-                        let measured = combo[0].measured || combo[1].measured;
-                        if self.insert(p, value, env, degree, measured) {
-                            changed.push(p.index());
-                        }
-                    }
-                }
-                // x = p / y and y = p / x.
-                for (target, divisor) in [(x, y), (y, x)] {
-                    for combo in self.combos(&[p, divisor]) {
-                        if let Ok(value) = combo[0].value.div(&combo[1].value) {
-                            let env = base_env.union(&combo[0].env).union(&combo[1].env);
-                            let degree = self
-                                .config
-                                .tnorm
-                                .combine(combo[0].degree, combo[1].degree);
-                            let measured = combo[0].measured || combo[1].measured;
-                            if self.insert(target, value, env, degree, measured) {
-                                changed.push(target.index());
-                            }
-                        }
-                    }
-                }
+                // p = x · y, x = p / y and y = p / x.
+                self.derive_pairs(ci, p, x, y, |a, b| a.mul(b).ok(), &mut changed);
+                self.derive_pairs(ci, x, p, y, |a, b| a.div(b).ok(), &mut changed);
+                self.derive_pairs(ci, y, p, x, |a, b| a.div(b).ok(), &mut changed);
             }
         }
         changed.sort_unstable();
@@ -446,30 +450,74 @@ impl<'n> Propagator<'n> {
         changed
     }
 
-    /// Cartesian combinations of current entries of the given quantities
-    /// (bounded).
-    fn combos(&self, qs: &[QuantityId]) -> Vec<Vec<ValueEntry>> {
-        const COMBO_CAP: usize = 64;
-        let mut acc: Vec<Vec<ValueEntry>> = vec![Vec::new()];
-        for &q in qs {
-            let list = &self.entries[q.index()];
-            if list.is_empty() {
-                return Vec::new();
-            }
-            let mut next = Vec::with_capacity(acc.len() * list.len());
-            'outer: for prefix in &acc {
-                for e in list {
-                    let mut row = prefix.clone();
-                    row.push(e.clone());
-                    next.push(row);
-                    if next.len() >= COMBO_CAP {
-                        break 'outer;
-                    }
+    /// Derives `target` from every entry pair of `(a, b)` through `op`,
+    /// inserting the results under the constraint's cached base
+    /// environment.
+    fn derive_pairs(
+        &mut self,
+        ci: usize,
+        target: QuantityId,
+        a: QuantityId,
+        b: QuantityId,
+        op: impl Fn(&FuzzyInterval, &FuzzyInterval) -> Option<FuzzyInterval>,
+        changed: &mut Vec<usize>,
+    ) {
+        let tnorm = self.config.tnorm;
+        let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
+        {
+            let base_env = &self.constraint_envs[ci];
+            let out = &mut derived;
+            self.each_combo(&[a, b], |row| {
+                if let Some(value) = op(&row[0].value, &row[1].value) {
+                    let mut env = base_env.clone();
+                    env.union_with(&row[0].env);
+                    env.union_with(&row[1].env);
+                    let degree = tnorm.combine(row[0].degree, row[1].degree);
+                    out.push((value, env, degree, row[0].measured || row[1].measured));
                 }
-            }
-            acc = next;
+            });
         }
-        acc
+        for (value, env, degree, measured) in derived {
+            if self.insert(target, value, env, degree, measured) {
+                changed.push(target.index());
+            }
+        }
+    }
+
+    /// Invokes `f` on each cartesian combination of the current entries of
+    /// `qs` — by reference, no entry cloning. Combinations enumerate in
+    /// lexicographic order with the last quantity varying fastest, capped
+    /// at `COMBO_CAP` rows (the same first-64 prefix the cloning
+    /// implementation produced). With `qs` empty, `f` sees one empty row.
+    fn each_combo<'s>(&'s self, qs: &[QuantityId], mut f: impl FnMut(&[&'s ValueEntry])) {
+        const COMBO_CAP: usize = 64;
+        let lists: Vec<&[ValueEntry]> = qs
+            .iter()
+            .map(|q| self.entries[q.index()].as_slice())
+            .collect();
+        if lists.iter().any(|l| l.is_empty()) {
+            return;
+        }
+        let mut idx = vec![0usize; lists.len()];
+        let mut row: Vec<&ValueEntry> = lists.iter().map(|l| &l[0]).collect();
+        for _ in 0..COMBO_CAP {
+            f(&row);
+            // Odometer increment, last position fastest.
+            let mut k = lists.len();
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < lists[k].len() {
+                    row[k] = &lists[k][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                row[k] = &lists[k][0];
+            }
+        }
     }
 
     /// Records a value for a quantity, running the Fig. 4 coincidence
@@ -514,7 +562,6 @@ impl<'n> Propagator<'n> {
                 || existing.value.is_included_in(&incoming.value);
             let pi = vm.possibility_of(vn);
             let conflict = if nested { 0.0 } else { 1.0 - pi };
-            let union_env = incoming.env.union(&existing.env);
             let kind = if conflict <= self.config.conflict_threshold {
                 if nested && incoming.value != existing.value {
                     CoincidenceKind::Split
@@ -539,6 +586,7 @@ impl<'n> Propagator<'n> {
                     conflict,
                     self.config.tnorm.combine(incoming.degree, existing.degree),
                 );
+                let union_env = incoming.env.union(&existing.env);
                 self.coincidences.push(CoincidenceRecord {
                     quantity: q,
                     kind,
@@ -613,31 +661,31 @@ impl<'n> Propagator<'n> {
     /// Grades every spec condition against the current best value of its
     /// quantity; violations raise nogoods over spec support ∪ value env.
     fn grade_specs(&mut self) {
-        let specs: Vec<_> = self.network.specs().to_vec();
-        for spec in specs {
-            let Some(best) = self.best_value(spec.quantity).cloned() else {
+        let network = self.network;
+        for spec in network.specs() {
+            let Some(best) = self.best_value(spec.quantity) else {
                 continue;
             };
             let satisfaction = best.value.satisfaction_of(&spec.condition);
             let violation = 1.0 - satisfaction;
-            if violation > self.config.conflict_threshold {
-                let env = best.env.union(&self.env_of_comps(&spec.support));
-                self.coincidences.push(CoincidenceRecord {
-                    quantity: spec.quantity,
-                    kind: if satisfaction <= 0.0 {
-                        CoincidenceKind::TotalConflict
-                    } else {
-                        CoincidenceKind::PartialConflict
-                    },
-                    consistency: Consistency::from_parts(
-                        satisfaction,
-                        flames_fuzzy::Direction::High,
-                    ),
-                    env: env.clone(),
-                });
-                self.atms
-                    .add_nogood(env, self.config.tnorm.combine(violation, best.degree));
+            if violation <= self.config.conflict_threshold {
+                continue;
             }
+            let best_degree = best.degree;
+            let mut env = best.env.clone();
+            env.union_with(&self.env_of_comps(&spec.support));
+            self.coincidences.push(CoincidenceRecord {
+                quantity: spec.quantity,
+                kind: if satisfaction <= 0.0 {
+                    CoincidenceKind::TotalConflict
+                } else {
+                    CoincidenceKind::PartialConflict
+                },
+                consistency: Consistency::from_parts(satisfaction, flames_fuzzy::Direction::High),
+                env: env.clone(),
+            });
+            self.atms
+                .add_nogood(env, self.config.tnorm.combine(violation, best_degree));
         }
     }
 }
@@ -654,7 +702,8 @@ mod tests {
         let mid = nl.add_net("mid");
         nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
         nl.add_resistor("R1", vin, mid, 1000.0, tol).unwrap();
-        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol)
+            .unwrap();
         let network = extract(&nl, ExtractOptions::default());
         (nl, network)
     }
@@ -680,7 +729,10 @@ mod tests {
         prop.observe(vq, FuzzyInterval::crisp(5.0).widened(0.05).unwrap())
             .unwrap();
         prop.run();
-        assert!(prop.atms().nogoods().is_empty(), "healthy board: no conflicts");
+        assert!(
+            prop.atms().nogoods().is_empty(),
+            "healthy board: no conflicts"
+        );
         // The engine derives the mid voltage from the model too.
         let best = prop.best_value(vq).unwrap();
         assert!(best.value.membership(5.0) > 0.0);
@@ -697,7 +749,10 @@ mod tests {
             .unwrap();
         prop.run();
         let nogoods = prop.atms().nogoods();
-        assert!(!nogoods.is_empty(), "5.4 V against ~5±tolerances must conflict");
+        assert!(
+            !nogoods.is_empty(),
+            "5.4 V against ~5±tolerances must conflict"
+        );
         // The conflict implicates the divider resistors, not the source alone.
         let r1 = prop.component_assumption(nl.component_by_name("R1").unwrap().index());
         let r2 = prop.component_assumption(nl.component_by_name("R2").unwrap().index());
@@ -721,7 +776,10 @@ mod tests {
             .iter()
             .map(|n| n.degree)
             .fold(0.0, f64::max);
-        assert!(max_degree >= 0.99, "a near-rail reading is a total conflict");
+        assert!(
+            max_degree >= 0.99,
+            "a near-rail reading is a total conflict"
+        );
         assert!(prop
             .coincidences()
             .iter()
@@ -774,8 +832,7 @@ mod tests {
     fn unknown_quantity_is_reported() {
         let (nl, network) = divider(0.05);
         let mut prop = Propagator::new(&nl, &network, PropagatorConfig::default());
-        let bogus =
-            flames_circuit::constraint::QuantityId::from_raw(network.quantity_count() + 5);
+        let bogus = flames_circuit::constraint::QuantityId::from_raw(network.quantity_count() + 5);
         let res = prop.observe(bogus, FuzzyInterval::crisp(0.0));
         assert!(matches!(res, Err(CoreError::UnknownQuantity { .. })));
         assert!(prop.entries(bogus).is_err());

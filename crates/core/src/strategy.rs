@@ -152,9 +152,8 @@ pub fn recommend(session: &Session<'_>, policy: Policy, lambda_cost: f64) -> Vec
                         .collect();
                     let (mut hit, mut miss): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
                     for c in &candidates {
-                        let predicts_deviation = support_assumptions
-                            .iter()
-                            .any(|a| c.env.contains(*a));
+                        let predicts_deviation =
+                            support_assumptions.iter().any(|a| c.env.contains(*a));
                         if predicts_deviation {
                             hit.push(c.degree.max(1e-3));
                         } else {
@@ -235,10 +234,7 @@ pub fn probe_until_isolated(
         }
     }
     let cands = session.candidates(2, 16);
-    let top_candidate = cands
-        .first()
-        .map(|c| c.members.clone())
-        .unwrap_or_default();
+    let top_candidate = cands.first().map(|c| c.members.clone()).unwrap_or_default();
     Ok(ProbeRun {
         probes,
         cost,
@@ -328,9 +324,11 @@ mod tests {
         let mut s = d.session();
         // Fault in branch A: candidates concentrate on R1/R2.
         let r1 = nl.component_by_name("R1").unwrap();
-        let bad =
-            flames_circuit::fault::inject_faults(&nl, &[(r1, flames_circuit::Fault::ParamFactor(1.5))])
-                .unwrap();
+        let bad = flames_circuit::fault::inject_faults(
+            &nl,
+            &[(r1, flames_circuit::Fault::ParamFactor(1.5))],
+        )
+        .unwrap();
         let reading =
             flames_circuit::predict::measure(&bad, nl.net_by_name("a").unwrap(), 0.02).unwrap();
         s.measure("Va", reading).unwrap();
@@ -345,17 +343,19 @@ mod tests {
     fn probe_run_isolates_single_branch_fault() {
         let (nl, d) = two_branch();
         let r1 = nl.component_by_name("R1").unwrap();
-        let bad =
-            flames_circuit::fault::inject_faults(&nl, &[(r1, flames_circuit::Fault::ParamFactor(2.0))])
-                .unwrap();
+        let bad = flames_circuit::fault::inject_faults(
+            &nl,
+            &[(r1, flames_circuit::Fault::ParamFactor(2.0))],
+        )
+        .unwrap();
         let nets = [nl.net_by_name("a").unwrap(), nl.net_by_name("b").unwrap()];
         let readings: Vec<FuzzyInterval> = nets
             .iter()
             .map(|&n| flames_circuit::predict::measure(&bad, n, 0.02).unwrap())
             .collect();
         let mut s = d.session();
-        let run = probe_until_isolated(&mut s, Policy::FuzzyEntropy, 0.1, &|i| readings[i])
-            .unwrap();
+        let run =
+            probe_until_isolated(&mut s, Policy::FuzzyEntropy, 0.1, &|i| readings[i]).unwrap();
         assert!(!run.probes.is_empty());
         assert!(run.cost > 0.0);
         // The fault lives in branch A; the top candidate names R1 or R2.

@@ -1,15 +1,45 @@
-//! Property-based / metamorphic tests for the diagnosis engine:
+//! Randomized / metamorphic tests for the diagnosis engine:
 //! soundness of fuzzy propagation (derived values contain the physical
 //! truth for any in-tolerance board), zero false alarms on healthy
 //! boards, detection monotonicity in fault severity, and
 //! order-insensitivity of incremental measurement.
+//!
+//! Dependency-free: cases are generated with an inline SplitMix64 and
+//! checked with plain `assert!`. Gated behind `--features proptest`
+//! (the historical feature name) because the suites are slow, not
+//! because they need the external crate.
 
 use flames_circuit::fault::{inject_faults, Fault};
 use flames_circuit::predict::{measure_all, TestPoint};
 use flames_circuit::solve::solve_dc;
 use flames_circuit::{Net, Netlist};
 use flames_core::{Diagnoser, DiagnoserConfig};
-use proptest::prelude::*;
+
+/// SplitMix64 — the same mixer as `flames_bench::rng`, inlined because
+/// integration tests cannot depend on the bench crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
 
 /// A three-resistor chain with probes at both internal nodes.
 fn chain() -> (Netlist, Diagnoser, [Net; 2]) {
@@ -20,7 +50,9 @@ fn chain() -> (Netlist, Diagnoser, [Net; 2]) {
     nl.add_voltage_source("V", vin, Net::GROUND, 12.0).unwrap();
     let r1 = nl.add_resistor("R1", vin, mid, 2_000.0, 0.05).unwrap();
     let r2 = nl.add_resistor("R2", mid, out, 1_000.0, 0.05).unwrap();
-    let r3 = nl.add_resistor("R3", out, Net::GROUND, 3_000.0, 0.05).unwrap();
+    let r3 = nl
+        .add_resistor("R3", out, Net::GROUND, 3_000.0, 0.05)
+        .unwrap();
     let points = vec![
         TestPoint::new(mid, "Vmid", vec![r1, r2, r3]),
         TestPoint::new(out, "Vout", vec![r1, r2, r3]),
@@ -29,13 +61,15 @@ fn chain() -> (Netlist, Diagnoser, [Net; 2]) {
     (nl, d, [mid, out])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn near_nominal_boards_raise_only_weak_suspicion(f1 in 0.99..1.01f64,
-                                                     f2 in 0.99..1.01f64,
-                                                     f3 in 0.99..1.01f64) {
+#[test]
+fn near_nominal_boards_raise_only_weak_suspicion() {
+    let mut r = Rng(1);
+    for _ in 0..CASES {
+        let f1 = r.range(0.99, 1.01);
+        let f2 = r.range(0.99, 1.01);
+        let f3 = r.range(0.99, 1.01);
         // Possibilistic semantics (the paper's §4.2): even in-tolerance
         // deviations carry a membership-graded suspicion — but for a
         // board close to nominal every conflict must stay weak, so the
@@ -45,11 +79,15 @@ proptest! {
             .iter()
             .map(|n| nl.component_by_name(n).unwrap())
             .collect();
-        let board = inject_faults(&nl, &[
-            (ids[0], Fault::ParamFactor(f1)),
-            (ids[1], Fault::ParamFactor(f2)),
-            (ids[2], Fault::ParamFactor(f3)),
-        ]).unwrap();
+        let board = inject_faults(
+            &nl,
+            &[
+                (ids[0], Fault::ParamFactor(f1)),
+                (ids[1], Fault::ParamFactor(f2)),
+                (ids[2], Fault::ParamFactor(f3)),
+            ],
+        )
+        .unwrap();
         let readings = measure_all(&board, &nets, 0.01).unwrap();
         let mut s = d.session();
         s.measure("Vmid", readings[0]).unwrap();
@@ -62,7 +100,7 @@ proptest! {
             .iter()
             .map(|n| n.degree)
             .fold(0.0f64, f64::max);
-        prop_assert!(
+        assert!(
             strongest < 0.5,
             "near-nominal board ({f1:.3},{f2:.3},{f3:.3}) raised a strong conflict ({strongest:.2})"
         );
@@ -72,13 +110,17 @@ proptest! {
         s.measure("Vmid", exact[0]).unwrap();
         s.measure("Vout", exact[1]).unwrap();
         s.propagate();
-        prop_assert!(s.candidates(2, 16).is_empty());
+        assert!(s.candidates(2, 16).is_empty());
     }
+}
 
-    #[test]
-    fn derived_values_contain_truth(f1 in 0.95..1.05f64,
-                                    f2 in 0.95..1.05f64,
-                                    f3 in 0.95..1.05f64) {
+#[test]
+fn derived_values_contain_truth() {
+    let mut r = Rng(2);
+    for _ in 0..CASES {
+        let f1 = r.range(0.95, 1.05);
+        let f2 = r.range(0.95, 1.05);
+        let f3 = r.range(0.95, 1.05);
         // Soundness: after measuring one point of an in-tolerance board,
         // the best derived value of the *other* point contains its true
         // voltage.
@@ -87,11 +129,15 @@ proptest! {
             .iter()
             .map(|n| nl.component_by_name(n).unwrap())
             .collect();
-        let board = inject_faults(&nl, &[
-            (ids[0], Fault::ParamFactor(f1)),
-            (ids[1], Fault::ParamFactor(f2)),
-            (ids[2], Fault::ParamFactor(f3)),
-        ]).unwrap();
+        let board = inject_faults(
+            &nl,
+            &[
+                (ids[0], Fault::ParamFactor(f1)),
+                (ids[1], Fault::ParamFactor(f2)),
+                (ids[2], Fault::ParamFactor(f3)),
+            ],
+        )
+        .unwrap();
         let op = solve_dc(&board).unwrap();
         let readings = measure_all(&board, &nets, 0.01).unwrap();
         let mut s = d.session();
@@ -100,17 +146,20 @@ proptest! {
         let q_out = d.network().voltage_quantity(nets[1]);
         let best = s.best_value(q_out).expect("out is derivable from mid");
         let truth = op.voltage(nets[1]);
-        prop_assert!(
-            best.value.support_lo() <= truth + 1e-9
-                && truth <= best.value.support_hi() + 1e-9,
+        assert!(
+            best.value.support_lo() <= truth + 1e-9 && truth <= best.value.support_hi() + 1e-9,
             "truth {truth} escapes {} (env {})",
             best.value,
             best.env
         );
     }
+}
 
-    #[test]
-    fn detection_is_monotone_in_severity(base in 1.3..1.6f64) {
+#[test]
+fn detection_is_monotone_in_severity() {
+    let mut r = Rng(3);
+    for _ in 0..CASES {
+        let base = r.range(1.3, 1.6);
         // If a smaller deviation of R2 is flagged, a larger one is too,
         // with at-least-as-strong nogoods.
         let (nl, d, nets) = chain();
@@ -131,13 +180,17 @@ proptest! {
         };
         let small = run(base);
         let large = run(base + 0.4);
-        prop_assert!(small > 0.0, "a {base:.2}× shift must be flagged");
-        prop_assert!(large >= small - 1e-9);
+        assert!(small > 0.0, "a {base:.2}× shift must be flagged");
+        assert!(large >= small - 1e-9);
     }
+}
 
-    #[test]
-    fn measurement_order_does_not_change_the_verdict(factor in 1.4..2.0f64,
-                                                     first in 0usize..2) {
+#[test]
+fn measurement_order_does_not_change_the_verdict() {
+    let mut r = Rng(4);
+    for _ in 0..CASES {
+        let factor = r.range(1.4, 2.0);
+        let first = r.below(2) as usize;
         let (nl, d, nets) = chain();
         let r1 = nl.component_by_name("R1").unwrap();
         let board = inject_faults(&nl, &[(r1, Fault::ParamFactor(factor))]).unwrap();
@@ -149,16 +202,20 @@ proptest! {
             s.propagate();
         }
         let cands = s.candidates(2, 32);
-        prop_assert!(!cands.is_empty());
+        assert!(!cands.is_empty());
         // R1 must be implicated regardless of probing order.
-        prop_assert!(
+        assert!(
             cands.iter().any(|c| c.members.iter().any(|m| m == "R1")),
             "{cands:?} (order {order:?})"
         );
     }
+}
 
-    #[test]
-    fn suspicions_are_degrees(factor in 0.3..3.0f64) {
+#[test]
+fn suspicions_are_degrees() {
+    let mut r = Rng(5);
+    for _ in 0..CASES {
+        let factor = r.range(0.3, 3.0);
         let (nl, d, nets) = chain();
         let r3 = nl.component_by_name("R3").unwrap();
         let board = inject_faults(&nl, &[(r3, Fault::ParamFactor(factor))]).unwrap();
@@ -169,13 +226,13 @@ proptest! {
         s.propagate();
         for name in ["R1", "R2", "R3"] {
             let susp = s.suspicion(name).unwrap();
-            prop_assert!((0.0..=1.0).contains(&susp));
+            assert!((0.0..=1.0).contains(&susp));
         }
         for c in s.candidates(2, 32) {
-            prop_assert!((0.0..=1.0).contains(&c.degree));
+            assert!((0.0..=1.0).contains(&c.degree));
         }
         for (_, e) in s.estimations() {
-            prop_assert!(e.support_lo() >= -1e-9 && e.support_hi() <= 1.0 + 1e-9);
+            assert!(e.support_lo() >= -1e-9 && e.support_hi() <= 1.0 + 1e-9);
         }
     }
 }

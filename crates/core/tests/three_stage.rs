@@ -18,8 +18,12 @@ use flames_core::{Diagnoser, DiagnoserConfig};
 const MEAS_IMPRECISION: f64 = 0.05;
 
 fn diagnoser(ts: &ThreeStage) -> Diagnoser {
-    Diagnoser::from_netlist(&ts.netlist, ts.test_points.clone(), DiagnoserConfig::default())
-        .unwrap()
+    Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap()
 }
 
 /// Runs a full three-point probing session against a faulty board and
@@ -59,7 +63,11 @@ fn healthy_board_raises_no_candidates() {
     );
     for p in &report.points {
         let dc = p.consistency.expect("all points probed");
-        assert!(dc.is_consistent(), "{} inconsistent on healthy board", p.name);
+        assert!(
+            dc.is_consistent(),
+            "{} inconsistent on healthy board",
+            p.name
+        );
     }
 }
 
@@ -102,9 +110,11 @@ fn slightly_high_r2_yields_partial_conflict() {
     );
     // At least one probed point shows a graded (not total) inconsistency —
     // the Dc machinery at work (paper: Dc ≈ 0.89).
-    let graded = report.points.iter().filter_map(|p| p.consistency).any(|dc| {
-        dc.degree() > 0.0 && dc.degree() < 1.0
-    });
+    let graded = report
+        .points
+        .iter()
+        .filter_map(|p| p.consistency)
+        .any(|dc| dc.degree() > 0.0 && dc.degree() < 1.0);
     assert!(graded, "expected a graded Dc: {report}");
 }
 
@@ -125,15 +135,14 @@ fn slightly_low_beta2_points_at_stage2() {
     let (dc1, dc2) = (v1.consistency.unwrap(), v2.consistency.unwrap());
     assert!(dc1.degree() > 0.85, "{report}");
     assert!(dc2.degree() < dc1.degree(), "{report}");
-    let refined: Vec<Vec<String>> = report
-        .refined
-        .iter()
-        .map(|c| c.members.clone())
-        .collect();
+    let refined: Vec<Vec<String>> = report.refined.iter().map(|c| c.members.clone()).collect();
     let stage2_named = top_contains(&refined, "T2", 4)
         || top_contains(&refined, "R4", 4)
         || top_contains(&refined, "R5", 4);
-    assert!(stage2_named, "stage-2 members missing from refined: {report}");
+    assert!(
+        stage2_named,
+        "stage-2 members missing from refined: {report}"
+    );
     let _ = cands;
 }
 
@@ -189,6 +198,9 @@ fn vs_alone_suspects_every_stage() {
         .collect();
     // Members of all three stages appear among single-fault candidates.
     assert!(names.contains(&"R2"), "{names:?}");
-    assert!(names.contains(&"T2") || names.contains(&"R4") || names.contains(&"R5"), "{names:?}");
+    assert!(
+        names.contains(&"T2") || names.contains(&"R4") || names.contains(&"R5"),
+        "{names:?}"
+    );
     assert!(names.contains(&"T3") || names.contains(&"R6"), "{names:?}");
 }

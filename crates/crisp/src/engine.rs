@@ -78,6 +78,10 @@ pub struct CrispPropagator<'n> {
     comp_assumptions: Vec<Assumption>,
     conn_assumptions: Vec<Option<Assumption>>,
     conflicts: usize,
+    /// Per-constraint support environment, built once at construction.
+    constraint_envs: Vec<Env>,
+    /// Quantity → constraint adjacency for the dirty-constraint requeue.
+    consumers: Vec<Vec<u32>>,
 }
 
 impl<'n> CrispPropagator<'n> {
@@ -90,7 +94,10 @@ impl<'n> CrispPropagator<'n> {
         let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
         for (_, comp) in netlist.components() {
             let a = atms.add_assumption(comp.name());
-            debug_assert_eq!(a, pool.intern(comp.name()));
+            // The intern must run in release builds too — the pool is what
+            // names every env in reports.
+            let interned = pool.intern(comp.name());
+            debug_assert_eq!(a, interned);
             comp_assumptions.push(a);
         }
         let mut conn_assumptions = vec![None; netlist.net_count()];
@@ -99,11 +106,26 @@ impl<'n> CrispPropagator<'n> {
                 if conn_assumptions[net.index()].is_none() {
                     let name = format!("conn:{}", netlist.net_name(net));
                     let a = atms.add_assumption(&name);
-                    debug_assert_eq!(a, pool.intern(&name));
+                    let interned = pool.intern(&name);
+                    debug_assert_eq!(a, interned);
                     conn_assumptions[net.index()] = Some(a);
                 }
             }
         }
+        let constraint_envs: Vec<Env> = network
+            .constraints()
+            .iter()
+            .map(|c| {
+                let mut env =
+                    Env::from_assumptions(c.support.iter().map(|s| comp_assumptions[s.index()]));
+                if let Some(net) = c.conn {
+                    if let Some(a) = conn_assumptions[net.index()] {
+                        env = env.with(a);
+                    }
+                }
+                env
+            })
+            .collect();
         let mut prop = Self {
             network,
             config,
@@ -113,6 +135,8 @@ impl<'n> CrispPropagator<'n> {
             comp_assumptions,
             conn_assumptions,
             conflicts: 0,
+            constraint_envs,
+            consumers: network.quantity_consumers(),
         };
         for seed in network.seeds() {
             let env = Env::from_assumptions(
@@ -163,9 +187,7 @@ impl<'n> CrispPropagator<'n> {
     /// Current value entries of a quantity (empty slice for foreign ids).
     #[must_use]
     pub fn entries(&self, q: QuantityId) -> &[CrispEntry] {
-        self.entries
-            .get(q.index())
-            .map_or(&[], Vec::as_slice)
+        self.entries.get(q.index()).map_or(&[], Vec::as_slice)
     }
 
     /// The tightest value of a quantity, if any.
@@ -189,9 +211,8 @@ impl<'n> CrispPropagator<'n> {
     /// Enters a predicted value under component-correctness assumptions.
     pub fn predict(&mut self, q: QuantityId, value: Interval, support: &[flames_circuit::CompId]) {
         if q.index() < self.entries.len() {
-            let env = Env::from_assumptions(
-                support.iter().map(|c| self.comp_assumptions[c.index()]),
-            );
+            let env =
+                Env::from_assumptions(support.iter().map(|c| self.comp_assumptions[c.index()]));
             self.insert(q, value, env);
         }
     }
@@ -211,8 +232,10 @@ impl<'n> CrispPropagator<'n> {
     /// entirely outside the condition's support raises a nogood.
     pub fn run(&mut self) -> usize {
         let mut steps = 0usize;
-        let mut queue: VecDeque<usize> = (0..self.network.constraints().len()).collect();
-        let mut queued: Vec<bool> = vec![true; self.network.constraints().len()];
+        let n = self.network.constraints().len();
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut queued: Vec<bool> = vec![true; n];
+        let mut wake: Vec<u32> = Vec::new();
         while let Some(ci) = queue.pop_front() {
             queued[ci] = false;
             if steps >= self.config.max_steps {
@@ -221,16 +244,17 @@ impl<'n> CrispPropagator<'n> {
             steps += 1;
             let changed = self.apply_constraint(ci);
             if !changed.is_empty() {
-                for (cj, constraint) in self.network.constraints().iter().enumerate() {
-                    if queued[cj] {
-                        continue;
-                    }
-                    if constraint
-                        .relation
-                        .quantities()
-                        .iter()
-                        .any(|q| changed.contains(&q.index()))
-                    {
+                // Requeue exactly the consumers of the changed quantities,
+                // in constraint-index order (matching a full rescan).
+                wake.clear();
+                for &qi in &changed {
+                    wake.extend_from_slice(&self.consumers[qi]);
+                }
+                wake.sort_unstable();
+                wake.dedup();
+                for &cj in &wake {
+                    let cj = cj as usize;
+                    if !queued[cj] {
                         queue.push_back(cj);
                         queued[cj] = true;
                     }
@@ -243,43 +267,42 @@ impl<'n> CrispPropagator<'n> {
 
     // ----- internals -------------------------------------------------
 
-    fn constraint_env(&self, ci: usize) -> Env {
-        let c = &self.network.constraints()[ci];
-        let mut env = Env::from_assumptions(
-            c.support.iter().map(|s| self.comp_assumptions[s.index()]),
-        );
-        if let Some(net) = c.conn {
-            if let Some(a) = self.conn_assumptions[net.index()] {
-                env = env.with(a);
-            }
-        }
-        env
-    }
-
     fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
-        let relation = self.network.constraints()[ci].relation.clone();
-        let base_env = self.constraint_env(ci);
+        let network = self.network;
+        let relation = &network.constraints()[ci].relation;
         let mut changed = Vec::new();
-        match relation {
+        match *relation {
             Relation::Linear { ref terms, bias } => {
+                let mut others: Vec<(f64, QuantityId)> = Vec::new();
+                let mut qs: Vec<QuantityId> = Vec::new();
+                let mut derived: Vec<(Interval, Env)> = Vec::new();
                 for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
-                    let others: Vec<(f64, QuantityId)> = terms
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != target_idx)
-                        .map(|(_, &t)| t)
-                        .collect();
-                    if others.iter().any(|&(_, q)| self.entries[q.index()].is_empty()) {
-                        continue;
+                    others.clear();
+                    others.extend(
+                        terms
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != target_idx)
+                            .map(|(_, &t)| t),
+                    );
+                    qs.clear();
+                    qs.extend(others.iter().map(|&(_, q)| q));
+                    derived.clear();
+                    {
+                        let base_env = &self.constraint_envs[ci];
+                        let others = &others;
+                        let out = &mut derived;
+                        self.each_combo(&qs, |row| {
+                            let mut sum = Interval::point(bias);
+                            let mut env = base_env.clone();
+                            for (&(coef, _), entry) in others.iter().zip(row) {
+                                sum = sum + entry.value.scaled(coef);
+                                env.union_with(&entry.env);
+                            }
+                            out.push((sum.scaled(-1.0 / target_coef), env));
+                        });
                     }
-                    for combo in self.combos(&others.iter().map(|&(_, q)| q).collect::<Vec<_>>()) {
-                        let mut sum = Interval::point(bias);
-                        let mut env = base_env.clone();
-                        for (&(coef, _), entry) in others.iter().zip(&combo) {
-                            sum = sum + entry.value.scaled(coef);
-                            env = env.union(&entry.env);
-                        }
-                        let value = sum.scaled(-1.0 / target_coef);
+                    for (value, env) in derived.drain(..) {
                         if self.insert(target_q, value, env) {
                             changed.push(target_q.index());
                         }
@@ -287,23 +310,10 @@ impl<'n> CrispPropagator<'n> {
                 }
             }
             Relation::Product { p, x, y } => {
-                for combo in self.combos(&[x, y]) {
-                    let value = combo[0].value.mul(combo[1].value);
-                    let env = base_env.union(&combo[0].env).union(&combo[1].env);
-                    if self.insert(p, value, env) {
-                        changed.push(p.index());
-                    }
-                }
-                for (target, divisor) in [(x, y), (y, x)] {
-                    for combo in self.combos(&[p, divisor]) {
-                        if let Some(value) = combo[0].value.div(combo[1].value) {
-                            let env = base_env.union(&combo[0].env).union(&combo[1].env);
-                            if self.insert(target, value, env) {
-                                changed.push(target.index());
-                            }
-                        }
-                    }
-                }
+                // p = x · y, x = p / y and y = p / x.
+                self.derive_pairs(ci, p, x, y, |a, b| Some(a.mul(b)), &mut changed);
+                self.derive_pairs(ci, x, p, y, |a, b| a.div(b), &mut changed);
+                self.derive_pairs(ci, y, p, x, |a, b| a.div(b), &mut changed);
             }
         }
         changed.sort_unstable();
@@ -311,28 +321,71 @@ impl<'n> CrispPropagator<'n> {
         changed
     }
 
-    fn combos(&self, qs: &[QuantityId]) -> Vec<Vec<CrispEntry>> {
-        const COMBO_CAP: usize = 64;
-        let mut acc: Vec<Vec<CrispEntry>> = vec![Vec::new()];
-        for &q in qs {
-            let list = &self.entries[q.index()];
-            if list.is_empty() {
-                return Vec::new();
-            }
-            let mut next = Vec::with_capacity(acc.len() * list.len());
-            'outer: for prefix in &acc {
-                for e in list {
-                    let mut row = prefix.clone();
-                    row.push(e.clone());
-                    next.push(row);
-                    if next.len() >= COMBO_CAP {
-                        break 'outer;
-                    }
+    /// Derives `target` from every entry pair of `(a, b)` through `op`,
+    /// inserting the results under the constraint's cached base
+    /// environment.
+    fn derive_pairs(
+        &mut self,
+        ci: usize,
+        target: QuantityId,
+        a: QuantityId,
+        b: QuantityId,
+        op: impl Fn(Interval, Interval) -> Option<Interval>,
+        changed: &mut Vec<usize>,
+    ) {
+        let mut derived: Vec<(Interval, Env)> = Vec::new();
+        {
+            let base_env = &self.constraint_envs[ci];
+            let out = &mut derived;
+            self.each_combo(&[a, b], |row| {
+                if let Some(value) = op(row[0].value, row[1].value) {
+                    let mut env = base_env.clone();
+                    env.union_with(&row[0].env);
+                    env.union_with(&row[1].env);
+                    out.push((value, env));
                 }
-            }
-            acc = next;
+            });
         }
-        acc
+        for (value, env) in derived {
+            if self.insert(target, value, env) {
+                changed.push(target.index());
+            }
+        }
+    }
+
+    /// Invokes `f` on each cartesian combination of the current entries of
+    /// `qs` — by reference, no entry cloning. Combinations enumerate in
+    /// lexicographic order with the last quantity varying fastest, capped
+    /// at `COMBO_CAP` rows. With `qs` empty, `f` sees one empty row.
+    fn each_combo<'s>(&'s self, qs: &[QuantityId], mut f: impl FnMut(&[&'s CrispEntry])) {
+        const COMBO_CAP: usize = 64;
+        let lists: Vec<&[CrispEntry]> = qs
+            .iter()
+            .map(|q| self.entries[q.index()].as_slice())
+            .collect();
+        if lists.iter().any(|l| l.is_empty()) {
+            return;
+        }
+        let mut idx = vec![0usize; lists.len()];
+        let mut row: Vec<&CrispEntry> = lists.iter().map(|l| &l[0]).collect();
+        for _ in 0..COMBO_CAP {
+            f(&row);
+            // Odometer increment, last position fastest.
+            let mut k = lists.len();
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < lists[k].len() {
+                    row[k] = &lists[k][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                row[k] = &lists[k][0];
+            }
+        }
     }
 
     fn insert(&mut self, q: QuantityId, value: Interval, env: Env) -> bool {
@@ -381,19 +434,20 @@ impl<'n> CrispPropagator<'n> {
     /// Crisp spec checking: a nogood only when the derived value lies
     /// fully outside the condition's support.
     fn check_specs(&mut self) {
-        let specs: Vec<_> = self.network.specs().to_vec();
-        for spec in specs {
-            let Some(best) = self.best_value(spec.quantity).cloned() else {
+        let network = self.network;
+        for spec in network.specs() {
+            let Some(best) = self.best_value(spec.quantity) else {
                 continue;
             };
             let cond = Interval::from(spec.condition);
             if best.value.intersect(cond).is_none() {
-                self.conflicts += 1;
-                let env = best.env.union(&Env::from_assumptions(
+                let mut env = best.env.clone();
+                env.union_with(&Env::from_assumptions(
                     spec.support
                         .iter()
                         .map(|c| self.comp_assumptions[c.index()]),
                 ));
+                self.conflicts += 1;
                 self.atms.add_nogood(env);
             }
         }
@@ -411,7 +465,8 @@ mod tests {
         let mid = nl.add_net("mid");
         nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
         nl.add_resistor("R1", vin, mid, 1000.0, tol).unwrap();
-        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, tol)
+            .unwrap();
         let network = extract(&nl, ExtractOptions::default());
         (nl, network)
     }

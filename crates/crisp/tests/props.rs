@@ -1,71 +1,138 @@
-//! Property-based tests for the crisp baseline: interval-arithmetic laws
-//! and the boolean nature of its conflict recognition.
+//! Randomized property tests for the crisp baseline: interval-arithmetic
+//! laws and the boolean nature of its conflict recognition.
+//!
+//! Dependency-free: cases are generated with an inline SplitMix64 and
+//! checked with plain `assert!`. Gated behind `--features proptest`
+//! (the historical feature name) because the suites are slow, not
+//! because they need the external crate.
 
 use flames_circuit::constraint::{extract, ExtractOptions};
 use flames_circuit::{Net, Netlist};
 use flames_crisp::{CrispConfig, CrispPropagator, Interval};
-use proptest::prelude::*;
 
-fn interval() -> impl Strategy<Value = Interval> {
-    (-50.0..50.0f64, 0.0..20.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
-}
+/// SplitMix64 — the same mixer as `flames_bench::rng`, inlined because
+/// integration tests cannot depend on the bench crate.
+struct Rng(u64);
 
-fn positive_interval() -> impl Strategy<Value = Interval> {
-    (0.5..50.0f64, 0.0..10.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
-}
-
-proptest! {
-    #[test]
-    fn addition_commutes(a in interval(), b in interval()) {
-        prop_assert_eq!(a + b, b + a);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn multiplication_commutes(a in interval(), b in interval()) {
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+}
+
+fn interval(r: &mut Rng) -> Interval {
+    let lo = r.range(-50.0, 50.0);
+    let w = r.range(0.0, 20.0);
+    Interval::new(lo, lo + w)
+}
+
+fn positive_interval(r: &mut Rng) -> Interval {
+    let lo = r.range(0.5, 50.0);
+    let w = r.range(0.0, 10.0);
+    Interval::new(lo, lo + w)
+}
+
+const CASES: usize = 300;
+
+#[test]
+fn addition_commutes() {
+    let mut r = Rng(1);
+    for _ in 0..CASES {
+        let a = interval(&mut r);
+        let b = interval(&mut r);
+        assert_eq!(a + b, b + a);
+    }
+}
+
+#[test]
+fn multiplication_commutes() {
+    let mut r = Rng(2);
+    for _ in 0..CASES {
+        let a = interval(&mut r);
+        let b = interval(&mut r);
         let ab = a.mul(b);
         let ba = b.mul(a);
-        prop_assert!((ab.lo() - ba.lo()).abs() < 1e-9);
-        prop_assert!((ab.hi() - ba.hi()).abs() < 1e-9);
+        assert!((ab.lo() - ba.lo()).abs() < 1e-9);
+        assert!((ab.hi() - ba.hi()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn contains_all_pointwise_products(a in interval(), b in interval(),
-                                       ta in 0.0..1.0f64, tb in 0.0..1.0f64) {
+#[test]
+fn contains_all_pointwise_products() {
+    let mut r = Rng(3);
+    for _ in 0..CASES {
+        let a = interval(&mut r);
+        let b = interval(&mut r);
+        let ta = r.f64();
+        let tb = r.f64();
         let xa = a.lo() + ta * a.width();
         let xb = b.lo() + tb * b.width();
         let p = a.mul(b);
-        prop_assert!(p.contains(xa * xb) || (xa * xb - p.lo()).abs() < 1e-9
-            || (xa * xb - p.hi()).abs() < 1e-9);
+        assert!(
+            p.contains(xa * xb)
+                || (xa * xb - p.lo()).abs() < 1e-9
+                || (xa * xb - p.hi()).abs() < 1e-9
+        );
     }
+}
 
-    #[test]
-    fn division_round_trip_includes(a in positive_interval(), b in positive_interval()) {
+#[test]
+fn division_round_trip_includes() {
+    let mut r = Rng(4);
+    for _ in 0..CASES {
+        let a = positive_interval(&mut r);
+        let b = positive_interval(&mut r);
         let q = a.div(b).expect("positive divisor");
         let rt = q.mul(b);
-        prop_assert!(a.lo() >= rt.lo() - 1e-9);
-        prop_assert!(a.hi() <= rt.hi() + 1e-9);
+        assert!(a.lo() >= rt.lo() - 1e-9);
+        assert!(a.hi() <= rt.hi() + 1e-9);
     }
+}
 
-    #[test]
-    fn intersection_is_commutative_and_subset(a in interval(), b in interval()) {
+#[test]
+fn intersection_is_commutative_and_subset() {
+    let mut r = Rng(5);
+    for _ in 0..CASES {
+        let a = interval(&mut r);
+        let b = interval(&mut r);
         match (a.intersect(b), b.intersect(a)) {
             (Some(x), Some(y)) => {
-                prop_assert_eq!(x, y);
-                prop_assert!(x.is_subset_of(a));
-                prop_assert!(x.is_subset_of(b));
+                assert_eq!(x, y);
+                assert!(x.is_subset_of(a));
+                assert!(x.is_subset_of(b));
             }
             (None, None) => {}
-            _ => prop_assert!(false, "intersection must be symmetric"),
+            _ => panic!("intersection must be symmetric"),
         }
     }
+}
 
-    #[test]
-    fn negation_is_involutive(a in interval()) {
-        prop_assert_eq!(-(-a), a);
+#[test]
+fn negation_is_involutive() {
+    let mut r = Rng(6);
+    for _ in 0..CASES {
+        let a = interval(&mut r);
+        assert_eq!(-(-a), a);
     }
+}
 
-    #[test]
-    fn conflicts_are_boolean(offset in 0.0..6.0f64) {
+#[test]
+fn conflicts_are_boolean() {
+    let mut r = Rng(7);
+    for _ in 0..CASES {
+        let offset = r.range(0.0, 6.0);
         // The crisp engine either stays silent or fires a full nogood —
         // there is no grading, whatever the deviation magnitude.
         let mut nl = Netlist::new();
@@ -73,7 +140,8 @@ proptest! {
         let mid = nl.add_net("mid");
         nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
         nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
-        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)
+            .unwrap();
         let network = extract(&nl, ExtractOptions::default());
         let mut prop = CrispPropagator::new(&nl, &network, CrispConfig::default());
         let reading = 5.0 + offset.min(4.9);
@@ -86,6 +154,6 @@ proptest! {
         // when nogoods do.
         let nogoods = prop.atms().nogoods().len();
         let candidates = prop.candidates(2, 64).len();
-        prop_assert_eq!(nogoods == 0, candidates == 0);
+        assert_eq!(nogoods == 0, candidates == 0);
     }
 }

@@ -128,8 +128,7 @@ impl FuzzyInterval {
             other.core_lo(),
             other.core_hi(),
         );
-        let (supp_lo, supp_hi) =
-            minmax_quotients(self.support_lo(), self.support_hi(), slo, shi);
+        let (supp_lo, supp_hi) = minmax_quotients(self.support_lo(), self.support_hi(), slo, shi);
         trapezoid_from_levels(core_lo, core_hi, supp_lo, supp_hi)
     }
 
@@ -192,19 +191,18 @@ impl FuzzyInterval {
         }
         let supp_lo = self.support_lo().max(other.support_lo());
         let supp_hi = self.support_hi().min(other.support_hi());
-        trapezoid_from_levels(
-            core_lo,
-            core_hi,
-            supp_lo.min(core_lo),
-            supp_hi.max(core_hi),
-        )
-        .ok()
+        trapezoid_from_levels(core_lo, core_hi, supp_lo.min(core_lo), supp_hi.max(core_hi)).ok()
     }
 }
 
 /// Builds a trapezoid from its level-1 interval (core) and level-0 interval
 /// (support).
-fn trapezoid_from_levels(core_lo: f64, core_hi: f64, supp_lo: f64, supp_hi: f64) -> Result<FuzzyInterval> {
+fn trapezoid_from_levels(
+    core_lo: f64,
+    core_hi: f64,
+    supp_lo: f64,
+    supp_hi: f64,
+) -> Result<FuzzyInterval> {
     // Guard against tiny negative spreads introduced by rounding.
     let alpha = (core_lo - supp_lo).max(0.0);
     let beta = (supp_hi - core_hi).max(0.0);
@@ -281,8 +279,6 @@ impl Neg for FuzzyInterval {
         self.negated()
     }
 }
-
-
 
 #[cfg(test)]
 mod tests {
@@ -473,7 +469,10 @@ mod tests {
     fn division_by_zero_spanning_support_fails() {
         let m = fi(1.0, 1.0, 0.0, 0.0);
         let n = fi(0.5, 1.0, 1.0, 0.0); // support [-0.5, 1]
-        assert!(matches!(m.div(&n), Err(FuzzyError::DivisorSpansZero { .. })));
+        assert!(matches!(
+            m.div(&n),
+            Err(FuzzyError::DivisorSpansZero { .. })
+        ));
         let z = FuzzyInterval::crisp(0.0);
         assert!(m.div(&z).is_err());
     }
@@ -560,8 +559,8 @@ mod tests {
         // secant over-approximates): μ_exact(x) ≥ μ_trapezoid(x) on the
         // left flank means the exact set is *tighter*.
         for k in 1..16 {
-            let x = approx.support_lo()
-                + (approx.core_lo() - approx.support_lo()) * k as f64 / 16.0;
+            let x =
+                approx.support_lo() + (approx.core_lo() - approx.support_lo()) * k as f64 / 16.0;
             assert!(
                 exact.eval(x) >= approx.membership(x) - 1e-9,
                 "at {x}: exact {} < approx {}",

@@ -92,7 +92,11 @@ impl Consistency {
         } else {
             Direction::High
         };
-        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS { 1.0 } else { degree };
+        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
+            1.0
+        } else {
+            degree
+        };
         Self { degree, direction }
     }
 
@@ -122,7 +126,11 @@ impl Consistency {
         } else {
             Direction::High
         };
-        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS { 1.0 } else { degree };
+        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
+            1.0
+        } else {
+            degree
+        };
         Self { degree, direction }
     }
 

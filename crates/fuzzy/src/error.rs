@@ -38,12 +38,20 @@ pub enum FuzzyError {
 impl fmt::Display for FuzzyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FuzzyError::InvalidInterval { m1, m2, alpha, beta } => write!(
+            FuzzyError::InvalidInterval {
+                m1,
+                m2,
+                alpha,
+                beta,
+            } => write!(
                 f,
                 "invalid fuzzy interval [m1={m1}, m2={m2}, alpha={alpha}, beta={beta}]: \
                  requires m1 <= m2, non-negative finite spreads"
             ),
-            FuzzyError::DivisorSpansZero { support_lo, support_hi } => write!(
+            FuzzyError::DivisorSpansZero {
+                support_lo,
+                support_hi,
+            } => write!(
                 f,
                 "division by fuzzy interval whose support [{support_lo}, {support_hi}] spans zero"
             ),
@@ -53,7 +61,10 @@ impl fmt::Display for FuzzyError {
                 "fuzzy estimation support reaches {value}, outside the unit interval"
             ),
             FuzzyError::InvalidPwl => {
-                write!(f, "piecewise-linear membership requires sorted finite breakpoints")
+                write!(
+                    f,
+                    "piecewise-linear membership requires sorted finite breakpoints"
+                )
             }
         }
     }

@@ -27,7 +27,10 @@ impl LinguisticTerm {
             let value = if lo < 0.0 { lo } else { hi };
             return Err(FuzzyError::EstimationOutOfRange { value });
         }
-        Ok(Self { name: name.into(), set })
+        Ok(Self {
+            name: name.into(),
+            set,
+        })
     }
 
     /// The term's name (e.g. `"likely correct"`).

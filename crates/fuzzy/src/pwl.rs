@@ -60,7 +60,9 @@ impl Pwl {
     /// The everywhere-zero function.
     #[must_use]
     pub fn zero() -> Self {
-        Self { segments: Vec::new() }
+        Self {
+            segments: Vec::new(),
+        }
     }
 
     /// Builds a membership function from nested α-cuts
@@ -81,24 +83,49 @@ impl Pwl {
             if let Some((px, plevel)) = prev {
                 if lo < px {
                     // Degenerate (non-nested) input: clamp to a jump.
-                    segments.push(Segment { x0: px, x1: px, y0: plevel, y1: level });
+                    segments.push(Segment {
+                        x0: px,
+                        x1: px,
+                        y0: plevel,
+                        y1: level,
+                    });
                 } else {
-                    segments.push(Segment { x0: px, x1: lo, y0: plevel, y1: level });
+                    segments.push(Segment {
+                        x0: px,
+                        x1: lo,
+                        y0: plevel,
+                        y1: level,
+                    });
                 }
             }
             prev = Some((lo, level));
         }
         // Top plateau.
         let &(top_level, top_lo, top_hi) = cuts.last().expect("non-empty");
-        segments.push(Segment { x0: top_lo, x1: top_hi, y0: top_level, y1: top_level });
+        segments.push(Segment {
+            x0: top_lo,
+            x1: top_hi,
+            y0: top_level,
+            y1: top_level,
+        });
         // Descending right flank.
         let mut prev: Option<(f64, f64)> = Some((top_hi, top_level));
         for &(level, _, hi) in cuts.iter().rev().skip(1) {
             if let Some((px, plevel)) = prev {
                 if hi < px {
-                    segments.push(Segment { x0: px, x1: px, y0: plevel, y1: level });
+                    segments.push(Segment {
+                        x0: px,
+                        x1: px,
+                        y0: plevel,
+                        y1: level,
+                    });
                 } else {
-                    segments.push(Segment { x0: px, x1: hi, y0: plevel, y1: level });
+                    segments.push(Segment {
+                        x0: px,
+                        x1: hi,
+                        y0: plevel,
+                        y1: level,
+                    });
                 }
             }
             prev = Some((hi, level));
@@ -247,7 +274,12 @@ impl Pwl {
             let y1 = fp + slope * (v - p);
             let (y0, y1) = (y0.clamp(0.0, 1.0), y1.clamp(0.0, 1.0));
             if y0 > 0.0 || y1 > 0.0 {
-                segments.push(Segment { x0: u, x1: v, y0, y1 });
+                segments.push(Segment {
+                    x0: u,
+                    x1: v,
+                    y0,
+                    y1,
+                });
             }
         }
         Self { segments }

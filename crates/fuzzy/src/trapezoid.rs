@@ -58,9 +58,19 @@ impl FuzzyInterval {
     pub fn new(m1: f64, m2: f64, alpha: f64, beta: f64) -> Result<Self> {
         let finite = m1.is_finite() && m2.is_finite() && alpha.is_finite() && beta.is_finite();
         if !finite || m1 > m2 || alpha < 0.0 || beta < 0.0 {
-            return Err(FuzzyError::InvalidInterval { m1, m2, alpha, beta });
+            return Err(FuzzyError::InvalidInterval {
+                m1,
+                m2,
+                alpha,
+                beta,
+            });
         }
-        Ok(Self { m1, m2, alpha, beta })
+        Ok(Self {
+            m1,
+            m2,
+            alpha,
+            beta,
+        })
     }
 
     /// Creates the crisp number `m` = `[m, m, 0, 0]`.

@@ -21,8 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[(c.amps[hidden_fault], Fault::ParamFactor(0.6))],
     )?;
     let readings = measure_all(&board, &c.stages, 0.02)?;
-    let diagnoser =
-        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())?;
+    let diagnoser = Diagnoser::from_netlist(
+        &c.netlist,
+        c.test_points.clone(),
+        DiagnoserConfig::default(),
+    )?;
 
     // Peek at the first recommendation of each policy.
     let fresh = diagnoser.session();
@@ -37,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // Drive both policies to isolation.
-    for policy in [Policy::FuzzyEntropy, Policy::Probabilistic, Policy::FixedOrder] {
+    for policy in [
+        Policy::FuzzyEntropy,
+        Policy::Probabilistic,
+        Policy::FixedOrder,
+    ] {
         let mut session = diagnoser.session();
         let run = probe_until_isolated(&mut session, policy, 0.05, &|i| readings[i])?;
         println!(

@@ -18,19 +18,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The expert seeds the system: R2 has a bad-batch history.
     let config = FlamesConfig {
-        priors: vec![(
-            "R2".to_owned(),
-            FuzzyInterval::new(0.5, 0.6, 0.1, 0.1)?,
-        )],
+        priors: vec![("R2".to_owned(), FuzzyInterval::new(0.5, 0.6, 0.1, 0.1)?)],
         ..Default::default()
     };
     let mut flames = Flames::new(&ts.netlist, ts.test_points.clone(), config)?;
 
     // A batch of boards arrives, some sharing the same defect.
     let defects: Vec<(&str, flames::circuit::Netlist)> = vec![
-        ("board 1: short R2", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?),
+        (
+            "board 1: short R2",
+            inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?,
+        ),
         ("board 2: healthy", ts.netlist.clone()),
-        ("board 3: short R2 again", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?),
+        (
+            "board 3: short R2 again",
+            inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?,
+        ),
     ];
 
     for (label, board) in defects {
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // The technician pulls the part, confirms, and FLAMES learns.
             if suspect == "R2" {
                 flames.confirm(&outcome, "R2");
-                println!("confirmed R2 -> learned ({} rule(s) in the knowledge base)", flames.knowledge.len());
+                println!(
+                    "confirmed R2 -> learned ({} rule(s) in the knowledge base)",
+                    flames.knowledge.len()
+                );
             }
         } else {
             println!("board passes");

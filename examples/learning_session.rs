@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = diagnose_board(&diagnoser, &board, &nets)?;
         kb.learn(symptoms_of(&report), "R3", None);
     }
-    println!("after three confirmations: {}", kb.iter().next().expect("one rule"));
+    println!(
+        "after three confirmations: {}",
+        kb.iter().next().expect("one rule")
+    );
     println!();
 
     // --- Thursday: a new board shows the same symptom pattern. Before
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}{} @ {:.2}",
             s.culprit,
-            s.mode.as_deref().map(|m| format!(" ({m})")).unwrap_or_default(),
+            s.mode
+                .as_deref()
+                .map(|m| format!(" ({m})"))
+                .unwrap_or_default(),
             s.score
         );
     }

@@ -32,6 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{report}");
     let dc = session.consistency("Vmid").expect("probed point");
     println!("degree of consistency at Vmid: {dc}");
-    assert!(!report.candidates.is_empty(), "a 24% deviation must be flagged");
+    assert!(
+        !report.candidates.is_empty(),
+        "a 24% deviation must be flagged"
+    );
     Ok(())
 }

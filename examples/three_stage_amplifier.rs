@@ -20,7 +20,9 @@ use flames::core::propagation::PropagatorConfig;
 use flames::core::{Diagnoser, DiagnoserConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defect = std::env::args().nth(1).unwrap_or_else(|| "r2-high".to_owned());
+    let defect = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "r2-high".to_owned());
 
     let ts = three_stage(0.02);
     let board = match defect.as_str() {
@@ -63,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let modes = standard_modes(0.02);
     for cand in report.refined.iter().take(3) {
-        let Some(name) = cand.members.first() else { continue };
+        let Some(name) = cand.members.first() else {
+            continue;
+        };
         let Some(comp) = diagnoser.netlist().component_by_name(name) else {
             continue;
         };

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, tests, gated suites, formatting, lints.
+# Offline-safe — no network access, no external dev-dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (tier-1)"
+cargo test -q --workspace
+
+echo "==> cargo test --features proptest (randomized property suites)"
+cargo test -q --workspace --features proptest
+
+echo "==> cargo build --features bench (harness benches compile)"
+cargo build -q --features bench -p flames-bench --benches
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -20,9 +20,12 @@ fn soft_fault_fuzzy_detects_crisp_masks() {
     let readings = measure_all(&board, &c.stages, 0.01).unwrap();
 
     // Fuzzy engine: flags and ranks the weak stage.
-    let diagnoser =
-        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
-            .unwrap();
+    let diagnoser = Diagnoser::from_netlist(
+        &c.netlist,
+        c.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap();
     let mut session = diagnoser.session();
     for (k, r) in readings.iter().enumerate() {
         session.measure_point(k, *r).unwrap();
@@ -58,9 +61,12 @@ fn hard_fault_both_engines_detect() {
     let board = inject_faults(&c.netlist, &[(c.amps[3], Fault::ParamFactor(0.6))]).unwrap();
     let readings = measure_all(&board, &c.stages, 0.01).unwrap();
 
-    let diagnoser =
-        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
-            .unwrap();
+    let diagnoser = Diagnoser::from_netlist(
+        &c.netlist,
+        c.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap();
     let mut session = diagnoser.session();
     for (k, r) in readings.iter().enumerate() {
         session.measure_point(k, *r).unwrap();
@@ -92,7 +98,10 @@ fn fig7_defect_menu_smoke() {
     )
     .unwrap();
     let boards = vec![
-        ("short R2", inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap()),
+        (
+            "short R2",
+            inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)]).unwrap(),
+        ),
         (
             "R2 high",
             inject_faults(&ts.netlist, &[(ts.r2, Fault::Param(14_000.0))]).unwrap(),
@@ -101,7 +110,10 @@ fn fig7_defect_menu_smoke() {
             "beta2 low",
             inject_faults(&ts.netlist, &[(ts.t2, Fault::Param(40.0))]).unwrap(),
         ),
-        ("open R3", inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap()),
+        (
+            "open R3",
+            inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)]).unwrap(),
+        ),
     ];
     for (label, board) in boards {
         let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05).unwrap();
@@ -168,9 +180,12 @@ fn double_fault_yields_pair_candidates() {
     )
     .unwrap();
     let readings = measure_all(&board, &c.stages, 0.01).unwrap();
-    let diagnoser =
-        Diagnoser::from_netlist(&c.netlist, c.test_points.clone(), DiagnoserConfig::default())
-            .unwrap();
+    let diagnoser = Diagnoser::from_netlist(
+        &c.netlist,
+        c.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .unwrap();
     let mut session = diagnoser.session();
     for (k, r) in readings.iter().enumerate() {
         session.measure_point(k, *r).unwrap();
