@@ -95,6 +95,9 @@ struct FuzzyNode {
     label: Vec<(EnvId, f64)>,
     consumers: Vec<u32>,
     is_contradiction: bool,
+    /// Created through [`FuzzyAtms::add_premise`] — [`FuzzyAtms::reset`]
+    /// restores the empty-environment label.
+    is_premise: bool,
     name: String,
 }
 
@@ -234,7 +237,9 @@ impl FuzzyAtms {
     /// Adds a premise node (true everywhere with degree 1).
     pub fn add_premise(&mut self, name: impl Into<String>) -> NodeRef {
         let empty = self.envs.intern_owned(Env::empty());
-        self.push_node(name.into(), vec![(empty, 1.0)], false)
+        let id = self.push_node(name.into(), vec![(empty, 1.0)], false);
+        self.nodes[id.index()].is_premise = true;
+        id
     }
 
     /// Adds a contradiction node; environments derived for it become
@@ -463,6 +468,47 @@ impl FuzzyAtms {
         out
     }
 
+    /// Clears the per-board state — justifications, nogoods, and every
+    /// derived label — while retaining the per-model vocabulary: the
+    /// nodes themselves (every [`NodeRef`] and [`Assumption`] stays
+    /// valid), the hash-consed [`EnvTable`], and the configured t-norm
+    /// and kill threshold. Assumption nodes get their singleton labels
+    /// back and premise nodes their empty-environment label, exactly as
+    /// freshly created; everything happens in place, so a long-lived
+    /// engine serves board after board with no allocation churn.
+    ///
+    /// This is the serve-many half of the compile-once/serve-many split:
+    /// the assumption vocabulary is a per-model constant, the graded
+    /// labels and nogoods are per-board state.
+    pub fn reset(&mut self) {
+        self.justifications.clear();
+        self.nogoods.clear();
+        self.nogood_ids.clear();
+        for node in &mut self.nodes {
+            node.label.clear();
+            node.consumers.clear();
+        }
+        for i in 0..self.assumption_nodes.len() {
+            let a = Assumption(u32::try_from(i).expect("< 2^32"));
+            let singleton = self.envs.intern_owned(Env::singleton(a));
+            let node = self.assumption_nodes[i];
+            self.nodes[node.index()].label.push((singleton, 1.0));
+        }
+        let empty = self.envs.intern_owned(Env::empty());
+        for node in &mut self.nodes {
+            if node.is_premise {
+                node.label.push((empty, 1.0));
+            }
+        }
+    }
+
+    /// Number of assumptions created so far (the vocabulary size
+    /// [`FuzzyAtms::reset`] preserves).
+    #[must_use]
+    pub fn assumption_count(&self) -> usize {
+        self.assumption_nodes.len()
+    }
+
     // ----- internals -------------------------------------------------
 
     fn check_node(&self, id: NodeRef) -> Result<()> {
@@ -484,6 +530,7 @@ impl FuzzyAtms {
             label,
             consumers: Vec::new(),
             is_contradiction,
+            is_premise: false,
             name,
         });
         id
@@ -894,6 +941,57 @@ mod tests {
         let informants: Vec<&str> = atms.informants().collect();
         assert_eq!(informants, vec!["first rule", "second rule"]);
         assert_eq!(atms.node_name(g).unwrap(), "g");
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_vocabulary_state() {
+        let mut atms = FuzzyAtms::new().with_kill_threshold(0.8);
+        let a = atms.add_assumption("a");
+        let b = atms.add_assumption("b");
+        let (na, nb) = (atms.assumption_node(a), atms.assumption_node(b));
+        let law = atms.add_premise("law");
+        let g = atms.add_node("g");
+        let bottom = atms.add_contradiction("⊥");
+
+        // Reference state: labels/nogoods of a fresh board.
+        let run = |atms: &mut FuzzyAtms| {
+            atms.justify_weighted([na, nb, law], g, 0.9, "and").unwrap();
+            atms.justify_weighted([g], bottom, 0.6, "conflict").unwrap();
+            atms.add_nogood(Env::singleton(b), 0.3);
+            (
+                atms.label(g).unwrap(),
+                atms.sorted_nogoods(),
+                atms.plausibility(&Env::from_assumptions([a, b])),
+            )
+        };
+        let first = run(&mut atms);
+
+        atms.reset();
+        // Vocabulary survives: same assumptions, singleton labels back,
+        // premise label back, derived labels and nogoods gone.
+        assert_eq!(atms.assumption_count(), 2);
+        assert_eq!(atms.label(na).unwrap().len(), 1);
+        assert_eq!(atms.label(na).unwrap()[0].env, Env::singleton(a));
+        assert_eq!(atms.label(law).unwrap()[0].env, Env::empty());
+        assert!(atms.label(g).unwrap().is_empty());
+        assert!(atms.nogoods().is_empty());
+        assert_eq!(atms.informants().count(), 0);
+        assert_eq!(atms.kill_threshold(), 0.8);
+
+        // Replaying the same board reproduces the same state exactly.
+        let second = run(&mut atms);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reset_is_idempotent_on_a_fresh_engine() {
+        let mut atms = FuzzyAtms::new();
+        let a = atms.add_assumption("a");
+        atms.reset();
+        atms.reset();
+        let na = atms.assumption_node(a);
+        assert_eq!(atms.label(na).unwrap().len(), 1);
+        assert!(atms.nogoods().is_empty());
     }
 
     #[test]

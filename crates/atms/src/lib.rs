@@ -55,3 +55,24 @@ pub use interner::{EnvId, EnvTable};
 
 /// Convenient result alias for fallible ATMS operations.
 pub type Result<T, E = AtmsError> = std::result::Result<T, E>;
+
+// ---------------------------------------------------------------------
+// Static thread-safety audit: the compile-once/serve-many split shares
+// one compiled model (and thus the interned environment vocabulary)
+// across worker threads, so every per-model type must be `Send + Sync`.
+// All crates forbid `unsafe`, so these hold by construction; the
+// assertions turn an accidental `Rc`/`RefCell` regression into a compile
+// error instead of a distant build break in `flames-core`.
+// ---------------------------------------------------------------------
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Env>();
+    assert_send_sync::<EnvTable>();
+    assert_send_sync::<Assumption>();
+    assert_send_sync::<AssumptionPool>();
+    assert_send_sync::<Atms>();
+    assert_send_sync::<FuzzyAtms>();
+    assert_send_sync::<Nogood>();
+    assert_send_sync::<RankedDiagnosis>();
+};

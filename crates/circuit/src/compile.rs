@@ -1,0 +1,287 @@
+//! Model **compilation** — the compile-once half of the
+//! compile-once/serve-many split.
+//!
+//! The FLAMES workflow is one-model/many-boards: the circuit's model
+//! database is extracted once (§6.2 of the paper) and then board after
+//! board is diagnosed against it. The propagation engines, however, used
+//! to re-derive the same bookkeeping for every session: the application
+//! schedule of each constraint (which term is solved for, in which
+//! order, with which inverted coefficient), the quantity→constraint
+//! fanout adjacency driving the dirty-constraint requeue, and the
+//! first-appearance order of the Kirchhoff connection nets that fixes
+//! the connection-assumption numbering.
+//!
+//! [`CompiledNetwork`] precomputes all of that, once per model. It is
+//! immutable, `Send + Sync`, and engine-agnostic — both the fuzzy engine
+//! (`flames-core`) and the crisp baseline (`flames-crisp`) drive their
+//! traversals from the same compiled schedule.
+//!
+//! Determinism note: byte-identical diagnosis reports require the exact
+//! f64 operation order of the uncompiled traversal, so every
+//! [`LinearDirection`] preserves the original term order of the source
+//! relation and caches `−1 / coef` as the very float the uncompiled
+//! engine computed per application.
+
+use crate::constraint::{Network, QuantityId, Relation};
+use crate::netlist::Net;
+
+/// One inversion direction of a linear constraint: solve
+/// `Σ coefⱼ·qⱼ + bias = 0` for the `target` term given the `others`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearDirection {
+    /// The quantity being derived.
+    pub target: QuantityId,
+    /// `−1 / target_coef`, cached (the final scaling of the summed
+    /// others — the same float the per-session engines computed).
+    pub neg_inv_coef: f64,
+    /// The remaining `(coefficient, quantity)` terms, in the source
+    /// relation's order with the target removed (the f64 summation
+    /// order).
+    pub others: Vec<(f64, QuantityId)>,
+    /// The quantities of `others` alone (the cartesian-combination axes,
+    /// precomputed so engines stop rebuilding this list per
+    /// application).
+    pub quantities: Vec<QuantityId>,
+}
+
+/// The precomputed application schedule of one constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledRelation {
+    /// A linear relation with every single-unknown inversion direction
+    /// materialized, in target-term order.
+    Linear {
+        /// Constant bias of the relation.
+        bias: f64,
+        /// One direction per term, in the source term order.
+        directions: Vec<LinearDirection>,
+    },
+    /// `p = x · y` (the three directions `p = x·y`, `x = p/y`, `y = p/x`
+    /// are fixed and cheap; engines keep them inline).
+    Product {
+        /// The product.
+        p: QuantityId,
+        /// First factor.
+        x: QuantityId,
+        /// Second factor.
+        y: QuantityId,
+    },
+}
+
+/// The compiled, immutable per-model schedule: everything the
+/// propagation engines re-derived per session, computed once.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    relations: Vec<CompiledRelation>,
+    consumers: Vec<Vec<u32>>,
+    conn_nets: Vec<Net>,
+}
+
+impl CompiledNetwork {
+    /// Compiles a network's constraint schedule. Pure function of the
+    /// network — compiling twice yields identical schedules.
+    #[must_use]
+    pub fn compile(network: &Network) -> Self {
+        let relations = network
+            .constraints()
+            .iter()
+            .map(|c| match c.relation {
+                Relation::Linear { ref terms, bias } => {
+                    let directions = terms
+                        .iter()
+                        .enumerate()
+                        .map(|(target_idx, &(coef, target))| {
+                            let others: Vec<(f64, QuantityId)> = terms
+                                .iter()
+                                .enumerate()
+                                .filter(|&(j, _)| j != target_idx)
+                                .map(|(_, &t)| t)
+                                .collect();
+                            let quantities = others.iter().map(|&(_, q)| q).collect();
+                            LinearDirection {
+                                target,
+                                neg_inv_coef: -1.0 / coef,
+                                others,
+                                quantities,
+                            }
+                        })
+                        .collect();
+                    CompiledRelation::Linear { bias, directions }
+                }
+                Relation::Product { p, x, y } => CompiledRelation::Product { p, x, y },
+            })
+            .collect();
+        let mut conn_nets = Vec::new();
+        for c in network.constraints() {
+            if let Some(net) = c.conn {
+                if !conn_nets.contains(&net) {
+                    conn_nets.push(net);
+                }
+            }
+        }
+        Self {
+            relations,
+            consumers: network.quantity_consumers(),
+            conn_nets,
+        }
+    }
+
+    /// The compiled application schedules, indexed like
+    /// [`Network::constraints`].
+    #[must_use]
+    pub fn relations(&self) -> &[CompiledRelation] {
+        &self.relations
+    }
+
+    /// The schedule of one constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a constraint index from a different network.
+    #[must_use]
+    pub fn relation(&self, ci: usize) -> &CompiledRelation {
+        &self.relations[ci]
+    }
+
+    /// Quantity → constraint fanout adjacency (see
+    /// [`Network::quantity_consumers`]), computed once per model.
+    #[must_use]
+    pub fn consumers(&self) -> &[Vec<u32>] {
+        &self.consumers
+    }
+
+    /// Constraint indices whose relation mentions a quantity.
+    #[must_use]
+    pub fn consumers_of(&self, q: QuantityId) -> &[u32] {
+        &self.consumers[q.index()]
+    }
+
+    /// Nets owning Kirchhoff constraints, in the first-appearance order
+    /// of their constraints — the order that fixes the
+    /// connection-assumption numbering in every engine.
+    #[must_use]
+    pub fn conn_nets(&self) -> &[Net] {
+        &self.conn_nets
+    }
+
+    /// Number of compiled constraints.
+    #[must_use]
+    pub fn constraint_count(&self) -> usize {
+        self.relations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{extract, ExtractOptions};
+    use crate::netlist::Netlist;
+
+    fn divider() -> (Netlist, Network) {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        nl.add_resistor("R1", vin, mid, 1e3, 0.05).unwrap();
+        nl.add_resistor("R2", mid, Net::GROUND, 1e3, 0.05).unwrap();
+        let network = extract(&nl, ExtractOptions::default());
+        (nl, network)
+    }
+
+    #[test]
+    fn directions_mirror_source_terms() {
+        let (_, network) = divider();
+        let compiled = CompiledNetwork::compile(&network);
+        assert_eq!(compiled.constraint_count(), network.constraints().len());
+        for (c, r) in network.constraints().iter().zip(compiled.relations()) {
+            match (&c.relation, r) {
+                (
+                    Relation::Linear { terms, bias },
+                    CompiledRelation::Linear {
+                        bias: b,
+                        directions,
+                    },
+                ) => {
+                    assert_eq!(bias, b);
+                    assert_eq!(directions.len(), terms.len());
+                    for (k, d) in directions.iter().enumerate() {
+                        assert_eq!(d.target, terms[k].1);
+                        // Bitwise: the cached scaling is the same float the
+                        // per-session engines computed.
+                        assert_eq!(d.neg_inv_coef.to_bits(), (-1.0 / terms[k].0).to_bits());
+                        assert_eq!(d.others.len(), terms.len() - 1);
+                        // Others preserve source order with the target removed.
+                        let expected: Vec<(f64, QuantityId)> = terms
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != k)
+                            .map(|(_, &t)| t)
+                            .collect();
+                        assert_eq!(d.others, expected);
+                        let qs: Vec<QuantityId> = d.others.iter().map(|&(_, q)| q).collect();
+                        assert_eq!(d.quantities, qs);
+                    }
+                }
+                (
+                    Relation::Product { p, x, y },
+                    &CompiledRelation::Product {
+                        p: cp,
+                        x: cx,
+                        y: cy,
+                    },
+                ) => {
+                    assert_eq!((*p, *x, *y), (cp, cx, cy));
+                }
+                (a, b) => panic!("relation kind mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_match_network_adjacency() {
+        let (_, network) = divider();
+        let compiled = CompiledNetwork::compile(&network);
+        assert_eq!(
+            compiled.consumers(),
+            network.quantity_consumers().as_slice()
+        );
+        for qi in 0..network.quantity_count() {
+            let q = QuantityId::from_raw(qi);
+            for &ci in compiled.consumers_of(q) {
+                assert!(network.constraints()[ci as usize]
+                    .relation
+                    .quantities()
+                    .contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn conn_nets_in_first_appearance_order() {
+        let (nl, network) = divider();
+        let compiled = CompiledNetwork::compile(&network);
+        // The KCL emission order is the net order (vin, mid); ground and
+        // dangling nets own no KCL.
+        let vin = nl.net_by_name("vin").unwrap();
+        let mid = nl.net_by_name("mid").unwrap();
+        assert_eq!(compiled.conn_nets(), &[vin, mid]);
+        let mut seen = Vec::new();
+        for c in network.constraints() {
+            if let Some(net) = c.conn {
+                if !seen.contains(&net) {
+                    seen.push(net);
+                }
+            }
+        }
+        assert_eq!(compiled.conn_nets(), seen.as_slice());
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let (_, network) = divider();
+        let a = CompiledNetwork::compile(&network);
+        let b = CompiledNetwork::compile(&network);
+        assert_eq!(a.relations(), b.relations());
+        assert_eq!(a.consumers(), b.consumers());
+        assert_eq!(a.conn_nets(), b.conn_nets());
+    }
+}

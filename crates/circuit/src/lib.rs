@@ -45,6 +45,7 @@ mod netlist;
 
 pub mod ac;
 pub mod circuits;
+pub mod compile;
 pub mod constraint;
 pub mod fault;
 pub mod predict;

@@ -1,11 +1,14 @@
-use crate::propagation::{CoincidenceRecord, Propagator, PropagatorConfig, ValueEntry};
+use crate::propagation::{
+    CoincidenceRecord, CompiledSchedule, PropState, Propagator, PropagatorConfig, ValueEntry,
+};
 use crate::Result;
 use flames_atms::{Env, Nogood, RankedDiagnosis};
 use flames_circuit::constraint::{extract, ExtractOptions, Network, QuantityId};
 use flames_circuit::predict::{nominal_predictions, TestPoint};
-use flames_circuit::{Net, Netlist};
+use flames_circuit::{CompId, Net, Netlist};
 use flames_fuzzy::{Consistency, FuzzyInterval};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of a [`Diagnoser`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -95,23 +98,118 @@ impl fmt::Display for Report {
     }
 }
 
-/// The FLAMES diagnoser for one circuit: the extracted model database,
-/// the declared test points, and their tolerance-aware nominal
-/// predictions.
+/// The immutable, `Send + Sync` per-circuit model: the netlist, the
+/// extracted constraint network, the compiled propagation schedule
+/// ([`CompiledSchedule`]), the declared test points with their fuzzy
+/// nominal predictions, the resolved test-point quantities, and the
+/// pre-propagated *base state* — model seeds plus test-point predictions
+/// already run to quiescence.
 ///
-/// Build once per circuit; open a fresh [`Session`] per board under test.
-#[derive(Debug, Clone)]
-pub struct Diagnoser {
-    netlist: Netlist,
+/// Built once per circuit (inside [`Diagnoser::from_netlist`] /
+/// [`Diagnoser::from_network`]) and shared behind an [`Arc`] — cloning a
+/// [`Diagnoser`] is a reference-count bump, and any number of threads can
+/// open sessions against the same model concurrently (see
+/// [`diagnose_batch`]).
+///
+/// The base state is the serve-many half of the compile: the seed
+/// fixpoint is board-independent, so every session restores this
+/// snapshot instead of re-deriving it, and only the board's own
+/// measurements propagate (incrementally) per diagnosis.
+#[derive(Debug)]
+pub struct CompiledModel {
+    netlist: Arc<Netlist>,
     network: Network,
+    schedule: CompiledSchedule,
     test_points: Vec<TestPoint>,
     predictions: Vec<FuzzyInterval>,
+    /// Voltage quantity of each test point, resolved once.
+    point_quantities: Vec<QuantityId>,
+    /// Seeds + predictions propagated to quiescence, captured once.
+    base_state: PropState,
     config: DiagnoserConfig,
 }
 
+impl CompiledModel {
+    fn new(
+        netlist: Arc<Netlist>,
+        network: Network,
+        test_points: Vec<TestPoint>,
+        predictions: Vec<FuzzyInterval>,
+        config: DiagnoserConfig,
+    ) -> Self {
+        let schedule = CompiledSchedule::build(&netlist, &network, config.propagator);
+        let point_quantities: Vec<QuantityId> = test_points
+            .iter()
+            .map(|tp| network.voltage_quantity(tp.net))
+            .collect();
+        // The seed fixpoint is board-independent: run it once here,
+        // exactly as a cold session would live, and snapshot the result.
+        // Sessions restore this state instead of re-propagating it.
+        let base_state = {
+            let mut prop = Propagator::with_schedule(&network, &schedule, config.propagator);
+            seed_predictions_into(
+                &mut prop,
+                &test_points,
+                &predictions,
+                &point_quantities,
+                &[],
+            );
+            prop.run();
+            prop.snapshot_state()
+        };
+        Self {
+            netlist,
+            network,
+            schedule,
+            test_points,
+            predictions,
+            point_quantities,
+            base_state,
+            config,
+        }
+    }
+
+    /// The netlist the model was compiled from.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The extracted constraint network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The compiled propagation schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &CompiledSchedule {
+        &self.schedule
+    }
+
+    /// The declared test points.
+    #[must_use]
+    pub fn test_points(&self) -> &[TestPoint] {
+        &self.test_points
+    }
+}
+
+/// The FLAMES diagnoser for one circuit: a shared handle on the
+/// [`CompiledModel`] (model database, test points, nominal predictions).
+///
+/// Build once per circuit; open a fresh [`Session`] per board under test,
+/// or reuse warm sessions through a [`SessionPool`] /
+/// [`diagnose_batch`]. Cloning is cheap (an [`Arc`] bump) and clones
+/// share the compiled model.
+#[derive(Debug, Clone)]
+pub struct Diagnoser {
+    model: Arc<CompiledModel>,
+}
+
 impl Diagnoser {
-    /// Builds a diagnoser: extracts the constraint network and computes
-    /// fuzzy nominal predictions for every test point.
+    /// Builds a diagnoser: extracts the constraint network, computes
+    /// fuzzy nominal predictions for every test point, and compiles the
+    /// propagation schedule — the once-per-model costs.
     ///
     /// # Errors
     ///
@@ -125,11 +223,13 @@ impl Diagnoser {
         let nets: Vec<Net> = test_points.iter().map(|tp| tp.net).collect();
         let predictions = nominal_predictions(netlist, &nets)?;
         Ok(Self {
-            netlist: netlist.clone(),
-            network,
-            test_points,
-            predictions,
-            config,
+            model: Arc::new(CompiledModel::new(
+                Arc::new(netlist.clone()),
+                network,
+                test_points,
+                predictions,
+                config,
+            )),
         })
     }
 
@@ -144,44 +244,65 @@ impl Diagnoser {
         config: DiagnoserConfig,
     ) -> Self {
         Self {
-            netlist: netlist.clone(),
-            network,
-            test_points,
-            predictions,
-            config,
+            model: Arc::new(CompiledModel::new(
+                Arc::new(netlist.clone()),
+                network,
+                test_points,
+                predictions,
+                config,
+            )),
         }
+    }
+
+    /// The shared compiled model.
+    #[must_use]
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
     }
 
     /// The declared test points.
     #[must_use]
     pub fn test_points(&self) -> &[TestPoint] {
-        &self.test_points
+        &self.model.test_points
+    }
+
+    /// The fuzzy nominal prediction of a test point (by index), or
+    /// `None` for an out-of-range index.
+    #[must_use]
+    pub fn prediction_checked(&self, point: usize) -> Option<&FuzzyInterval> {
+        self.model.predictions.get(point)
     }
 
     /// The fuzzy nominal prediction of a test point (by index).
     ///
     /// # Panics
     ///
-    /// Panics for an out-of-range index.
+    /// Panics for an out-of-range index; use
+    /// [`Diagnoser::prediction_checked`] to handle that case.
     #[must_use]
     pub fn prediction(&self, point: usize) -> &FuzzyInterval {
-        &self.predictions[point]
+        self.prediction_checked(point)
+            .expect("test-point index out of range")
     }
 
     /// The extracted constraint network.
     #[must_use]
     pub fn network(&self) -> &Network {
-        &self.network
+        &self.model.network
     }
 
     /// The netlist the diagnoser was built from.
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
-        &self.netlist
+        &self.model.netlist
     }
 
-    /// Opens a fresh diagnosis session: a propagator loaded with the
-    /// model seeds and the test-point predictions.
+    /// Opens a fresh diagnosis session against the shared compiled
+    /// model: a propagator *restored from the model's pre-propagated
+    /// base state* — seeds and test-point predictions already at
+    /// quiescence. None of the once-per-model work (schedule,
+    /// vocabulary, environments, the seed fixpoint) is repeated here;
+    /// only the board's own measurements propagate.
     #[must_use]
     pub fn session(&self) -> Session<'_> {
         self.session_excusing(&[])
@@ -193,32 +314,95 @@ impl Diagnoser {
     /// region its model assumes must not generate secondary conflicts.
     /// Test-point predictions whose cone contains an excused component
     /// are withheld too (they were computed with the invalid model).
+    ///
+    /// The seed filter runs against the compiled seed list of the
+    /// shared schedule — the netlist is not re-walked.
     #[must_use]
-    pub fn session_excusing(&self, excused: &[flames_circuit::CompId]) -> Session<'_> {
-        let mut prop = if excused.is_empty() {
-            Propagator::new(&self.netlist, &self.network, self.config.propagator)
+    pub fn session_excusing(&self, excused: &[CompId]) -> Session<'_> {
+        let model = &*self.model;
+        let mut prop = Propagator::with_schedule_filtered(
+            &model.network,
+            &model.schedule,
+            model.config.propagator,
+            excused,
+            excused,
+        );
+        if excused.is_empty() {
+            // The common serving path: restore the snapshot of the seed
+            // fixpoint instead of re-running it.
+            prop.restore_state(&model.base_state);
         } else {
-            Propagator::new_excusing(
-                &self.netlist,
-                &self.network,
-                self.config.propagator,
-                excused,
-            )
-        };
-        for (tp, pred) in self.test_points.iter().zip(&self.predictions) {
-            if tp.support.iter().any(|c| excused.contains(c)) {
-                continue;
-            }
-            let q = self.network.voltage_quantity(tp.net);
-            prop.predict(q, *pred, &tp.support, 1.0)
-                .expect("test-point quantities exist in the extracted network");
+            // Excusal changes the seed set and the constraint mask, so
+            // the base snapshot does not apply: propagate live.
+            self.seed_predictions(&mut prop, excused);
+            prop.run();
         }
         Session {
             diagnoser: self,
             prop,
-            measured: vec![None; self.test_points.len()],
-            priors: vec![None; self.netlist.component_count()],
+            excused: excused.to_vec(),
+            measured: vec![None; model.test_points.len()],
+            priors: vec![None; model.netlist.component_count()],
         }
+    }
+
+    /// Opens a session the pre-compile way: the propagator re-derives
+    /// the constraint schedule, assumption vocabulary, and environments
+    /// from scratch and runs the full seed fixpoint live, exactly as
+    /// every session did before the [`CompiledModel`] split. Kept as
+    /// the honest *cold* baseline for the batch benchmark and as a
+    /// cross-check that the compiled path is byte-identical to the
+    /// legacy one.
+    #[must_use]
+    pub fn cold_session(&self) -> Session<'_> {
+        let model = &*self.model;
+        let mut prop = Propagator::new(
+            model.netlist.as_ref(),
+            &model.network,
+            model.config.propagator,
+        );
+        self.seed_predictions(&mut prop, &[]);
+        prop.run();
+        Session {
+            diagnoser: self,
+            prop,
+            excused: Vec::new(),
+            measured: vec![None; model.test_points.len()],
+            priors: vec![None; model.netlist.component_count()],
+        }
+    }
+
+    /// Loads the test-point predictions into a propagator, skipping
+    /// points whose support cone contains an excused component.
+    fn seed_predictions(&self, prop: &mut Propagator<'_>, excused: &[CompId]) {
+        let model = &*self.model;
+        seed_predictions_into(
+            prop,
+            &model.test_points,
+            &model.predictions,
+            &model.point_quantities,
+            excused,
+        );
+    }
+}
+
+/// Loads test-point predictions into a propagator, skipping points whose
+/// support cone contains an excused component. Free-standing so
+/// [`CompiledModel::new`] can seed the base-state propagator before the
+/// model (and hence any [`Diagnoser`]) exists.
+fn seed_predictions_into(
+    prop: &mut Propagator<'_>,
+    test_points: &[TestPoint],
+    predictions: &[FuzzyInterval],
+    point_quantities: &[QuantityId],
+    excused: &[CompId],
+) {
+    for (idx, (tp, pred)) in test_points.iter().zip(predictions).enumerate() {
+        if tp.support.iter().any(|c| excused.contains(c)) {
+            continue;
+        }
+        prop.predict(point_quantities[idx], *pred, &tp.support, 1.0)
+            .expect("test-point quantities exist in the extracted network");
     }
 }
 
@@ -227,11 +411,40 @@ impl Diagnoser {
 pub struct Session<'d> {
     diagnoser: &'d Diagnoser,
     prop: Propagator<'d>,
+    /// Components whose models were withdrawn when the session opened
+    /// ([`Diagnoser::session_excusing`]); [`Session::reset`] reapplies
+    /// them.
+    excused: Vec<CompId>,
     measured: Vec<Option<FuzzyInterval>>,
     priors: Vec<Option<FuzzyInterval>>,
 }
 
 impl<'d> Session<'d> {
+    /// Clears the per-board state — measurements, labels, nogoods,
+    /// coincidences, priors — without deallocating, then restores the
+    /// model's pre-propagated base state (or, for an excusing session,
+    /// re-runs the filtered seed fixpoint). A reset session produces
+    /// reports identical to a freshly opened one (the serving tests
+    /// assert this byte-for-byte), at a fraction of the cost: no
+    /// schedule rebuild, no vocabulary interning, no seed fixpoint,
+    /// warm allocations throughout.
+    pub fn reset(&mut self) {
+        if self.excused.is_empty() {
+            self.prop.restore_state(&self.diagnoser.model.base_state);
+        } else {
+            self.prop.reset();
+            self.diagnoser
+                .seed_predictions(&mut self.prop, &self.excused);
+            self.prop.run();
+        }
+        for m in &mut self.measured {
+            *m = None;
+        }
+        for p in &mut self.priors {
+            *p = None;
+        }
+    }
+
     /// Records a measurement at a test point, by name.
     ///
     /// # Errors
@@ -240,6 +453,7 @@ impl<'d> Session<'d> {
     pub fn measure(&mut self, point: &str, value: FuzzyInterval) -> Result<()> {
         let idx = self
             .diagnoser
+            .model
             .test_points
             .iter()
             .position(|tp| tp.name == point)
@@ -256,14 +470,13 @@ impl<'d> Session<'d> {
     /// Returns [`crate::CoreError::UnknownName`] for an out-of-range
     /// index.
     pub fn measure_point(&mut self, idx: usize, value: FuzzyInterval) -> Result<()> {
-        let tp =
-            self.diagnoser
-                .test_points
-                .get(idx)
-                .ok_or_else(|| crate::CoreError::UnknownName {
-                    name: format!("test point #{idx}"),
-                })?;
-        let q = self.diagnoser.network.voltage_quantity(tp.net);
+        let model = Arc::as_ref(&self.diagnoser.model);
+        if idx >= model.test_points.len() {
+            return Err(crate::CoreError::UnknownName {
+                name: format!("test point #{idx}"),
+            });
+        }
+        let q = model.point_quantities[idx];
         self.prop.observe(q, value)?;
         self.measured[idx] = Some(value);
         Ok(())
@@ -280,13 +493,14 @@ impl<'d> Session<'d> {
     pub fn consistency(&self, point: &str) -> Option<Consistency> {
         let idx = self
             .diagnoser
+            .model
             .test_points
             .iter()
             .position(|tp| tp.name == point)?;
         let measured = self.measured[idx]?;
         Some(Consistency::between(
             &measured,
-            &self.diagnoser.predictions[idx],
+            self.diagnoser.prediction_checked(idx)?,
         ))
     }
 
@@ -375,13 +589,14 @@ impl<'d> Session<'d> {
     /// the most specific (smallest-cone) probed point covering it, or the
     /// best Dc observed anywhere for assumptions outside every cone.
     fn exoneration(&self, a: flames_atms::Assumption) -> f64 {
+        let model = Arc::as_ref(&self.diagnoser.model);
         let mut best: Option<(usize, f64)> = None;
         let mut any_dc: f64 = 0.0;
-        for (idx, tp) in self.diagnoser.test_points.iter().enumerate() {
+        for (idx, tp) in model.test_points.iter().enumerate() {
             let Some(measured) = self.measured[idx] else {
                 continue;
             };
-            let dc = Consistency::between(&measured, &self.diagnoser.predictions[idx]).degree();
+            let dc = Consistency::between(&measured, &model.predictions[idx]).degree();
             any_dc = any_dc.max(dc);
             let covers = tp
                 .support
@@ -401,7 +616,7 @@ impl<'d> Session<'d> {
     /// it), by name; `None` for unknown names.
     #[must_use]
     pub fn suspicion(&self, component: &str) -> Option<f64> {
-        let id = self.diagnoser.netlist.component_by_name(component)?;
+        let id = self.diagnoser.netlist().component_by_name(component)?;
         Some(
             self.prop
                 .atms()
@@ -422,7 +637,7 @@ impl<'d> Session<'d> {
     pub fn set_prior(&mut self, component: &str, estimation: FuzzyInterval) -> Result<()> {
         let id = self
             .diagnoser
-            .netlist
+            .netlist()
             .component_by_name(component)
             .ok_or_else(|| crate::CoreError::UnknownName {
                 name: component.to_owned(),
@@ -449,7 +664,7 @@ impl<'d> Session<'d> {
     pub fn estimations(&self) -> Vec<(String, FuzzyInterval)> {
         let exonerated = self.exonerated_components();
         self.diagnoser
-            .netlist
+            .netlist()
             .components()
             .map(|(id, comp)| {
                 let a = self.prop.component_assumption(id.index());
@@ -480,12 +695,13 @@ impl<'d> Session<'d> {
 
     /// Marks components covered by a fully consistent probed point.
     fn exonerated_components(&self) -> Vec<bool> {
-        let mut out = vec![false; self.diagnoser.netlist.component_count()];
-        for (idx, tp) in self.diagnoser.test_points.iter().enumerate() {
+        let model = Arc::as_ref(&self.diagnoser.model);
+        let mut out = vec![false; model.netlist.component_count()];
+        for (idx, tp) in model.test_points.iter().enumerate() {
             let Some(measured) = self.measured[idx] else {
                 continue;
             };
-            let dc = Consistency::between(&measured, &self.diagnoser.predictions[idx]);
+            let dc = Consistency::between(&measured, &model.predictions[idx]);
             if dc.is_consistent() {
                 for comp in &tp.support {
                     out[comp.index()] = true;
@@ -498,17 +714,17 @@ impl<'d> Session<'d> {
     /// Builds the full snapshot report.
     #[must_use]
     pub fn report(&self) -> Report {
-        let points = self
-            .diagnoser
+        let model = Arc::as_ref(&self.diagnoser.model);
+        let points = model
             .test_points
             .iter()
             .enumerate()
             .map(|(idx, tp)| PointReport {
                 name: tp.name.clone(),
-                predicted: self.diagnoser.predictions[idx],
+                predicted: model.predictions[idx],
                 measured: self.measured[idx],
                 consistency: self.measured[idx]
-                    .map(|m| Consistency::between(&m, &self.diagnoser.predictions[idx])),
+                    .map(|m| Consistency::between(&m, &model.predictions[idx])),
             })
             .collect();
         let nogoods = self
@@ -565,6 +781,176 @@ impl<'d> Session<'d> {
     pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
         self.prop.best_value(q)
     }
+}
+
+/// A pool of warm, reusable [`Session`]s over one [`Diagnoser`].
+///
+/// [`SessionPool::acquire`] pops an idle session and [`Session::reset`]s
+/// it (or opens a fresh one when the pool is empty);
+/// [`SessionPool::release`] returns a finished session for reuse. A
+/// recycled session keeps its allocations — label stores, ATMS arenas,
+/// the interned environment table — so steady-state serving does no
+/// per-board setup beyond re-seeding model values.
+///
+/// The pool only recycles plain sessions of its own diagnoser;
+/// model-excusing sessions ([`Diagnoser::session_excusing`]) and
+/// foreign sessions are dropped on release rather than pooled.
+#[derive(Debug)]
+pub struct SessionPool<'d> {
+    diagnoser: &'d Diagnoser,
+    idle: Vec<Session<'d>>,
+}
+
+impl<'d> SessionPool<'d> {
+    /// Creates an empty pool over a diagnoser.
+    #[must_use]
+    pub fn new(diagnoser: &'d Diagnoser) -> Self {
+        Self {
+            diagnoser,
+            idle: Vec::new(),
+        }
+    }
+
+    /// Pre-opens `n` idle sessions, so the first `n` acquisitions are
+    /// warm.
+    pub fn warm(&mut self, n: usize) {
+        while self.idle.len() < n {
+            self.idle.push(self.diagnoser.session());
+        }
+    }
+
+    /// A ready-to-use session: a recycled one (reset) if available,
+    /// freshly opened otherwise.
+    #[must_use]
+    pub fn acquire(&mut self) -> Session<'d> {
+        match self.idle.pop() {
+            Some(mut session) => {
+                session.reset();
+                session
+            }
+            None => self.diagnoser.session(),
+        }
+    }
+
+    /// Returns a session to the pool for reuse. Sessions with an
+    /// excusal filter or from a different diagnoser are dropped instead.
+    pub fn release(&mut self, session: Session<'d>) {
+        if session.excused.is_empty() && std::ptr::eq(session.diagnoser, self.diagnoser) {
+            self.idle.push(session);
+        }
+    }
+
+    /// Number of idle sessions currently held.
+    #[must_use]
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+}
+
+/// The measurements of one board under test, as
+/// `(test-point index, measured value)` pairs.
+pub type Board = Vec<(usize, FuzzyInterval)>;
+
+/// Diagnoses a batch of boards against one shared [`CompiledModel`],
+/// spreading the boards over `threads` workers (`std::thread::scope` —
+/// no external runtime). Each worker runs its own [`SessionPool`], so
+/// after its first board it serves from warm sessions.
+///
+/// Boards are split into contiguous chunks and results are written by
+/// board index, so the output order — and, because a warm session is
+/// indistinguishable from a fresh one, every report byte — is identical
+/// for any thread count, including the sequential `threads == 1` path.
+///
+/// # Errors
+///
+/// Returns the first per-board error (e.g. an out-of-range test-point
+/// index in a [`Board`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+///
+/// # Example
+///
+/// ```
+/// use flames_circuit::{predict::TestPoint, Net, Netlist};
+/// use flames_core::{diagnose_batch, Diagnoser, DiagnoserConfig};
+/// use flames_fuzzy::FuzzyInterval;
+///
+/// # fn main() -> Result<(), flames_core::CoreError> {
+/// let mut nl = Netlist::new();
+/// let vin = nl.add_net("vin");
+/// let mid = nl.add_net("mid");
+/// nl.add_voltage_source("V", vin, Net::GROUND, 10.0)?;
+/// let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05)?;
+/// let r2 = nl.add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)?;
+/// let diagnoser = Diagnoser::from_netlist(
+///     &nl,
+///     vec![TestPoint::new(mid, "Vmid", vec![r1, r2])],
+///     DiagnoserConfig::default(),
+/// )?;
+/// // Two boards: one healthy, one reading high at Vmid.
+/// let boards = vec![
+///     vec![(0, FuzzyInterval::crisp(5.0).widened(0.05)?)],
+///     vec![(0, FuzzyInterval::crisp(6.2).widened(0.05)?)],
+/// ];
+/// let reports = diagnose_batch(&diagnoser, &boards, 2)?;
+/// assert!(reports[0].candidates.is_empty());
+/// assert!(!reports[1].candidates.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn diagnose_batch(
+    diagnoser: &Diagnoser,
+    boards: &[Board],
+    threads: usize,
+) -> Result<Vec<Report>> {
+    let threads = threads.max(1).min(boards.len().max(1));
+    let mut results: Vec<Option<Report>> = Vec::new();
+    results.resize_with(boards.len(), || None);
+    if threads <= 1 {
+        let mut pool = SessionPool::new(diagnoser);
+        for (slot, board) in results.iter_mut().zip(boards) {
+            *slot = Some(diagnose_one(&mut pool, board)?);
+        }
+    } else {
+        let chunk = boards.len().div_ceil(threads);
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            let mut rest: &mut [Option<Report>] = &mut results;
+            for batch in boards.chunks(chunk) {
+                let (head, tail) = rest.split_at_mut(batch.len());
+                rest = tail;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let mut pool = SessionPool::new(diagnoser);
+                    for (slot, board) in head.iter_mut().zip(batch) {
+                        *slot = Some(diagnose_one(&mut pool, board)?);
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("batch worker panicked")?;
+            }
+            Ok(())
+        })?;
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every board diagnosed"))
+        .collect())
+}
+
+/// Diagnoses one board on a pooled session.
+fn diagnose_one<'d>(pool: &mut SessionPool<'d>, board: &Board) -> Result<Report> {
+    let mut session = pool.acquire();
+    for &(idx, value) in board {
+        session.measure_point(idx, value)?;
+    }
+    session.propagate();
+    let report = session.report();
+    pool.release(session);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -759,5 +1145,118 @@ mod tests {
         let s2 = d.session();
         assert!(s2.candidates(2, 16).is_empty());
         assert_eq!(s2.probed(), vec![false, false]);
+    }
+
+    #[test]
+    fn prediction_checked_bounds() {
+        let d = divider_diagnoser();
+        assert!(d.prediction_checked(0).is_some());
+        assert!(d.prediction_checked(1).is_some());
+        assert!(d.prediction_checked(2).is_none());
+        assert_eq!(d.prediction(0), d.prediction_checked(0).unwrap());
+    }
+
+    #[test]
+    fn cloned_diagnoser_shares_the_model() {
+        let d = divider_diagnoser();
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(d.model(), d2.model()));
+        assert!(std::ptr::eq(d.netlist(), d2.netlist()));
+    }
+
+    /// One faulty-board scenario, reused by the serving tests below.
+    fn faulty_report(s: &mut Session<'_>) -> Report {
+        s.measure("Vmid", FuzzyInterval::crisp(6.1).widened(0.05).unwrap())
+            .unwrap();
+        s.propagate();
+        s.report()
+    }
+
+    #[test]
+    fn cold_session_matches_compiled_session() {
+        let d = divider_diagnoser();
+        let compiled = faulty_report(&mut d.session());
+        let cold = faulty_report(&mut d.cold_session());
+        assert_eq!(
+            format!("{compiled:?}"),
+            format!("{cold:?}"),
+            "compiled path must be byte-identical to the legacy rebuild"
+        );
+    }
+
+    #[test]
+    fn reset_session_matches_fresh_session() {
+        let d = divider_diagnoser();
+        let expected = faulty_report(&mut d.session());
+        let mut warm = d.session();
+        // Run a different board first, then reset and replay.
+        warm.measure("Vmid", FuzzyInterval::crisp(4.1).widened(0.02).unwrap())
+            .unwrap();
+        warm.set_prior("R2", FuzzyInterval::new(0.7, 0.8, 0.1, 0.1).unwrap())
+            .unwrap();
+        warm.propagate();
+        warm.reset();
+        assert_eq!(warm.probed(), vec![false, false]);
+        let replay = faulty_report(&mut warm);
+        assert_eq!(format!("{replay:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn pool_recycles_sessions() {
+        let d = divider_diagnoser();
+        let mut pool = SessionPool::new(&d);
+        assert_eq!(pool.idle_count(), 0);
+        pool.warm(2);
+        assert_eq!(pool.idle_count(), 2);
+        let s1 = pool.acquire();
+        let s2 = pool.acquire();
+        let s3 = pool.acquire(); // pool empty: fresh session
+        assert_eq!(pool.idle_count(), 0);
+        pool.release(s1);
+        pool.release(s2);
+        pool.release(s3);
+        assert_eq!(pool.idle_count(), 3);
+        // Excused sessions are not pooled.
+        let r1 = d.netlist().component_by_name("R1").unwrap();
+        pool.release(d.session_excusing(&[r1]));
+        assert_eq!(pool.idle_count(), 3);
+        // A recycled session behaves like a fresh one.
+        let expected = faulty_report(&mut d.session());
+        let got = faulty_report(&mut pool.acquire());
+        assert_eq!(format!("{got:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_thread_count() {
+        let d = divider_diagnoser();
+        let boards: Vec<Board> = (0..7)
+            .map(|i| {
+                let v = 4.0 + 0.4 * f64::from(i);
+                vec![(0usize, FuzzyInterval::crisp(v).widened(0.05).unwrap())]
+            })
+            .collect();
+        // Ground truth: a fresh session per board.
+        let expected: Vec<Report> = boards
+            .iter()
+            .map(|board| {
+                let mut s = d.session();
+                for &(idx, value) in board {
+                    s.measure_point(idx, value).unwrap();
+                }
+                s.propagate();
+                s.report()
+            })
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let got = diagnose_batch(&d, &boards, threads).unwrap();
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{expected:?}"),
+                "{threads}-thread batch must be byte-identical to sequential"
+            );
+        }
+        // Per-board errors surface.
+        let bad: Vec<Board> = vec![vec![(99, FuzzyInterval::crisp(0.0))]];
+        assert!(diagnose_batch(&d, &bad, 2).is_err());
     }
 }

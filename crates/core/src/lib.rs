@@ -60,7 +60,10 @@ pub mod propagation;
 pub mod rules;
 pub mod strategy;
 
-pub use engine::{Candidate, Diagnoser, DiagnoserConfig, PointReport, Report, Session};
+pub use engine::{
+    diagnose_batch, Board, Candidate, CompiledModel, Diagnoser, DiagnoserConfig, PointReport,
+    Report, Session, SessionPool,
+};
 pub use error::CoreError;
 pub use flames::{DiagnosisOutcome, Flames, FlamesConfig};
 

@@ -11,12 +11,34 @@
 //! coincidence is classified per the paper's Fig. 4 (corroboration /
 //! split / partial or total conflict) through the degree of consistency
 //! `Dc`, and conflicts become graded nogoods in the fuzzy ATMS.
+//!
+//! # Compile-once / serve-many
+//!
+//! The paper's workflow diagnoses many boards against one circuit model,
+//! so the engine is split along that line:
+//!
+//! * [`CompiledSchedule`] — the immutable per-**model** half: the
+//!   compiled constraint schedule (see
+//!   [`flames_circuit::compile::CompiledNetwork`]), the assumption
+//!   vocabulary (component + connection assumptions with their interned
+//!   names), the per-constraint support environments, the seed
+//!   environments, and a vocabulary-only base ATMS. Build it once and
+//!   share it — it is `Send + Sync`.
+//! * [`Propagator`] — the mutable per-**board** half: value stores, the
+//!   fuzzy ATMS labels and nogoods, coincidence records, withdrawn
+//!   constraints. It either owns a private schedule (the legacy
+//!   [`Propagator::new`] constructors, which re-derive everything per
+//!   session) or borrows a shared one
+//!   ([`Propagator::with_schedule_filtered`]); [`Propagator::reset`]
+//!   clears the per-board state without deallocating, so a warm
+//!   propagator serves the next board with zero rebuild cost.
 
 use crate::error::CoreError;
 use crate::Result;
 use flames_atms::{Assumption, AssumptionPool, Env, FuzzyAtms, TNorm};
-use flames_circuit::constraint::{Network, QuantityId, Relation};
-use flames_circuit::{Net, Netlist};
+use flames_circuit::compile::{CompiledNetwork, CompiledRelation};
+use flames_circuit::constraint::{Network, QuantityId};
+use flames_circuit::{CompId, Net, Netlist};
 use flames_fuzzy::{Consistency, FuzzyInterval};
 use std::collections::VecDeque;
 
@@ -96,74 +118,42 @@ impl Default for PropagatorConfig {
     }
 }
 
-/// The propagation engine: quantity labels, the fuzzy ATMS, and the
-/// assumption vocabulary for one diagnosis session.
+/// The immutable per-model half of the propagation engine: the compiled
+/// constraint schedule plus the assumption vocabulary and the
+/// environments every session used to rebuild from scratch.
+///
+/// Build once per circuit model with [`CompiledSchedule::build`]; share
+/// freely across sessions and threads (`Send + Sync` — verified by a
+/// static audit in `flames-atms` and the workspace serving tests).
 #[derive(Debug, Clone)]
-pub struct Propagator<'n> {
-    network: &'n Network,
-    config: PropagatorConfig,
-    entries: Vec<Vec<ValueEntry>>,
-    atms: FuzzyAtms,
-    pool: AssumptionPool,
-    comp_assumptions: Vec<Assumption>,
-    conn_assumptions: Vec<Option<Assumption>>,
-    coincidences: Vec<CoincidenceRecord>,
-    /// Constraints withdrawn by model-validity excusal (indexed like
-    /// `network.constraints()`).
-    disabled_constraints: Vec<bool>,
+pub struct CompiledSchedule {
+    /// Compiled constraint application schedule + fanout adjacency.
+    pub(crate) compiled: CompiledNetwork,
+    /// The assumption vocabulary (names every env in reports).
+    pub(crate) pool: AssumptionPool,
+    /// Per-component correctness assumptions, in netlist order.
+    pub(crate) comp_assumptions: Vec<Assumption>,
+    /// Per-net connection assumptions (nets owning Kirchhoff laws).
+    pub(crate) conn_assumptions: Vec<Option<Assumption>>,
     /// Per-constraint support environment (component assumptions ∪
-    /// connection assumption), built once at construction.
-    constraint_envs: Vec<Env>,
-    /// Quantity → constraint adjacency for the dirty-constraint requeue.
-    consumers: Vec<Vec<u32>>,
+    /// connection assumption).
+    pub(crate) constraint_envs: Vec<Env>,
+    /// Per-seed support environment, parallel to [`Network::seeds`].
+    pub(crate) seed_envs: Vec<Env>,
+    /// Vocabulary-only ATMS sessions start from (cloned cold, reset
+    /// warm).
+    pub(crate) base_atms: FuzzyAtms,
 }
 
-impl<'n> Propagator<'n> {
-    /// Builds a propagator for `network`, creating one correctness
-    /// assumption per component of `netlist` and one connection assumption
-    /// per net that owns a Kirchhoff constraint, then loads the network's
-    /// seed values.
+impl CompiledSchedule {
+    /// Compiles the per-model schedule: one correctness assumption per
+    /// component of `netlist`, one connection assumption per net owning a
+    /// Kirchhoff constraint (in constraint first-appearance order — the
+    /// numbering every session previously re-derived), the per-constraint
+    /// support environments, and the seed environments.
     #[must_use]
-    pub fn new(netlist: &Netlist, network: &'n Network, config: PropagatorConfig) -> Self {
-        Self::new_with_unknown(netlist, network, config, &[])
-    }
-
-    /// Like [`Propagator::new`], but the parameters of the listed
-    /// components are left *unknown* (their seeds are withheld). Used by
-    /// fault-mode refinement to infer a suspect's actual parameter from
-    /// the measurements.
-    #[must_use]
-    pub fn new_with_unknown(
-        netlist: &Netlist,
-        network: &'n Network,
-        config: PropagatorConfig,
-        unknown: &[flames_circuit::CompId],
-    ) -> Self {
-        Self::new_filtered(netlist, network, config, unknown, &[])
-    }
-
-    /// Like [`Propagator::new`], but the listed components' *models* are
-    /// withdrawn entirely: their parameter seeds are skipped and every
-    /// constraint they support is disabled. Used by the §6.2
-    /// model-validity machinery when a device is driven out of the
-    /// operating region its model assumes.
-    #[must_use]
-    pub fn new_excusing(
-        netlist: &Netlist,
-        network: &'n Network,
-        config: PropagatorConfig,
-        excused: &[flames_circuit::CompId],
-    ) -> Self {
-        Self::new_filtered(netlist, network, config, excused, excused)
-    }
-
-    fn new_filtered(
-        netlist: &Netlist,
-        network: &'n Network,
-        config: PropagatorConfig,
-        unknown: &[flames_circuit::CompId],
-        excused: &[flames_circuit::CompId],
-    ) -> Self {
+    pub fn build(netlist: &Netlist, network: &Network, config: PropagatorConfig) -> Self {
+        let compiled = CompiledNetwork::compile(network);
         let mut atms = FuzzyAtms::new()
             .with_tnorm(config.tnorm)
             .with_kill_threshold(config.kill_threshold);
@@ -178,16 +168,12 @@ impl<'n> Propagator<'n> {
             comp_assumptions.push(a);
         }
         let mut conn_assumptions = vec![None; netlist.net_count()];
-        for constraint in network.constraints() {
-            if let Some(net) = constraint.conn {
-                if conn_assumptions[net.index()].is_none() {
-                    let name = format!("conn:{}", netlist.net_name(net));
-                    let a = atms.add_assumption(&name);
-                    let interned = pool.intern(&name);
-                    debug_assert_eq!(a, interned);
-                    conn_assumptions[net.index()] = Some(a);
-                }
-            }
+        for &net in compiled.conn_nets() {
+            let name = format!("conn:{}", netlist.net_name(net));
+            let a = atms.add_assumption(&name);
+            let interned = pool.intern(&name);
+            debug_assert_eq!(a, interned);
+            conn_assumptions[net.index()] = Some(a);
         }
         let constraint_envs: Vec<Env> = network
             .constraints()
@@ -203,31 +189,295 @@ impl<'n> Propagator<'n> {
                 env
             })
             .collect();
-        let mut prop = Self {
-            network,
-            config,
-            entries: vec![Vec::new(); network.quantity_count()],
-            atms,
+        let seed_envs: Vec<Env> = network
+            .seeds()
+            .iter()
+            .map(|s| Env::from_assumptions(s.support.iter().map(|c| comp_assumptions[c.index()])))
+            .collect();
+        Self {
+            compiled,
             pool,
             comp_assumptions,
             conn_assumptions,
+            constraint_envs,
+            seed_envs,
+            base_atms: atms,
+        }
+    }
+
+    /// The compiled constraint schedule.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledNetwork {
+        &self.compiled
+    }
+
+    /// The assumption vocabulary.
+    #[must_use]
+    pub fn pool(&self) -> &AssumptionPool {
+        &self.pool
+    }
+
+    /// The correctness assumption of a component (by netlist index).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range component index.
+    #[must_use]
+    pub fn component_assumption(&self, comp_index: usize) -> Assumption {
+        self.comp_assumptions[comp_index]
+    }
+
+    /// The connection assumption of a net, if it owns a Kirchhoff
+    /// constraint.
+    #[must_use]
+    pub fn connection_assumption(&self, net: Net) -> Option<Assumption> {
+        self.conn_assumptions.get(net.index()).copied().flatten()
+    }
+}
+
+/// Owned-or-shared handle on a [`CompiledSchedule`]: the legacy
+/// constructors compile a private schedule per propagator, the serving
+/// path borrows one compiled model.
+#[derive(Debug, Clone)]
+enum ScheduleRef<'n> {
+    Owned(Box<CompiledSchedule>),
+    Shared(&'n CompiledSchedule),
+}
+
+impl ScheduleRef<'_> {
+    fn get(&self) -> &CompiledSchedule {
+        match self {
+            ScheduleRef::Owned(s) => s,
+            ScheduleRef::Shared(s) => s,
+        }
+    }
+}
+
+/// The mutable per-board state: value stores, ATMS labels and nogoods,
+/// coincidences, withdrawn constraints.
+///
+/// Snapshotable: the engine layer captures the post-seed-fixpoint state
+/// once per model and restores sessions from it
+/// ([`Propagator::snapshot_state`] / [`Propagator::restore_state`]), so
+/// warm boards skip the board-independent propagation entirely.
+#[derive(Debug, Clone)]
+pub(crate) struct PropState {
+    entries: Vec<Vec<ValueEntry>>,
+    atms: FuzzyAtms,
+    coincidences: Vec<CoincidenceRecord>,
+    /// Constraints withdrawn by model-validity excusal (indexed like
+    /// `network.constraints()`).
+    disabled_constraints: Vec<bool>,
+    /// Whether [`Propagator::run`] has quiesced at least once; until
+    /// then a run schedules every constraint.
+    ran: bool,
+    /// Quantities with out-of-run insertions (seeds, observations,
+    /// predictions) since the last quiescence — the wake set of the next
+    /// incremental run.
+    dirty: Vec<usize>,
+}
+
+/// The propagation engine: quantity labels, the fuzzy ATMS, and the
+/// assumption vocabulary for one diagnosis session.
+#[derive(Debug, Clone)]
+pub struct Propagator<'n> {
+    network: &'n Network,
+    config: PropagatorConfig,
+    schedule: ScheduleRef<'n>,
+    /// Components whose parameter seeds are withheld.
+    unknown: Vec<CompId>,
+    /// Components whose models are withdrawn entirely.
+    excused: Vec<CompId>,
+    state: PropState,
+}
+
+impl<'n> Propagator<'n> {
+    /// Builds a propagator for `network`, creating one correctness
+    /// assumption per component of `netlist` and one connection assumption
+    /// per net that owns a Kirchhoff constraint, then loads the network's
+    /// seed values.
+    ///
+    /// This compiles a private [`CompiledSchedule`] per call — the
+    /// pre-compile behaviour, kept for one-shot uses and as the cold
+    /// baseline; long-lived serving should build the schedule once and
+    /// use [`Propagator::with_schedule`].
+    #[must_use]
+    pub fn new(netlist: &Netlist, network: &'n Network, config: PropagatorConfig) -> Self {
+        Self::new_with_unknown(netlist, network, config, &[])
+    }
+
+    /// Like [`Propagator::new`], but the parameters of the listed
+    /// components are left *unknown* (their seeds are withheld). Used by
+    /// fault-mode refinement to infer a suspect's actual parameter from
+    /// the measurements.
+    #[must_use]
+    pub fn new_with_unknown(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        unknown: &[CompId],
+    ) -> Self {
+        Self::new_filtered(netlist, network, config, unknown, &[])
+    }
+
+    /// Like [`Propagator::new`], but the listed components' *models* are
+    /// withdrawn entirely: their parameter seeds are skipped and every
+    /// constraint they support is disabled. Used by the §6.2
+    /// model-validity machinery when a device is driven out of the
+    /// operating region its model assumes.
+    #[must_use]
+    pub fn new_excusing(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        excused: &[CompId],
+    ) -> Self {
+        Self::new_filtered(netlist, network, config, excused, excused)
+    }
+
+    fn new_filtered(
+        netlist: &Netlist,
+        network: &'n Network,
+        config: PropagatorConfig,
+        unknown: &[CompId],
+        excused: &[CompId],
+    ) -> Self {
+        let schedule = Box::new(CompiledSchedule::build(netlist, network, config));
+        Self::from_parts(
+            network,
+            ScheduleRef::Owned(schedule),
+            config,
+            unknown.to_vec(),
+            excused.to_vec(),
+        )
+    }
+
+    /// Builds a propagator over a shared, pre-compiled schedule — the
+    /// serve-many path: no vocabulary interning, no adjacency rebuild, no
+    /// environment re-derivation; the cold cost is one clone of the
+    /// vocabulary-only base ATMS plus the empty label stores.
+    #[must_use]
+    pub fn with_schedule(
+        network: &'n Network,
+        schedule: &'n CompiledSchedule,
+        config: PropagatorConfig,
+    ) -> Self {
+        Self::with_schedule_filtered(network, schedule, config, &[], &[])
+    }
+
+    /// [`Propagator::with_schedule`] with the unknown/excused component
+    /// filters of [`Propagator::new_with_unknown`] /
+    /// [`Propagator::new_excusing`]. The filters are per-board state:
+    /// [`Propagator::reset`] reapplies them.
+    #[must_use]
+    pub fn with_schedule_filtered(
+        network: &'n Network,
+        schedule: &'n CompiledSchedule,
+        config: PropagatorConfig,
+        unknown: &[CompId],
+        excused: &[CompId],
+    ) -> Self {
+        Self::from_parts(
+            network,
+            ScheduleRef::Shared(schedule),
+            config,
+            unknown.to_vec(),
+            excused.to_vec(),
+        )
+    }
+
+    fn from_parts(
+        network: &'n Network,
+        schedule: ScheduleRef<'n>,
+        config: PropagatorConfig,
+        unknown: Vec<CompId>,
+        excused: Vec<CompId>,
+    ) -> Self {
+        let state = PropState {
+            entries: vec![Vec::new(); network.quantity_count()],
+            atms: schedule.get().base_atms.clone(),
             coincidences: Vec::new(),
-            disabled_constraints: network
+            disabled_constraints: Vec::with_capacity(network.constraints().len()),
+            ran: false,
+            dirty: Vec::new(),
+        };
+        let mut prop = Self {
+            network,
+            config,
+            schedule,
+            unknown,
+            excused,
+            state,
+        };
+        prop.load_board();
+        prop
+    }
+
+    /// Loads the per-board baseline: the excusal mask and the model
+    /// seeds (minus withheld parameters). Runs on construction and on
+    /// every [`Propagator::reset`].
+    fn load_board(&mut self) {
+        let sched = self.schedule.get();
+        let network = self.network;
+        let config = self.config;
+        let unknown = &self.unknown;
+        let excused = &self.excused;
+        let state = &mut self.state;
+        state.disabled_constraints.clear();
+        state.disabled_constraints.extend(
+            network
                 .constraints()
                 .iter()
-                .map(|c| c.support.iter().any(|s| excused.contains(s)))
-                .collect(),
-            constraint_envs,
-            consumers: network.quantity_consumers(),
-        };
-        for seed in network.seeds() {
+                .map(|c| c.support.iter().any(|s| excused.contains(s))),
+        );
+        for (seed, env) in network.seeds().iter().zip(&sched.seed_envs) {
             if seed.support.iter().any(|c| unknown.contains(c)) {
                 continue;
             }
-            let env = prop.env_of_comps(&seed.support);
-            prop.insert(seed.quantity, seed.value, env, 1.0, false);
+            if state.insert(config, seed.quantity, seed.value, env.clone(), 1.0, false) {
+                state.dirty.push(seed.quantity.index());
+            }
         }
-        prop
+    }
+
+    /// Clears the per-board state — labels, nogoods, coincidences,
+    /// measurements' effects — without deallocating, then reloads the
+    /// model seeds under the same unknown/excused filters. A reset
+    /// propagator is indistinguishable from a freshly constructed one
+    /// (the serving tests assert report-level identity), but costs no
+    /// vocabulary rebuild and reuses every allocation it can.
+    pub fn reset(&mut self) {
+        for list in &mut self.state.entries {
+            list.clear();
+        }
+        self.state.atms.reset();
+        self.state.coincidences.clear();
+        self.state.ran = false;
+        self.state.dirty.clear();
+        self.load_board();
+    }
+
+    /// Clones the full per-board state — the engine layer snapshots the
+    /// board-independent seed fixpoint once per [`CompiledModel`] and
+    /// restores every serving session from it.
+    ///
+    /// [`CompiledModel`]: crate::CompiledModel
+    #[must_use]
+    pub(crate) fn snapshot_state(&self) -> PropState {
+        self.state.clone()
+    }
+
+    /// Overwrites the per-board state from a snapshot, reusing existing
+    /// allocations. The propagator behaves exactly as the one the
+    /// snapshot was taken from did at capture time.
+    pub(crate) fn restore_state(&mut self, base: &PropState) {
+        self.state.clone_from(base);
+    }
+
+    /// The schedule this propagator runs on (owned or shared).
+    #[must_use]
+    pub fn schedule(&self) -> &CompiledSchedule {
+        self.schedule.get()
     }
 
     /// The assumption standing for "component `comp` (by netlist index)
@@ -238,37 +488,37 @@ impl<'n> Propagator<'n> {
     /// Panics for an out-of-range component index.
     #[must_use]
     pub fn component_assumption(&self, comp_index: usize) -> Assumption {
-        self.comp_assumptions[comp_index]
+        self.schedule.get().comp_assumptions[comp_index]
     }
 
     /// The connection assumption of a net, if it has Kirchhoff constraints.
     #[must_use]
     pub fn connection_assumption(&self, net: Net) -> Option<Assumption> {
-        self.conn_assumptions.get(net.index()).copied().flatten()
+        self.schedule.get().connection_assumption(net)
     }
 
     /// Human-readable name of an assumption.
     #[must_use]
     pub fn assumption_name(&self, a: Assumption) -> &str {
-        self.pool.name(a).unwrap_or("?")
+        self.schedule.get().pool.name(a).unwrap_or("?")
     }
 
     /// The assumption vocabulary.
     #[must_use]
     pub fn pool(&self) -> &AssumptionPool {
-        &self.pool
+        &self.schedule.get().pool
     }
 
     /// The underlying fuzzy ATMS (nogoods, suspicion, diagnoses).
     #[must_use]
     pub fn atms(&self) -> &FuzzyAtms {
-        &self.atms
+        &self.state.atms
     }
 
     /// All coincidences recorded so far.
     #[must_use]
     pub fn coincidences(&self) -> &[CoincidenceRecord] {
-        &self.coincidences
+        &self.state.coincidences
     }
 
     /// Current value entries of a quantity.
@@ -277,7 +527,8 @@ impl<'n> Propagator<'n> {
     ///
     /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
     pub fn entries(&self, q: QuantityId) -> Result<&[ValueEntry]> {
-        self.entries
+        self.state
+            .entries
             .get(q.index())
             .map(Vec::as_slice)
             .ok_or(CoreError::UnknownQuantity { index: q.index() })
@@ -286,7 +537,7 @@ impl<'n> Propagator<'n> {
     /// The tightest (smallest-support) value of a quantity, if any.
     #[must_use]
     pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
-        self.entries.get(q.index())?.iter().min_by(|a, b| {
+        self.state.entries.get(q.index())?.iter().min_by(|a, b| {
             a.value
                 .support_width()
                 .partial_cmp(&b.value.support_width())
@@ -302,7 +553,12 @@ impl<'n> Propagator<'n> {
     /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
     pub fn observe(&mut self, q: QuantityId, value: FuzzyInterval) -> Result<()> {
         self.check(q)?;
-        self.insert(q, value, Env::empty(), 1.0, true);
+        if self
+            .state
+            .insert(self.config, q, value, Env::empty(), 1.0, true)
+        {
+            self.state.dirty.push(q.index());
+        }
         Ok(())
     }
 
@@ -317,47 +573,92 @@ impl<'n> Propagator<'n> {
         &mut self,
         q: QuantityId,
         value: FuzzyInterval,
-        support: &[flames_circuit::CompId],
+        support: &[CompId],
         degree: f64,
     ) -> Result<()> {
         self.check(q)?;
         let env = self.env_of_comps(support);
-        self.insert(q, value, env, degree.clamp(f64::MIN_POSITIVE, 1.0), false);
+        if self.state.insert(
+            self.config,
+            q,
+            value,
+            env,
+            degree.clamp(f64::MIN_POSITIVE, 1.0),
+            false,
+        ) {
+            self.state.dirty.push(q.index());
+        }
         Ok(())
     }
 
     /// Installs an external graded nogood (e.g. from a fault-model rule).
     pub fn add_nogood(&mut self, env: Env, degree: f64) {
-        self.atms.add_nogood(env, degree);
+        self.state.atms.add_nogood(env, degree);
     }
 
     /// Runs constraint propagation to quiescence (bounded by
     /// [`PropagatorConfig::max_steps`]), then grades every spec condition.
     ///
+    /// The first run after construction or [`Propagator::reset`]
+    /// schedules every constraint; subsequent runs are *incremental* —
+    /// they wake only the consumers of quantities changed since the last
+    /// quiescence (new observations, predictions or nogoods' effects),
+    /// in constraint-index order, exactly as a full rescan would reach
+    /// them. This is what makes warm serving cheap: a session restored
+    /// from the model's pre-propagated base state only ever pays for the
+    /// cone of its own measurements.
+    ///
     /// Returns the number of constraint applications performed.
     pub fn run(&mut self) -> usize {
-        // All constraints are initially dirty.
+        let sched = self.schedule.get();
+        let network = self.network;
+        let config = self.config;
+        let state = &mut self.state;
         let mut steps = 0usize;
-        let n = self.network.constraints().len();
-        let mut queue: VecDeque<usize> = (0..n).collect();
-        let mut queued: Vec<bool> = vec![true; n];
+        let n = sched.compiled.constraint_count();
+        let mut queue: VecDeque<usize>;
+        let mut queued: Vec<bool>;
         let mut wake: Vec<u32> = Vec::new();
+        if state.ran {
+            // Incremental: wake only the consumers of quantities touched
+            // since the last quiescence.
+            let mut touched = std::mem::take(&mut state.dirty);
+            touched.sort_unstable();
+            touched.dedup();
+            for &qi in &touched {
+                wake.extend_from_slice(&sched.compiled.consumers()[qi]);
+            }
+            wake.sort_unstable();
+            wake.dedup();
+            queued = vec![false; n];
+            queue = VecDeque::with_capacity(wake.len());
+            for &cj in &wake {
+                queue.push_back(cj as usize);
+                queued[cj as usize] = true;
+            }
+        } else {
+            // First run: all constraints are initially dirty.
+            queue = (0..n).collect();
+            queued = vec![true; n];
+            state.dirty.clear();
+        }
+        state.ran = true;
         while let Some(ci) = queue.pop_front() {
             queued[ci] = false;
-            if steps >= self.config.max_steps {
+            if steps >= config.max_steps {
                 break;
             }
-            if self.disabled_constraints[ci] {
+            if state.disabled_constraints[ci] {
                 continue;
             }
             steps += 1;
-            let changed = self.apply_constraint(ci);
+            let changed = state.apply_constraint(sched, config, ci);
             if !changed.is_empty() {
                 // Requeue exactly the consumers of the changed quantities,
                 // in constraint-index order (matching a full rescan).
                 wake.clear();
                 for &qi in &changed {
-                    wake.extend_from_slice(&self.consumers[qi]);
+                    wake.extend_from_slice(&sched.compiled.consumers()[qi]);
                 }
                 wake.sort_unstable();
                 wake.dedup();
@@ -370,79 +671,102 @@ impl<'n> Propagator<'n> {
                 }
             }
         }
-        self.grade_specs();
+        state.grade_specs(sched, network, config);
         steps
     }
 
     // ----- internals -------------------------------------------------
 
     fn check(&self, q: QuantityId) -> Result<()> {
-        if q.index() < self.entries.len() {
+        if q.index() < self.state.entries.len() {
             Ok(())
         } else {
             Err(CoreError::UnknownQuantity { index: q.index() })
         }
     }
 
-    fn env_of_comps(&self, comps: &[flames_circuit::CompId]) -> Env {
-        Env::from_assumptions(comps.iter().map(|c| self.comp_assumptions[c.index()]))
+    fn env_of_comps(&self, comps: &[CompId]) -> Env {
+        let sched = self.schedule.get();
+        Env::from_assumptions(comps.iter().map(|c| sched.comp_assumptions[c.index()]))
     }
+}
 
+impl PropState {
     /// Applies one constraint in every invertible direction; returns the
     /// indices of quantities whose labels changed.
-    fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
-        let network = self.network;
-        let relation = &network.constraints()[ci].relation;
-        let tnorm = self.config.tnorm;
+    fn apply_constraint(
+        &mut self,
+        sched: &CompiledSchedule,
+        config: PropagatorConfig,
+        ci: usize,
+    ) -> Vec<usize> {
+        let tnorm = config.tnorm;
         let mut changed = Vec::new();
-        match *relation {
-            Relation::Linear { ref terms, bias } => {
-                let mut others: Vec<(f64, QuantityId)> = Vec::new();
-                let mut qs: Vec<QuantityId> = Vec::new();
+        match *sched.compiled.relation(ci) {
+            CompiledRelation::Linear {
+                bias,
+                ref directions,
+            } => {
                 let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
-                for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
-                    others.clear();
-                    others.extend(
-                        terms
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, _)| j != target_idx)
-                            .map(|(_, &t)| t),
-                    );
-                    qs.clear();
-                    qs.extend(others.iter().map(|&(_, q)| q));
+                for dir in directions {
                     derived.clear();
                     {
-                        let base_env = &self.constraint_envs[ci];
-                        let others = &others;
+                        let base_env = &sched.constraint_envs[ci];
                         let out = &mut derived;
-                        self.each_combo(&qs, |row| {
+                        self.each_combo(&dir.quantities, |row| {
                             // target = −(bias + Σ coef_j · v_j) / coef.
                             let mut sum = FuzzyInterval::crisp(bias);
                             let mut env = base_env.clone();
                             let mut degree = 1.0;
                             let mut measured = false;
-                            for (&(coef, _), entry) in others.iter().zip(row) {
+                            for (&(coef, _), entry) in dir.others.iter().zip(row) {
                                 sum = sum + entry.value.scaled(coef);
                                 env.union_with(&entry.env);
                                 degree = tnorm.combine(degree, entry.degree);
                                 measured |= entry.measured;
                             }
-                            out.push((sum.scaled(-1.0 / target_coef), env, degree, measured));
+                            out.push((sum.scaled(dir.neg_inv_coef), env, degree, measured));
                         });
                     }
                     for (value, env, degree, measured) in derived.drain(..) {
-                        if self.insert(target_q, value, env, degree, measured) {
-                            changed.push(target_q.index());
+                        if self.insert(config, dir.target, value, env, degree, measured) {
+                            changed.push(dir.target.index());
                         }
                     }
                 }
             }
-            Relation::Product { p, x, y } => {
+            CompiledRelation::Product { p, x, y } => {
                 // p = x · y, x = p / y and y = p / x.
-                self.derive_pairs(ci, p, x, y, |a, b| a.mul(b).ok(), &mut changed);
-                self.derive_pairs(ci, x, p, y, |a, b| a.div(b).ok(), &mut changed);
-                self.derive_pairs(ci, y, p, x, |a, b| a.div(b).ok(), &mut changed);
+                self.derive_pairs(
+                    sched,
+                    config,
+                    ci,
+                    p,
+                    x,
+                    y,
+                    |a, b| a.mul(b).ok(),
+                    &mut changed,
+                );
+                self.derive_pairs(
+                    sched,
+                    config,
+                    ci,
+                    x,
+                    p,
+                    y,
+                    |a, b| a.div(b).ok(),
+                    &mut changed,
+                );
+                self.derive_pairs(
+                    sched,
+                    config,
+                    ci,
+                    y,
+                    p,
+                    x,
+                    |a, b| a.div(b).ok(),
+                    &mut changed,
+                );
             }
         }
         changed.sort_unstable();
@@ -453,8 +777,11 @@ impl<'n> Propagator<'n> {
     /// Derives `target` from every entry pair of `(a, b)` through `op`,
     /// inserting the results under the constraint's cached base
     /// environment.
+    #[allow(clippy::too_many_arguments)]
     fn derive_pairs(
         &mut self,
+        sched: &CompiledSchedule,
+        config: PropagatorConfig,
         ci: usize,
         target: QuantityId,
         a: QuantityId,
@@ -462,10 +789,10 @@ impl<'n> Propagator<'n> {
         op: impl Fn(&FuzzyInterval, &FuzzyInterval) -> Option<FuzzyInterval>,
         changed: &mut Vec<usize>,
     ) {
-        let tnorm = self.config.tnorm;
+        let tnorm = config.tnorm;
         let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
         {
-            let base_env = &self.constraint_envs[ci];
+            let base_env = &sched.constraint_envs[ci];
             let out = &mut derived;
             self.each_combo(&[a, b], |row| {
                 if let Some(value) = op(&row[0].value, &row[1].value) {
@@ -478,7 +805,7 @@ impl<'n> Propagator<'n> {
             });
         }
         for (value, env, degree, measured) in derived {
-            if self.insert(target, value, env, degree, measured) {
+            if self.insert(config, target, value, env, degree, measured) {
                 changed.push(target.index());
             }
         }
@@ -525,6 +852,7 @@ impl<'n> Propagator<'n> {
     /// changed.
     fn insert(
         &mut self,
+        config: PropagatorConfig,
         q: QuantityId,
         value: FuzzyInterval,
         env: Env,
@@ -551,6 +879,7 @@ impl<'n> Propagator<'n> {
         // (The asymmetric area-based Dc is reserved for the
         // measured-vs-nominal test-point comparison in the engine.)
         let mut dominated = false;
+        let mut conflicts: Vec<(CoincidenceRecord, f64)> = Vec::new();
         for existing in list {
             // Orient the record: the measurement side plays Vm.
             let (vm, vn) = if existing.measured && !incoming.measured {
@@ -562,7 +891,7 @@ impl<'n> Propagator<'n> {
                 || existing.value.is_included_in(&incoming.value);
             let pi = vm.possibility_of(vn);
             let conflict = if nested { 0.0 } else { 1.0 - pi };
-            let kind = if conflict <= self.config.conflict_threshold {
+            let kind = if conflict <= config.conflict_threshold {
                 if nested && incoming.value != existing.value {
                     CoincidenceKind::Split
                 } else {
@@ -582,18 +911,20 @@ impl<'n> Propagator<'n> {
                 } else {
                     flames_fuzzy::Direction::High
                 };
-                let nogood_degree = self.config.tnorm.combine(
+                let nogood_degree = config.tnorm.combine(
                     conflict,
-                    self.config.tnorm.combine(incoming.degree, existing.degree),
+                    config.tnorm.combine(incoming.degree, existing.degree),
                 );
                 let union_env = incoming.env.union(&existing.env);
-                self.coincidences.push(CoincidenceRecord {
-                    quantity: q,
-                    kind,
-                    consistency: Consistency::from_parts(pi, direction),
-                    env: union_env.clone(),
-                });
-                self.atms.add_nogood(union_env, nogood_degree);
+                conflicts.push((
+                    CoincidenceRecord {
+                        quantity: q,
+                        kind,
+                        consistency: Consistency::from_parts(pi, direction),
+                        env: union_env,
+                    },
+                    nogood_degree,
+                ));
             }
             // Dominance: an existing entry that is at least as general
             // (subset environment), at least as certain, and at least as
@@ -605,7 +936,7 @@ impl<'n> Propagator<'n> {
                 && existing.degree >= incoming.degree - 1e-12
             {
                 let meaningful = incoming.value.support_width()
-                    <= existing.value.support_width() * (1.0 - self.config.min_tightening);
+                    <= existing.value.support_width() * (1.0 - config.min_tightening);
                 if existing.value.is_included_in(&incoming.value)
                     || (!meaningful && incoming.value.is_included_in(&existing.value))
                 {
@@ -613,12 +944,17 @@ impl<'n> Propagator<'n> {
                 }
             }
         }
+        for (record, nogood_degree) in conflicts {
+            let env = record.env.clone();
+            self.coincidences.push(record);
+            self.atms.add_nogood(env, nogood_degree);
+        }
         if dominated {
             return false;
         }
         let list = &mut self.entries[q.index()];
         // Drop entries the incoming one meaningfully improves on.
-        let min_tightening = self.config.min_tightening;
+        let min_tightening = config.min_tightening;
         let before = list.len();
         list.retain(|e| {
             !(incoming.env.is_subset_of(&e.env)
@@ -628,7 +964,7 @@ impl<'n> Propagator<'n> {
                     <= e.value.support_width() * (1.0 - min_tightening))
         });
         let dropped = before - list.len();
-        if list.len() >= self.config.max_entries {
+        if list.len() >= config.max_entries {
             // The label is full: the incoming value may still replace the
             // widest held entry if it is strictly tighter. (The raw
             // measurement is always the narrowest entry, so it can never
@@ -660,21 +996,36 @@ impl<'n> Propagator<'n> {
 
     /// Grades every spec condition against the current best value of its
     /// quantity; violations raise nogoods over spec support ∪ value env.
-    fn grade_specs(&mut self) {
-        let network = self.network;
+    fn grade_specs(
+        &mut self,
+        sched: &CompiledSchedule,
+        network: &Network,
+        config: PropagatorConfig,
+    ) {
         for spec in network.specs() {
-            let Some(best) = self.best_value(spec.quantity) else {
+            let Some(best) = self.entries.get(spec.quantity.index()).and_then(|list| {
+                list.iter().min_by(|a, b| {
+                    a.value
+                        .support_width()
+                        .partial_cmp(&b.value.support_width())
+                        .expect("finite widths")
+                })
+            }) else {
                 continue;
             };
             let satisfaction = best.value.satisfaction_of(&spec.condition);
             let violation = 1.0 - satisfaction;
-            if violation <= self.config.conflict_threshold {
+            if violation <= config.conflict_threshold {
                 continue;
             }
             let best_degree = best.degree;
             let mut env = best.env.clone();
-            env.union_with(&self.env_of_comps(&spec.support));
-            self.coincidences.push(CoincidenceRecord {
+            env.union_with(&Env::from_assumptions(
+                spec.support
+                    .iter()
+                    .map(|c| sched.comp_assumptions[c.index()]),
+            ));
+            let record = CoincidenceRecord {
                 quantity: spec.quantity,
                 kind: if satisfaction <= 0.0 {
                     CoincidenceKind::TotalConflict
@@ -683,13 +1034,17 @@ impl<'n> Propagator<'n> {
                 },
                 consistency: Consistency::from_parts(satisfaction, flames_fuzzy::Direction::High),
                 env: env.clone(),
-            });
+            };
+            // Specs are re-graded at the end of every run; a violation
+            // that has not changed must not pile up duplicate records.
+            if !self.coincidences.contains(&record) {
+                self.coincidences.push(record);
+            }
             self.atms
-                .add_nogood(env, self.config.tnorm.combine(violation, best_degree));
+                .add_nogood(env, config.tnorm.combine(violation, best_degree));
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -858,5 +1213,73 @@ mod tests {
         .unwrap();
         prop.run();
         assert_eq!(prop.atms().nogoods().len(), before, "still healthy");
+    }
+
+    /// Runs one faulty-board scenario on a propagator and snapshots
+    /// everything a report is derived from.
+    fn run_board(prop: &mut Propagator<'_>, network: &Network, nl: &Netlist) -> String {
+        let mid = nl.net_by_name("mid").unwrap();
+        let vq = network.voltage_quantity(mid);
+        prop.observe(vq, FuzzyInterval::crisp(5.4).widened(0.05).unwrap())
+            .unwrap();
+        prop.run();
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            prop.entries(vq).unwrap(),
+            prop.atms().nogoods(),
+            prop.coincidences(),
+            prop.atms().ranked_diagnoses(3, 64),
+        )
+    }
+
+    #[test]
+    fn shared_schedule_matches_private_schedule() {
+        let (nl, network) = divider(0.05);
+        let config = PropagatorConfig::default();
+        let schedule = CompiledSchedule::build(&nl, &network, config);
+        let mut legacy = Propagator::new(&nl, &network, config);
+        let mut shared = Propagator::with_schedule(&network, &schedule, config);
+        let a = run_board(&mut legacy, &network, &nl);
+        let b = run_board(&mut shared, &network, &nl);
+        assert_eq!(a, b, "compiled path must be byte-identical to legacy");
+    }
+
+    #[test]
+    fn reset_board_matches_fresh_propagator() {
+        let (nl, network) = divider(0.05);
+        let config = PropagatorConfig::default();
+        let schedule = CompiledSchedule::build(&nl, &network, config);
+        let mut fresh = Propagator::with_schedule(&network, &schedule, config);
+        let expected = run_board(&mut fresh, &network, &nl);
+        // Warm path: run a *different* board first, then reset and replay.
+        let mut warm = Propagator::with_schedule(&network, &schedule, config);
+        let vin = nl.net_by_name("vin").unwrap();
+        warm.observe(
+            network.voltage_quantity(vin),
+            FuzzyInterval::crisp(9.2).widened(0.02).unwrap(),
+        )
+        .unwrap();
+        warm.run();
+        assert!(!warm.atms().nogoods().is_empty(), "first board is faulty");
+        warm.reset();
+        assert!(warm.atms().nogoods().is_empty());
+        assert!(warm.coincidences().is_empty());
+        let replay = run_board(&mut warm, &network, &nl);
+        assert_eq!(replay, expected, "reset must equal rebuild");
+    }
+
+    #[test]
+    fn reset_preserves_excusal_filters() {
+        let (nl, network) = divider(0.05);
+        let config = PropagatorConfig::default();
+        let r2 = nl.component_by_name("R2").unwrap();
+        let schedule = CompiledSchedule::build(&nl, &network, config);
+        let mut legacy = Propagator::new_excusing(&nl, &network, config, &[r2]);
+        let mut shared =
+            Propagator::with_schedule_filtered(&network, &schedule, config, &[r2], &[r2]);
+        shared.reset();
+        let a = run_board(&mut legacy, &network, &nl);
+        let b = run_board(&mut shared, &network, &nl);
+        assert_eq!(a, b, "filters survive reset");
     }
 }

@@ -10,7 +10,8 @@
 
 use crate::interval::Interval;
 use flames_atms::{Assumption, AssumptionPool, Atms, Env};
-use flames_circuit::constraint::{Network, QuantityId, Relation};
+use flames_circuit::compile::{CompiledNetwork, CompiledRelation};
+use flames_circuit::constraint::{Network, QuantityId};
 use flames_circuit::{Net, Netlist};
 use std::collections::VecDeque;
 
@@ -80,8 +81,10 @@ pub struct CrispPropagator<'n> {
     conflicts: usize,
     /// Per-constraint support environment, built once at construction.
     constraint_envs: Vec<Env>,
-    /// Quantity → constraint adjacency for the dirty-constraint requeue.
-    consumers: Vec<Vec<u32>>,
+    /// The compiled application schedule (inversion directions, fanout
+    /// adjacency, connection-net order) — the same schedule the fuzzy
+    /// engine runs on, so the two baselines cannot drift apart.
+    compiled: CompiledNetwork,
 }
 
 impl<'n> CrispPropagator<'n> {
@@ -89,6 +92,7 @@ impl<'n> CrispPropagator<'n> {
     /// fuzzy seed to its support interval.
     #[must_use]
     pub fn new(netlist: &Netlist, network: &'n Network, config: CrispConfig) -> Self {
+        let compiled = CompiledNetwork::compile(network);
         let mut atms = Atms::new();
         let mut pool = AssumptionPool::new();
         let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
@@ -101,16 +105,12 @@ impl<'n> CrispPropagator<'n> {
             comp_assumptions.push(a);
         }
         let mut conn_assumptions = vec![None; netlist.net_count()];
-        for constraint in network.constraints() {
-            if let Some(net) = constraint.conn {
-                if conn_assumptions[net.index()].is_none() {
-                    let name = format!("conn:{}", netlist.net_name(net));
-                    let a = atms.add_assumption(&name);
-                    let interned = pool.intern(&name);
-                    debug_assert_eq!(a, interned);
-                    conn_assumptions[net.index()] = Some(a);
-                }
-            }
+        for &net in compiled.conn_nets() {
+            let name = format!("conn:{}", netlist.net_name(net));
+            let a = atms.add_assumption(&name);
+            let interned = pool.intern(&name);
+            debug_assert_eq!(a, interned);
+            conn_assumptions[net.index()] = Some(a);
         }
         let constraint_envs: Vec<Env> = network
             .constraints()
@@ -136,7 +136,7 @@ impl<'n> CrispPropagator<'n> {
             conn_assumptions,
             conflicts: 0,
             constraint_envs,
-            consumers: network.quantity_consumers(),
+            compiled,
         };
         for seed in network.seeds() {
             let env = Env::from_assumptions(
@@ -232,7 +232,7 @@ impl<'n> CrispPropagator<'n> {
     /// entirely outside the condition's support raises a nogood.
     pub fn run(&mut self) -> usize {
         let mut steps = 0usize;
-        let n = self.network.constraints().len();
+        let n = self.compiled.constraint_count();
         let mut queue: VecDeque<usize> = (0..n).collect();
         let mut queued: Vec<bool> = vec![true; n];
         let mut wake: Vec<u32> = Vec::new();
@@ -248,7 +248,7 @@ impl<'n> CrispPropagator<'n> {
                 // in constraint-index order (matching a full rescan).
                 wake.clear();
                 for &qi in &changed {
-                    wake.extend_from_slice(&self.consumers[qi]);
+                    wake.extend_from_slice(&self.compiled.consumers()[qi]);
                 }
                 wake.sort_unstable();
                 wake.dedup();
@@ -268,52 +268,76 @@ impl<'n> CrispPropagator<'n> {
     // ----- internals -------------------------------------------------
 
     fn apply_constraint(&mut self, ci: usize) -> Vec<usize> {
-        let network = self.network;
-        let relation = &network.constraints()[ci].relation;
+        // Disjoint field borrows: the compiled schedule and cached
+        // environments are read while the label stores, the ATMS, and the
+        // conflict counter mutate.
+        let Self {
+            ref compiled,
+            ref constraint_envs,
+            ref mut entries,
+            ref mut atms,
+            ref mut conflicts,
+            config,
+            ..
+        } = *self;
+        let base_env = &constraint_envs[ci];
         let mut changed = Vec::new();
-        match *relation {
-            Relation::Linear { ref terms, bias } => {
-                let mut others: Vec<(f64, QuantityId)> = Vec::new();
-                let mut qs: Vec<QuantityId> = Vec::new();
+        match *compiled.relation(ci) {
+            CompiledRelation::Linear {
+                bias,
+                ref directions,
+            } => {
                 let mut derived: Vec<(Interval, Env)> = Vec::new();
-                for (target_idx, &(target_coef, target_q)) in terms.iter().enumerate() {
-                    others.clear();
-                    others.extend(
-                        terms
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, _)| j != target_idx)
-                            .map(|(_, &t)| t),
-                    );
-                    qs.clear();
-                    qs.extend(others.iter().map(|&(_, q)| q));
+                for dir in directions {
                     derived.clear();
                     {
-                        let base_env = &self.constraint_envs[ci];
-                        let others = &others;
                         let out = &mut derived;
-                        self.each_combo(&qs, |row| {
+                        Self::each_combo(entries, &dir.quantities, |row| {
                             let mut sum = Interval::point(bias);
                             let mut env = base_env.clone();
-                            for (&(coef, _), entry) in others.iter().zip(row) {
+                            for (&(coef, _), entry) in dir.others.iter().zip(row) {
                                 sum = sum + entry.value.scaled(coef);
                                 env.union_with(&entry.env);
                             }
-                            out.push((sum.scaled(-1.0 / target_coef), env));
+                            out.push((sum.scaled(dir.neg_inv_coef), env));
                         });
                     }
                     for (value, env) in derived.drain(..) {
-                        if self.insert(target_q, value, env) {
-                            changed.push(target_q.index());
+                        if Self::insert_entry(
+                            entries, atms, conflicts, config, dir.target, value, env,
+                        ) {
+                            changed.push(dir.target.index());
                         }
                     }
                 }
             }
-            Relation::Product { p, x, y } => {
+            CompiledRelation::Product { p, x, y } => {
                 // p = x · y, x = p / y and y = p / x.
-                self.derive_pairs(ci, p, x, y, |a, b| Some(a.mul(b)), &mut changed);
-                self.derive_pairs(ci, x, p, y, |a, b| a.div(b), &mut changed);
-                self.derive_pairs(ci, y, p, x, |a, b| a.div(b), &mut changed);
+                let mut derive =
+                    |target: QuantityId,
+                     a: QuantityId,
+                     b: QuantityId,
+                     op: &dyn Fn(Interval, Interval) -> Option<Interval>| {
+                        let mut derived: Vec<(Interval, Env)> = Vec::new();
+                        Self::each_combo(entries, &[a, b], |row| {
+                            if let Some(value) = op(row[0].value, row[1].value) {
+                                let mut env = base_env.clone();
+                                env.union_with(&row[0].env);
+                                env.union_with(&row[1].env);
+                                derived.push((value, env));
+                            }
+                        });
+                        for (value, env) in derived {
+                            if Self::insert_entry(
+                                entries, atms, conflicts, config, target, value, env,
+                            ) {
+                                changed.push(target.index());
+                            }
+                        }
+                    };
+                derive(p, x, y, &|a, b| Some(a.mul(b)));
+                derive(x, p, y, &|a, b| a.div(b));
+                derive(y, p, x, &|a, b| a.div(b));
             }
         }
         changed.sort_unstable();
@@ -321,48 +345,17 @@ impl<'n> CrispPropagator<'n> {
         changed
     }
 
-    /// Derives `target` from every entry pair of `(a, b)` through `op`,
-    /// inserting the results under the constraint's cached base
-    /// environment.
-    fn derive_pairs(
-        &mut self,
-        ci: usize,
-        target: QuantityId,
-        a: QuantityId,
-        b: QuantityId,
-        op: impl Fn(Interval, Interval) -> Option<Interval>,
-        changed: &mut Vec<usize>,
-    ) {
-        let mut derived: Vec<(Interval, Env)> = Vec::new();
-        {
-            let base_env = &self.constraint_envs[ci];
-            let out = &mut derived;
-            self.each_combo(&[a, b], |row| {
-                if let Some(value) = op(row[0].value, row[1].value) {
-                    let mut env = base_env.clone();
-                    env.union_with(&row[0].env);
-                    env.union_with(&row[1].env);
-                    out.push((value, env));
-                }
-            });
-        }
-        for (value, env) in derived {
-            if self.insert(target, value, env) {
-                changed.push(target.index());
-            }
-        }
-    }
-
     /// Invokes `f` on each cartesian combination of the current entries of
     /// `qs` — by reference, no entry cloning. Combinations enumerate in
     /// lexicographic order with the last quantity varying fastest, capped
     /// at `COMBO_CAP` rows. With `qs` empty, `f` sees one empty row.
-    fn each_combo<'s>(&'s self, qs: &[QuantityId], mut f: impl FnMut(&[&'s CrispEntry])) {
+    fn each_combo<'s>(
+        entries: &'s [Vec<CrispEntry>],
+        qs: &[QuantityId],
+        mut f: impl FnMut(&[&'s CrispEntry]),
+    ) {
         const COMBO_CAP: usize = 64;
-        let lists: Vec<&[CrispEntry]> = qs
-            .iter()
-            .map(|q| self.entries[q.index()].as_slice())
-            .collect();
+        let lists: Vec<&[CrispEntry]> = qs.iter().map(|q| entries[q.index()].as_slice()).collect();
         if lists.iter().any(|l| l.is_empty()) {
             return;
         }
@@ -389,22 +382,42 @@ impl<'n> CrispPropagator<'n> {
     }
 
     fn insert(&mut self, q: QuantityId, value: Interval, env: Env) -> bool {
-        if !self.atms.is_consistent(&env) {
+        Self::insert_entry(
+            &mut self.entries,
+            &mut self.atms,
+            &mut self.conflicts,
+            self.config,
+            q,
+            value,
+            env,
+        )
+    }
+
+    fn insert_entry(
+        entries: &mut [Vec<CrispEntry>],
+        atms: &mut Atms,
+        conflicts: &mut usize,
+        config: CrispConfig,
+        q: QuantityId,
+        value: Interval,
+        env: Env,
+    ) -> bool {
+        if !atms.is_consistent(&env) {
             return false;
         }
         let incoming = CrispEntry { value, env };
-        let list = &self.entries[q.index()];
+        let list = &entries[q.index()];
         let mut dominated = false;
         for existing in list {
             if existing.value.intersect(incoming.value).is_none() {
                 // Boolean conflict: the union of the environments is a
                 // (degree-less) nogood.
-                self.conflicts += 1;
-                self.atms.add_nogood(incoming.env.union(&existing.env));
+                *conflicts += 1;
+                atms.add_nogood(incoming.env.union(&existing.env));
             }
             if existing.env.is_subset_of(&incoming.env) {
                 let meaningful = incoming.value.width()
-                    <= existing.value.width() * (1.0 - self.config.min_tightening);
+                    <= existing.value.width() * (1.0 - config.min_tightening);
                 if existing.value.is_subset_of(incoming.value)
                     || (!meaningful && incoming.value.is_subset_of(existing.value))
                 {
@@ -415,8 +428,8 @@ impl<'n> CrispPropagator<'n> {
         if dominated {
             return false;
         }
-        let min_tightening = self.config.min_tightening;
-        let list = &mut self.entries[q.index()];
+        let min_tightening = config.min_tightening;
+        let list = &mut entries[q.index()];
         let before = list.len();
         list.retain(|e| {
             !(incoming.env.is_subset_of(&e.env)
@@ -424,7 +437,7 @@ impl<'n> CrispPropagator<'n> {
                 && incoming.value.width() <= e.value.width() * (1.0 - min_tightening))
         });
         let dropped = before - list.len();
-        if list.len() >= self.config.max_entries {
+        if list.len() >= config.max_entries {
             return dropped > 0;
         }
         list.push(incoming);

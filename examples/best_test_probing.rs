@@ -28,9 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Peek at the first recommendation of each policy.
-    let fresh = diagnoser.session();
+    let mut session = diagnoser.session();
     for policy in [Policy::FuzzyEntropy, Policy::Probabilistic] {
-        let choices = recommend(&fresh, policy, 0.05);
+        let choices = recommend(&session, policy, 0.05);
         let best = choices.first().expect("unprobed points exist");
         println!(
             "{policy}: first probe {} (score {:.3}, expected entropy {:.3})",
@@ -39,13 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    // Drive both policies to isolation.
+    // Drive both policies to isolation, reusing one warm session:
+    // `reset()` restores the model's pre-propagated base state between
+    // runs, so only each policy's own probes are propagated.
     for policy in [
         Policy::FuzzyEntropy,
         Policy::Probabilistic,
         Policy::FixedOrder,
     ] {
-        let mut session = diagnoser.session();
+        session.reset();
         let run = probe_until_isolated(&mut session, policy, 0.05, &|i| readings[i])?;
         println!(
             "{policy:<14} probes: {:<42} cost {:>4.1}  isolated: {:<5}  top: [{}]",

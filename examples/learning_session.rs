@@ -11,15 +11,18 @@ use flames::circuit::fault::inject_faults;
 use flames::circuit::predict::measure_all;
 use flames::circuit::Fault;
 use flames::core::learning::{symptoms_of, KnowledgeBase};
-use flames::core::{Diagnoser, DiagnoserConfig, Report};
+use flames::core::{Diagnoser, DiagnoserConfig, Report, Session};
 
+/// Diagnoses one board on a warm, reused session: `reset()` rewinds to
+/// the model's pre-propagated base state, so consecutive boards pay no
+/// rebuild.
 fn diagnose_board(
-    diagnoser: &Diagnoser,
+    session: &mut Session<'_>,
     board: &flames::circuit::Netlist,
     nets: &[flames::circuit::Net],
 ) -> Result<Report, Box<dyn std::error::Error>> {
+    session.reset();
     let readings = measure_all(board, nets, 0.05)?;
-    let mut session = diagnoser.session();
     session.measure("Vs", readings[0])?;
     session.measure("V1", readings[1])?;
     session.measure("V2", readings[2])?;
@@ -36,11 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let nets = [ts.vs, ts.v1, ts.v2];
     let mut kb = KnowledgeBase::new();
+    let mut session = diagnoser.session();
 
     // --- Monday: a board with an open R3 comes in. The technician works
     //     it through and confirms the culprit; FLAMES learns the rule.
     let board = inject_faults(&ts.netlist, &[(ts.r3, Fault::Open)])?;
-    let report = diagnose_board(&diagnoser, &board, &nets)?;
+    let report = diagnose_board(&mut session, &board, &nets)?;
     let symptoms = symptoms_of(&report);
     println!("board #1 symptoms:");
     for s in &symptoms {
@@ -52,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Tuesday, Wednesday: two more boards with the same defect.
     for _ in 0..2 {
-        let report = diagnose_board(&diagnoser, &board, &nets)?;
+        let report = diagnose_board(&mut session, &board, &nets)?;
         kb.learn(symptoms_of(&report), "R3", None);
     }
     println!(
@@ -63,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Thursday: a new board shows the same symptom pattern. Before
     //     any model-based search, the knowledge base already points at R3.
-    let report = diagnose_board(&diagnoser, &board, &nets)?;
+    let report = diagnose_board(&mut session, &board, &nets)?;
     let suggestions = kb.suggest(&symptoms_of(&report));
     println!("suggestions for the new board:");
     for s in &suggestions {
@@ -81,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A different defect does not match the learned rule blindly.
     let other = inject_faults(&ts.netlist, &[(ts.r2, Fault::Short)])?;
-    let report = diagnose_board(&diagnoser, &other, &nets)?;
+    let report = diagnose_board(&mut session, &other, &nets)?;
     let other_suggestions = kb.suggest(&symptoms_of(&report));
     println!();
     println!(

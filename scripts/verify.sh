@@ -23,4 +23,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> exp_perf (ATMS kernel gate: results equal, >= 2x on every workload)"
+cargo run -q --release -p flames-bench --bin exp_perf
+
+echo "==> exp_batch (serving gate: byte-identical reports, warm pool >= 1.5x cold)"
+cargo run -q --release -p flames-bench --bin exp_batch
+
 echo "verify: OK"
