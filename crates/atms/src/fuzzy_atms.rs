@@ -2,7 +2,7 @@ use crate::assumptions::Assumption;
 use crate::env::Env;
 use crate::error::AtmsError;
 use crate::hitting::minimal_hitting_sets_iter;
-use crate::interner::{DirtyQueue, EnvId, EnvTable};
+use crate::interner::{DirtyQueue, EnvId, EnvTable, SubsetStats};
 use crate::Result;
 use std::fmt;
 
@@ -597,22 +597,30 @@ impl FuzzyAtms {
     /// pairs through the subsumption index — no snapshot of the previous
     /// label is taken, and untouched entries are never re-minimized.
     fn merge_label(&mut self, node: NodeRef, candidates: Vec<(Env, f64)>) -> bool {
+        flames_obs::metrics().label_merges.incr();
         let mut changed = false;
+        // Subset-test accounting is accumulated across the whole merge and
+        // flushed once — per-test atomics here cost the kernel ~30%.
+        let mut stats = SubsetStats::default();
         for (env, degree) in candidates {
             let id = self.envs.intern_owned(env);
             let envs = &self.envs;
             let label = &mut self.nodes[node.index()].label;
             let dominated = label
                 .iter()
-                .any(|&(kid, kdeg)| kdeg >= degree && envs.is_subset(kid, id));
+                .any(|&(kid, kdeg)| kdeg >= degree && envs.is_subset_counted(kid, id, &mut stats));
             if dominated {
                 continue;
             }
-            label.retain(|&(kid, kdeg)| !(degree >= kdeg && envs.is_subset(id, kid)));
+            label.retain(|&(kid, kdeg)| {
+                !(degree >= kdeg && envs.is_subset_counted(id, kid, &mut stats))
+            });
             label.push((id, degree));
             changed = true;
         }
+        stats.flush();
         if changed {
+            flames_obs::metrics().label_updates.incr();
             let envs = &self.envs;
             self.nodes[node.index()]
                 .label
@@ -632,20 +640,26 @@ impl FuzzyAtms {
     /// classic full rescan over `nodes × labels × nogoods` is unnecessary.
     fn install_nogood(&mut self, env: Env, degree: f64) {
         let ngid = self.envs.intern_owned(env);
+        // Subset-test accounting is accumulated across the whole install
+        // and flushed once — per-test atomics here cost the kernel ~30%.
+        let mut stats = SubsetStats::default();
         // Subsumed by an existing subset nogood at least as strong?
-        if self
-            .nogood_ids
-            .iter()
-            .zip(&self.nogoods)
-            .any(|(&id, n)| n.degree >= degree && self.envs.is_subset(id, ngid))
-        {
+        let subsumed = self.nogood_ids.iter().zip(&self.nogoods).any(|(&id, n)| {
+            n.degree >= degree && self.envs.is_subset_counted(id, ngid, &mut stats)
+        });
+        if subsumed {
+            stats.flush();
+            flames_obs::metrics().nogood_subsumed.incr();
             return;
         }
+        flames_obs::metrics().nogood_installs.incr();
         // Drop existing nogoods this one dominates (order-preserving).
         let mut w = 0;
         for r in 0..self.nogoods.len() {
-            let dominated =
-                degree >= self.nogoods[r].degree && self.envs.is_subset(ngid, self.nogood_ids[r]);
+            let dominated = degree >= self.nogoods[r].degree
+                && self
+                    .envs
+                    .is_subset_counted(ngid, self.nogood_ids[r], &mut stats);
             if !dominated {
                 self.nogoods.swap(w, r);
                 self.nogood_ids.swap(w, r);
@@ -663,9 +677,11 @@ impl FuzzyAtms {
         if degree >= self.kill_threshold {
             let envs = &self.envs;
             for node in &mut self.nodes {
-                node.label.retain(|&(eid, _)| !envs.is_subset(ngid, eid));
+                node.label
+                    .retain(|&(eid, _)| !envs.is_subset_counted(ngid, eid, &mut stats));
             }
         }
+        stats.flush();
     }
 }
 

@@ -101,6 +101,7 @@ pub fn minimal_hitting_sets_iter<'a>(
                 if plen >= max_size {
                     continue;
                 }
+                flames_obs::metrics().hitting_expansions.incr();
                 for a in conflicts[ci].iter() {
                     let mut next_hit = hit.clone();
                     if let Some(mask) = occurrence.get(&(a.index() as u32)) {

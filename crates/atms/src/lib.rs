@@ -51,7 +51,7 @@ pub use atms::{Atms, JustificationId, NodeId};
 pub use env::{minimize, Env, EnvIter};
 pub use error::AtmsError;
 pub use fuzzy_atms::{FuzzyAtms, NodeRef, Nogood, RankedDiagnosis, TNorm, WeightedEnv};
-pub use interner::{EnvId, EnvTable};
+pub use interner::{EnvId, EnvTable, SubsetStats};
 
 /// Convenient result alias for fallible ATMS operations.
 pub type Result<T, E = AtmsError> = std::result::Result<T, E>;

@@ -200,6 +200,15 @@ fn main() {
         .collect();
     let warm_speedup = rows[1].boards_per_sec() / rows[0].boards_per_sec();
     let parallel_scaling = rows[2].boards_per_sec() / rows[1].boards_per_sec();
+
+    // Counter deltas over one untimed warm-pool pass of the fleet — the
+    // live-observability column (all zeros when built without `obs`).
+    let mut pool = SessionPool::new(&diagnoser);
+    pool.warm(1);
+    let before = flames_obs::MetricsSnapshot::capture();
+    black_box(run_warm(&mut pool, &boards));
+    let counters = flames_obs::MetricsSnapshot::capture().delta_since(&before);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -208,12 +217,14 @@ fn main() {
             "  \"boards\": {boards},\n",
             "  \"byte_identical\": true,\n",
             "  \"rows\": {{\n{rows}\n  }},\n",
+            "  \"counters\": {counters},\n",
             "  \"warm_vs_cold_speedup\": {warm:.2},\n",
             "  \"parallel_vs_warm_scaling\": {par:.2}\n",
             "}}\n"
         ),
         boards = BOARDS,
         rows = entries.join(",\n"),
+        counters = counters.to_json(2),
         warm = warm_speedup,
         par = parallel_scaling,
     );

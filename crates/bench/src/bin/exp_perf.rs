@@ -663,9 +663,20 @@ fn main() {
         })
         .collect();
     let min_speedup = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+
+    // Kernel counter deltas over one untimed pass of the new-kernel
+    // workloads — the live-observability column (all zeros when the
+    // workspace is built with `--no-default-features`).
+    let before = flames_obs::MetricsSnapshot::capture();
+    black_box(run_new_propagation(&prop));
+    black_box(run_new_nogoods(&nogoods));
+    black_box(run_new_hitting(&hitting));
+    let counters = flames_obs::MetricsSnapshot::capture().delta_since(&before);
+
     let json = format!(
-        "{{\n  \"bench\": \"exp_perf\",\n  \"workloads\": {{\n{}\n  }},\n  \"min_speedup\": {min_speedup:.2}\n}}\n",
-        entries.join(",\n")
+        "{{\n  \"bench\": \"exp_perf\",\n  \"workloads\": {{\n{}\n  }},\n  \"counters\": {},\n  \"min_speedup\": {min_speedup:.2}\n}}\n",
+        entries.join(",\n"),
+        counters.to_json(2),
     );
 
     std::fs::write("BENCH_atms.json", &json).expect("write BENCH_atms.json");

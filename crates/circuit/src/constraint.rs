@@ -289,6 +289,14 @@ pub struct ExtractOptions {
     /// suspect sets exclude the supply, so this defaults to `true`; set
     /// it to `false` to let stimulus faults enter candidate sets.
     pub trust_sources: bool,
+    /// Encode parameter tolerances as crisp interval *width*
+    /// (`[m·(1−tol), m·(1+tol)]` with zero fuzzy spread — DIANA-style
+    /// rectangular modeling) instead of the default fuzzy spreads
+    /// around a crisp core. With rectangular seeds every consistency
+    /// degree collapses to {0, 1}, which makes the fuzzy engine
+    /// directly comparable to the crisp-interval baseline. Default
+    /// `false`.
+    pub interval_tolerance: bool,
 }
 
 impl Default for ExtractOptions {
@@ -297,7 +305,18 @@ impl Default for ExtractOptions {
             default_tolerance: 0.0,
             kirchhoff: true,
             trust_sources: true,
+            interval_tolerance: false,
         }
+    }
+}
+
+/// Nominal-parameter seed under the selected tolerance encoding.
+fn param_seed(nominal: f64, tol: f64, options: ExtractOptions) -> FuzzyInterval {
+    if options.interval_tolerance {
+        let half = tol * nominal.abs();
+        FuzzyInterval::crisp_interval(nominal - half, nominal + half).expect("valid tolerance")
+    } else {
+        FuzzyInterval::with_tolerance(nominal, tol).expect("valid tolerance")
     }
 }
 
@@ -315,6 +334,7 @@ impl Default for ExtractOptions {
 ///   connection assumption.
 #[must_use]
 pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
+    flames_obs::metrics().models_extracted.incr();
     let mut net_work = Network::default();
     let nw = &mut net_work;
 
@@ -351,7 +371,7 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 let r = nw.push_quantity(format!("R({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
                     quantity: r,
-                    value: FuzzyInterval::with_tolerance(ohms, tol).expect("valid tolerance"),
+                    value: param_seed(ohms, tol, options),
                     support: vec![id],
                 });
                 let (va, vb) = (nw.voltage_of[a.index()], nw.voltage_of[b.index()]);
@@ -466,7 +486,7 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 let bq = nw.push_quantity(format!("beta({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
                     quantity: bq,
-                    value: FuzzyInterval::with_tolerance(beta, tol).expect("valid tolerance"),
+                    value: param_seed(beta, tol, options),
                     support: vec![id],
                 });
                 let (vb_, ve) = (nw.voltage_of[base.index()], nw.voltage_of[emitter.index()]);
@@ -533,7 +553,7 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Network {
                 let g = nw.push_quantity(format!("G({name})"), QuantityKind::Param(id));
                 nw.seeds.push(SeedValue {
                     quantity: g,
-                    value: FuzzyInterval::with_tolerance(gain, tol).expect("valid tolerance"),
+                    value: param_seed(gain, tol, options),
                     support: vec![id],
                 });
                 let (vi, vo) = (nw.voltage_of[input.index()], nw.voltage_of[output.index()]);

@@ -148,6 +148,7 @@ impl OperatingPoint {
 /// * [`CircuitError::NoConvergence`] when the diode/BJT state iteration
 ///   cycles without settling.
 pub fn solve_dc(netlist: &Netlist) -> Result<OperatingPoint> {
+    flames_obs::metrics().dc_solves.incr();
     let mut states = initial_states(netlist);
     let mut seen: Vec<Vec<u8>> = Vec::new();
     for _ in 0..MAX_STATE_ITERS {

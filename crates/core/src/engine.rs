@@ -319,6 +319,7 @@ impl Diagnoser {
     /// shared schedule — the netlist is not re-walked.
     #[must_use]
     pub fn session_excusing(&self, excused: &[CompId]) -> Session<'_> {
+        flames_obs::metrics().sessions_opened.incr();
         let model = &*self.model;
         let mut prop = Propagator::with_schedule_filtered(
             &model.network,
@@ -343,6 +344,7 @@ impl Diagnoser {
             excused: excused.to_vec(),
             measured: vec![None; model.test_points.len()],
             priors: vec![None; model.netlist.component_count()],
+            waves: Vec::new(),
         }
     }
 
@@ -355,6 +357,8 @@ impl Diagnoser {
     /// legacy one.
     #[must_use]
     pub fn cold_session(&self) -> Session<'_> {
+        flames_obs::metrics().sessions_opened.incr();
+        flames_obs::metrics().cold_sessions.incr();
         let model = &*self.model;
         let mut prop = Propagator::new(
             model.netlist.as_ref(),
@@ -369,6 +373,7 @@ impl Diagnoser {
             excused: Vec::new(),
             measured: vec![None; model.test_points.len()],
             priors: vec![None; model.netlist.component_count()],
+            waves: Vec::new(),
         }
     }
 
@@ -417,6 +422,11 @@ pub struct Session<'d> {
     excused: Vec<CompId>,
     measured: Vec<Option<FuzzyInterval>>,
     priors: Vec<Option<FuzzyInterval>>,
+    /// One record per [`Session::propagate`] call, for the diagnosis
+    /// trace ([`Session::trace`]). Lives on the session, not in the
+    /// propagator state, so base-state snapshot restores cannot clobber
+    /// it.
+    waves: Vec<crate::trace::WaveRecord>,
 }
 
 impl<'d> Session<'d> {
@@ -429,6 +439,8 @@ impl<'d> Session<'d> {
     /// schedule rebuild, no vocabulary interning, no seed fixpoint,
     /// warm allocations throughout.
     pub fn reset(&mut self) {
+        flames_obs::metrics().session_resets.incr();
+        self.waves.clear();
         if self.excused.is_empty() {
             self.prop.restore_state(&self.diagnoser.model.base_state);
         } else {
@@ -485,7 +497,27 @@ impl<'d> Session<'d> {
     /// Runs propagation to quiescence; returns the number of constraint
     /// applications.
     pub fn propagate(&mut self) -> usize {
-        self.prop.run()
+        let steps = self.prop.run();
+        self.waves.push(crate::trace::WaveRecord {
+            steps,
+            coincidences_total: self.prop.coincidences().len(),
+            nogoods_total: self.prop.atms().nogoods().len(),
+        });
+        steps
+    }
+
+    /// The per-wave propagation records accumulated since the session
+    /// opened (or was last reset) — one per [`Session::propagate`] call.
+    #[must_use]
+    pub fn waves(&self) -> &[crate::trace::WaveRecord] {
+        &self.waves
+    }
+
+    /// Exports the session's diagnosis history as a deterministic
+    /// [`flames_obs::Trace`] (see [`crate::trace`] for the schema).
+    #[must_use]
+    pub fn trace(&self) -> flames_obs::Trace {
+        crate::trace::diagnosis_trace(self)
     }
 
     /// `Dc(measured, predicted)` of a probed test point.
@@ -823,13 +855,19 @@ impl<'d> SessionPool<'d> {
     /// freshly opened otherwise.
     #[must_use]
     pub fn acquire(&mut self) -> Session<'d> {
-        match self.idle.pop() {
+        let session = match self.idle.pop() {
             Some(mut session) => {
+                flames_obs::metrics().pool_hits.incr();
                 session.reset();
                 session
             }
-            None => self.diagnoser.session(),
-        }
+            None => {
+                flames_obs::metrics().pool_misses.incr();
+                self.diagnoser.session()
+            }
+        };
+        flames_obs::metrics().pool_idle.set(self.idle.len() as u64);
+        session
     }
 
     /// Returns a session to the pool for reuse. Sessions with an
@@ -838,6 +876,7 @@ impl<'d> SessionPool<'d> {
         if session.excused.is_empty() && std::ptr::eq(session.diagnoser, self.diagnoser) {
             self.idle.push(session);
         }
+        flames_obs::metrics().pool_idle.set(self.idle.len() as u64);
     }
 
     /// Number of idle sessions currently held.
@@ -943,6 +982,7 @@ pub fn diagnose_batch(
 
 /// Diagnoses one board on a pooled session.
 fn diagnose_one<'d>(pool: &mut SessionPool<'d>, board: &Board) -> Result<Report> {
+    flames_obs::metrics().boards_diagnosed.incr();
     let mut session = pool.acquire();
     for &(idx, value) in board {
         session.measure_point(idx, value)?;

@@ -59,6 +59,7 @@ pub mod learning;
 pub mod propagation;
 pub mod rules;
 pub mod strategy;
+pub mod trace;
 
 pub use engine::{
     diagnose_batch, Board, Candidate, CompiledModel, Diagnoser, DiagnoserConfig, PointReport,

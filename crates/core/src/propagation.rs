@@ -672,6 +672,8 @@ impl<'n> Propagator<'n> {
             }
         }
         state.grade_specs(sched, network, config);
+        flames_obs::metrics().waves.incr();
+        flames_obs::metrics().constraint_apps.add(steps as u64);
         steps
     }
 
@@ -902,6 +904,15 @@ impl PropState {
             } else {
                 CoincidenceKind::PartialConflict
             };
+            {
+                let m = flames_obs::metrics();
+                match kind {
+                    CoincidenceKind::Corroboration => m.corroborations.incr(),
+                    CoincidenceKind::Split => m.splits.incr(),
+                    CoincidenceKind::PartialConflict => m.partial_conflicts.incr(),
+                    CoincidenceKind::TotalConflict => m.total_conflicts.incr(),
+                }
+            }
             if matches!(
                 kind,
                 CoincidenceKind::PartialConflict | CoincidenceKind::TotalConflict

@@ -438,7 +438,29 @@ impl<'n> CrispPropagator<'n> {
         });
         let dropped = before - list.len();
         if list.len() >= config.max_entries {
-            return dropped > 0;
+            // The label is full: the incoming value may still replace
+            // the widest held entry if it is strictly tighter — the same
+            // policy as the fuzzy engine, and for the same reason: the
+            // cap must not make results order-dependent (a late probe or
+            // a tight conditional derivation must never bounce off stale
+            // wide values).
+            let widest = list
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.value
+                        .width()
+                        .partial_cmp(&b.value.width())
+                        .expect("finite widths")
+                })
+                .map(|(i, e)| (i, e.value.width()));
+            match widest {
+                Some((i, width)) if incoming.value.width() < width => {
+                    list[i] = incoming;
+                    return true;
+                }
+                _ => return dropped > 0,
+            }
         }
         list.push(incoming);
         true

@@ -9,6 +9,7 @@
 //! cargo run --example three_stage_amplifier -- open-r3
 //! cargo run --example three_stage_amplifier -- open-n1
 //! cargo run --example three_stage_amplifier -- healthy
+//! cargo run --example three_stage_amplifier -- r2-high trace.json  # + Chrome trace
 //! ```
 
 use flames::circuit::circuits::three_stage;
@@ -48,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Probe the output first, then the internal stage outputs — the
     // paper's measurement order.
     let readings = measure_all(&board, &[ts.vs, ts.v1, ts.v2], 0.05)?;
+    let before = flames::obs::MetricsSnapshot::capture();
     let mut session = diagnoser.session();
     session.measure("Vs", readings[0])?;
     session.measure("V1", readings[1])?;
@@ -56,6 +58,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = session.report();
     print!("{report}");
+
+    // What the diagnosis cost the kernel (absent with obs compiled out).
+    if flames::obs::enabled() {
+        let counters = flames::obs::MetricsSnapshot::capture().delta_since(&before);
+        println!("kernel counters for this diagnosis:");
+        for (name, value) in counters.with_prefixes(&["atms.", "core."]) {
+            println!("  {name:<38} {value}");
+        }
+        println!();
+    }
+
+    // Optional second argument: write the diagnosis trace as Chrome
+    // trace_event JSON, loadable in about:tracing or Perfetto.
+    if let Some(path) = std::env::args().nth(2) {
+        std::fs::write(&path, session.trace().to_chrome_json())?;
+        println!("wrote diagnosis trace to {path}\n");
+    }
 
     // Fault-mode refinement for the top suspects (§7 of the paper).
     let measurements: Vec<(String, flames::fuzzy::FuzzyInterval)> = report

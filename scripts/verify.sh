@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test (tier-1)"
+echo "==> cargo test (tier-1, incl. differential fuzzy-vs-crisp suite)"
 cargo test -q --workspace
+
+echo "==> cargo test --no-default-features (observability compiled out)"
+cargo test -q --workspace --no-default-features
 
 echo "==> cargo test --features proptest (randomized property suites)"
 cargo test -q --workspace --features proptest

@@ -13,7 +13,10 @@
 //! * [`core`] — the FLAMES diagnosis engine (propagation, conflict
 //!   recognition, candidates, fault models, learning, best-test
 //!   strategies);
-//! * [`crisp`] — the DIANA-style crisp-interval baseline.
+//! * [`crisp`] — the DIANA-style crisp-interval baseline;
+//! * [`obs`] — dependency-free observability: kernel counters,
+//!   [`obs::MetricsSnapshot`] deltas, Chrome-trace diagnosis traces
+//!   (feature `obs`, on by default; off compiles to no-ops).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record. The runnable
@@ -35,3 +38,4 @@ pub use flames_circuit as circuit;
 pub use flames_core as core;
 pub use flames_crisp as crisp;
 pub use flames_fuzzy as fuzzy;
+pub use flames_obs as obs;

@@ -191,3 +191,33 @@ fn cold_sessions_match_compiled_sessions() {
         "the legacy per-session rebuild must match the compiled path"
     );
 }
+
+/// The serving paths must agree beyond the `Report`: the exported
+/// diagnosis trace — every propagation wave, coincidence, nogood and
+/// candidate, in order — has to be byte-identical whether a board was
+/// diagnosed on a fresh compiled session, a cold (legacy rebuild)
+/// session, or a pooled warm session. The trace clock is logical
+/// (derivation order), which is what makes byte equality meaningful.
+#[test]
+fn diagnosis_traces_agree_across_serving_paths() {
+    let (diagnoser, boards) = three_stage_fleet();
+    let mut pool = flames::core::SessionPool::new(&diagnoser);
+    fn drive<'d>(
+        board: &Board,
+        mut session: flames::core::Session<'d>,
+    ) -> (String, flames::core::Session<'d>) {
+        for &(idx, value) in board {
+            session.measure_point(idx, value).expect("valid point");
+        }
+        session.propagate();
+        (session.trace().to_chrome_json(), session)
+    }
+    for (b, board) in boards.iter().enumerate() {
+        let (reference, _) = drive(board, diagnoser.session());
+        let (cold, _) = drive(board, diagnoser.cold_session());
+        assert_eq!(cold, reference, "board {b}: cold trace diverges");
+        let (warm, session) = drive(board, pool.acquire());
+        assert_eq!(warm, reference, "board {b}: pooled trace diverges");
+        pool.release(session);
+    }
+}

@@ -1,0 +1,95 @@
+//! Serving determinism at the *metrics* level: the kernel-side counter
+//! deltas of a batch diagnosis (`atms.*` and `core.*` prefixes) must
+//! not depend on how many worker threads `diagnose_batch` uses. The
+//! pool-side `serve.*` counters legitimately do — a 4-thread run opens
+//! four pooled sessions where a sequential run reuses one — which is
+//! exactly why [`MetricsSnapshot::with_prefixes`] exists.
+//!
+//! This file deliberately holds a single `#[test]` and is its own
+//! integration-test binary: the counters are process-global atomics, so
+//! any other test running in a sibling thread of the same process would
+//! perturb the deltas. A separate binary gets a separate process.
+//!
+//! [`MetricsSnapshot::with_prefixes`]: flames::obs::MetricsSnapshot::with_prefixes
+
+use flames::circuit::circuits::three_stage;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure;
+use flames::circuit::Fault;
+use flames::core::{diagnose_batch, Board, Diagnoser, DiagnoserConfig};
+use flames::obs::MetricsSnapshot;
+
+#[test]
+fn kernel_counter_deltas_are_thread_count_invariant() {
+    let ts = three_stage(0.05);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .expect("three-stage model compiles");
+    let variants = [
+        None,
+        Some((ts.r2, 1.3)),
+        Some((ts.r4, 0.8)),
+        Some((ts.r5, 1.25)),
+        Some((ts.r1, 1.4)),
+        Some((ts.r3, 0.7)),
+    ];
+    let boards: Vec<Board> = variants
+        .iter()
+        .map(|fault| {
+            let netlist = match fault {
+                Some((comp, factor)) => {
+                    inject_faults(&ts.netlist, &[(*comp, Fault::ParamFactor(*factor))])
+                        .expect("drift injection")
+                }
+                None => ts.netlist.clone(),
+            };
+            ts.test_points
+                .iter()
+                .enumerate()
+                .map(|(idx, tp)| (idx, measure(&netlist, tp.net, 0.02).expect("board solves")))
+                .collect()
+        })
+        .collect();
+
+    let kernel = ["atms.", "core."];
+    let mut deltas = Vec::new();
+    let mut reports = Vec::new();
+    for threads in [1, 2, 4] {
+        let before = MetricsSnapshot::capture();
+        let out = diagnose_batch(&diagnoser, &boards, threads).expect("batch diagnoses");
+        deltas.push(MetricsSnapshot::capture().delta_since(&before));
+        reports.push(format!("{out:?}"));
+    }
+    assert_eq!(reports[0], reports[1], "reports diverge at 2 threads");
+    assert_eq!(reports[0], reports[2], "reports diverge at 4 threads");
+    let rows: Vec<Vec<(&str, u64)>> = deltas
+        .iter()
+        .map(|d| d.with_prefixes(&kernel).collect())
+        .collect();
+    assert_eq!(rows[0], rows[1], "kernel counters diverge at 2 threads");
+    assert_eq!(rows[0], rows[2], "kernel counters diverge at 4 threads");
+
+    // With observability compiled in, the batch must actually have
+    // moved the kernel counters; compiled out, every delta reads zero.
+    let moved = rows[0].iter().any(|&(_, v)| v > 0);
+    assert_eq!(moved, flames::obs::enabled());
+    if flames::obs::enabled() {
+        // (`atms.label_merges` is deliberately absent: node-label
+        // propagation runs at model-compile time, not while serving.)
+        for name in [
+            "atms.env_intern_hits",
+            "atms.nogood_installs",
+            "core.waves",
+            "core.constraint_apps",
+            "core.coincidence_total_conflicts",
+        ] {
+            assert!(
+                deltas[0].get(name) > 0,
+                "{name} did not move over a conflicting batch"
+            );
+        }
+    }
+}

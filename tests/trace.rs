@@ -1,0 +1,125 @@
+//! Diagnosis-trace round-trip: a three-stage-amplifier diagnosis
+//! exports through [`Trace::to_chrome_json`], parses back with the
+//! in-repo JSON reader, validates as Chrome `trace_event` input, and
+//! carries the schema documented in `flames_core::trace` — wave spans
+//! with coincidence instants nested inside them, then the final nogood
+//! store and candidate ranking.
+//!
+//! [`Trace::to_chrome_json`]: flames::obs::Trace::to_chrome_json
+
+use flames::circuit::circuits::three_stage;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure;
+use flames::circuit::Fault;
+use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::obs::json::{parse, Value};
+use flames::obs::trace::validate_chrome_trace;
+
+#[test]
+fn three_stage_trace_round_trips_as_chrome_trace_event() {
+    let ts = three_stage(0.05);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .expect("three-stage model compiles");
+    let board =
+        inject_faults(&ts.netlist, &[(ts.r2, Fault::ParamFactor(1.3))]).expect("drift injection");
+    let mut session = diagnoser.session();
+    for (idx, tp) in ts.test_points.iter().enumerate() {
+        let reading = measure(&board, tp.net, 0.02).expect("board solves");
+        session.measure_point(idx, reading).expect("valid point");
+    }
+    session.propagate();
+    let report = session.report();
+    assert!(
+        !report.candidates.is_empty(),
+        "a drifted R2 board must produce candidates"
+    );
+
+    let json = session.trace().to_chrome_json();
+
+    // 1. Valid Chrome trace_event input.
+    let events = validate_chrome_trace(&json).expect("valid chrome trace");
+    assert!(events > 0, "trace must not be empty");
+
+    // 2. Round-trips through the in-repo JSON parser, structurally.
+    let value = parse(&json).expect("exporter emits well-formed JSON");
+    let top = value.as_object().expect("object form");
+    let (_, events_value) = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("traceEvents member");
+    let events_list = events_value.as_array().expect("traceEvents is an array");
+    assert_eq!(events_list.len(), events);
+
+    let field = |e: &Value, key: &str| -> Value {
+        e.as_object()
+            .expect("event object")
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null)
+    };
+    let name_of =
+        |e: &Value| -> String { field(e, "name").as_str().expect("name string").to_owned() };
+
+    // 3. Schema content: exactly one wave span per propagate call, with
+    //    its recorded step count; coincidence instants nested inside
+    //    the span's [ts, ts+dur] window; nogoods and candidates last.
+    let waves: Vec<&Value> = events_list
+        .iter()
+        .filter(|e| name_of(e).starts_with("wave "))
+        .collect();
+    assert_eq!(waves.len(), session.waves().len());
+    assert_eq!(waves.len(), 1, "one propagate call was made");
+    let wave = waves[0];
+    assert_eq!(field(wave, "ph").as_str(), Some("X"));
+    assert_eq!(field(wave, "cat").as_str(), Some("core"));
+    let steps = field(wave, "args")
+        .as_object()
+        .and_then(|args| {
+            args.iter()
+                .find(|(k, _)| k == "steps")
+                .and_then(|(_, v)| v.as_f64())
+        })
+        .expect("steps arg");
+    assert_eq!(steps as usize, session.waves()[0].steps);
+
+    let (wave_ts, wave_dur) = (
+        field(wave, "ts").as_f64().expect("ts"),
+        field(wave, "dur").as_f64().expect("dur"),
+    );
+    let coincidence_names = [
+        "corroboration",
+        "split",
+        "partial_conflict",
+        "total_conflict",
+    ];
+    let mut coincidences = 0usize;
+    for e in events_list {
+        if coincidence_names.contains(&name_of(e).as_str()) {
+            coincidences += 1;
+            let ts = field(e, "ts").as_f64().expect("ts");
+            assert!(
+                ts >= wave_ts && ts <= wave_ts + wave_dur,
+                "coincidence instant outside its wave span"
+            );
+        }
+    }
+    assert_eq!(coincidences, session.coincidences().len());
+    assert!(coincidences > 0, "a faulted board must record coincidences");
+
+    let count = |name: &str| events_list.iter().filter(|e| name_of(e) == name).count();
+    assert_eq!(
+        count("nogood"),
+        session.propagator().atms().nogoods().len(),
+        "one instant per stored nogood"
+    );
+    assert!(count("nogood") > 0, "drifted R2 must raise conflicts");
+    assert_eq!(count("candidate"), report.candidates.len());
+
+    // 4. Determinism: the logical clock makes re-export byte-identical.
+    assert_eq!(json, session.trace().to_chrome_json());
+}
