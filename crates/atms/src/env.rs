@@ -105,6 +105,18 @@ impl Env {
         }
     }
 
+    /// A one-word *pedigree signature*: the OR of the backing bitset
+    /// words. `a.word_signature() & !b.word_signature() != 0` proves
+    /// `a ⊄ b` without touching the words again — the struct-of-arrays
+    /// value stores in `flames-core` keep this per entry and prefilter
+    /// their subset-based dominance tests with it. (The converse does not
+    /// hold: equal signatures say nothing, so a hit still runs
+    /// [`Env::is_subset_of`].)
+    #[must_use]
+    pub fn word_signature(&self) -> u64 {
+        self.words().iter().fold(0, |acc, w| acc | w)
+    }
+
     /// Re-establishes the canonical representation after a mutation that
     /// may have cleared high bits.
     fn normalize(&mut self) {

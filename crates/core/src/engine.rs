@@ -506,6 +506,35 @@ impl<'d> Session<'d> {
         steps
     }
 
+    /// Propagates a *lane* of sessions over one shared compiled model:
+    /// a single schedule traversal drives every board to quiescence
+    /// ([`Propagator::run_lane`]), producing per-board state
+    /// bit-identical to calling [`Session::propagate`] on each session
+    /// alone. All sessions must come from [`Diagnoser::session`] /
+    /// [`SessionPool`] over the same diagnoser (shared schedule).
+    ///
+    /// Returns the constraint application count of each session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane exceeds 64 sessions or mixes compiled models
+    /// (see [`Propagator::run_lane`]).
+    pub fn propagate_lane(sessions: &mut [&mut Session<'d>]) -> Vec<usize> {
+        let steps = {
+            let mut props: Vec<&mut Propagator<'d>> =
+                sessions.iter_mut().map(|s| &mut s.prop).collect();
+            Propagator::run_lane(&mut props)
+        };
+        for (s, &n) in sessions.iter_mut().zip(&steps) {
+            s.waves.push(crate::trace::WaveRecord {
+                steps: n,
+                coincidences_total: s.prop.coincidences().len(),
+                nogoods_total: s.prop.atms().nogoods().len(),
+            });
+        }
+        steps
+    }
+
     /// The per-wave propagation records accumulated since the session
     /// opened (or was last reset) — one per [`Session::propagate`] call.
     #[must_use]
@@ -809,8 +838,10 @@ impl<'d> Session<'d> {
 
     /// The best derived value of a quantity, if any (exposes the label
     /// store for inspection and for fault-model parameter inference).
+    /// Returned by value: the column store materializes entries on
+    /// demand rather than holding them contiguously.
     #[must_use]
-    pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
+    pub fn best_value(&self, q: QuantityId) -> Option<ValueEntry> {
         self.prop.best_value(q)
     }
 }
@@ -978,6 +1009,96 @@ pub fn diagnose_batch(
         .into_iter()
         .map(|r| r.expect("every board diagnosed"))
         .collect())
+}
+
+/// [`diagnose_batch`] with board-lane propagation: each worker drives
+/// its boards in lanes of `lane_width` warm sessions (clamped to
+/// `1..=64`), so one schedule traversal per wave is amortised over the
+/// whole lane ([`Propagator::run_lane`]) instead of repeated per board.
+///
+/// Reports are byte-identical to [`diagnose_batch`] for every thread
+/// count and lane width — the lane runner preserves each board's solo
+/// constraint-application order exactly.
+///
+/// # Errors
+///
+/// Returns the first per-board error, as [`diagnose_batch`] does.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn diagnose_batch_lanes(
+    diagnoser: &Diagnoser,
+    boards: &[Board],
+    threads: usize,
+    lane_width: usize,
+) -> Result<Vec<Report>> {
+    let lane_width = lane_width.clamp(1, 64);
+    let threads = threads.max(1).min(boards.len().max(1));
+    let mut results: Vec<Option<Report>> = Vec::new();
+    results.resize_with(boards.len(), || None);
+    if threads <= 1 {
+        let mut pool = SessionPool::new(diagnoser);
+        for (lane, out) in boards
+            .chunks(lane_width)
+            .zip(results.chunks_mut(lane_width))
+        {
+            diagnose_lane_into(&mut pool, lane, out)?;
+        }
+    } else {
+        let chunk = boards.len().div_ceil(threads);
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            let mut rest: &mut [Option<Report>] = &mut results;
+            for batch in boards.chunks(chunk) {
+                let (head, tail) = rest.split_at_mut(batch.len());
+                rest = tail;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let mut pool = SessionPool::new(diagnoser);
+                    for (lane, out) in batch.chunks(lane_width).zip(head.chunks_mut(lane_width)) {
+                        diagnose_lane_into(&mut pool, lane, out)?;
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("batch worker panicked")?;
+            }
+            Ok(())
+        })?;
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every board diagnosed"))
+        .collect())
+}
+
+/// Diagnoses one lane of boards on pooled sessions: measure every
+/// board, propagate the lane jointly, report each board.
+fn diagnose_lane_into<'d>(
+    pool: &mut SessionPool<'d>,
+    lane: &[Board],
+    out: &mut [Option<Report>],
+) -> Result<()> {
+    debug_assert_eq!(lane.len(), out.len());
+    let mut sessions: Vec<Session<'d>> = Vec::with_capacity(lane.len());
+    for board in lane {
+        flames_obs::metrics().boards_diagnosed.incr();
+        let mut session = pool.acquire();
+        for &(idx, value) in board {
+            session.measure_point(idx, value)?;
+        }
+        sessions.push(session);
+    }
+    {
+        let mut refs: Vec<&mut Session<'d>> = sessions.iter_mut().collect();
+        Session::propagate_lane(&mut refs);
+    }
+    for (slot, session) in out.iter_mut().zip(sessions) {
+        *slot = Some(session.report());
+        pool.release(session);
+    }
+    Ok(())
 }
 
 /// Diagnoses one board on a pooled session.

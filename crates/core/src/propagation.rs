@@ -56,6 +56,222 @@ pub struct ValueEntry {
     pub measured: bool,
 }
 
+/// Struct-of-arrays store of one quantity's value entries: the four
+/// trapezoid columns (`m1`/`m2`/`alpha`/`beta`) in parallel `Vec<f64>`s,
+/// so constraint evaluation and the Bonissone–Decker LR arithmetic of a
+/// propagation wave stream over contiguous memory, plus the derivation
+/// pedigree — environment, its one-word [`Env::word_signature`],
+/// certainty degree, measurement flag — in matching columns. The
+/// signature column is the pedigree index: an `O(1)` necessary condition
+/// for the subset tests of the dominance rules, checked before the full
+/// bitset comparison.
+///
+/// [`Propagator::entries`] materializes [`ValueEntry`] rows on demand;
+/// internally everything works on the columns.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EntryColumns {
+    m1: Vec<f64>,
+    m2: Vec<f64>,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    env: Vec<Env>,
+    /// `Env::word_signature` of each entry's environment.
+    sig: Vec<u64>,
+    degree: Vec<f64>,
+    measured: Vec<bool>,
+}
+
+impl EntryColumns {
+    /// The empty store — `const` so the combination enumerator can pad
+    /// its fixed-arity list array with references to it.
+    const EMPTY: Self = Self {
+        m1: Vec::new(),
+        m2: Vec::new(),
+        alpha: Vec::new(),
+        beta: Vec::new(),
+        env: Vec::new(),
+        sig: Vec::new(),
+        degree: Vec::new(),
+        measured: Vec::new(),
+    };
+
+    fn len(&self) -> usize {
+        self.m1.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.m1.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.m1.clear();
+        self.m2.clear();
+        self.alpha.clear();
+        self.beta.clear();
+        self.env.clear();
+        self.sig.clear();
+        self.degree.clear();
+        self.measured.clear();
+    }
+
+    fn value(&self, i: usize) -> FuzzyInterval {
+        FuzzyInterval::from_columns(self.m1[i], self.m2[i], self.alpha[i], self.beta[i])
+    }
+
+    /// Support width straight from the columns — the same
+    /// `(m2 + β) − (m1 − α)` arithmetic as
+    /// [`FuzzyInterval::support_width`], bit for bit.
+    fn width(&self, i: usize) -> f64 {
+        (self.m2[i] + self.beta[i]) - (self.m1[i] - self.alpha[i])
+    }
+
+    fn env(&self, i: usize) -> &Env {
+        &self.env[i]
+    }
+
+    fn sig(&self, i: usize) -> u64 {
+        self.sig[i]
+    }
+
+    fn degree(&self, i: usize) -> f64 {
+        self.degree[i]
+    }
+
+    fn measured(&self, i: usize) -> bool {
+        self.measured[i]
+    }
+
+    /// Materializes one row as an owned [`ValueEntry`].
+    fn entry(&self, i: usize) -> ValueEntry {
+        ValueEntry {
+            value: self.value(i),
+            env: self.env[i].clone(),
+            degree: self.degree[i],
+            measured: self.measured[i],
+        }
+    }
+
+    /// A borrowed row view for constraint evaluation (no env clone).
+    fn entry_ref(&self, i: usize) -> EntryRef<'_> {
+        EntryRef {
+            value: self.value(i),
+            env: &self.env[i],
+            degree: self.degree[i],
+            measured: self.measured[i],
+        }
+    }
+
+    fn to_entries(&self) -> Vec<ValueEntry> {
+        (0..self.len()).map(|i| self.entry(i)).collect()
+    }
+
+    /// Index of the tightest (smallest-support) entry; ties resolve to
+    /// the first, matching `Iterator::min_by` over materialized rows.
+    fn tightest(&self) -> Option<usize> {
+        (0..self.len()).min_by(|&a, &b| {
+            self.width(a)
+                .partial_cmp(&self.width(b))
+                .expect("finite widths")
+        })
+    }
+
+    fn push(&mut self, e: ValueEntry) {
+        self.m1.push(e.value.core_lo());
+        self.m2.push(e.value.core_hi());
+        self.alpha.push(e.value.spread_left());
+        self.beta.push(e.value.spread_right());
+        self.sig.push(e.env.word_signature());
+        self.env.push(e.env);
+        self.degree.push(e.degree);
+        self.measured.push(e.measured);
+    }
+
+    fn set(&mut self, i: usize, e: ValueEntry) {
+        self.m1[i] = e.value.core_lo();
+        self.m2[i] = e.value.core_hi();
+        self.alpha[i] = e.value.spread_left();
+        self.beta[i] = e.value.spread_right();
+        self.sig[i] = e.env.word_signature();
+        self.env[i] = e.env;
+        self.degree[i] = e.degree;
+        self.measured[i] = e.measured;
+    }
+
+    /// Drops every row whose `keep` flag is false, preserving order;
+    /// returns how many were dropped.
+    fn retain_kept(&mut self, keep: &[bool]) -> usize {
+        debug_assert_eq!(keep.len(), self.len());
+        let n = self.len();
+        let mut w = 0usize;
+        for (r, &kept) in keep.iter().enumerate() {
+            if !kept {
+                continue;
+            }
+            if w != r {
+                self.m1[w] = self.m1[r];
+                self.m2[w] = self.m2[r];
+                self.alpha[w] = self.alpha[r];
+                self.beta[w] = self.beta[r];
+                self.sig[w] = self.sig[r];
+                self.degree[w] = self.degree[r];
+                self.measured[w] = self.measured[r];
+                self.env.swap(w, r);
+            }
+            w += 1;
+        }
+        self.m1.truncate(w);
+        self.m2.truncate(w);
+        self.alpha.truncate(w);
+        self.beta.truncate(w);
+        self.sig.truncate(w);
+        self.degree.truncate(w);
+        self.measured.truncate(w);
+        self.env.truncate(w);
+        n - w
+    }
+}
+
+/// A borrowed view of one stored entry, materialized from the columns —
+/// what the combination enumerator hands to constraint evaluation.
+#[derive(Clone, Copy)]
+struct EntryRef<'a> {
+    value: FuzzyInterval,
+    env: &'a Env,
+    degree: f64,
+    measured: bool,
+}
+
+/// The odometer at the heart of [`PropState::each_combo`]: enumerates
+/// index tuples over `lists` (last position varying fastest),
+/// materializing each row for `f`, capped at 64 combinations — the same
+/// first-64 prefix the original entry-cloning enumerator produced.
+fn combo_loop<'s>(
+    lists: &[&'s EntryColumns],
+    idx: &mut [usize],
+    row: &mut [EntryRef<'s>],
+    mut f: impl FnMut(&[EntryRef<'s>]),
+) {
+    const COMBO_CAP: usize = 64;
+    for _ in 0..COMBO_CAP {
+        f(row);
+        // Odometer increment, last position fastest.
+        let mut k = lists.len();
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < lists[k].len() {
+                row[k] = lists[k].entry_ref(idx[k]);
+                break;
+            }
+            idx[k] = 0;
+            row[k] = lists[k].entry_ref(0);
+        }
+    }
+}
+
 /// Fig. 4 classification of a coincidence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoincidenceKind {
@@ -262,7 +478,7 @@ impl ScheduleRef<'_> {
 /// warm boards skip the board-independent propagation entirely.
 #[derive(Debug, Clone)]
 pub(crate) struct PropState {
-    entries: Vec<Vec<ValueEntry>>,
+    entries: Vec<EntryColumns>,
     atms: FuzzyAtms,
     coincidences: Vec<CoincidenceRecord>,
     /// Constraints withdrawn by model-validity excusal (indexed like
@@ -275,6 +491,12 @@ pub(crate) struct PropState {
     /// predictions) since the last quiescence — the wake set of the next
     /// incremental run.
     dirty: Vec<usize>,
+    /// Reusable buffer of derived `(value, env, degree, measured)` rows —
+    /// emptied between constraint applications, kept for its capacity.
+    scratch_derived: Vec<(FuzzyInterval, Env, f64, bool)>,
+    /// Reusable keep-mask of the dominance retain pass in
+    /// [`PropState::insert`].
+    scratch_keep: Vec<bool>,
 }
 
 /// The propagation engine: quantity labels, the fuzzy ATMS, and the
@@ -394,12 +616,14 @@ impl<'n> Propagator<'n> {
         excused: Vec<CompId>,
     ) -> Self {
         let state = PropState {
-            entries: vec![Vec::new(); network.quantity_count()],
+            entries: vec![EntryColumns::default(); network.quantity_count()],
             atms: schedule.get().base_atms.clone(),
             coincidences: Vec::new(),
             disabled_constraints: Vec::with_capacity(network.constraints().len()),
             ran: false,
             dirty: Vec::new(),
+            scratch_derived: Vec::new(),
+            scratch_keep: Vec::new(),
         };
         let mut prop = Self {
             network,
@@ -447,8 +671,8 @@ impl<'n> Propagator<'n> {
     /// (the serving tests assert report-level identity), but costs no
     /// vocabulary rebuild and reuses every allocation it can.
     pub fn reset(&mut self) {
-        for list in &mut self.state.entries {
-            list.clear();
+        for cols in &mut self.state.entries {
+            cols.clear();
         }
         self.state.atms.reset();
         self.state.coincidences.clear();
@@ -521,28 +745,25 @@ impl<'n> Propagator<'n> {
         &self.state.coincidences
     }
 
-    /// Current value entries of a quantity.
+    /// Current value entries of a quantity, materialized from the
+    /// struct-of-arrays store.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
-    pub fn entries(&self, q: QuantityId) -> Result<&[ValueEntry]> {
+    pub fn entries(&self, q: QuantityId) -> Result<Vec<ValueEntry>> {
         self.state
             .entries
             .get(q.index())
-            .map(Vec::as_slice)
+            .map(EntryColumns::to_entries)
             .ok_or(CoreError::UnknownQuantity { index: q.index() })
     }
 
     /// The tightest (smallest-support) value of a quantity, if any.
     #[must_use]
-    pub fn best_value(&self, q: QuantityId) -> Option<&ValueEntry> {
-        self.state.entries.get(q.index())?.iter().min_by(|a, b| {
-            a.value
-                .support_width()
-                .partial_cmp(&b.value.support_width())
-                .expect("finite widths")
-        })
+    pub fn best_value(&self, q: QuantityId) -> Option<ValueEntry> {
+        let cols = self.state.entries.get(q.index())?;
+        cols.tightest().map(|i| cols.entry(i))
     }
 
     /// Enters a *measurement* for a quantity (premise environment,
@@ -643,6 +864,7 @@ impl<'n> Propagator<'n> {
             state.dirty.clear();
         }
         state.ran = true;
+        let mut changed: Vec<usize> = Vec::new();
         while let Some(ci) = queue.pop_front() {
             queued[ci] = false;
             if steps >= config.max_steps {
@@ -652,7 +874,7 @@ impl<'n> Propagator<'n> {
                 continue;
             }
             steps += 1;
-            let changed = state.apply_constraint(sched, config, ci);
+            state.apply_constraint(sched, config, ci, &mut changed);
             if !changed.is_empty() {
                 // Requeue exactly the consumers of the changed quantities,
                 // in constraint-index order (matching a full rescan).
@@ -677,6 +899,152 @@ impl<'n> Propagator<'n> {
         steps
     }
 
+    /// Runs a *lane* of warm propagators to joint quiescence: one shared
+    /// schedule traversal drives up to 64 boards, the queue carrying
+    /// `(constraint, board-bitmask)` waves so a constraint scheduled by
+    /// several boards is fetched and decoded once per wave instead of
+    /// once per board. The per-board subsequence of the shared FIFO is
+    /// exactly the solo FIFO of [`Propagator::run`] — same applications
+    /// in the same order — so every board's labels, nogoods and
+    /// coincidences come out bit-identical to running it alone.
+    ///
+    /// Returns the constraint application count of each board.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane holds more than 64 boards, or if any member
+    /// owns a private schedule ([`Propagator::new`]) or runs on a
+    /// different shared [`CompiledSchedule`] than the first.
+    pub fn run_lane(props: &mut [&mut Self]) -> Vec<usize> {
+        if props.is_empty() {
+            return Vec::new();
+        }
+        assert!(props.len() <= 64, "a lane holds at most 64 boards");
+        // Copy the shared-schedule reference out (it lives for 'n, not
+        // for the duration of this borrow of `props`).
+        let sched: &CompiledSchedule = match props[0].schedule {
+            ScheduleRef::Shared(s) => s,
+            ScheduleRef::Owned(_) => {
+                panic!("run_lane requires propagators over one shared CompiledSchedule")
+            }
+        };
+        for p in props.iter() {
+            match p.schedule {
+                ScheduleRef::Shared(s) => assert!(
+                    std::ptr::eq(s, sched),
+                    "every lane member must share the same CompiledSchedule"
+                ),
+                ScheduleRef::Owned(_) => {
+                    panic!("run_lane requires propagators over one shared CompiledSchedule")
+                }
+            }
+        }
+        let n = sched.compiled.constraint_count();
+        // Per-constraint bitmask of boards holding it queued — the lane
+        // counterpart of the solo `queued: Vec<bool>`.
+        let mut queued: Vec<u64> = vec![0; n];
+        let mut wake: Vec<u32> = Vec::new();
+        for (b, p) in props.iter_mut().enumerate() {
+            let bit = 1u64 << b;
+            let state = &mut p.state;
+            if state.ran {
+                let mut touched = std::mem::take(&mut state.dirty);
+                touched.sort_unstable();
+                touched.dedup();
+                wake.clear();
+                for &qi in &touched {
+                    wake.extend_from_slice(&sched.compiled.consumers()[qi]);
+                }
+                wake.sort_unstable();
+                wake.dedup();
+                for &cj in &wake {
+                    queued[cj as usize] |= bit;
+                }
+                touched.clear();
+                state.dirty = touched;
+            } else {
+                for m in &mut queued {
+                    *m |= bit;
+                }
+                state.dirty.clear();
+            }
+            state.ran = true;
+        }
+        // Initial waves in ascending constraint order — the order every
+        // solo queue starts in, incremental or full.
+        let mut queue: VecDeque<(u32, u64)> = VecDeque::new();
+        for (ci, &mask) in queued.iter().enumerate() {
+            if mask != 0 {
+                queue.push_back((ci as u32, mask));
+            }
+        }
+        let mut steps = vec![0usize; props.len()];
+        let mut changed: Vec<usize> = Vec::new();
+        // Wakes accumulated during one wave, flushed as merged entries in
+        // ascending constraint order afterwards (each board's own pushes
+        // are ascending, exactly as its solo requeue would be).
+        let mut wake_acc: Vec<u64> = vec![0; n];
+        let mut touched_cjs: Vec<u32> = Vec::new();
+        while let Some((ci, mask)) = queue.pop_front() {
+            let ci = ci as usize;
+            queued[ci] &= !mask;
+            let mut rest = mask;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let bit = 1u64 << b;
+                let p = &mut *props[b];
+                let config = p.config;
+                if steps[b] >= config.max_steps {
+                    // The solo loop breaks out here; skipping this
+                    // board's share of every later wave is equivalent.
+                    continue;
+                }
+                let state = &mut p.state;
+                if state.disabled_constraints[ci] {
+                    continue;
+                }
+                steps[b] += 1;
+                state.apply_constraint(sched, config, ci, &mut changed);
+                if changed.is_empty() {
+                    continue;
+                }
+                wake.clear();
+                for &qi in &changed {
+                    wake.extend_from_slice(&sched.compiled.consumers()[qi]);
+                }
+                wake.sort_unstable();
+                wake.dedup();
+                for &cj in &wake {
+                    let cj = cj as usize;
+                    if queued[cj] & bit == 0 {
+                        queued[cj] |= bit;
+                        if wake_acc[cj] == 0 {
+                            touched_cjs.push(cj as u32);
+                        }
+                        wake_acc[cj] |= bit;
+                    }
+                }
+            }
+            if !touched_cjs.is_empty() {
+                touched_cjs.sort_unstable();
+                for &cj in &touched_cjs {
+                    queue.push_back((cj, wake_acc[cj as usize]));
+                    wake_acc[cj as usize] = 0;
+                }
+                touched_cjs.clear();
+            }
+        }
+        for (b, p) in props.iter_mut().enumerate() {
+            let config = p.config;
+            let network = p.network;
+            p.state.grade_specs(sched, network, config);
+            flames_obs::metrics().waves.incr();
+            flames_obs::metrics().constraint_apps.add(steps[b] as u64);
+        }
+        steps
+    }
+
     // ----- internals -------------------------------------------------
 
     fn check(&self, q: QuantityId) -> Result<()> {
@@ -694,22 +1062,24 @@ impl<'n> Propagator<'n> {
 }
 
 impl PropState {
-    /// Applies one constraint in every invertible direction; returns the
-    /// indices of quantities whose labels changed.
+    /// Applies one constraint in every invertible direction; fills
+    /// `changed` with the (sorted, deduped) indices of quantities whose
+    /// labels changed.
     fn apply_constraint(
         &mut self,
         sched: &CompiledSchedule,
         config: PropagatorConfig,
         ci: usize,
-    ) -> Vec<usize> {
+        changed: &mut Vec<usize>,
+    ) {
         let tnorm = config.tnorm;
-        let mut changed = Vec::new();
+        changed.clear();
+        let mut derived = std::mem::take(&mut self.scratch_derived);
         match *sched.compiled.relation(ci) {
             CompiledRelation::Linear {
                 bias,
                 ref directions,
             } => {
-                let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
                 for dir in directions {
                     derived.clear();
                     {
@@ -723,7 +1093,7 @@ impl PropState {
                             let mut measured = false;
                             for (&(coef, _), entry) in dir.others.iter().zip(row) {
                                 sum = sum + entry.value.scaled(coef);
-                                env.union_with(&entry.env);
+                                env.union_with(entry.env);
                                 degree = tnorm.combine(degree, entry.degree);
                                 measured |= entry.measured;
                             }
@@ -747,7 +1117,8 @@ impl PropState {
                     x,
                     y,
                     |a, b| a.mul(b).ok(),
-                    &mut changed,
+                    &mut derived,
+                    changed,
                 );
                 self.derive_pairs(
                     sched,
@@ -757,7 +1128,8 @@ impl PropState {
                     p,
                     y,
                     |a, b| a.div(b).ok(),
-                    &mut changed,
+                    &mut derived,
+                    changed,
                 );
                 self.derive_pairs(
                     sched,
@@ -767,13 +1139,14 @@ impl PropState {
                     p,
                     x,
                     |a, b| a.div(b).ok(),
-                    &mut changed,
+                    &mut derived,
+                    changed,
                 );
             }
         }
+        self.scratch_derived = derived;
         changed.sort_unstable();
         changed.dedup();
-        changed
     }
 
     /// Derives `target` from every entry pair of `(a, b)` through `op`,
@@ -789,24 +1162,25 @@ impl PropState {
         a: QuantityId,
         b: QuantityId,
         op: impl Fn(&FuzzyInterval, &FuzzyInterval) -> Option<FuzzyInterval>,
+        derived: &mut Vec<(FuzzyInterval, Env, f64, bool)>,
         changed: &mut Vec<usize>,
     ) {
         let tnorm = config.tnorm;
-        let mut derived: Vec<(FuzzyInterval, Env, f64, bool)> = Vec::new();
+        derived.clear();
         {
             let base_env = &sched.constraint_envs[ci];
-            let out = &mut derived;
+            let out = &mut *derived;
             self.each_combo(&[a, b], |row| {
                 if let Some(value) = op(&row[0].value, &row[1].value) {
                     let mut env = base_env.clone();
-                    env.union_with(&row[0].env);
-                    env.union_with(&row[1].env);
+                    env.union_with(row[0].env);
+                    env.union_with(row[1].env);
                     let degree = tnorm.combine(row[0].degree, row[1].degree);
                     out.push((value, env, degree, row[0].measured || row[1].measured));
                 }
             });
         }
-        for (value, env, degree, measured) in derived {
+        for (value, env, degree, measured) in derived.drain(..) {
             if self.insert(config, target, value, env, degree, measured) {
                 changed.push(target.index());
             }
@@ -814,38 +1188,48 @@ impl PropState {
     }
 
     /// Invokes `f` on each cartesian combination of the current entries of
-    /// `qs` — by reference, no entry cloning. Combinations enumerate in
+    /// `qs`, materialized from the columns — no heap allocation for the
+    /// constraint arities the compiler produces. Combinations enumerate in
     /// lexicographic order with the last quantity varying fastest, capped
-    /// at `COMBO_CAP` rows (the same first-64 prefix the cloning
+    /// at 64 rows (the same first-64 prefix the entry-cloning
     /// implementation produced). With `qs` empty, `f` sees one empty row.
-    fn each_combo<'s>(&'s self, qs: &[QuantityId], mut f: impl FnMut(&[&'s ValueEntry])) {
-        const COMBO_CAP: usize = 64;
-        let lists: Vec<&[ValueEntry]> = qs
-            .iter()
-            .map(|q| self.entries[q.index()].as_slice())
-            .collect();
-        if lists.iter().any(|l| l.is_empty()) {
+    fn each_combo<'s>(&'s self, qs: &[QuantityId], mut f: impl FnMut(&[EntryRef<'s>])) {
+        /// Stack capacity for the per-position cursors; arities beyond
+        /// this (not produced by today's compiler) fall back to the heap.
+        const MAX_ARITY: usize = 16;
+        let arity = qs.len();
+        if arity == 0 {
+            f(&[]);
             return;
         }
-        let mut idx = vec![0usize; lists.len()];
-        let mut row: Vec<&ValueEntry> = lists.iter().map(|l| &l[0]).collect();
-        for _ in 0..COMBO_CAP {
-            f(&row);
-            // Odometer increment, last position fastest.
-            let mut k = lists.len();
-            loop {
-                if k == 0 {
+        if arity <= MAX_ARITY {
+            static EMPTY: EntryColumns = EntryColumns::EMPTY;
+            let mut lists = [&EMPTY; MAX_ARITY];
+            for (slot, q) in lists[..arity].iter_mut().zip(qs) {
+                let cols = &self.entries[q.index()];
+                if cols.is_empty() {
                     return;
                 }
-                k -= 1;
-                idx[k] += 1;
-                if idx[k] < lists[k].len() {
-                    row[k] = &lists[k][idx[k]];
-                    break;
-                }
-                idx[k] = 0;
-                row[k] = &lists[k][0];
+                *slot = cols;
             }
+            let mut idx = [0usize; MAX_ARITY];
+            let mut row = [lists[0].entry_ref(0); MAX_ARITY];
+            for k in 1..arity {
+                row[k] = lists[k].entry_ref(0);
+            }
+            combo_loop(&lists[..arity], &mut idx[..arity], &mut row[..arity], f);
+        } else {
+            let mut lists = Vec::with_capacity(arity);
+            for q in qs {
+                let cols = &self.entries[q.index()];
+                if cols.is_empty() {
+                    return;
+                }
+                lists.push(cols);
+            }
+            let mut idx = vec![0usize; arity];
+            let mut row: Vec<EntryRef<'s>> = lists.iter().map(|l| l.entry_ref(0)).collect();
+            combo_loop(&lists, &mut idx, &mut row, f);
         }
     }
 
@@ -871,6 +1255,8 @@ impl PropState {
             degree,
             measured,
         };
+        let inc_sig = incoming.env.word_signature();
+        let inc_width = incoming.value.support_width();
         let list = &self.entries[q.index()];
 
         // Coincidence resolution against existing entries (Fig. 4):
@@ -882,19 +1268,20 @@ impl PropState {
         // measured-vs-nominal test-point comparison in the engine.)
         let mut dominated = false;
         let mut conflicts: Vec<(CoincidenceRecord, f64)> = Vec::new();
-        for existing in list {
+        for i in 0..list.len() {
+            let evalue = list.value(i);
             // Orient the record: the measurement side plays Vm.
-            let (vm, vn) = if existing.measured && !incoming.measured {
-                (&existing.value, &incoming.value)
+            let (vm, vn) = if list.measured(i) && !incoming.measured {
+                (&evalue, &incoming.value)
             } else {
-                (&incoming.value, &existing.value)
+                (&incoming.value, &evalue)
             };
-            let nested = incoming.value.is_included_in(&existing.value)
-                || existing.value.is_included_in(&incoming.value);
+            let nested =
+                incoming.value.is_included_in(&evalue) || evalue.is_included_in(&incoming.value);
             let pi = vm.possibility_of(vn);
             let conflict = if nested { 0.0 } else { 1.0 - pi };
             let kind = if conflict <= config.conflict_threshold {
-                if nested && incoming.value != existing.value {
+                if nested && incoming.value != evalue {
                     CoincidenceKind::Split
                 } else {
                     CoincidenceKind::Corroboration
@@ -924,9 +1311,9 @@ impl PropState {
                 };
                 let nogood_degree = config.tnorm.combine(
                     conflict,
-                    config.tnorm.combine(incoming.degree, existing.degree),
+                    config.tnorm.combine(incoming.degree, list.degree(i)),
                 );
-                let union_env = incoming.env.union(&existing.env);
+                let union_env = incoming.env.union(list.env(i));
                 conflicts.push((
                     CoincidenceRecord {
                         quantity: q,
@@ -942,14 +1329,16 @@ impl PropState {
             // tight — or within the tightening threshold — makes the
             // incoming value redundant. The threshold is what keeps
             // fixpoint iteration from churning on infinitesimal
-            // refinements.
-            if existing.env.is_subset_of(&incoming.env)
-                && existing.degree >= incoming.degree - 1e-12
+            // refinements. The word-signature test is a cheap necessary
+            // condition for `existing ⊆ incoming` that skips the bitset
+            // walk for most non-subset pairs.
+            if list.sig(i) & !inc_sig == 0
+                && list.env(i).is_subset_of(&incoming.env)
+                && list.degree(i) >= incoming.degree - 1e-12
             {
-                let meaningful = incoming.value.support_width()
-                    <= existing.value.support_width() * (1.0 - config.min_tightening);
-                if existing.value.is_included_in(&incoming.value)
-                    || (!meaningful && incoming.value.is_included_in(&existing.value))
+                let meaningful = inc_width <= list.width(i) * (1.0 - config.min_tightening);
+                if evalue.is_included_in(&incoming.value)
+                    || (!meaningful && incoming.value.is_included_in(&evalue))
                 {
                     dominated = true;
                 }
@@ -963,18 +1352,28 @@ impl PropState {
         if dominated {
             return false;
         }
-        let list = &mut self.entries[q.index()];
-        // Drop entries the incoming one meaningfully improves on.
+        // Drop entries the incoming one meaningfully improves on. The
+        // keep mask is computed against the immutable columns first, then
+        // applied as one compaction pass.
         let min_tightening = config.min_tightening;
-        let before = list.len();
-        list.retain(|e| {
-            !(incoming.env.is_subset_of(&e.env)
-                && incoming.degree >= e.degree - 1e-12
-                && incoming.value.is_included_in(&e.value)
-                && incoming.value.support_width()
-                    <= e.value.support_width() * (1.0 - min_tightening))
-        });
-        let dropped = before - list.len();
+        let mut keep = std::mem::take(&mut self.scratch_keep);
+        keep.clear();
+        {
+            let list = &self.entries[q.index()];
+            for i in 0..list.len() {
+                keep.push(
+                    !(inc_sig & !list.sig(i) == 0
+                        && incoming.env.is_subset_of(list.env(i))
+                        && incoming.degree >= list.degree(i) - 1e-12
+                        && incoming.value.is_included_in(&list.value(i))
+                        && inc_width <= list.width(i) * (1.0 - min_tightening)),
+                );
+            }
+        }
+        let list = &mut self.entries[q.index()];
+        let dropped = list.retain_kept(&keep);
+        keep.clear();
+        self.scratch_keep = keep;
         if list.len() >= config.max_entries {
             // The label is full: the incoming value may still replace the
             // widest held entry if it is strictly tighter. (The raw
@@ -983,19 +1382,16 @@ impl PropState {
             // making results order-dependent — a late probe or a tight
             // conditional derivation must never bounce off stale wide
             // values.
-            let widest = list
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.value
-                        .support_width()
-                        .partial_cmp(&b.value.support_width())
+            let widest = (0..list.len())
+                .max_by(|&a, &b| {
+                    list.width(a)
+                        .partial_cmp(&list.width(b))
                         .expect("finite widths")
                 })
-                .map(|(i, e)| (i, e.value.support_width()));
+                .map(|i| (i, list.width(i)));
             match widest {
-                Some((i, width)) if incoming.value.support_width() < width => {
-                    list[i] = incoming;
+                Some((i, width)) if inc_width < width => {
+                    list.set(i, incoming);
                     return true;
                 }
                 _ => return dropped > 0,
@@ -1014,23 +1410,19 @@ impl PropState {
         config: PropagatorConfig,
     ) {
         for spec in network.specs() {
-            let Some(best) = self.entries.get(spec.quantity.index()).and_then(|list| {
-                list.iter().min_by(|a, b| {
-                    a.value
-                        .support_width()
-                        .partial_cmp(&b.value.support_width())
-                        .expect("finite widths")
-                })
-            }) else {
+            let Some(cols) = self.entries.get(spec.quantity.index()) else {
                 continue;
             };
-            let satisfaction = best.value.satisfaction_of(&spec.condition);
+            let Some(bi) = cols.tightest() else {
+                continue;
+            };
+            let satisfaction = cols.value(bi).satisfaction_of(&spec.condition);
             let violation = 1.0 - satisfaction;
             if violation <= config.conflict_threshold {
                 continue;
             }
-            let best_degree = best.degree;
-            let mut env = best.env.clone();
+            let best_degree = cols.degree(bi);
+            let mut env = cols.env(bi).clone();
             env.union_with(&Env::from_assumptions(
                 spec.support
                     .iter()

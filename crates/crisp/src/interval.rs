@@ -134,6 +134,30 @@ impl Interval {
         Some(Self::new(lo, hi))
     }
 
+    /// Rectangular consistency degree `|self ∩ other| / |self|` — the
+    /// crisp specialization of the paper's §6.1.2 area ratio
+    /// `Dc = area(Vm ⊓ Vn) / area(Vm)`: on rectangles of height 1 every
+    /// area is a width. A zero-width (point) measurement falls back to
+    /// membership: 1 when the point lies in `other`, 0 otherwise.
+    ///
+    /// This is diagnostic metadata only — the baseline's conflict *test*
+    /// stays the boolean empty-intersection check in
+    /// [`Interval::intersect`], exactly as the paper's DIANA critique
+    /// describes it.
+    #[must_use]
+    pub fn consistency_degree(self, other: Self) -> f64 {
+        let width = self.width();
+        if width == 0.0 {
+            return if other.contains(self.midpoint()) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let overlap = (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0);
+        (overlap / width).clamp(0.0, 1.0)
+    }
+
     /// Scaling by a crisp factor.
     #[must_use]
     pub fn scaled(self, k: f64) -> Self {
@@ -255,6 +279,45 @@ mod tests {
         assert!((vc.hi() - 6.56).abs() < 0.01);
         assert!((vd.lo() - 8.26).abs() < 0.01);
         assert!((vd.hi() - 9.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn consistency_degree_basics() {
+        let m = Interval::new(4.0, 6.0);
+        assert_eq!(m.consistency_degree(Interval::new(5.0, 9.0)), 0.5);
+        assert_eq!(m.consistency_degree(Interval::new(3.0, 7.0)), 1.0);
+        assert_eq!(m.consistency_degree(Interval::new(7.0, 9.0)), 0.0);
+        // Point measurement: membership, not an area ratio.
+        assert_eq!(Interval::point(5.0).consistency_degree(m), 1.0);
+        assert_eq!(Interval::point(7.0).consistency_degree(m), 0.0);
+    }
+
+    /// On rectangles the crisp helper must agree exactly with the fuzzy
+    /// engine's closed-form area `Dc` evaluated on crisp trapezoids —
+    /// same §6.1.2 formula, two representations.
+    #[test]
+    fn consistency_degree_matches_fuzzy_dc_on_rectangles() {
+        use flames_fuzzy::{Consistency, FuzzyInterval};
+        let cases = [
+            ((4.0, 6.0), (5.0, 9.0)),
+            ((4.0, 6.0), (3.0, 7.0)),
+            ((4.0, 6.0), (7.0, 9.0)),
+            ((4.0, 6.0), (5.5, 5.75)),
+            ((0.0, 10.0), (2.5, 5.0)),
+            ((5.0, 5.0), (4.0, 6.0)),
+            ((5.0, 5.0), (6.0, 7.0)),
+            ((-3.0, -1.0), (-2.0, 0.0)),
+        ];
+        for ((a, b), (c, d)) in cases {
+            let vm = FuzzyInterval::crisp_interval(a, b).unwrap();
+            let vn = FuzzyInterval::crisp_interval(c, d).unwrap();
+            let fuzzy = Consistency::between(&vm, &vn).degree();
+            let crisp = Interval::new(a, b).consistency_degree(Interval::new(c, d));
+            assert!(
+                (fuzzy - crisp).abs() < 1e-12,
+                "[{a}, {b}] vs [{c}, {d}]: fuzzy Dc {fuzzy} != crisp {crisp}"
+            );
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::pwl::Pwl;
 use crate::trapezoid::FuzzyInterval;
 use std::fmt;
 
@@ -72,40 +73,81 @@ pub struct Consistency {
 const FULL_CONSISTENCY_EPS: f64 = 1e-9;
 
 impl Consistency {
+    /// Snaps near-1 degrees to exactly 1 and derives the deviation
+    /// direction from the defuzzified centers — shared by every
+    /// constructor so the fast path and the PWL fallback grade
+    /// identically.
+    fn grade(degree: f64, vm_center: f64, vn_center: f64) -> Self {
+        let within = degree >= 1.0 - FULL_CONSISTENCY_EPS;
+        let direction = if within {
+            Direction::Within
+        } else if vm_center < vn_center {
+            Direction::Low
+        } else {
+            Direction::High
+        };
+        Self {
+            degree: if within { 1.0 } else { degree },
+            direction,
+        }
+    }
+
     /// Computes the degree of consistency of a measured value `vm` against
     /// a nominal/predicted value `vn`.
+    ///
+    /// This is the allocation-free fast path: the intersection area comes
+    /// from the closed-form trapezoid kernel
+    /// ([`FuzzyInterval::intersection_area`]) instead of materializing
+    /// both operands as heap [`Pwl`] curves. Genuinely piecewise-linear
+    /// (non-trapezoidal) values go through [`Consistency::between_pwl`];
+    /// the two agree to within 1e-12 on trapezoids (property-tested).
+    ///
+    /// A crisp point measurement (zero area) falls back to the membership
+    /// of the point in `vn`, the natural limit of the area quotient —
+    /// this also guards the division.
     #[must_use]
     pub fn between(vm: &FuzzyInterval, vn: &FuzzyInterval) -> Self {
+        flames_obs::metrics().dc_fast_path.incr();
         let area_m = vm.area();
         let degree = if area_m == 0.0 {
             // Point (or degenerate) measurement: the formula's limit is the
             // membership of the point in Vn.
             vn.membership(vm.core_midpoint())
         } else {
-            let inter = vm.to_pwl().intersection(&vn.to_pwl());
-            (inter.area() / area_m).clamp(0.0, 1.0)
+            (vm.intersection_area(vn) / area_m).clamp(0.0, 1.0)
         };
-        let direction = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
-            Direction::Within
-        } else if vm.centroid() < vn.centroid() {
-            Direction::Low
+        Self::grade(degree, vm.centroid(), vn.centroid())
+    }
+
+    /// The PWL fallback of [`Consistency::between`], for membership
+    /// functions that are not trapezoidal (e.g. [`Pwl`] values built from
+    /// α-cut arithmetic): materializes the pointwise minimum exactly and
+    /// integrates it. On trapezoids (`to_pwl()` of both operands) it
+    /// agrees with the closed-form fast path to within 1e-12 — `exp_dc`
+    /// and the `proptest` suite differential-test the two.
+    #[must_use]
+    pub fn between_pwl(vm: &Pwl, vn: &Pwl) -> Self {
+        flames_obs::metrics().dc_pwl_fallback.incr();
+        let area_m = vm.area();
+        let degree = if area_m == 0.0 {
+            // Zero-area measurement (a spike): membership of its peak in
+            // vn — mirrors the crisp-point limit of the fast path.
+            vm.peak_midpoint().map_or(0.0, |x| vn.eval(x))
         } else {
-            Direction::High
+            (vm.intersection(vn).area() / area_m).clamp(0.0, 1.0)
         };
-        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
-            1.0
-        } else {
-            degree
-        };
-        Self { degree, direction }
+        let center = |p: &Pwl| p.centroid().or_else(|| p.peak_midpoint()).unwrap_or(0.0);
+        Self::grade(degree, center(vm), center(vn))
     }
 
     /// The *symmetric* variant `area(Vm ⊓ Vn) / min(area(Vm), area(Vn))`
     /// — an ablation of the paper's asymmetric normalization (`DESIGN.md`
     /// §5): it does not privilege the measurement side, so a narrow
-    /// value inside a wide one scores 1 in both argument orders.
+    /// value inside a wide one scores 1 in both argument orders. Shares
+    /// the closed-form kernel with [`Consistency::between`].
     #[must_use]
     pub fn symmetric_between(vm: &FuzzyInterval, vn: &FuzzyInterval) -> Self {
+        flames_obs::metrics().dc_fast_path.incr();
         let denom = vm.area().min(vn.area());
         let degree = if denom == 0.0 {
             // At least one point value: grade by membership of the
@@ -116,22 +158,9 @@ impl Consistency {
                 vm.membership(vn.core_midpoint())
             }
         } else {
-            let inter = vm.to_pwl().intersection(&vn.to_pwl());
-            (inter.area() / denom).clamp(0.0, 1.0)
+            (vm.intersection_area(vn) / denom).clamp(0.0, 1.0)
         };
-        let direction = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
-            Direction::Within
-        } else if vm.centroid() < vn.centroid() {
-            Direction::Low
-        } else {
-            Direction::High
-        };
-        let degree = if degree >= 1.0 - FULL_CONSISTENCY_EPS {
-            1.0
-        } else {
-            degree
-        };
-        Self { degree, direction }
+        Self::grade(degree, vm.centroid(), vn.centroid())
     }
 
     /// Builds a consistency value directly (used by engines that grade
@@ -315,6 +344,111 @@ mod tests {
         assert_eq!(dc.degree(), 1.0);
         let dc = Consistency::from_parts(-0.3, Direction::Low);
         assert_eq!(dc.degree(), 0.0);
+    }
+
+    #[test]
+    fn pwl_fallback_agrees_with_closed_form() {
+        // The PWL fallback and the closed-form kernel must grade
+        // trapezoid pairs identically (degree AND direction).
+        let cases = [
+            (fi(5.0, 5.0, 1.0, 1.0), fi(5.5, 5.5, 1.0, 1.0)),
+            (fi(5.5, 6.5, 0.2, 0.2), fi(5.0, 7.0, 1.0, 1.0)),
+            (fi(2.0, 2.0, 0.2, 0.2), fi(5.0, 5.0, 0.5, 0.5)),
+            (fi(5.0, 5.5, 0.0, 0.2), fi(5.2, 5.2, 0.3, 0.0)),
+            (
+                FuzzyInterval::crisp_interval(5.4, 5.6).unwrap(),
+                fi(5.0, 5.5, 0.2, 0.2),
+            ),
+        ];
+        for (vm, vn) in cases {
+            let fast = Consistency::between(&vm, &vn);
+            let slow = Consistency::between_pwl(&vm.to_pwl(), &vn.to_pwl());
+            assert!(
+                (fast.degree() - slow.degree()).abs() < 1e-12,
+                "degree mismatch for {vm:?} vs {vn:?}: {} vs {}",
+                fast.degree(),
+                slow.degree()
+            );
+            assert_eq!(fast.direction(), slow.direction(), "{vm:?} vs {vn:?}");
+        }
+    }
+
+    #[test]
+    fn pwl_fallback_point_measurement() {
+        // Zero-area spike through the PWL path: membership of the peak.
+        let vm = FuzzyInterval::crisp(5.5).to_pwl();
+        let vn = fi(5.0, 5.0, 1.0, 1.0).to_pwl();
+        let dc = Consistency::between_pwl(&vm, &vn);
+        assert!((dc.degree() - 0.5).abs() < 1e-12);
+        assert_eq!(dc.direction(), Direction::High);
+    }
+
+    #[test]
+    fn zero_spread_degenerate_trapezoids() {
+        // α = 0: vertical left edge. Vm = [5.0, 5.4, 0, 0.2] against
+        // Vn = [5.2, 6.0, 0.1, 0.1]. Closed-form must match the exact
+        // PWL integral on these vertical-edge shapes.
+        let vm = fi(5.0, 5.4, 0.0, 0.2);
+        let vn = fi(5.2, 6.0, 0.1, 0.1);
+        let fast = Consistency::between(&vm, &vn);
+        let slow = Consistency::between_pwl(&vm.to_pwl(), &vn.to_pwl());
+        assert!((fast.degree() - slow.degree()).abs() < 1e-12);
+        assert!(fast.degree() > 0.0 && fast.degree() < 1.0);
+
+        // β = 0 on the nominal side too.
+        let vn = fi(4.0, 5.1, 0.5, 0.0);
+        let fast = Consistency::between(&vm, &vn);
+        let slow = Consistency::between_pwl(&vm.to_pwl(), &vn.to_pwl());
+        assert!((fast.degree() - slow.degree()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crisp_vm_division_guard() {
+        // Both a crisp point and a crisp *interval vs point nominal*
+        // exercise the zero-denominator guards; neither may NaN.
+        let point = FuzzyInterval::crisp(7.0);
+        let vn = fi(5.0, 6.0, 0.0, 0.0);
+        let dc = Consistency::between(&point, &vn);
+        assert_eq!(dc.degree(), 0.0);
+        assert_eq!(dc.direction(), Direction::High);
+        // Point-vs-point, same location: limit is membership 1.
+        let dc = Consistency::between(&FuzzyInterval::crisp(5.0), &FuzzyInterval::crisp(5.0));
+        assert_eq!(dc.degree(), 1.0);
+        assert_eq!(dc.direction(), Direction::Within);
+        // Point-vs-point, different location: total conflict.
+        let dc = Consistency::between(&FuzzyInterval::crisp(5.0), &FuzzyInterval::crisp(6.0));
+        assert!(dc.is_total_conflict());
+        assert_eq!(dc.direction(), Direction::Low);
+    }
+
+    #[test]
+    fn paper_fig5_open_ended_condition() {
+        // Fig. 5's rule conditions are one-sided trapezoids like
+        // "voltage high" = [m1, m2, α, β] with a long ramp: a crisp
+        // reading halfway down the ramp grades 0.5.
+        let cond = fi(-1.0, 100.0, 0.0, 10.0);
+        let dc = Consistency::between(&FuzzyInterval::crisp(105.0), &cond);
+        assert!((dc.degree() - 0.5).abs() < 1e-12);
+        assert_eq!(dc.direction(), Direction::High);
+        // Inside the core: fully consistent.
+        let dc = Consistency::between(&FuzzyInterval::crisp(50.0), &cond);
+        assert_eq!(dc.degree(), 1.0);
+        // Past the ramp foot: total conflict.
+        let dc = Consistency::between(&FuzzyInterval::crisp(111.0), &cond);
+        assert!(dc.is_total_conflict());
+    }
+
+    #[test]
+    fn paper_fig7_signed_total_conflict_low() {
+        // Fig. 7 annotates a full conflict on the low side as Dc = −1
+        // (i.e. degree 0, direction low — signed() renders the sign).
+        let vn = fi(5.0, 5.0, 0.5, 0.5);
+        let vm = fi(1.0, 1.2, 0.1, 0.1);
+        let dc = Consistency::between(&vm, &vn);
+        assert!(dc.is_total_conflict());
+        assert_eq!(dc.direction(), Direction::Low);
+        assert!(dc.signed().is_sign_negative());
+        assert_eq!(format!("{dc}"), "0.00↓");
     }
 
     #[test]

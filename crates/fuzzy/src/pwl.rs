@@ -197,6 +197,30 @@ impl Pwl {
         self.height() == 0.0
     }
 
+    /// Midpoint of the peak plateau — the x-range on which the function
+    /// attains its height; `None` for the zero function. For a
+    /// trapezoid's membership this is the core midpoint, which is what
+    /// lets [`crate::Consistency::between_pwl`] mirror the closed-form
+    /// path's zero-area (crisp point) fallback.
+    #[must_use]
+    pub fn peak_midpoint(&self) -> Option<f64> {
+        let h = self.height();
+        if h <= 0.0 {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.segments {
+            for (x, y) in [(s.x0, s.y0), (s.x1, s.y1)] {
+                if y >= h - 1e-12 {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
     /// Centroid of the area under the function; `None` when the area is
     /// zero.
     #[must_use]
@@ -400,6 +424,16 @@ mod tests {
         let t = fi(1.0, 1.0, 1.0, 1.0).to_pwl();
         assert!((t.centroid().unwrap() - 1.0).abs() < 1e-9);
         assert!(Pwl::zero().centroid().is_none());
+    }
+
+    #[test]
+    fn peak_midpoint_is_core_midpoint() {
+        let t = fi(1.0, 3.0, 0.5, 2.0);
+        assert!((t.to_pwl().peak_midpoint().unwrap() - 2.0).abs() < 1e-12);
+        // A crisp point's spike still has a peak.
+        let p = FuzzyInterval::crisp(7.0).to_pwl();
+        assert!((p.peak_midpoint().unwrap() - 7.0).abs() < 1e-12);
+        assert!(Pwl::zero().peak_midpoint().is_none());
     }
 
     #[test]

@@ -83,6 +83,26 @@ impl FuzzyInterval {
         Self::new(m, m, 0.0, 0.0).expect("crisp number must be finite")
     }
 
+    /// Reassembles an interval from the four columns of a valid interval
+    /// (`core_lo`/`core_hi`/`spread_left`/`spread_right`) without
+    /// re-validating — the struct-of-arrays label stores in `flames-core`
+    /// round-trip every entry through parallel `f64` columns on each
+    /// access, and the invariants were established when the entry was
+    /// first constructed.
+    #[must_use]
+    pub fn from_columns(m1: f64, m2: f64, alpha: f64, beta: f64) -> Self {
+        debug_assert!(
+            m1.is_finite() && m2.is_finite() && m1 <= m2 && alpha >= 0.0 && beta >= 0.0,
+            "columns must come from a valid interval"
+        );
+        Self {
+            m1,
+            m2,
+            alpha,
+            beta,
+        }
+    }
+
     /// Creates the crisp interval `[a, b]` = `[a, b, 0, 0]`.
     ///
     /// # Errors
@@ -317,6 +337,86 @@ impl FuzzyInterval {
     #[must_use]
     pub fn to_pwl(&self) -> Pwl {
         Pwl::from_trapezoid(self)
+    }
+
+    /// Area of the pointwise minimum `area(self ⊓ other)` — the numerator
+    /// of the paper's degree of consistency (§6.1.2) — computed in closed
+    /// form from the two `[m1, m2, α, β]` tuples, entirely on the stack.
+    ///
+    /// The minimum of two trapezoidal memberships is piecewise linear with
+    /// a bounded kink set: the eight trapezoid corners plus at most four
+    /// ramp–ramp line crossings. On each cell of that partition both
+    /// memberships are linear and do not cross, so two interior probes at
+    /// `u + w/3` and `u + 2w/3` integrate the cell exactly — the same
+    /// probe scheme [`Pwl::combine`] uses internally, which keeps this
+    /// fast path and the heap-allocating PWL fallback in agreement to
+    /// floating-point noise (≪ 1e-12; the `proptest` suite checks 10 000
+    /// random pairs).
+    ///
+    /// Degenerate shapes need no special casing: a zero spread (α = 0 or
+    /// β = 0) simply contributes no ramp line, and the vertical edge is
+    /// handled by the interior probes never landing on it.
+    #[must_use]
+    pub fn intersection_area(&self, other: &Self) -> f64 {
+        let lo = self.support_lo().max(other.support_lo());
+        let hi = self.support_hi().min(other.support_hi());
+        if lo >= hi {
+            // Disjoint (or point-touching) supports: the minimum is zero
+            // almost everywhere.
+            return 0.0;
+        }
+        // Ramp lines as `y = s·(x − x0)`: ascending from the support foot,
+        // descending from the support head. A zero spread has no ramp.
+        let ramps_a = [
+            (self.alpha > 0.0).then(|| (1.0 / self.alpha, self.support_lo())),
+            (self.beta > 0.0).then(|| (-1.0 / self.beta, self.support_hi())),
+        ];
+        let ramps_b = [
+            (other.alpha > 0.0).then(|| (1.0 / other.alpha, other.support_lo())),
+            (other.beta > 0.0).then(|| (-1.0 / other.beta, other.support_hi())),
+        ];
+        // Breakpoints of min(μa, μb) inside (lo, hi): corners first…
+        let mut xs = [0.0_f64; 10];
+        xs[0] = lo;
+        let mut n = 1;
+        for x in [self.m1, self.m2, other.m1, other.m2] {
+            if x > lo && x < hi {
+                xs[n] = x;
+                n += 1;
+            }
+        }
+        // …then the crossings of the extended ramp lines. A crossing
+        // outside the ramps' live domains is a harmless extra breakpoint
+        // (it splits a cell on which the minimum is linear anyway).
+        for (s1, x01) in ramps_a.into_iter().flatten() {
+            for (s2, x02) in ramps_b.into_iter().flatten() {
+                if s1 == s2 {
+                    continue; // parallel lines never kink the minimum
+                }
+                let x = (s1 * x01 - s2 * x02) / (s1 - s2);
+                if x > lo && x < hi {
+                    xs[n] = x;
+                    n += 1;
+                }
+            }
+        }
+        xs[n] = hi;
+        n += 1;
+        xs[..n].sort_unstable_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+        let mut area = 0.0;
+        for k in 0..n - 1 {
+            let (u, v) = (xs[k], xs[k + 1]);
+            let width = v - u;
+            if width <= 0.0 {
+                continue;
+            }
+            let p = u + width / 3.0;
+            let q = u + 2.0 * width / 3.0;
+            let fp = self.membership(p).min(other.membership(p));
+            let fq = self.membership(q).min(other.membership(q));
+            area += 0.5 * (fp + fq) * width;
+        }
+        area
     }
 
     /// Widens the interval by adding `extra` to both spreads — how the
@@ -572,6 +672,82 @@ mod tests {
         // Disjoint sets: distance = sum of areas.
         let far = fi(10.0, 11.0, 0.5, 0.5);
         assert!((a.hamming_distance(&far) - (a.area() + far.area())).abs() < 1e-9);
+    }
+
+    /// Reference for [`FuzzyInterval::intersection_area`]: the exact PWL
+    /// materialization the closed form replaces.
+    fn pwl_area(a: &FuzzyInterval, b: &FuzzyInterval) -> f64 {
+        a.to_pwl().intersection(&b.to_pwl()).area()
+    }
+
+    #[test]
+    fn intersection_area_matches_pwl_on_generic_overlap() {
+        let a = fi(0.0, 2.0, 1.0, 1.0);
+        let b = fi(1.5, 3.5, 1.0, 1.0);
+        assert!((a.intersection_area(&b) - pwl_area(&a, &b)).abs() < 1e-12);
+        assert!((b.intersection_area(&a) - a.intersection_area(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_disjoint_and_touching() {
+        let a = fi(0.0, 1.0, 0.2, 0.2);
+        let far = fi(5.0, 6.0, 0.2, 0.2);
+        assert_eq!(a.intersection_area(&far), 0.0);
+        // Supports touching in exactly one point: zero area, no NaN.
+        let touch = fi(1.2, 2.0, 0.0, 0.0);
+        assert_eq!(a.intersection_area(&touch), 0.0);
+    }
+
+    #[test]
+    fn intersection_area_inclusion_gives_inner_area() {
+        let narrow = fi(1.4, 1.6, 0.1, 0.1);
+        let wide = fi(1.0, 2.0, 0.5, 0.5);
+        assert!((narrow.intersection_area(&wide) - narrow.area()).abs() < 1e-12);
+        assert!((wide.intersection_area(&narrow) - narrow.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_crossing_ramps_exact_tent() {
+        // Descending 1→0 over [1,2] against ascending 0→1 over [1,2]:
+        // the minimum is a tent of height 0.5 and area 0.25.
+        let a = fi(0.0, 1.0, 0.0, 1.0);
+        let b = fi(2.0, 3.0, 1.0, 0.0);
+        assert!((a.intersection_area(&b) - 0.25).abs() < 1e-12);
+        assert!((a.intersection_area(&b) - pwl_area(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_zero_spread_vertical_edges() {
+        // Crisp rectangle against a trapezoid: the α=0/β=0 edges are
+        // jumps, not ramps — no ramp crossing exists on those sides.
+        let rect = FuzzyInterval::crisp_interval(5.4, 5.6).unwrap();
+        let trap = fi(5.0, 5.5, 0.2, 0.2);
+        assert!((rect.intersection_area(&trap) - 0.175).abs() < 1e-12);
+        assert!((rect.intersection_area(&trap) - pwl_area(&rect, &trap)).abs() < 1e-12);
+        // One-sided degenerate ramps on both operands.
+        let left_only = fi(1.0, 2.0, 0.5, 0.0);
+        let right_only = fi(0.5, 1.2, 0.0, 0.8);
+        let got = left_only.intersection_area(&right_only);
+        assert!((got - pwl_area(&left_only, &right_only)).abs() < 1e-12);
+        assert!(got > 0.0);
+    }
+
+    #[test]
+    fn intersection_area_with_point_is_zero() {
+        let a = fi(0.0, 2.0, 1.0, 1.0);
+        let p = FuzzyInterval::crisp(1.0);
+        assert_eq!(a.intersection_area(&p), 0.0);
+        assert_eq!(p.intersection_area(&a), 0.0);
+        assert_eq!(p.intersection_area(&p), 0.0);
+    }
+
+    #[test]
+    fn intersection_area_parallel_ramps() {
+        // Equal spreads → the facing ramp lines are parallel; the kink
+        // set degenerates but the area stays exact.
+        let a = fi(0.0, 1.0, 1.0, 1.0);
+        let b = fi(0.5, 1.5, 1.0, 1.0);
+        assert!((a.intersection_area(&b) - pwl_area(&a, &b)).abs() < 1e-12);
     }
 
     #[test]

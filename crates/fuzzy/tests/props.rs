@@ -369,6 +369,68 @@ fn dc_shift_monotone() {
     }
 }
 
+/// A trapezoid drawn from a corner-heavy distribution: plain random
+/// shapes mixed with zero-spread flanks, crisp intervals, crisp points,
+/// and near-copies of a base value (the overlap-rich regime where the
+/// closed-form breakpoint enumeration earns its keep).
+fn corner_trapezoid(r: &mut Rng, base: FuzzyInterval) -> FuzzyInterval {
+    match r.below(6) {
+        0 => trapezoid(r),
+        1 => {
+            let t = trapezoid(r);
+            FuzzyInterval::new(t.core_lo(), t.core_hi(), 0.0, t.spread_right()).unwrap()
+        }
+        2 => {
+            let t = trapezoid(r);
+            FuzzyInterval::new(t.core_lo(), t.core_hi(), t.spread_left(), 0.0).unwrap()
+        }
+        3 => {
+            let lo = r.range(-50.0, 50.0);
+            FuzzyInterval::crisp_interval(lo, lo + r.range(0.0, 10.0)).unwrap()
+        }
+        4 => FuzzyInterval::crisp(r.range(-50.0, 50.0)),
+        _ => {
+            // Shifted near-copy of the base: dense ramp–ramp crossings.
+            let shift = r.range(-2.0, 2.0);
+            FuzzyInterval::new(
+                base.core_lo() + shift,
+                base.core_hi() + shift,
+                base.spread_left(),
+                base.spread_right(),
+            )
+            .unwrap()
+        }
+    }
+}
+
+/// The tentpole's exactness contract: on 10 000 corner-heavy random
+/// pairs the closed-form trapezoid `Dc` and the PWL fallback must agree
+/// to 1e-12 in degree and exactly in direction — they integrate the
+/// same piecewise-linear pointwise minimum, so any real divergence is a
+/// kernel bug, not rounding.
+#[test]
+fn closed_form_dc_matches_pwl_on_10k_pairs() {
+    let mut r = Rng(0xDC_2026);
+    for case in 0..10_000 {
+        let base = trapezoid(&mut r);
+        let vm = corner_trapezoid(&mut r, base);
+        let vn = corner_trapezoid(&mut r, vm);
+        let fast = Consistency::between(&vm, &vn);
+        let slow = Consistency::between_pwl(&vm.to_pwl(), &vn.to_pwl());
+        assert!(
+            (fast.degree() - slow.degree()).abs() <= 1e-12,
+            "case {case}: closed-form {} != pwl {} for {vm:?} vs {vn:?}",
+            fast.degree(),
+            slow.degree()
+        );
+        assert_eq!(
+            fast.direction(),
+            slow.direction(),
+            "case {case}: direction diverges for {vm:?} vs {vn:?}"
+        );
+    }
+}
+
 #[test]
 fn entropy_image_is_bounded() {
     let mut r = Rng(23);

@@ -54,6 +54,9 @@ define_metrics! {
     nogood_installs => "atms.nogood_installs",
     nogood_subsumed => "atms.nogood_subsumed",
     hitting_expansions => "atms.hitting_expansions",
+    // Fuzzy numeric kernel --------------------------------------------
+    dc_fast_path => "fuzzy.dc_fast_path",
+    dc_pwl_fallback => "fuzzy.dc_pwl_fallback",
     // Propagation engine ----------------------------------------------
     waves => "core.waves",
     constraint_apps => "core.constraint_apps",

@@ -32,4 +32,7 @@ cargo run -q --release -p flames-bench --bin exp_perf
 echo "==> exp_batch (serving gate: byte-identical reports, warm pool >= 1.5x cold)"
 cargo run -q --release -p flames-bench --bin exp_batch
 
+echo "==> exp_dc (conflict gate: closed-form Dc exact and >= 3x PWL, lanes byte-identical, no regression)"
+cargo run -q --release -p flames-bench --bin exp_dc
+
 echo "verify: OK"

@@ -29,7 +29,9 @@ use flames::circuit::fault::inject_faults;
 use flames::circuit::predict::{nominal_predictions, TestPoint};
 use flames::circuit::solve::solve_dc;
 use flames::circuit::{CompId, Fault, Net, Netlist};
-use flames::core::{Diagnoser, DiagnoserConfig, SessionPool};
+use flames::core::{
+    diagnose_batch, diagnose_batch_lanes, Board, Diagnoser, DiagnoserConfig, SessionPool,
+};
 use flames::crisp::{CrispConfig, CrispPropagator, Interval};
 use flames::fuzzy::FuzzyInterval;
 use flames_bench::rng::SplitMix64;
@@ -223,6 +225,7 @@ fn fuzzy_equals_crisp_on_200_rectangular_boards() {
             .map(|tp| network.voltage_quantity(tp.net))
             .collect();
         let mut pool = SessionPool::new(&diagnoser);
+        let mut lane_boards: Vec<Board> = Vec::new();
         for i in 0..5 {
             let Some(board) = random_board(&g, &mut rng, i) else {
                 continue;
@@ -320,7 +323,26 @@ fn fuzzy_equals_crisp_on_200_rectangular_boards() {
                 assert_eq!(warm_trace, reference.1, "pooled trace diverges");
                 pool.release(warm);
             }
+            lane_boards.push(readings.iter().copied().enumerate().collect());
             boards_checked += 1;
+        }
+        // Board-lane serving on this circuit's random fleet: joint
+        // propagation over a shared schedule must stay byte-identical
+        // to the per-board batch path, for any lane width.
+        if !lane_boards.is_empty() {
+            let reference = format!(
+                "{:?}",
+                diagnose_batch(&diagnoser, &lane_boards, 1).expect("batch runs")
+            );
+            for lane_width in [1, 3, 64] {
+                let laned = diagnose_batch_lanes(&diagnoser, &lane_boards, 2, lane_width)
+                    .expect("lanes run");
+                assert_eq!(
+                    format!("{laned:?}"),
+                    reference,
+                    "circuit {circuit_idx}: lane-{lane_width} batch diverges from per-board"
+                );
+            }
         }
     }
     assert!(boards_checked >= 200);

@@ -9,7 +9,10 @@ use flames::circuit::constraint::Network;
 use flames::circuit::fault::inject_faults;
 use flames::circuit::predict::{measure, nominal_predictions, TestPoint};
 use flames::circuit::{Fault, Netlist};
-use flames::core::{diagnose_batch, Board, CompiledModel, Diagnoser, DiagnoserConfig, Report};
+use flames::core::{
+    diagnose_batch, diagnose_batch_lanes, Board, CompiledModel, Diagnoser, DiagnoserConfig, Report,
+    Session,
+};
 
 // The compiled model and its inputs must be shareable across threads —
 // checked at compile time, not at run time.
@@ -136,6 +139,21 @@ fn assert_warm_reuse_matches(diagnoser: &Diagnoser, boards: &[Board]) {
     }
 }
 
+fn assert_lane_batch_matches(diagnoser: &Diagnoser, boards: &[Board]) {
+    let reference = format!("{:?}", sequential(diagnoser, boards));
+    for threads in [1, 2, 3] {
+        for lane_width in [1, 2, 3, 64] {
+            let batch =
+                diagnose_batch_lanes(diagnoser, boards, threads, lane_width).expect("lanes run");
+            assert_eq!(
+                format!("{batch:?}"),
+                reference,
+                "{threads}-thread lane-{lane_width} batch must be byte-identical to sequential"
+            );
+        }
+    }
+}
+
 #[test]
 fn batch_is_deterministic_on_three_stage() {
     let (diagnoser, boards) = three_stage_fleet();
@@ -168,6 +186,62 @@ fn warm_reuse_is_deterministic_on_three_stage() {
 fn warm_reuse_is_deterministic_on_diode_net() {
     let (diagnoser, boards) = diode_fleet();
     assert_warm_reuse_matches(&diagnoser, &boards);
+}
+
+#[test]
+fn lane_batches_are_deterministic_on_three_stage() {
+    let (diagnoser, boards) = three_stage_fleet();
+    assert_lane_batch_matches(&diagnoser, &boards);
+}
+
+#[test]
+fn lane_batches_are_deterministic_on_diode_net() {
+    let (diagnoser, boards) = diode_fleet();
+    assert_lane_batch_matches(&diagnoser, &boards);
+}
+
+/// Driving one lane of warm sessions jointly must leave every session —
+/// report AND exported trace — exactly as solo propagation would.
+#[test]
+fn propagate_lane_matches_solo_sessions() {
+    let (diagnoser, boards) = three_stage_fleet();
+    let reference: Vec<String> = boards
+        .iter()
+        .map(|board| {
+            let mut session = diagnoser.session();
+            for &(idx, value) in board {
+                session.measure_point(idx, value).expect("valid point");
+            }
+            session.propagate();
+            format!(
+                "{:?}\n{}",
+                session.report(),
+                session.trace().to_chrome_json()
+            )
+        })
+        .collect();
+    let mut sessions: Vec<Session<'_>> = boards
+        .iter()
+        .map(|board| {
+            let mut session = diagnoser.session();
+            for &(idx, value) in board {
+                session.measure_point(idx, value).expect("valid point");
+            }
+            session
+        })
+        .collect();
+    {
+        let mut refs: Vec<&mut Session<'_>> = sessions.iter_mut().collect();
+        Session::propagate_lane(&mut refs);
+    }
+    for (b, (session, expected)) in sessions.iter().zip(&reference).enumerate() {
+        let got = format!(
+            "{:?}\n{}",
+            session.report(),
+            session.trace().to_chrome_json()
+        );
+        assert_eq!(&got, expected, "board {b}: lane propagation diverges");
+    }
 }
 
 #[test]
