@@ -1,0 +1,320 @@
+//! Incremental diagnosis-candidate maintenance (de Kleer's candidate
+//! update).
+//!
+//! [`crate::hitting::minimal_hitting_sets`] re-enumerates Reiter's HS-tree
+//! from the full conflict list on every call. De Kleer's ATMS instead
+//! *maintains* the candidate set as conflicts arrive: a new conflict `N`
+//! leaves every candidate that already hits it untouched, and each
+//! candidate that misses `N` is split into its extensions by one element
+//! of `N`. [`CandidateSet`] implements that update over the bitset
+//! [`Env`] kernel, bounded by a maximum candidate cardinality (the
+//! paper's "number of faults under consideration").
+//!
+//! The invariant, maintained install by install: `sets()` is exactly the
+//! antichain of ⊆-minimal hitting sets of cardinality ≤ `max_size` of
+//! every conflict installed so far — byte-for-byte the result of the
+//! batch [`crate::hitting::minimal_hitting_sets`] oracle on the same
+//! conflicts (up to ordering), which the property suite checks after
+//! every single install.
+//!
+//! Why the update is this cheap: with `M` the current antichain and `N`
+//! the new conflict,
+//!
+//! * candidates hitting `N` remain minimal hitting sets (*retained*);
+//! * a candidate `c` missing `N` yields extensions `c ∪ {a}`, `a ∈ N`.
+//!   Because `c ∩ N = ∅`, distinct `(c, a)` pairs yield distinct,
+//!   pairwise-⊆-incomparable extensions — no cross-extension pruning is
+//!   ever needed;
+//! * an extension is non-minimal **iff** some retained candidate is a
+//!   subset of it (a missing candidate can never dominate an extension of
+//!   another missing candidate), so one subset sweep against the retained
+//!   half — signature-prefiltered — completes the update.
+
+use crate::env::Env;
+
+/// Incrementally maintained minimal hitting sets of a conflict stream.
+///
+/// Starts from the single empty candidate ("nothing is broken"), exactly
+/// like the batch oracle on an empty conflict list. Conflicts are
+/// installed one at a time; empty conflicts are ignored (they would be
+/// unhittable), matching the oracle's filter.
+///
+/// # Example
+///
+/// The paper's Fig. 5 candidates, maintained incrementally:
+///
+/// ```
+/// use flames_atms::{CandidateSet, Env};
+///
+/// let mut cs = CandidateSet::new(usize::MAX);
+/// cs.install(&Env::from_ids([1, 0])); // nogood {r1, d1}
+/// cs.install(&Env::from_ids([2, 0])); // nogood {r2, d1}
+/// let mut sets = cs.sets().to_vec();
+/// sets.sort();
+/// assert_eq!(sets, vec![Env::from_ids([0]), Env::from_ids([1, 2])]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    max_size: usize,
+    sets: Vec<Env>,
+    /// Word signatures parallel to `sets` — the subset prefilter.
+    sigs: Vec<u64>,
+}
+
+impl CandidateSet {
+    /// An empty-conflict candidate set: the sole candidate is the empty
+    /// environment. `max_size` bounds candidate cardinality.
+    #[must_use]
+    pub fn new(max_size: usize) -> Self {
+        Self {
+            max_size,
+            sets: vec![Env::empty()],
+            sigs: vec![0],
+        }
+    }
+
+    /// The cardinality bound candidates are maintained under.
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// The current candidates: the ⊆-minimal hitting sets (size ≤
+    /// `max_size`) of every conflict installed so far. Unordered — sort
+    /// before comparing against the batch oracle.
+    #[must_use]
+    pub fn sets(&self) -> &[Env] {
+        &self.sets
+    }
+
+    /// Number of current candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no candidate of size ≤ `max_size` explains the conflicts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Forgets every installed conflict, restoring the fresh state.
+    pub fn reset(&mut self) {
+        self.sets.clear();
+        self.sigs.clear();
+        self.sets.push(Env::empty());
+        self.sigs.push(0);
+    }
+
+    /// De Kleer's candidate-update step for one new conflict.
+    ///
+    /// Candidates intersecting `conflict` are retained; each candidate
+    /// missing it (below the size bound) is split into its one-element
+    /// extensions by members of `conflict`, and an extension survives
+    /// unless a retained candidate is a subset of it. Empty conflicts are
+    /// ignored.
+    pub fn install(&mut self, conflict: &Env) {
+        if conflict.is_empty() {
+            return;
+        }
+        flames_obs::metrics().candidates_incremental.incr();
+        let csig = conflict.signature();
+        // Partition in place: retained candidates keep their slots at the
+        // front, missing ones are moved out for splitting.
+        let mut missing: Vec<Env> = Vec::new();
+        let mut w = 0;
+        for r in 0..self.sets.len() {
+            // Signature prefilter: disjoint signatures prove a miss.
+            if self.sigs[r] & csig != 0 && self.sets[r].intersects(conflict) {
+                self.sets.swap(w, r);
+                self.sigs.swap(w, r);
+                w += 1;
+            } else {
+                missing.push(std::mem::take(&mut self.sets[r]));
+            }
+        }
+        self.sets.truncate(w);
+        self.sigs.truncate(w);
+        if missing.is_empty() {
+            return;
+        }
+        let retained = w;
+        for c in &missing {
+            if c.len() >= self.max_size {
+                continue;
+            }
+            for a in conflict.iter() {
+                let ext = c.with(a);
+                let esig = ext.signature();
+                // Only an (old) retained candidate can dominate an
+                // extension; extensions are pairwise incomparable.
+                let dominated = self.sets[..retained]
+                    .iter()
+                    .zip(&self.sigs[..retained])
+                    .any(|(r, &rsig)| rsig & !esig == 0 && r.is_subset_of(&ext));
+                if !dominated {
+                    self.sets.push(ext);
+                    self.sigs.push(esig);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting::minimal_hitting_sets;
+
+    fn env(ids: &[u32]) -> Env {
+        Env::from_ids(ids.iter().copied())
+    }
+
+    /// Sorted view for oracle comparisons.
+    fn sorted(cs: &CandidateSet) -> Vec<Env> {
+        let mut v = cs.sets().to_vec();
+        v.sort();
+        v
+    }
+
+    fn oracle(conflicts: &[Env], max_size: usize) -> Vec<Env> {
+        let mut v = minimal_hitting_sets(conflicts, max_size, usize::MAX);
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn fresh_set_is_the_empty_candidate() {
+        let cs = CandidateSet::new(3);
+        assert_eq!(cs.sets(), &[Env::empty()]);
+        assert_eq!(cs.len(), 1);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.max_size(), 3);
+        assert_eq!(sorted(&cs), oracle(&[], 3));
+    }
+
+    #[test]
+    fn fig5_matches_oracle_after_every_install() {
+        let conflicts = [env(&[1, 0]), env(&[2, 0])];
+        let mut cs = CandidateSet::new(usize::MAX);
+        for i in 0..conflicts.len() {
+            cs.install(&conflicts[i]);
+            assert_eq!(sorted(&cs), oracle(&conflicts[..=i], usize::MAX));
+        }
+        assert_eq!(sorted(&cs), vec![env(&[0]), env(&[1, 2])]);
+    }
+
+    #[test]
+    fn empty_conflicts_are_ignored() {
+        let mut cs = CandidateSet::new(2);
+        cs.install(&Env::empty());
+        assert_eq!(cs.sets(), &[Env::empty()]);
+        cs.install(&env(&[1, 2]));
+        let snapshot = sorted(&cs);
+        cs.install(&Env::empty());
+        assert_eq!(sorted(&cs), snapshot);
+    }
+
+    #[test]
+    fn duplicate_and_superset_conflicts_are_no_ops() {
+        let mut cs = CandidateSet::new(2);
+        cs.install(&env(&[1, 2]));
+        let snapshot = sorted(&cs);
+        cs.install(&env(&[1, 2]));
+        assert_eq!(sorted(&cs), snapshot);
+        // Every candidate hitting {1,2} also hits its supersets.
+        cs.install(&env(&[1, 2, 9]));
+        assert_eq!(sorted(&cs), snapshot);
+    }
+
+    #[test]
+    fn size_bound_prunes_like_the_oracle() {
+        // Disjoint conflicts force pairs; a bound of 1 leaves nothing.
+        let conflicts = [env(&[1, 2]), env(&[3, 4])];
+        let mut cs = CandidateSet::new(1);
+        for c in &conflicts {
+            cs.install(c);
+        }
+        assert!(cs.is_empty());
+        assert_eq!(sorted(&cs), oracle(&conflicts, 1));
+        // A shared element survives a bound of 1.
+        let shared = [env(&[1, 2]), env(&[1, 3])];
+        let mut cs = CandidateSet::new(1);
+        for c in &shared {
+            cs.install(c);
+        }
+        assert_eq!(sorted(&cs), vec![env(&[1])]);
+    }
+
+    #[test]
+    fn zero_size_bound_empties_on_first_conflict() {
+        let mut cs = CandidateSet::new(0);
+        cs.install(&env(&[1]));
+        assert!(cs.is_empty());
+        assert_eq!(sorted(&cs), oracle(&[env(&[1])], 0));
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut cs = CandidateSet::new(2);
+        cs.install(&env(&[1, 2]));
+        cs.install(&env(&[3]));
+        cs.reset();
+        assert_eq!(cs.sets(), &[Env::empty()]);
+        cs.install(&env(&[4, 5]));
+        assert_eq!(sorted(&cs), oracle(&[env(&[4, 5])], 2));
+    }
+
+    #[test]
+    fn random_streams_match_oracle_at_every_step() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for max_size in [1, 2, 3, usize::MAX] {
+            let mut conflicts: Vec<Env> = Vec::new();
+            let mut cs = CandidateSet::new(max_size);
+            for _ in 0..60 {
+                let len = 1 + (next() % 4) as usize;
+                let ids: Vec<u32> = (0..len).map(|_| (next() % 12) as u32).collect();
+                let c = Env::from_ids(ids);
+                conflicts.push(c.clone());
+                cs.install(&c);
+                assert_eq!(
+                    sorted(&cs),
+                    oracle(&conflicts, max_size),
+                    "divergence at {} conflicts, max_size {max_size}",
+                    conflicts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_minimal_hitting_sets() {
+        let conflicts = [env(&[1, 2, 3]), env(&[2, 4]), env(&[3, 4, 5]), env(&[1, 5])];
+        let mut cs = CandidateSet::new(usize::MAX);
+        for c in &conflicts {
+            cs.install(c);
+        }
+        for s in cs.sets() {
+            assert!(crate::hitting::is_hitting_set(s, &conflicts));
+            for a in s.iter() {
+                assert!(!crate::hitting::is_hitting_set(&s.without(a), &conflicts));
+            }
+        }
+        // Pairwise incomparable, duplicate-free.
+        for (i, p) in cs.sets().iter().enumerate() {
+            for (j, q) in cs.sets().iter().enumerate() {
+                if i != j {
+                    assert!(!p.is_subset_of(q));
+                }
+            }
+        }
+    }
+}

@@ -1,10 +1,12 @@
 use crate::assumptions::Assumption;
+use crate::candidates::CandidateSet;
 use crate::env::Env;
 use crate::error::AtmsError;
 use crate::hitting::minimal_hitting_sets_iter;
 use crate::interner::{DirtyQueue, EnvId, EnvTable, SubsetStats};
 use crate::Result;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Triangular norm used to combine certainty degrees along a derivation.
 ///
@@ -146,7 +148,7 @@ struct FuzzyNode {
 /// assert_eq!(diags[1].env, Env::from_assumptions([r1, r2]));
 /// assert_eq!(diags[1].degree, 0.5);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FuzzyAtms {
     nodes: Vec<FuzzyNode>,
     justifications: Vec<FuzzyJustification>,
@@ -158,6 +160,50 @@ pub struct FuzzyAtms {
     assumption_nodes: Vec<NodeRef>,
     tnorm: TNorm,
     kill_threshold: f64,
+    /// Append-only log of the non-subsumed nogood installs, replayed
+    /// lazily into the incremental candidate sets. Replaying the raw
+    /// stream yields the same minimal hitting sets as the Pareto store:
+    /// skipped (subsumed) installs and dominated-then-removed nogoods are
+    /// all supersets of a surviving nogood, and superset conflicts never
+    /// change a hitting-set antichain.
+    install_log: Vec<Env>,
+    /// Bumped on every non-subsumed install — the validity tag candidate
+    /// caches (here and in `flames-core` sessions) key on.
+    epoch: u64,
+    /// Lazily replayed incremental candidate sets, one per queried
+    /// `max_size`. Interior mutability keeps [`FuzzyAtms::ranked_diagnoses`]
+    /// a `&self` read; a `Mutex` (not `RefCell`) so the engine stays
+    /// `Sync` for the compile-once/serve-many split.
+    cand_cache: Mutex<Vec<CachedCandidates>>,
+}
+
+/// One lazily maintained candidate set: `set` has replayed
+/// `install_log[..cursor]`.
+#[derive(Debug, Clone)]
+struct CachedCandidates {
+    max_size: usize,
+    cursor: usize,
+    set: CandidateSet,
+}
+
+impl Clone for FuzzyAtms {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            justifications: self.justifications.clone(),
+            nogoods: self.nogoods.clone(),
+            nogood_ids: self.nogood_ids.clone(),
+            envs: self.envs.clone(),
+            assumption_nodes: self.assumption_nodes.clone(),
+            tnorm: self.tnorm,
+            kill_threshold: self.kill_threshold,
+            install_log: self.install_log.clone(),
+            epoch: self.epoch,
+            // Warm candidate sets travel with the clone (snapshot/restore
+            // keeps them consistent with the cloned log).
+            cand_cache: Mutex::new(self.locked_cache().clone()),
+        }
+    }
 }
 
 impl Default for FuzzyAtms {
@@ -180,6 +226,9 @@ impl FuzzyAtms {
             assumption_nodes: Vec::new(),
             tnorm: TNorm::Min,
             kill_threshold: 1.0,
+            install_log: Vec::new(),
+            epoch: 0,
+            cand_cache: Mutex::new(Vec::new()),
         }
     }
 
@@ -446,8 +495,64 @@ impl FuzzyAtms {
     /// a double fault is only as serious as its least-implicated component.
     /// This reproduces the paper's Fig. 5 ordering, where `[d1]` (hit by a
     /// degree-1 conflict) outranks `[r1, r2]` (dragged down by r1's 0.5).
+    /// Served from the incrementally maintained [`CandidateSet`]: only the
+    /// nogoods installed since the previous query with the same `max_size`
+    /// are replayed (de Kleer's candidate-update step), so the steady-state
+    /// cost of a query is proportional to *new* conflicts, not the full
+    /// store. `max_count` keeps only the strongest candidates after
+    /// ranking; [`FuzzyAtms::ranked_diagnoses_oracle`] is the re-enumerating
+    /// reference the differential suites compare against.
     #[must_use]
     pub fn ranked_diagnoses(&self, max_size: usize, max_count: usize) -> Vec<RankedDiagnosis> {
+        let mut cache = self.locked_cache();
+        let entry = match cache.iter_mut().find(|e| e.max_size == max_size) {
+            Some(entry) => entry,
+            None => {
+                cache.push(CachedCandidates {
+                    max_size,
+                    cursor: 0,
+                    set: CandidateSet::new(max_size),
+                });
+                cache.last_mut().expect("just pushed")
+            }
+        };
+        while entry.cursor < self.install_log.len() {
+            entry.set.install(&self.install_log[entry.cursor]);
+            entry.cursor += 1;
+        }
+        let mut out: Vec<RankedDiagnosis> = entry
+            .set
+            .sets()
+            .iter()
+            .filter(|env| !env.is_empty())
+            .map(|env| {
+                let degree = env.iter().map(|a| self.suspicion(a)).fold(1.0, f64::min);
+                RankedDiagnosis {
+                    env: env.clone(),
+                    degree,
+                }
+            })
+            .collect();
+        drop(cache);
+        Self::rank(&mut out);
+        out.truncate(max_count);
+        out
+    }
+
+    /// The pre-incremental diagnosis path: re-enumerates the HS-tree from
+    /// the full nogood store on every call. Kept as the differential
+    /// oracle (and the recompute baseline `exp_strategy` measures
+    /// against). Identical to [`FuzzyAtms::ranked_diagnoses`] whenever
+    /// `max_count` does not truncate; when it does, the incremental path
+    /// keeps the `max_count` *strongest* candidates while this one keeps
+    /// the first found.
+    #[must_use]
+    pub fn ranked_diagnoses_oracle(
+        &self,
+        max_size: usize,
+        max_count: usize,
+    ) -> Vec<RankedDiagnosis> {
+        flames_obs::metrics().candidates_rebuilt.incr();
         let sets =
             minimal_hitting_sets_iter(self.nogoods.iter().map(|n| &n.env), max_size, max_count);
         let mut out: Vec<RankedDiagnosis> = sets
@@ -458,6 +563,14 @@ impl FuzzyAtms {
                 RankedDiagnosis { env, degree }
             })
             .collect();
+        Self::rank(&mut out);
+        out
+    }
+
+    /// The shared candidate ordering: decreasing degree, then size, then
+    /// lexicographic — total over distinct environments, so the
+    /// incremental and oracle paths sort identically.
+    fn rank(out: &mut [RankedDiagnosis]) {
         out.sort_by(|p, q| {
             q.degree
                 .partial_cmp(&p.degree)
@@ -465,7 +578,16 @@ impl FuzzyAtms {
                 .then_with(|| p.env.len().cmp(&q.env.len()))
                 .then_with(|| p.env.cmp(&q.env))
         });
-        out
+    }
+
+    /// Monotone counter of non-subsumed nogood installs — the validity
+    /// tag for candidate caches layered above the engine: equal epochs on
+    /// the same live engine mean "no new conflict landed", so cached
+    /// candidates are still exact. [`FuzzyAtms::reset`] rewinds it along
+    /// with the store.
+    #[must_use]
+    pub fn nogood_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Clears the per-board state — justifications, nogoods, and every
@@ -484,6 +606,12 @@ impl FuzzyAtms {
         self.justifications.clear();
         self.nogoods.clear();
         self.nogood_ids.clear();
+        self.install_log.clear();
+        self.epoch = 0;
+        self.cand_cache
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         for node in &mut self.nodes {
             node.label.clear();
             node.consumers.clear();
@@ -510,6 +638,15 @@ impl FuzzyAtms {
     }
 
     // ----- internals -------------------------------------------------
+
+    /// The candidate cache, poison-blind: a panic mid-query cannot leave
+    /// the cache logically inconsistent (installs are applied one whole
+    /// conflict at a time before the cursor moves).
+    fn locked_cache(&self) -> std::sync::MutexGuard<'_, Vec<CachedCandidates>> {
+        self.cand_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn check_node(&self, id: NodeRef) -> Result<()> {
         if id.index() < self.nodes.len() {
@@ -653,6 +790,11 @@ impl FuzzyAtms {
             return;
         }
         flames_obs::metrics().nogood_installs.incr();
+        // Log the raw install and invalidate candidate caches. Subsumed
+        // installs above do neither: they cannot change any hitting set,
+        // so caches tagged with the current epoch stay exact.
+        self.install_log.push(self.envs.env(ngid).clone());
+        self.epoch += 1;
         // Drop existing nogoods this one dominates (order-preserving).
         let mut w = 0;
         for r in 0..self.nogoods.len() {

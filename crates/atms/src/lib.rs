@@ -38,6 +38,7 @@
 
 mod assumptions;
 mod atms;
+mod candidates;
 mod env;
 mod error;
 mod fuzzy_atms;
@@ -48,6 +49,7 @@ pub mod possibilistic;
 
 pub use assumptions::{Assumption, AssumptionPool};
 pub use atms::{Atms, JustificationId, NodeId};
+pub use candidates::CandidateSet;
 pub use env::{minimize, Env, EnvIter};
 pub use error::AtmsError;
 pub use fuzzy_atms::{FuzzyAtms, NodeRef, Nogood, RankedDiagnosis, TNorm, WeightedEnv};
@@ -75,4 +77,5 @@ const _: () = {
     assert_send_sync::<FuzzyAtms>();
     assert_send_sync::<Nogood>();
     assert_send_sync::<RankedDiagnosis>();
+    assert_send_sync::<CandidateSet>();
 };

@@ -10,7 +10,7 @@
 
 use flames_atms::hitting::{is_hitting_set, minimal_hitting_sets};
 use flames_atms::possibilistic::{Literal, PossibilisticBase};
-use flames_atms::{minimize, Assumption, Atms, Env, FuzzyAtms};
+use flames_atms::{minimize, Assumption, Atms, CandidateSet, Env, FuzzyAtms};
 use std::collections::BTreeSet;
 
 /// SplitMix64 — the same mixer as `flames_bench::rng`, inlined because
@@ -230,6 +230,74 @@ fn hitting_sets_complete_for_small_universes() {
             }
         }
     }
+}
+
+/// De Kleer's candidate-update step against the batch HS-tree oracle:
+/// on seeded random conflict streams, the incrementally maintained
+/// [`CandidateSet`] must equal `minimal_hitting_sets` over the prefix
+/// after *every single install*, for every cardinality bound — and the
+/// final candidates must not depend on installation order. Well over
+/// 10k installs total, each one cross-checked.
+#[test]
+fn candidate_set_matches_batch_oracle_on_shuffled_streams() {
+    fn check(cs: &CandidateSet, conflicts: &[Env], max_size: usize) -> Vec<Env> {
+        let mut got = cs.sets().to_vec();
+        got.sort();
+        let mut want = minimal_hitting_sets(conflicts, max_size, usize::MAX);
+        want.sort();
+        assert_eq!(
+            got,
+            want,
+            "divergence at {} conflicts, max_size {max_size}",
+            conflicts.len()
+        );
+        got
+    }
+
+    let mut r = Rng(14);
+    let mut installs = 0usize;
+    for max_size in [1, 2, 3, usize::MAX] {
+        for _ in 0..45 {
+            let stream: Vec<Env> = (0..60)
+                .map(|_| {
+                    let mut ids = rand_ids(&mut r, 10, 3);
+                    ids.insert(r.below(10) as u32); // non-empty
+                    Env::from_ids(ids)
+                })
+                .collect();
+
+            // Forward pass: oracle equality after every install.
+            let mut cs = CandidateSet::new(max_size);
+            let mut prefix = Vec::new();
+            let mut last = Vec::new();
+            for c in &stream {
+                cs.install(c);
+                prefix.push(c.clone());
+                installs += 1;
+                last = check(&cs, &prefix, max_size);
+            }
+
+            // Shuffled replay (Fisher–Yates): same per-step oracle
+            // equality, and the same final antichain as the forward
+            // pass — installation order must not matter.
+            let mut shuffled = stream.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = r.below(i as u64 + 1) as usize;
+                shuffled.swap(i, j);
+            }
+            let mut cs2 = CandidateSet::new(max_size);
+            let mut prefix2 = Vec::new();
+            let mut last2 = Vec::new();
+            for c in &shuffled {
+                cs2.install(c);
+                prefix2.push(c.clone());
+                installs += 1;
+                last2 = check(&cs2, &prefix2, max_size);
+            }
+            assert_eq!(last, last2, "final candidates depend on install order");
+        }
+    }
+    assert!(installs >= 10_000, "only {installs} installs exercised");
 }
 
 #[test]

@@ -345,6 +345,7 @@ impl Diagnoser {
             measured: vec![None; model.test_points.len()],
             priors: vec![None; model.netlist.component_count()],
             waves: Vec::new(),
+            cand_cache: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -374,6 +375,7 @@ impl Diagnoser {
             measured: vec![None; model.test_points.len()],
             priors: vec![None; model.netlist.component_count()],
             waves: Vec::new(),
+            cand_cache: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -412,7 +414,7 @@ fn seed_predictions_into(
 }
 
 /// One diagnosis run against one (possibly faulty) board.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Session<'d> {
     diagnoser: &'d Diagnoser,
     prop: Propagator<'d>,
@@ -427,6 +429,37 @@ pub struct Session<'d> {
     /// propagator state, so base-state snapshot restores cannot clobber
     /// it.
     waves: Vec<crate::trace::WaveRecord>,
+    /// Nogood-epoch-tagged candidate cache: one rendered candidate list
+    /// per queried `(max_size, max_count)`, valid while the ATMS epoch is
+    /// unchanged. [`Session::reset`] clears it — a snapshot restore
+    /// rewinds the epoch counter, so tags from before the restore must
+    /// not be allowed to match tags after it. A `Mutex` (never contended:
+    /// sessions are driven by one thread) keeps the session `Sync`.
+    cand_cache: std::sync::Mutex<Vec<CandCacheEntry>>,
+}
+
+/// One [`Session::candidates`] result, tagged with the ATMS nogood epoch
+/// it was computed at.
+#[derive(Debug, Clone)]
+struct CandCacheEntry {
+    epoch: u64,
+    max_size: usize,
+    max_count: usize,
+    candidates: Vec<Candidate>,
+}
+
+impl Clone for Session<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            diagnoser: self.diagnoser,
+            prop: self.prop.clone(),
+            excused: self.excused.clone(),
+            measured: self.measured.clone(),
+            priors: self.priors.clone(),
+            waves: self.waves.clone(),
+            cand_cache: std::sync::Mutex::new(self.locked_cand_cache().clone()),
+        }
+    }
 }
 
 impl<'d> Session<'d> {
@@ -441,6 +474,10 @@ impl<'d> Session<'d> {
     pub fn reset(&mut self) {
         flames_obs::metrics().session_resets.incr();
         self.waves.clear();
+        // The snapshot restore below rewinds the ATMS nogood-epoch
+        // counter, so cached candidate lists tagged with a pre-reset
+        // epoch could otherwise match a post-reset query by accident.
+        self.locked_cand_cache().clear();
         if self.excused.is_empty() {
             self.prop.restore_state(&self.diagnoser.model.base_state);
         } else {
@@ -567,11 +604,59 @@ impl<'d> Session<'d> {
 
     /// Ranked candidates (minimal hitting sets of the graded nogoods),
     /// rendered with component names.
+    ///
+    /// Results are cached per `(max_size, max_count)` and tagged with the
+    /// ATMS nogood epoch, so repeated calls between propagation waves —
+    /// the probe planner asks after every hypothetical outcome — cost one
+    /// lock-and-clone instead of a hitting-set computation.
     #[must_use]
     pub fn candidates(&self, max_size: usize, max_count: usize) -> Vec<Candidate> {
-        self.prop
-            .atms()
-            .ranked_diagnoses(max_size, max_count)
+        let epoch = self.prop.atms().nogood_epoch();
+        let mut cache = self.locked_cand_cache();
+        if let Some(entry) = cache
+            .iter()
+            .find(|e| e.max_size == max_size && e.max_count == max_count)
+        {
+            if entry.epoch == epoch {
+                return entry.candidates.clone();
+            }
+        }
+        let candidates =
+            self.render_candidates(self.prop.atms().ranked_diagnoses(max_size, max_count));
+        match cache
+            .iter_mut()
+            .find(|e| e.max_size == max_size && e.max_count == max_count)
+        {
+            Some(entry) => {
+                entry.epoch = epoch;
+                entry.candidates = candidates.clone();
+            }
+            None => cache.push(CandCacheEntry {
+                epoch,
+                max_size,
+                max_count,
+                candidates: candidates.clone(),
+            }),
+        }
+        candidates
+    }
+
+    /// [`Session::candidates`] without the epoch-tagged cache *and*
+    /// without the incremental [`flames_atms::CandidateSet`] underneath:
+    /// every call recomputes the minimal hitting sets from the full
+    /// nogood store. Kept as the differential oracle for the strategy
+    /// benchmark and the equivalence tests.
+    #[must_use]
+    pub fn candidates_uncached(&self, max_size: usize, max_count: usize) -> Vec<Candidate> {
+        self.render_candidates(
+            self.prop
+                .atms()
+                .ranked_diagnoses_oracle(max_size, max_count),
+        )
+    }
+
+    fn render_candidates(&self, ranked: Vec<RankedDiagnosis>) -> Vec<Candidate> {
+        ranked
             .into_iter()
             .map(|RankedDiagnosis { env, degree }| Candidate {
                 members: env
@@ -582,6 +667,12 @@ impl<'d> Session<'d> {
                 degree,
             })
             .collect()
+    }
+
+    fn locked_cand_cache(&self) -> std::sync::MutexGuard<'_, Vec<CandCacheEntry>> {
+        self.cand_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Refined candidates — the right-hand side of the paper's Fig. 7

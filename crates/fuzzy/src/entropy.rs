@@ -20,6 +20,7 @@
 use crate::error::FuzzyError;
 use crate::trapezoid::FuzzyInterval;
 use crate::Result;
+use std::collections::HashMap;
 
 /// `x · log2(1/x)` extended by continuity with `h(0) = 0`.
 #[must_use]
@@ -87,6 +88,66 @@ pub fn fuzzy_entropy(estimations: &[FuzzyInterval]) -> Result<FuzzyInterval> {
         acc = acc + fuzzy_point_entropy(e)?;
     }
     Ok(acc)
+}
+
+/// A memo table over [`fuzzy_point_entropy`], keyed on the exact bit
+/// pattern of the four trapezoid parameters.
+///
+/// Probe planning evaluates the entropy of the *same* posterior
+/// estimations over and over — once per hypothetical outcome of every
+/// unprobed test point, on every iteration of the probe loop — while the
+/// estimations themselves only change for the components a new conflict
+/// implicates. Keying on `f64::to_bits` of `(core_lo, core_hi,
+/// spread_left, spread_right)` makes a hit return the *identical* term
+/// the direct call would produce (no tolerance, no rounding), so memoized
+/// planning stays byte-exact.
+///
+/// Errored estimations (support outside `[0, 1]`) are memoized as `None`
+/// with the same hit/miss accounting, preserving the caller's
+/// error-collapse semantics.
+#[derive(Debug, Clone, Default)]
+pub struct EntropyMemo {
+    map: HashMap<[u64; 4], Option<FuzzyInterval>>,
+}
+
+impl EntropyMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`fuzzy_point_entropy`] through the memo: `None` exactly when the
+    /// direct call would return an error. Counts `fuzzy.entropy_memo_hit`
+    /// / `fuzzy.entropy_memo_miss`.
+    pub fn point_entropy(&mut self, estimation: &FuzzyInterval) -> Option<FuzzyInterval> {
+        let key = [
+            estimation.core_lo().to_bits(),
+            estimation.core_hi().to_bits(),
+            estimation.spread_left().to_bits(),
+            estimation.spread_right().to_bits(),
+        ];
+        if let Some(hit) = self.map.get(&key) {
+            flames_obs::metrics().entropy_memo_hit.incr();
+            return *hit;
+        }
+        flames_obs::metrics().entropy_memo_miss.incr();
+        let value = fuzzy_point_entropy(estimation).ok();
+        self.map.insert(key, value);
+        value
+    }
+
+    /// Number of distinct estimations memoized so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Crisp Shannon entropy `−Σ pᵢ log2 pᵢ` of a weight vector, normalizing
@@ -235,6 +296,35 @@ mod tests {
         // Unnormalized weights are normalized.
         assert!((shannon_entropy(&[2.0, 2.0]) - 1.0).abs() < 1e-12);
         assert_eq!(shannon_entropy(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn memo_returns_bit_identical_terms() {
+        let mut memo = EntropyMemo::new();
+        assert!(memo.is_empty());
+        let estimations = [
+            fi(0.2, 0.6, 0.1, 0.1),
+            FuzzyInterval::crisp(0.5),
+            fi(0.0, 0.05, 0.0, 0.05),
+        ];
+        for e in &estimations {
+            let direct = fuzzy_point_entropy(e).unwrap();
+            let first = memo.point_entropy(e).unwrap();
+            let again = memo.point_entropy(e).unwrap();
+            // Bit-exact on both the fill and the hit.
+            assert_eq!(format!("{direct:?}"), format!("{first:?}"));
+            assert_eq!(format!("{direct:?}"), format!("{again:?}"));
+        }
+        assert_eq!(memo.len(), estimations.len());
+    }
+
+    #[test]
+    fn memo_caches_errors_too() {
+        let mut memo = EntropyMemo::new();
+        let bad = fi(0.9, 1.0, 0.0, 0.3);
+        assert!(memo.point_entropy(&bad).is_none());
+        assert!(memo.point_entropy(&bad).is_none());
+        assert_eq!(memo.len(), 1);
     }
 
     #[test]

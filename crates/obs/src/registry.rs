@@ -37,8 +37,8 @@ macro_rules! define_metrics {
 
         /// Every metric name, in snapshot order. Prefixes partition the
         /// stack: `atms.` / `core.` are deterministic kernel work,
-        /// `serve.` covers pooling (thread-count dependent), `circuit.`
-        /// the substrate.
+        /// `serve.` covers pooling (thread-count dependent),
+        /// `strategy.` the probe planner, `circuit.` the substrate.
         pub const METRIC_NAMES: &[&str] = &[$($name,)+ $($gname,)+];
     };
 }
@@ -54,9 +54,13 @@ define_metrics! {
     nogood_installs => "atms.nogood_installs",
     nogood_subsumed => "atms.nogood_subsumed",
     hitting_expansions => "atms.hitting_expansions",
+    candidates_incremental => "atms.candidates_incremental",
+    candidates_rebuilt => "atms.candidates_rebuilt",
     // Fuzzy numeric kernel --------------------------------------------
     dc_fast_path => "fuzzy.dc_fast_path",
     dc_pwl_fallback => "fuzzy.dc_pwl_fallback",
+    entropy_memo_hit => "fuzzy.entropy_memo_hit",
+    entropy_memo_miss => "fuzzy.entropy_memo_miss",
     // Propagation engine ----------------------------------------------
     waves => "core.waves",
     constraint_apps => "core.constraint_apps",
@@ -71,6 +75,8 @@ define_metrics! {
     pool_hits => "serve.pool_hits",
     pool_misses => "serve.pool_misses",
     boards_diagnosed => "serve.boards_diagnosed",
+    // Probe planning ---------------------------------------------------
+    probe_evals => "strategy.probe_evals",
     // Circuit substrate -----------------------------------------------
     models_extracted => "circuit.models_extracted",
     dc_solves => "circuit.dc_solves",

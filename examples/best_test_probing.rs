@@ -12,6 +12,7 @@ use flames::circuit::predict::measure_all;
 use flames::circuit::Fault;
 use flames::core::strategy::{probe_until_isolated, recommend, Policy};
 use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::obs::MetricsSnapshot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = cascade(8, 1.3, 0.03);
@@ -42,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drive both policies to isolation, reusing one warm session:
     // `reset()` restores the model's pre-propagated base state between
     // runs, so only each policy's own probes are propagated.
+    let before = MetricsSnapshot::capture();
     for policy in [
         Policy::FuzzyEntropy,
         Policy::Probabilistic,
@@ -59,5 +61,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("hidden defect was amp_{} at 60 % gain", hidden_fault + 1);
+
+    // How the incremental planner served those runs (all zeros when the
+    // `obs` feature is off): every point scoring is counted, entropy
+    // terms come out of the per-run memo far more often than they are
+    // computed, and candidates are maintained incrementally — the
+    // rebuild counter moves only on the retained oracle path.
+    let delta = MetricsSnapshot::capture().delta_since(&before);
+    println!();
+    println!("planner counters over the three runs:");
+    for name in [
+        "strategy.probe_evals",
+        "fuzzy.entropy_memo_hit",
+        "fuzzy.entropy_memo_miss",
+        "atms.candidates_incremental",
+        "atms.candidates_rebuilt",
+    ] {
+        println!("  {name:<28} {}", delta.get(name));
+    }
     Ok(())
 }

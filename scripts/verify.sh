@@ -26,13 +26,37 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Runs one gated experiment binary. Keeps the previous BENCH_*.json
+# around so a gate failure prints the old speedups next to the new ones
+# instead of a bare assert message.
+run_gate() {
+    bin="$1"
+    json="$2"
+    if [ -f "$json" ]; then
+        cp "$json" "$json.prev"
+    fi
+    if ! cargo run -q --release -p flames-bench --bin "$bin"; then
+        echo "!! $bin gate failed"
+        if [ -f "$json.prev" ] && [ -f "$json" ]; then
+            echo "!! speedups, previous run ($json.prev) vs this run ($json):"
+            grep -n '"speedup"' "$json.prev" | sed 's/^/!!   prev /' || true
+            grep -n '"speedup"' "$json" | sed 's/^/!!   new  /' || true
+        fi
+        exit 1
+    fi
+    rm -f "$json.prev"
+}
+
 echo "==> exp_perf (ATMS kernel gate: results equal, >= 2x on every workload)"
-cargo run -q --release -p flames-bench --bin exp_perf
+run_gate exp_perf BENCH_atms.json
 
 echo "==> exp_batch (serving gate: byte-identical reports, warm pool >= 1.5x cold)"
-cargo run -q --release -p flames-bench --bin exp_batch
+run_gate exp_batch BENCH_batch.json
 
 echo "==> exp_dc (conflict gate: closed-form Dc exact and >= 3x PWL, lanes byte-identical, no regression)"
-cargo run -q --release -p flames-bench --bin exp_dc
+run_gate exp_dc BENCH_dc.json
+
+echo "==> exp_strategy (planning gate: incremental candidates and probe planning >= 3x, byte-identical across threads, full loop no-regression)"
+run_gate exp_strategy BENCH_strategy.json
 
 echo "verify: OK"

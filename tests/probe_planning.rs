@@ -1,0 +1,146 @@
+//! Probe-planning determinism: the incremental planner (entropy memo,
+//! epoch-tagged candidate cache, parallel point evaluation) must never
+//! change a recommendation or a probe run. `recommend` has to be
+//! byte-identical across thread counts, guided probe loops have to
+//! reproduce the retained oracle loop byte-for-byte, and the candidate
+//! cache must survive session reuse — a reset session (whose ATMS
+//! epoch *rewinds*) must plan exactly like a fresh one.
+
+use flames::circuit::circuits::three_stage;
+use flames::circuit::fault::inject_faults;
+use flames::circuit::predict::measure;
+use flames::circuit::Fault;
+use flames::core::strategy::{
+    probe_until_isolated, probe_until_isolated_oracle, recommend, recommend_with, Policy,
+    CANDIDATE_BUDGET,
+};
+use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::fuzzy::FuzzyInterval;
+
+/// The Fig. 6 amplifier with one healthy and three drifted boards,
+/// readings indexed like the diagnoser's test points.
+fn amp_fleet() -> (Diagnoser, Vec<Vec<FuzzyInterval>>) {
+    let ts = three_stage(0.05);
+    let diagnoser = Diagnoser::from_netlist(
+        &ts.netlist,
+        ts.test_points.clone(),
+        DiagnoserConfig::default(),
+    )
+    .expect("three-stage model compiles");
+    let variants = [
+        None,
+        Some((ts.r2, 1.3)),
+        Some((ts.r4, 0.8)),
+        Some((ts.r5, 1.25)),
+    ];
+    let boards = variants
+        .iter()
+        .map(|fault| {
+            let netlist = match fault {
+                Some((comp, factor)) => {
+                    inject_faults(&ts.netlist, &[(*comp, Fault::ParamFactor(*factor))])
+                        .expect("drift injection")
+                }
+                None => ts.netlist.clone(),
+            };
+            ts.test_points
+                .iter()
+                .map(|tp| measure(&netlist, tp.net, 0.02).expect("board solves"))
+                .collect()
+        })
+        .collect();
+    (diagnoser, boards)
+}
+
+#[test]
+fn recommend_is_byte_identical_across_thread_counts() {
+    let (diagnoser, boards) = amp_fleet();
+    for readings in &boards {
+        let mut session = diagnoser.session();
+        // Walk the board one probe at a time so every intermediate
+        // planning state — healthy, conflicted, nearly isolated — is
+        // checked at every thread count and under every policy.
+        loop {
+            for policy in [
+                Policy::FuzzyEntropy,
+                Policy::Probabilistic,
+                Policy::FixedOrder,
+            ] {
+                let solo = recommend_with(&session, policy, 0.05, 1);
+                assert_eq!(
+                    format!("{solo:?}"),
+                    format!("{:?}", recommend(&session, policy, 0.05)),
+                    "recommend != recommend_with(.., 1) ({policy})"
+                );
+                for threads in [2, 4, 8] {
+                    let multi = recommend_with(&session, policy, 0.05, threads);
+                    assert_eq!(
+                        format!("{solo:?}"),
+                        format!("{multi:?}"),
+                        "recommend diverged at {threads} threads ({policy})"
+                    );
+                }
+            }
+            let next = recommend(&session, Policy::FuzzyEntropy, 0.05);
+            let Some(choice) = next.first() else { break };
+            session
+                .measure_point(choice.point, readings[choice.point])
+                .expect("measurement lands");
+            session.propagate();
+        }
+    }
+}
+
+#[test]
+fn fast_probe_loops_reproduce_the_oracle() {
+    let (diagnoser, boards) = amp_fleet();
+    for readings in &boards {
+        for policy in [Policy::FuzzyEntropy, Policy::Probabilistic] {
+            let mut fast_session = diagnoser.session();
+            let fast = probe_until_isolated(&mut fast_session, policy, 0.05, &|i| readings[i])
+                .expect("fast probe loop runs");
+            let mut oracle_session = diagnoser.session();
+            let oracle =
+                probe_until_isolated_oracle(&mut oracle_session, policy, 0.05, &|i| readings[i])
+                    .expect("oracle probe loop runs");
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{oracle:?}"),
+                "fast probe loop diverged from oracle ({policy})"
+            );
+        }
+    }
+}
+
+#[test]
+fn candidate_cache_survives_session_reset() {
+    let (diagnoser, boards) = amp_fleet();
+    // Run a full probe loop on the drifted board, warming the epoch-
+    // tagged candidate cache, then reset. The reset rewinds the ATMS
+    // nogood epoch, so a stale cache entry would be indistinguishable
+    // by tag alone — the session must drop it and plan the healthy
+    // board exactly like a factory-fresh session.
+    let mut reused = diagnoser.session();
+    probe_until_isolated(&mut reused, Policy::FuzzyEntropy, 0.05, &|i| boards[1][i])
+        .expect("warm-up probe loop runs");
+    reused.reset();
+
+    let mut fresh = diagnoser.session();
+    for (session_name, session) in [("reused", &mut reused), ("fresh", &mut fresh)] {
+        let cands = session.candidates(CANDIDATE_BUDGET.max_size, CANDIDATE_BUDGET.max_count);
+        assert!(
+            cands.is_empty(),
+            "{session_name}: healthy state must have no fault candidates, got {cands:?}"
+        );
+    }
+    let run_reused =
+        probe_until_isolated(&mut reused, Policy::FuzzyEntropy, 0.05, &|i| boards[2][i])
+            .expect("reused probe loop runs");
+    let run_fresh = probe_until_isolated(&mut fresh, Policy::FuzzyEntropy, 0.05, &|i| boards[2][i])
+        .expect("fresh probe loop runs");
+    assert_eq!(
+        format!("{run_reused:?}"),
+        format!("{run_fresh:?}"),
+        "a reset session planned differently from a fresh one"
+    );
+}

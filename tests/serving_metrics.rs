@@ -3,7 +3,10 @@
 //! not depend on how many worker threads `diagnose_batch` uses. The
 //! pool-side `serve.*` counters legitimately do — a 4-thread run opens
 //! four pooled sessions where a sequential run reuses one — which is
-//! exactly why [`MetricsSnapshot::with_prefixes`] exists.
+//! exactly why [`MetricsSnapshot::with_prefixes`] exists. The same
+//! process also pins the probe-planning counters: the fast probe loop
+//! must be served incrementally (memo + candidate updates, zero
+//! rebuilds), and the retained oracle loop must count its rebuilds.
 //!
 //! This file deliberately holds a single `#[test]` and is its own
 //! integration-test binary: the counters are process-global atomics, so
@@ -16,6 +19,7 @@ use flames::circuit::circuits::three_stage;
 use flames::circuit::fault::inject_faults;
 use flames::circuit::predict::measure;
 use flames::circuit::Fault;
+use flames::core::strategy::{probe_until_isolated, probe_until_isolated_oracle, Policy};
 use flames::core::{diagnose_batch, Board, Diagnoser, DiagnoserConfig};
 use flames::obs::MetricsSnapshot;
 
@@ -92,4 +96,52 @@ fn kernel_counter_deltas_are_thread_count_invariant() {
             );
         }
     }
+
+    // Probe planning: a guided probe-until-isolated loop must be served
+    // entirely by the incremental planner — candidate updates replayed
+    // from the install log, entropy terms from the memo, never the
+    // oracle rebuild path.
+    let readings = &boards[1]; // the r2-drift board: conflicts guaranteed
+    let before = MetricsSnapshot::capture();
+    let mut session = diagnoser.session();
+    probe_until_isolated(&mut session, Policy::FuzzyEntropy, 0.05, &|i| readings[i].1)
+        .expect("probe loop runs");
+    let plan = MetricsSnapshot::capture().delta_since(&before);
+    if flames::obs::enabled() {
+        for name in [
+            "strategy.probe_evals",
+            "fuzzy.entropy_memo_hit",
+            "fuzzy.entropy_memo_miss",
+            "atms.candidates_incremental",
+        ] {
+            assert!(plan.get(name) > 0, "{name} did not move over a probe loop");
+        }
+        assert_eq!(
+            plan.get("atms.candidates_rebuilt"),
+            0,
+            "the fast probe loop fell back to the oracle rebuild path"
+        );
+    } else {
+        for name in [
+            "strategy.probe_evals",
+            "fuzzy.entropy_memo_hit",
+            "fuzzy.entropy_memo_miss",
+            "atms.candidates_incremental",
+            "atms.candidates_rebuilt",
+        ] {
+            assert_eq!(plan.get(name), 0, "{name} moved with obs compiled out");
+        }
+    }
+
+    // The retained oracle loop is the one path allowed to rebuild.
+    let before = MetricsSnapshot::capture();
+    let mut session = diagnoser.session();
+    probe_until_isolated_oracle(&mut session, Policy::FuzzyEntropy, 0.05, &|i| readings[i].1)
+        .expect("oracle probe loop runs");
+    let oracle = MetricsSnapshot::capture().delta_since(&before);
+    assert_eq!(
+        oracle.get("atms.candidates_rebuilt") > 0,
+        flames::obs::enabled(),
+        "the oracle loop must re-enumerate candidates (and count it)"
+    );
 }
