@@ -43,6 +43,7 @@ mod env;
 mod error;
 mod fuzzy_atms;
 mod interner;
+mod shard;
 
 pub mod hitting;
 pub mod possibilistic;
@@ -54,6 +55,7 @@ pub use env::{minimize, Env, EnvIter};
 pub use error::AtmsError;
 pub use fuzzy_atms::{FuzzyAtms, NodeRef, Nogood, RankedDiagnosis, TNorm, WeightedEnv};
 pub use interner::{EnvId, EnvTable, SubsetStats};
+pub use shard::{ShardMap, ShardedAtms};
 
 /// Convenient result alias for fallible ATMS operations.
 pub type Result<T, E = AtmsError> = std::result::Result<T, E>;
@@ -78,4 +80,6 @@ const _: () = {
     assert_send_sync::<Nogood>();
     assert_send_sync::<RankedDiagnosis>();
     assert_send_sync::<CandidateSet>();
+    assert_send_sync::<ShardMap>();
+    assert_send_sync::<ShardedAtms>();
 };

@@ -1,0 +1,300 @@
+//! Shard-scaling experiment: a ≥5k-component hierarchical board
+//! diagnosed end to end by the region-sharded engine at 1/2/4/8 shards.
+//!
+//! Two partitions of the same `hierarchy(large(7))` board are measured:
+//!
+//! * **boundary-sparse** — region 0 is the backbone power tree, one
+//!   region per amplifier block; the cut is just the tap nodes, so each
+//!   shard's assumption vocabulary (and hence its env spill width) is a
+//!   fraction of the global one;
+//! * **boundary-dense** — vertical slices that cut the backbone's
+//!   series branch currents as well, the adversarial case where the
+//!   exchange traffic is highest.
+//!
+//! Before any timing, the gate asserts the **ranked candidates are
+//! byte-identical** across every shard count and both partitions (the
+//! tentpole invariant; `tests/sharded_boards.rs` holds the stricter
+//! full-report identity on small boards). Writes `BENCH_shard.json` and
+//! exits non-zero unless sparse 1→4 shards is ≥ 2x and dense 1→4 is
+//! no-regression (≥ 0.9x), per the DESIGN.md §10 gate convention.
+//!
+//! Timing is hand-rolled over `std::time::Instant` rather than the
+//! harness: one warm serve of this board runs for seconds, so the gate
+//! discards one serve and takes the median of [`WARM_ITERS`] more.
+
+use flames_circuit::circuits::{hierarchy, Hierarchy, HierarchySpec};
+use flames_circuit::constraint::{extract, ExtractOptions};
+use flames_circuit::fault::inject_faults;
+use flames_circuit::{CompId, Fault};
+use flames_core::propagation::PropagatorConfig;
+use flames_core::{ShardReport, ShardedModel, ShardedSession};
+use flames_fuzzy::FuzzyInterval;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Instrument imprecision of the simulated probe readings (volts).
+const IMPRECISION: f64 = 0.02;
+/// Timed warm serves per configuration (median taken, cold discarded).
+const WARM_ITERS: usize = 3;
+
+fn config() -> PropagatorConfig {
+    // Same uniform step cap as tests/sharded_boards.rs: the 5k board's
+    // first wave alone exceeds the paper-sized default, and every shard
+    // count must run the same config or identity is meaningless.
+    PropagatorConfig {
+        max_steps: 5_000_000,
+        ..PropagatorConfig::default()
+    }
+}
+
+/// The soft-drift fault set (a backbone shunt sagging plus a block
+/// divider drifting high — partial conflicts only, as in the tests).
+fn faults(h: &Hierarchy) -> Vec<(CompId, Fault)> {
+    vec![
+        (h.backbone_shunt[1], Fault::ParamFactor(1.15)),
+        (h.blocks[2][2], Fault::ParamFactor(1.25)),
+    ]
+}
+
+/// Seven probe points spanning the board: early/mid/late backbone taps
+/// plus two block outputs — enough to implicate both seeded faults
+/// without serving all 128 test points per iteration.
+fn probes(h: &Hierarchy) -> Vec<usize> {
+    let b = h.spec.backbone_sections;
+    vec![0, 1, 7, 31, b - 1, b + 2, b + 33]
+}
+
+fn build(h: &Hierarchy, regions: &[u32], count: usize, shards: usize) -> (ShardedModel, f64) {
+    let start = Instant::now();
+    let network = extract(&h.netlist, ExtractOptions::default());
+    let model = ShardedModel::new(
+        h.netlist.clone(),
+        network,
+        h.test_points.clone(),
+        h.predictions().expect("replica solves"),
+        regions,
+        count,
+        shards,
+        config(),
+    );
+    (model, start.elapsed().as_secs_f64())
+}
+
+/// One full serve: reset, feed the probe readings, propagate to
+/// cross-shard quiescence, merge the report.
+fn serve(
+    session: &mut ShardedSession<'_>,
+    probes: &[usize],
+    readings: &[FuzzyInterval],
+) -> ShardReport {
+    session.reset();
+    for &i in probes {
+        session
+            .measure_point(i, readings[i])
+            .expect("probe point exists");
+    }
+    session.propagate();
+    session.report()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Measured row for one (partition, shard count) configuration.
+struct Row {
+    shards: usize,
+    boundary: usize,
+    build_s: f64,
+    /// Median warm serve; `None` for shard counts that only run the
+    /// identity gate.
+    serve_s: Option<f64>,
+    nogoods: usize,
+    candidates: String,
+}
+
+/// Builds, gates, and (for `timed` shard counts) times one partition.
+fn run_partition(
+    h: &Hierarchy,
+    regions: &[u32],
+    count: usize,
+    shard_counts: &[usize],
+    timed: &[usize],
+    probes: &[usize],
+    readings: &[FuzzyInterval],
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let (model, build_s) = build(h, regions, count, shards);
+        let mut session = model.session();
+        let cold = serve(&mut session, probes, readings);
+        let candidates = format!("{:?}", cold.candidates);
+        let serve_s = if timed.contains(&shards) {
+            let samples: Vec<f64> = (0..WARM_ITERS)
+                .map(|_| {
+                    let start = Instant::now();
+                    black_box(serve(&mut session, probes, readings));
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            // A repeat serve must reproduce the cold one byte for byte.
+            assert_eq!(
+                format!("{:?}", serve(&mut session, probes, readings)),
+                format!("{cold:?}"),
+                "warm serve diverged from cold at {shards} shards"
+            );
+            Some(median(samples))
+        } else {
+            None
+        };
+        println!(
+            "  {shards} shard(s): build {build_s:.1}s, serve {}, cut {}, {} nogoods",
+            serve_s.map_or_else(|| "-".into(), |s| format!("{s:.2}s")),
+            model.boundary_len(),
+            cold.nogoods.len(),
+        );
+        rows.push(Row {
+            shards,
+            boundary: model.boundary_len(),
+            build_s,
+            serve_s,
+            nogoods: cold.nogoods.len(),
+            candidates,
+        });
+    }
+    rows
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "      \"shards_{shards}\": {{\n",
+                    "        \"boundary_cut\": {cut},\n",
+                    "        \"build_s\": {build:.2},\n",
+                    "        \"serve_s\": {serve},\n",
+                    "        \"nogoods\": {nogoods}\n",
+                    "      }}"
+                ),
+                shards = row.shards,
+                cut = row.boundary,
+                build = row.build_s,
+                serve = row
+                    .serve_s
+                    .map_or_else(|| "null".into(), |s| format!("{s:.3}")),
+                nogoods = row.nogoods,
+            )
+        })
+        .collect();
+    entries.join(",\n")
+}
+
+fn speedup(rows: &[Row]) -> f64 {
+    let at = |n: usize| {
+        rows.iter()
+            .find(|r| r.shards == n)
+            .and_then(|r| r.serve_s)
+            .expect("timed row")
+    };
+    at(1) / at(4)
+}
+
+fn main() {
+    let h = hierarchy(HierarchySpec::large(7));
+    let components = h.netlist.components().count();
+    assert!(
+        components >= 5000,
+        "the scaling board must be >= 5k components, got {components}"
+    );
+    let board = inject_faults(&h.netlist, &faults(&h)).expect("drift injection");
+    let readings = h.readings(&board, IMPRECISION).expect("replica solves");
+    let probes = probes(&h);
+
+    println!(
+        "exp_shard: hierarchy(large(7)), {components} components, {} probes",
+        probes.len()
+    );
+    println!("boundary-sparse partition (cut = backbone taps):");
+    let (sregions, scount) = h.sparse_regions();
+    let sparse = run_partition(
+        &h,
+        &sregions,
+        scount,
+        &[1, 2, 4, 8],
+        &[1, 4],
+        &probes,
+        &readings,
+    );
+    println!("boundary-dense partition (cut crosses the backbone):");
+    let (dregions, dcount) = h.dense_regions();
+    let dense = run_partition(&h, &dregions, dcount, &[1, 4], &[1, 4], &probes, &readings);
+
+    // ----- identity gates (before the timing is trusted) -------------
+    // Ranked candidates must be byte-identical across every shard count
+    // and both partitions — the same board, the same physics.
+    let reference = &sparse[0].candidates;
+    assert!(
+        reference.len() > 2, // not "[]"
+        "the seeded faults must yield candidates"
+    );
+    for row in sparse.iter().chain(&dense) {
+        assert_eq!(
+            &row.candidates, reference,
+            "ranked candidates diverged at {} shards",
+            row.shards
+        );
+    }
+    println!("\nidentity gate passed: candidates byte-identical across 1/2/4/8 sparse + 1/4 dense");
+
+    // ----- counters over one warm 4-shard sparse serve ----------------
+    let (model, _) = build(&h, &sregions, scount, 4);
+    let mut session = model.session();
+    black_box(serve(&mut session, &probes, &readings));
+    let before = flames_obs::MetricsSnapshot::capture();
+    black_box(serve(&mut session, &probes, &readings));
+    let counters = flames_obs::MetricsSnapshot::capture().delta_since(&before);
+
+    let sparse_speedup = speedup(&sparse);
+    let dense_speedup = speedup(&dense);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"exp_shard\",\n",
+            "  \"board\": \"hierarchy(large(7))\",\n",
+            "  \"components\": {components},\n",
+            "  \"probes\": {probes},\n",
+            "  \"candidates_byte_identical\": true,\n",
+            "  \"sparse\": {{\n",
+            "    \"rows\": {{\n{sparse_rows}\n    }},\n",
+            "    \"speedup\": {sparse_speedup:.2}\n",
+            "  }},\n",
+            "  \"dense\": {{\n",
+            "    \"rows\": {{\n{dense_rows}\n    }},\n",
+            "    \"speedup\": {dense_speedup:.2}\n",
+            "  }},\n",
+            "  \"counters\": {counters}\n",
+            "}}\n"
+        ),
+        components = components,
+        probes = probes.len(),
+        sparse_rows = json_rows(&sparse),
+        sparse_speedup = sparse_speedup,
+        dense_rows = json_rows(&dense),
+        dense_speedup = dense_speedup,
+        counters = counters.to_json(2),
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("\n{json}");
+
+    assert!(
+        sparse_speedup >= 2.0,
+        "boundary-sparse 1->4 shards must be >= 2x, measured {sparse_speedup:.2}x"
+    );
+    assert!(
+        dense_speedup >= 0.9,
+        "boundary-dense 1->4 shards must not regress (>= 0.9x), measured {dense_speedup:.2}x"
+    );
+}

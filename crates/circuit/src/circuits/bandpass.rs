@@ -1,3 +1,4 @@
+use super::builder::ChainBuilder;
 use crate::netlist::{CompId, Net, Netlist};
 
 /// A band-pass chain for the **dynamic mode** experiments: a high-pass
@@ -56,31 +57,19 @@ impl Bandpass {
 /// Panics if `tolerance` is outside `[0, 1)`.
 #[must_use]
 pub fn bandpass(tolerance: f64) -> Bandpass {
-    let mut nl = Netlist::new();
-    let vin = nl.add_net("vin");
-    let n1 = nl.add_net("n1");
-    let n2 = nl.add_net("n2");
-    let out = nl.add_net("out");
-    let input = nl
-        .add_voltage_source("Vin", vin, Net::GROUND, 0.0)
-        .expect("fresh name");
-    let c1 = nl
-        .add_capacitor("C1", vin, n1, 100e-9, tolerance)
-        .expect("fresh name");
-    let r1 = nl
-        .add_resistor("R1", n1, Net::GROUND, 1.6e3, tolerance)
-        .expect("fresh name");
-    let amp = nl
-        .add_gain("A", n1, n2, 10.0, tolerance)
-        .expect("fresh name");
-    let r2 = nl
-        .add_resistor("R2", n2, out, 1.6e3, tolerance)
-        .expect("fresh name");
-    let c2 = nl
-        .add_capacitor("C2", out, Net::GROUND, 10e-9, tolerance)
-        .expect("fresh name");
+    let mut b = ChainBuilder::driven(0.0);
+    let vin = b.vin();
+    let n1 = b.net("n1");
+    let n2 = b.net("n2");
+    let out = b.net("out");
+    let input = b.source();
+    let c1 = b.series_capacitor("C1", n1, 100e-9, tolerance);
+    let r1 = b.shunt_resistor("R1", n1, 1.6e3, tolerance);
+    let amp = b.stage_gain("A", n2, 10.0, tolerance);
+    let r2 = b.series_resistor("R2", out, 1.6e3, tolerance);
+    let c2 = b.shunt_capacitor("C2", out, 10e-9, tolerance);
     Bandpass {
-        netlist: nl,
+        netlist: b.finish(),
         input,
         vin,
         n1,

@@ -1,0 +1,190 @@
+//! The shared source/node/tolerance plumbing behind the generated
+//! circuit families.
+//!
+//! Every generator in this module used to repeat the same boilerplate:
+//! create a `"vin"` net, wire a `"Vin"` source against ground, walk a
+//! running *cursor* net forward while naming nodes, and thread one
+//! tolerance through every component. [`ChainBuilder`] centralizes that
+//! walk so [`super::ladder`], [`super::cascade`], [`super::bandpass`]
+//! and the hierarchical generator ([`super::hierarchy`]) all produce
+//! their netlists through one code path — byte-identical to what the
+//! hand-rolled loops emitted before.
+
+use crate::netlist::{CompId, Net, Netlist};
+
+/// An incremental netlist builder for source-driven chain topologies.
+///
+/// The builder keeps a *cursor*: the net the chain has reached so far.
+/// Series elements advance the cursor; shunt elements hang off a node
+/// without moving it. All `add_*` wrappers panic on netlist-builder
+/// errors (duplicate names, invalid values) — generators construct
+/// fresh names, so failures are programming errors, exactly as the
+/// `expect("fresh name")` calls they replace.
+#[derive(Debug, Clone)]
+pub struct ChainBuilder {
+    nl: Netlist,
+    vin: Net,
+    source: CompId,
+    cursor: Net,
+}
+
+impl ChainBuilder {
+    /// Starts a chain: a `"vin"` net driven by a `"Vin"` voltage source
+    /// against ground. The cursor starts at `vin`.
+    #[must_use]
+    pub fn driven(volts: f64) -> Self {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let source = nl
+            .add_voltage_source("Vin", vin, Net::GROUND, volts)
+            .expect("fresh name");
+        Self {
+            nl,
+            vin,
+            source,
+            cursor: vin,
+        }
+    }
+
+    /// The input net.
+    #[must_use]
+    pub fn vin(&self) -> Net {
+        self.vin
+    }
+
+    /// The driving source.
+    #[must_use]
+    pub fn source(&self) -> CompId {
+        self.source
+    }
+
+    /// The net the chain has reached.
+    #[must_use]
+    pub fn cursor(&self) -> Net {
+        self.cursor
+    }
+
+    /// Moves the cursor to an existing net (for branching topologies).
+    pub fn jump(&mut self, net: Net) {
+        self.cursor = net;
+    }
+
+    /// Declares a named net without touching the cursor.
+    pub fn net(&mut self, name: impl Into<String>) -> Net {
+        self.nl.add_net(name)
+    }
+
+    /// A series resistor from the cursor to `to`; advances the cursor.
+    pub fn series_resistor(
+        &mut self,
+        name: impl Into<String>,
+        to: Net,
+        ohms: f64,
+        tolerance: f64,
+    ) -> CompId {
+        let id = self
+            .nl
+            .add_resistor(name, self.cursor, to, ohms, tolerance)
+            .expect("fresh name");
+        self.cursor = to;
+        id
+    }
+
+    /// A shunt resistor from `at` to ground; the cursor is unchanged.
+    pub fn shunt_resistor(
+        &mut self,
+        name: impl Into<String>,
+        at: Net,
+        ohms: f64,
+        tolerance: f64,
+    ) -> CompId {
+        self.nl
+            .add_resistor(name, at, Net::GROUND, ohms, tolerance)
+            .expect("fresh name")
+    }
+
+    /// A gain block from the cursor into `to`; advances the cursor.
+    pub fn stage_gain(
+        &mut self,
+        name: impl Into<String>,
+        to: Net,
+        gain: f64,
+        tolerance: f64,
+    ) -> CompId {
+        let id = self
+            .nl
+            .add_gain(name, self.cursor, to, gain, tolerance)
+            .expect("fresh name");
+        self.cursor = to;
+        id
+    }
+
+    /// A series capacitor from the cursor to `to`; advances the cursor.
+    pub fn series_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        to: Net,
+        farads: f64,
+        tolerance: f64,
+    ) -> CompId {
+        let id = self
+            .nl
+            .add_capacitor(name, self.cursor, to, farads, tolerance)
+            .expect("fresh name");
+        self.cursor = to;
+        id
+    }
+
+    /// A shunt capacitor from `at` to ground; the cursor is unchanged.
+    pub fn shunt_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        at: Net,
+        farads: f64,
+        tolerance: f64,
+    ) -> CompId {
+        self.nl
+            .add_capacitor(name, at, Net::GROUND, farads, tolerance)
+            .expect("fresh name")
+    }
+
+    /// Finishes the chain, returning the built netlist.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve_dc;
+
+    #[test]
+    fn cursor_walks_series_elements() {
+        let mut b = ChainBuilder::driven(10.0);
+        assert_eq!(b.cursor(), b.vin());
+        let mid = b.net("mid");
+        b.series_resistor("R1", mid, 1e3, 0.0);
+        assert_eq!(b.cursor(), mid);
+        b.shunt_resistor("R2", mid, 1e3, 0.0);
+        assert_eq!(b.cursor(), mid, "shunt must not advance the cursor");
+        let nl = b.finish();
+        let op = solve_dc(&nl).unwrap();
+        assert!((op.voltage(mid) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jump_rebases_the_chain() {
+        let mut b = ChainBuilder::driven(1.0);
+        let s1 = b.net("s1");
+        b.stage_gain("A1", s1, 2.0, 0.0);
+        b.jump(b.vin());
+        let s2 = b.net("s2");
+        b.stage_gain("A2", s2, 3.0, 0.0);
+        let nl = b.finish();
+        let op = solve_dc(&nl).unwrap();
+        assert!((op.voltage(s1) - 2.0).abs() < 1e-6);
+        assert!((op.voltage(s2) - 3.0).abs() < 1e-6);
+    }
+}

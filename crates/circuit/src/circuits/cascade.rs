@@ -1,3 +1,4 @@
+use super::builder::ChainBuilder;
 use crate::netlist::{CompId, Net, Netlist};
 use crate::predict::TestPoint;
 
@@ -31,26 +32,20 @@ pub struct Cascade {
 #[must_use]
 pub fn cascade(n: usize, gain: f64, tolerance: f64) -> Cascade {
     assert!(n >= 1, "a cascade needs at least one stage");
-    let mut nl = Netlist::new();
-    let vin = nl.add_net("vin");
-    nl.add_voltage_source("Vin", vin, Net::GROUND, 1.0)
-        .expect("fresh name");
-    let mut prev = vin;
+    let mut b = ChainBuilder::driven(1.0);
+    let vin = b.vin();
     let mut stages = Vec::with_capacity(n);
     let mut amps = Vec::with_capacity(n);
     let mut test_points = Vec::with_capacity(n);
     for k in 1..=n {
-        let out = nl.add_net(format!("s{k}"));
-        let amp = nl
-            .add_gain(format!("amp_{k}"), prev, out, gain, tolerance)
-            .expect("fresh name");
+        let out = b.net(format!("s{k}"));
+        let amp = b.stage_gain(format!("amp_{k}"), out, gain, tolerance);
         amps.push(amp);
         stages.push(out);
         test_points.push(TestPoint::new(out, format!("V{k}"), amps.clone()));
-        prev = out;
     }
     Cascade {
-        netlist: nl,
+        netlist: b.finish(),
         vin,
         stages,
         amps,

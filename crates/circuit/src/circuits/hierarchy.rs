@@ -1,0 +1,475 @@
+//! Hierarchical board generator for the region-sharded engine: a
+//! backbone distribution ladder fanning out into per-tap amplifier/filter
+//! blocks, deterministic from a seed + spec.
+//!
+//! Real boards have thousands of components organized as subcircuits;
+//! this generator instantiates that shape from the primitives the small
+//! circuits already use (the bilateral ladder of [`super::ladder`], the
+//! divider/gain sections of [`super::bandpass`] and [`super::cascade`]):
+//!
+//! * a **backbone**: a `B`-section bilateral resistive ladder from a
+//!   10 V source — series resistances small against the shunts so every
+//!   tap sits at a useful voltage;
+//! * per tap, an **isolation gain** driving a **block** of `S` repeated
+//!   filter sections (series R → shunt R divider → gain). Gain inputs
+//!   draw no current, so blocks do not load the backbone and each
+//!   section's divider is unloaded.
+//!
+//! That electrical structure is what makes the hierarchy *compositional*:
+//! the backbone solves exactly on a small standalone replica
+//! ([`Hierarchy::readings`] never builds the dense 5k×5k MNA system),
+//! and block voltages follow in closed form section by section. The same
+//! structure gives the region partition its boundary: in the
+//! boundary-sparse partition each block shares exactly one quantity with
+//! the backbone (its tap voltage), while the boundary-dense partition
+//! slices the bilateral backbone itself.
+//!
+//! All component values are drawn from an inlined SplitMix64 stream, so
+//! the same `(seed, spec)` reproduces the netlist byte for byte.
+
+use super::builder::ChainBuilder;
+use crate::netlist::{CompId, ComponentKind, Net, Netlist};
+use crate::predict::{nominal_predictions, TestPoint};
+use crate::solve::solve_dc;
+use crate::Result;
+use flames_fuzzy::FuzzyInterval;
+
+/// Shape of a generated hierarchical board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchySpec {
+    /// Backbone ladder sections (= number of taps = number of blocks).
+    pub backbone_sections: usize,
+    /// Filter sections per block.
+    pub block_sections: usize,
+    /// Relative component tolerance.
+    pub tolerance: f64,
+    /// PRNG seed for the component values.
+    pub seed: u64,
+}
+
+impl HierarchySpec {
+    /// The scaling-gate board: 64 taps × 26-section blocks =
+    /// 1 + 2·64 + 64·(1 + 3·26) = 5185 components.
+    #[must_use]
+    pub fn large(seed: u64) -> Self {
+        Self {
+            backbone_sections: 64,
+            block_sections: 26,
+            tolerance: 0.01,
+            seed,
+        }
+    }
+
+    /// A small board for tests (fast to solve exactly).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            backbone_sections: 4,
+            block_sections: 3,
+            tolerance: 0.01,
+            seed,
+        }
+    }
+
+    /// Total component count of the generated netlist.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        1 + 2 * self.backbone_sections + self.backbone_sections * (1 + 3 * self.block_sections)
+    }
+}
+
+/// A generated hierarchical board (see the module docs for the shape).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// The generating spec.
+    pub spec: HierarchySpec,
+    /// The flat netlist of the whole board.
+    pub netlist: Netlist,
+    /// Input net (10 V source).
+    pub vin: Net,
+    /// Backbone tap nets `bb1 … bbB`.
+    pub taps: Vec<Net>,
+    /// Backbone series resistors.
+    pub backbone_series: Vec<CompId>,
+    /// Backbone shunt resistors.
+    pub backbone_shunt: Vec<CompId>,
+    /// Per-block component lists: the isolation gain first, then each
+    /// section's series R, shunt R, gain in order.
+    pub blocks: Vec<Vec<CompId>>,
+    /// Per-block output nets (the last section's gain output).
+    pub block_outs: Vec<Net>,
+    /// Test points: backbone taps `B1 … BB` first, then block outputs
+    /// `C1 … CB`.
+    pub test_points: Vec<TestPoint>,
+}
+
+/// SplitMix64, inlined so the generator stays dependency-free (the
+/// bench crate has its own copy; `flames-circuit` cannot depend on it).
+struct ValueStream {
+    state: u64,
+}
+
+impl ValueStream {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Generates a hierarchical board from a spec. Deterministic: the same
+/// spec (including its seed) reproduces the netlist byte for byte.
+///
+/// # Panics
+///
+/// Panics on a degenerate spec (no sections).
+#[must_use]
+pub fn hierarchy(spec: HierarchySpec) -> Hierarchy {
+    assert!(spec.backbone_sections >= 1, "a hierarchy needs taps");
+    assert!(spec.block_sections >= 1, "blocks need at least one section");
+    let b_sections = spec.backbone_sections;
+    let mut rng = ValueStream::new(spec.seed);
+    let mut b = ChainBuilder::driven(10.0);
+    let vin = b.vin();
+
+    // Backbone: series resistances small against the shunts, so tap
+    // voltages stay at volt level over many sections.
+    let mut taps = Vec::with_capacity(b_sections);
+    let mut backbone_series = Vec::with_capacity(b_sections);
+    let mut backbone_shunt = Vec::with_capacity(b_sections);
+    let mut backbone_cone: Vec<CompId> = Vec::new();
+    let mut test_points = Vec::with_capacity(2 * b_sections);
+    for k in 1..=b_sections {
+        let tap = b.net(format!("bb{k}"));
+        let rs = b.series_resistor(
+            format!("BRs{k}"),
+            tap,
+            rng.range(80.0, 120.0),
+            spec.tolerance,
+        );
+        let rp = b.shunt_resistor(
+            format!("BRp{k}"),
+            tap,
+            rng.range(18e3, 22e3),
+            spec.tolerance,
+        );
+        backbone_series.push(rs);
+        backbone_shunt.push(rp);
+        backbone_cone.push(rs);
+        backbone_cone.push(rp);
+        taps.push(tap);
+        test_points.push(TestPoint::new(tap, format!("B{k}"), backbone_cone.clone()));
+    }
+
+    // Blocks: isolation gain into S divider/gain sections. Each section
+    // gain compensates its own divider (times a small random factor), so
+    // block outputs stay at the tap's order of magnitude.
+    let mut blocks = Vec::with_capacity(b_sections);
+    let mut block_outs = Vec::with_capacity(b_sections);
+    for blk in 1..=b_sections {
+        b.jump(taps[blk - 1]);
+        let mut comps = Vec::with_capacity(1 + 3 * spec.block_sections);
+        let input = b.net(format!("c{blk}i"));
+        comps.push(b.stage_gain(
+            format!("U{blk}"),
+            input,
+            rng.range(0.9, 1.1),
+            spec.tolerance,
+        ));
+        for s in 1..=spec.block_sections {
+            let node = b.net(format!("c{blk}n{s}"));
+            let out = b.net(format!("c{blk}g{s}"));
+            let rs = rng.range(800.0, 1200.0);
+            let rp = rng.range(1600.0, 2400.0);
+            let g = (rs + rp) / rp * rng.range(0.97, 1.03);
+            comps.push(b.series_resistor(format!("c{blk}Rs{s}"), node, rs, spec.tolerance));
+            comps.push(b.shunt_resistor(format!("c{blk}Rp{s}"), node, rp, spec.tolerance));
+            comps.push(b.stage_gain(format!("c{blk}A{s}"), out, g, spec.tolerance));
+        }
+        let out = b.cursor();
+        let mut cone = backbone_cone[..2 * blk].to_vec();
+        cone.extend_from_slice(&comps);
+        test_points.push(TestPoint::new(out, format!("C{blk}"), cone));
+        block_outs.push(out);
+        blocks.push(comps);
+    }
+
+    Hierarchy {
+        spec,
+        netlist: b.finish(),
+        vin,
+        taps,
+        backbone_series,
+        backbone_shunt,
+        blocks,
+        block_outs,
+        test_points,
+    }
+}
+
+fn resistance(netlist: &Netlist, id: CompId) -> f64 {
+    match netlist.component(id).kind() {
+        ComponentKind::Resistor { ohms, .. } => *ohms,
+        other => panic!("expected a resistor, found {other:?}"),
+    }
+}
+
+fn gain_of(netlist: &Netlist, id: CompId) -> f64 {
+    match netlist.component(id).kind() {
+        ComponentKind::Gain { gain, .. } => *gain,
+        other => panic!("expected a gain block, found {other:?}"),
+    }
+}
+
+impl Hierarchy {
+    /// Sparse region map (component index → region): region 0 is the
+    /// source plus the whole backbone; region `b` is block `b`. The only
+    /// quantities shared between a block region and the backbone region
+    /// are its tap voltage and the quantities of the tap's KCL — the
+    /// boundary-sparse cut of the shard benches.
+    #[must_use]
+    pub fn sparse_regions(&self) -> (Vec<u32>, usize) {
+        let mut regions = vec![0u32; self.netlist.component_count()];
+        for (blk, comps) in self.blocks.iter().enumerate() {
+            for &c in comps {
+                regions[c.index()] = (blk + 1) as u32;
+            }
+        }
+        (regions, self.spec.backbone_sections + 1)
+    }
+
+    /// Dense region map: vertical slices — backbone section `k` *and*
+    /// block `k` share region `k−1` (the source joins region 0). Every
+    /// internal backbone node is then shared between two regions, so a
+    /// cut crosses the bilateral ladder at every slice — the
+    /// boundary-dense workload.
+    #[must_use]
+    pub fn dense_regions(&self) -> (Vec<u32>, usize) {
+        let mut regions = vec![0u32; self.netlist.component_count()];
+        for k in 0..self.spec.backbone_sections {
+            regions[self.backbone_series[k].index()] = k as u32;
+            regions[self.backbone_shunt[k].index()] = k as u32;
+            for &c in &self.blocks[k] {
+                regions[c.index()] = k as u32;
+            }
+        }
+        (regions, self.spec.backbone_sections)
+    }
+
+    /// A standalone replica of the backbone (source + ladder only), with
+    /// component values read from `board` — pass a faulted copy of
+    /// [`Hierarchy::netlist`] to replicate the faulted backbone. Blocks
+    /// draw no current, so the replica's operating point equals the full
+    /// board's exactly. Returns the replica and its tap nets.
+    #[must_use]
+    pub fn backbone_replica(&self, board: &Netlist) -> (Netlist, Vec<Net>) {
+        let volts = match board
+            .component(board.component_by_name("Vin").expect("source exists"))
+            .kind()
+        {
+            ComponentKind::VoltageSource { volts, .. } => *volts,
+            other => panic!("expected the source, found {other:?}"),
+        };
+        let mut b = ChainBuilder::driven(volts);
+        let mut taps = Vec::with_capacity(self.spec.backbone_sections);
+        for k in 0..self.spec.backbone_sections {
+            let tap = b.net(format!("bb{}", k + 1));
+            b.series_resistor(
+                format!("BRs{}", k + 1),
+                tap,
+                resistance(board, self.backbone_series[k]),
+                self.spec.tolerance,
+            );
+            b.shunt_resistor(
+                format!("BRp{}", k + 1),
+                tap,
+                resistance(board, self.backbone_shunt[k]),
+                self.spec.tolerance,
+            );
+            taps.push(tap);
+        }
+        (b.finish(), taps)
+    }
+
+    /// The exact transfer factor of block `blk` (0-based) with component
+    /// values read from `board`: isolation gain × per-section unloaded
+    /// divider × section gain.
+    #[must_use]
+    pub fn block_transfer(&self, board: &Netlist, blk: usize) -> f64 {
+        let comps = &self.blocks[blk];
+        let mut t = gain_of(board, comps[0]);
+        for s in 0..self.spec.block_sections {
+            let rs = resistance(board, comps[1 + 3 * s]);
+            let rp = resistance(board, comps[2 + 3 * s]);
+            let g = gain_of(board, comps[3 + 3 * s]);
+            t *= rp / (rs + rp) * g;
+        }
+        t
+    }
+
+    /// Fuzzy nominal predictions for every test point (taps first, then
+    /// block outputs), computed compositionally: tolerance-corner solves
+    /// on the backbone replica, then analytic sensitivity accumulation
+    /// through each block — never a dense solve of the full board.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica solver failures.
+    pub fn predictions(&self) -> Result<Vec<FuzzyInterval>> {
+        let (replica, taps) = self.backbone_replica(&self.netlist);
+        let tap_preds = nominal_predictions(&replica, &taps)?;
+        let mut out = tap_preds.clone();
+        for (blk, tap) in tap_preds.iter().enumerate() {
+            let v_tap = tap.core_midpoint();
+            let rel_tap = tap.spread_left().max(tap.spread_right()) / v_tap.abs().max(1e-12);
+            // One-at-a-time worst-case log-sensitivities: 1 per gain,
+            // Rs/(Rs+Rp) for each divider resistor.
+            let comps = &self.blocks[blk];
+            let mut sens = 1.0; // the isolation gain
+            for s in 0..self.spec.block_sections {
+                let rs = resistance(&self.netlist, comps[1 + 3 * s]);
+                let rp = resistance(&self.netlist, comps[2 + 3 * s]);
+                sens += 1.0 + 2.0 * rs / (rs + rp);
+            }
+            let v = v_tap * self.block_transfer(&self.netlist, blk);
+            let rel = rel_tap + sens * self.spec.tolerance;
+            let spread = v.abs() * rel;
+            out.push(FuzzyInterval::new(v, v, spread, spread).expect("non-negative spreads"));
+        }
+        Ok(out)
+    }
+
+    /// Simulated measurements at every test point of a (possibly
+    /// faulted) copy of the board: the backbone replica is solved
+    /// exactly, block outputs follow in closed form, and each reading is
+    /// wrapped in the instrument imprecision — the hierarchical
+    /// counterpart of [`crate::predict::measure_all`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica solver failures.
+    pub fn readings(&self, board: &Netlist, imprecision_volts: f64) -> Result<Vec<FuzzyInterval>> {
+        let (replica, taps) = self.backbone_replica(board);
+        let op = solve_dc(&replica)?;
+        let wrap = |v: f64| {
+            FuzzyInterval::crisp(v)
+                .widened(imprecision_volts)
+                .expect("non-negative imprecision")
+        };
+        let mut out: Vec<FuzzyInterval> = taps.iter().map(|&t| wrap(op.voltage(t))).collect();
+        for (blk, &tap) in taps.iter().enumerate() {
+            out.push(wrap(op.voltage(tap) * self.block_transfer(board, blk)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject_faults, Fault};
+
+    #[test]
+    fn spec_counts_components() {
+        let spec = HierarchySpec::large(1);
+        assert_eq!(spec.component_count(), 5185);
+        let h = hierarchy(HierarchySpec::small(7));
+        assert_eq!(h.netlist.component_count(), h.spec.component_count());
+        assert_eq!(h.test_points.len(), 2 * h.spec.backbone_sections);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = hierarchy(HierarchySpec::small(42));
+        let b = hierarchy(HierarchySpec::small(42));
+        assert_eq!(format!("{}", a.netlist), format!("{}", b.netlist));
+        let c = hierarchy(HierarchySpec::small(43));
+        assert_ne!(format!("{}", a.netlist), format!("{}", c.netlist));
+    }
+
+    #[test]
+    fn compositional_readings_match_the_full_solve() {
+        // Small enough that the dense solve of the full board is cheap:
+        // the replica + closed-form path must agree with it exactly.
+        let h = hierarchy(HierarchySpec::small(5));
+        let full = solve_dc(&h.netlist).unwrap();
+        let readings = h.readings(&h.netlist, 0.0).unwrap();
+        for (k, &tap) in h.taps.iter().enumerate() {
+            assert!(
+                (readings[k].core_midpoint() - full.voltage(tap)).abs() < 1e-5,
+                "tap {k}"
+            );
+        }
+        for (blk, &out) in h.block_outs.iter().enumerate() {
+            let idx = h.taps.len() + blk;
+            assert!(
+                (readings[idx].core_midpoint() - full.voltage(out)).abs() < 1e-5,
+                "block {blk}"
+            );
+        }
+    }
+
+    #[test]
+    fn compositional_readings_match_under_fault() {
+        let h = hierarchy(HierarchySpec::small(9));
+        let faulted = inject_faults(
+            &h.netlist,
+            &[
+                (h.backbone_shunt[1], Fault::ParamFactor(1.5)),
+                (h.blocks[2][2], Fault::ParamFactor(1.7)),
+            ],
+        )
+        .unwrap();
+        let full = solve_dc(&faulted).unwrap();
+        let readings = h.readings(&faulted, 0.0).unwrap();
+        for (blk, &out) in h.block_outs.iter().enumerate() {
+            let idx = h.taps.len() + blk;
+            assert!(
+                (readings[idx].core_midpoint() - full.voltage(out)).abs() < 1e-5,
+                "block {blk} under fault"
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_contain_healthy_readings() {
+        let h = hierarchy(HierarchySpec::small(3));
+        let preds = h.predictions().unwrap();
+        let readings = h.readings(&h.netlist, 0.0).unwrap();
+        for (i, (p, r)) in preds.iter().zip(&readings).enumerate() {
+            let v = r.core_midpoint();
+            assert!(
+                v >= p.support_lo() - 1e-9 && v <= p.support_hi() + 1e-9,
+                "point {i}: healthy reading {v} escapes prediction {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_maps_cover_every_component() {
+        let h = hierarchy(HierarchySpec::small(11));
+        let (sparse, ns) = h.sparse_regions();
+        let (dense, nd) = h.dense_regions();
+        assert_eq!(sparse.len(), h.netlist.component_count());
+        assert_eq!(dense.len(), h.netlist.component_count());
+        assert_eq!(ns, h.spec.backbone_sections + 1);
+        assert_eq!(nd, h.spec.backbone_sections);
+        assert!(sparse.iter().all(|&r| (r as usize) < ns));
+        assert!(dense.iter().all(|&r| (r as usize) < nd));
+        // Every block region of the sparse map is non-empty.
+        for blk in 1..=h.spec.backbone_sections {
+            assert!(sparse.iter().any(|&r| r as usize == blk));
+        }
+    }
+}

@@ -1,3 +1,4 @@
+use super::builder::ChainBuilder;
 use crate::netlist::{CompId, Net, Netlist};
 use crate::predict::TestPoint;
 
@@ -35,34 +36,26 @@ pub struct Ladder {
 #[must_use]
 pub fn ladder(n: usize, series_ohms: f64, shunt_ohms: f64, tolerance: f64) -> Ladder {
     assert!(n >= 1, "a ladder needs at least one section");
-    let mut nl = Netlist::new();
-    let vin = nl.add_net("vin");
-    nl.add_voltage_source("Vin", vin, Net::GROUND, 10.0)
-        .expect("fresh name");
-    let mut prev = vin;
+    let mut b = ChainBuilder::driven(10.0);
+    let vin = b.vin();
     let mut nodes = Vec::with_capacity(n);
     let mut series = Vec::with_capacity(n);
     let mut shunt = Vec::with_capacity(n);
     let mut test_points = Vec::with_capacity(n);
     let mut cone: Vec<CompId> = Vec::new();
     for k in 1..=n {
-        let node = nl.add_net(format!("n{k}"));
-        let rs = nl
-            .add_resistor(format!("Rs{k}"), prev, node, series_ohms, tolerance)
-            .expect("fresh name");
-        let rp = nl
-            .add_resistor(format!("Rp{k}"), node, Net::GROUND, shunt_ohms, tolerance)
-            .expect("fresh name");
+        let node = b.net(format!("n{k}"));
+        let rs = b.series_resistor(format!("Rs{k}"), node, series_ohms, tolerance);
+        let rp = b.shunt_resistor(format!("Rp{k}"), node, shunt_ohms, tolerance);
         series.push(rs);
         shunt.push(rp);
         cone.push(rs);
         cone.push(rp);
         nodes.push(node);
         test_points.push(TestPoint::new(node, format!("V{k}"), cone.clone()));
-        prev = node;
     }
     Ladder {
-        netlist: nl,
+        netlist: b.finish(),
         vin,
         nodes,
         series,

@@ -13,18 +13,27 @@
 //! * [`bandpass`] — an RC band-pass chain for the dynamic-mode (AC)
 //!   experiments (E7);
 //! * [`ladder`] — bilateral resistive ladders (simultaneous-constraint
-//!   workloads for the scaling benches).
+//!   workloads for the scaling benches);
+//! * [`hierarchy`] — seeded hierarchical boards (backbone + subcircuit
+//!   blocks) for the region-sharded engine and its scaling gates.
+//!
+//! All generated families share the [`ChainBuilder`] plumbing for
+//! source wiring, node naming and tolerance threading.
 
 mod amp_branch;
 mod bandpass;
+mod builder;
 mod cascade;
 mod diode_net;
+mod hierarchy;
 mod ladder;
 mod three_stage;
 
 pub use amp_branch::{amp_branch, AmpBranch};
 pub use bandpass::{bandpass, Bandpass};
+pub use builder::ChainBuilder;
 pub use cascade::{cascade, Cascade};
 pub use diode_net::{diode_current_spec_micro_amps, diode_net, DiodeNet};
+pub use hierarchy::{hierarchy, Hierarchy, HierarchySpec};
 pub use ladder::{ladder, Ladder};
 pub use three_stage::{three_stage, ThreeStage};

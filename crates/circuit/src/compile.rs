@@ -22,8 +22,8 @@
 //! relation and caches `−1 / coef` as the very float the uncompiled
 //! engine computed per application.
 
-use crate::constraint::{Network, QuantityId, Relation};
-use crate::netlist::Net;
+use crate::constraint::{Network, QuantityId, QuantityKind, Relation};
+use crate::netlist::{CompId, Net, Netlist};
 
 /// One inversion direction of a linear constraint: solve
 /// `Σ coefⱼ·qⱼ + bias = 0` for the `target` term given the `others`.
@@ -170,6 +170,294 @@ impl CompiledNetwork {
     }
 }
 
+/// A **region partition** of a constraint network: every constraint,
+/// seed and spec is assigned to exactly one of `region_count` regions
+/// (seeds with no component support are replicated into every region
+/// that reads them), and the quantities read or written by more than one
+/// region form the **boundary cut**.
+///
+/// The partition is purely structural — it is derived from the netlist
+/// and the extracted network, never from values — so the same partition
+/// serves every board diagnosed against the model. Regions are grouped
+/// into *shards* contiguously; [`RegionPartition::shard_network`] builds
+/// the filtered sub-network a shard propagates (full global quantity
+/// list, so `QuantityId`s keep their meaning; only the shard's
+/// constraints/seeds/specs, in global relative order).
+///
+/// Assignment rules, in precedence order per constraint:
+/// 1. non-empty component `support` → the region of the first supporting
+///    component (the component whose correctness the relation encodes);
+/// 2. a Kirchhoff `conn` net → the region of that net;
+/// 3. the first mentioned quantity owned by a component (`Param`,
+///    branch/terminal currents, drops) → that component's region;
+/// 4. the first mentioned node voltage → that net's region;
+/// 5. region 0 (unreachable for extracted networks, kept total).
+///
+/// A net's region is the region of the first component (netlist order)
+/// touching it; ground and untouched nets default to region 0.
+#[derive(Debug, Clone)]
+pub struct RegionPartition {
+    region_count: usize,
+    comp_region: Vec<u32>,
+    constraint_region: Vec<u32>,
+    seed_regions: Vec<Vec<u32>>,
+    spec_region: Vec<u32>,
+    quantity_regions: Vec<Vec<u32>>,
+    boundary: Vec<QuantityId>,
+}
+
+impl RegionPartition {
+    /// Derives the partition induced by a component→region map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp_region` does not map every component of
+    /// `netlist`, if any region index is `>= region_count`, or if
+    /// `region_count` is zero.
+    #[must_use]
+    pub fn new(
+        netlist: &Netlist,
+        network: &Network,
+        comp_region: &[u32],
+        region_count: usize,
+    ) -> Self {
+        assert!(region_count > 0, "need at least one region");
+        assert_eq!(
+            comp_region.len(),
+            netlist.component_count(),
+            "comp_region must map every component"
+        );
+        assert!(
+            comp_region.iter().all(|&r| (r as usize) < region_count),
+            "region index out of range"
+        );
+
+        // Region of each net: first component (netlist order) touching it.
+        let mut net_region = vec![0u32; netlist.net_count()];
+        let mut net_seen = vec![false; netlist.net_count()];
+        for (ci, comp) in netlist.components() {
+            for net in comp.nets() {
+                let n = net.index();
+                if !net_seen[n] {
+                    net_seen[n] = true;
+                    net_region[n] = comp_region[ci.index()];
+                }
+            }
+        }
+
+        let owner = |q: QuantityId| -> Option<CompId> {
+            match network.quantities()[q.index()].kind {
+                QuantityKind::BranchCurrent(c)
+                | QuantityKind::BranchDrop(c)
+                | QuantityKind::BaseCurrent(c)
+                | QuantityKind::CollectorCurrent(c)
+                | QuantityKind::EmitterCurrent(c)
+                | QuantityKind::Param(c) => Some(c),
+                QuantityKind::NodeVoltage(_) => None,
+            }
+        };
+
+        let constraint_region: Vec<u32> = network
+            .constraints()
+            .iter()
+            .map(|c| {
+                if let Some(comp) = c.support.first() {
+                    return comp_region[comp.index()];
+                }
+                if let Some(net) = c.conn {
+                    return net_region[net.index()];
+                }
+                let qs = c.relation.quantities();
+                if let Some(comp) = qs.iter().find_map(|&q| owner(q)) {
+                    return comp_region[comp.index()];
+                }
+                qs.iter()
+                    .find_map(|&q| match network.quantities()[q.index()].kind {
+                        QuantityKind::NodeVoltage(net) => Some(net_region[net.index()]),
+                        _ => None,
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        // Regions reading/writing each quantity, via constraint usage.
+        let mut quantity_regions: Vec<Vec<u32>> = vec![Vec::new(); network.quantity_count()];
+        for (c, &region) in network.constraints().iter().zip(&constraint_region) {
+            for q in c.relation.quantities() {
+                let rs = &mut quantity_regions[q.index()];
+                if !rs.contains(&region) {
+                    rs.push(region);
+                }
+            }
+        }
+        for rs in &mut quantity_regions {
+            rs.sort_unstable();
+        }
+
+        let boundary: Vec<QuantityId> = (0..network.quantity_count())
+            .map(QuantityId::from_raw)
+            .filter(|q| quantity_regions[q.index()].len() >= 2)
+            .collect();
+
+        // Supported seeds live with their component; support-free seeds
+        // (the ground reference) are replicated into every region that
+        // reads the quantity, so each shard starts from the same anchor.
+        let seed_regions: Vec<Vec<u32>> = network
+            .seeds()
+            .iter()
+            .map(|s| {
+                if let Some(comp) = s.support.first() {
+                    vec![comp_region[comp.index()]]
+                } else if quantity_regions[s.quantity.index()].is_empty() {
+                    vec![0]
+                } else {
+                    quantity_regions[s.quantity.index()].clone()
+                }
+            })
+            .collect();
+
+        let spec_region: Vec<u32> = network
+            .specs()
+            .iter()
+            .map(|s| {
+                if let Some(comp) = s.support.first() {
+                    comp_region[comp.index()]
+                } else {
+                    quantity_regions[s.quantity.index()]
+                        .first()
+                        .copied()
+                        .unwrap_or(0)
+                }
+            })
+            .collect();
+
+        Self {
+            region_count,
+            comp_region: comp_region.to_vec(),
+            constraint_region,
+            seed_regions,
+            spec_region,
+            quantity_regions,
+            boundary,
+        }
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// The component→region map the partition was derived from.
+    #[must_use]
+    pub fn comp_region(&self) -> &[u32] {
+        &self.comp_region
+    }
+
+    /// Region each constraint is assigned to (indexed like
+    /// `network.constraints()`).
+    #[must_use]
+    pub fn constraint_region(&self) -> &[u32] {
+        &self.constraint_region
+    }
+
+    /// The boundary cut: quantities used by two or more regions,
+    /// ascending.
+    #[must_use]
+    pub fn boundary(&self) -> &[QuantityId] {
+        &self.boundary
+    }
+
+    /// The sorted distinct regions whose constraints mention `q`.
+    #[must_use]
+    pub fn quantity_regions(&self, q: QuantityId) -> &[u32] {
+        &self.quantity_regions[q.index()]
+    }
+
+    /// Groups `region_count` regions into `shard_count` contiguous
+    /// shards as evenly as possible; returns the region→shard map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    #[must_use]
+    pub fn shard_of_regions(region_count: usize, shard_count: usize) -> Vec<u32> {
+        assert!(shard_count > 0, "need at least one shard");
+        (0..region_count)
+            .map(|r| {
+                let s = r * shard_count / region_count;
+                u32::try_from(s.min(shard_count - 1)).expect("shard fits u32")
+            })
+            .collect()
+    }
+
+    /// Per-region membership flags for one shard of
+    /// [`Self::shard_of_regions`].
+    #[must_use]
+    pub fn shard_flags(region_count: usize, shard_count: usize, shard: u32) -> Vec<bool> {
+        Self::shard_of_regions(region_count, shard_count)
+            .into_iter()
+            .map(|s| s == shard)
+            .collect()
+    }
+
+    /// The filtered sub-network a shard propagates: the full global
+    /// quantity list (ids keep their meaning) with only the shard's
+    /// constraints, seeds and specs, in global relative order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_regions` does not flag every region.
+    #[must_use]
+    pub fn shard_network(&self, network: &Network, shard_regions: &[bool]) -> Network {
+        assert_eq!(shard_regions.len(), self.region_count);
+        let keep_constraint: Vec<bool> = self
+            .constraint_region
+            .iter()
+            .map(|&r| shard_regions[r as usize])
+            .collect();
+        let keep_seed: Vec<bool> = self
+            .seed_regions
+            .iter()
+            .map(|rs| rs.iter().any(|&r| shard_regions[r as usize]))
+            .collect();
+        let keep_spec: Vec<bool> = self
+            .spec_region
+            .iter()
+            .map(|&r| shard_regions[r as usize])
+            .collect();
+        network.restricted(&keep_constraint, &keep_seed, &keep_spec)
+    }
+
+    /// Which components belong to a shard (their correctness assumptions
+    /// are interned by that shard's engine).
+    #[must_use]
+    pub fn comp_in_shard(&self, shard_regions: &[bool]) -> Vec<bool> {
+        assert_eq!(shard_regions.len(), self.region_count);
+        self.comp_region
+            .iter()
+            .map(|&r| shard_regions[r as usize])
+            .collect()
+    }
+
+    /// The boundary quantities a shard shares with the outside: cut
+    /// quantities mentioned by at least one in-shard region and at least
+    /// one out-of-shard region.
+    #[must_use]
+    pub fn boundary_for(&self, shard_regions: &[bool]) -> Vec<QuantityId> {
+        assert_eq!(shard_regions.len(), self.region_count);
+        self.boundary
+            .iter()
+            .copied()
+            .filter(|q| {
+                let rs = &self.quantity_regions[q.index()];
+                rs.iter().any(|&r| shard_regions[r as usize])
+                    && rs.iter().any(|&r| !shard_regions[r as usize])
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +571,128 @@ mod tests {
         assert_eq!(a.relations(), b.relations());
         assert_eq!(a.consumers(), b.consumers());
         assert_eq!(a.conn_nets(), b.conn_nets());
+    }
+
+    mod partition {
+        use super::*;
+        use crate::circuits::{hierarchy, HierarchySpec};
+        use crate::constraint::QuantityKind;
+
+        fn small() -> (crate::circuits::Hierarchy, Network) {
+            let h = hierarchy(HierarchySpec::small(7));
+            let network = extract(&h.netlist, ExtractOptions::default());
+            (h, network)
+        }
+
+        #[test]
+        fn every_constraint_seed_and_spec_is_assigned() {
+            let (h, network) = small();
+            let (regions, count) = h.sparse_regions();
+            let part = RegionPartition::new(&h.netlist, &network, &regions, count);
+            assert_eq!(part.constraint_region().len(), network.constraints().len());
+            assert!(part
+                .constraint_region()
+                .iter()
+                .all(|&r| (r as usize) < count));
+            assert_eq!(part.region_count(), count);
+        }
+
+        #[test]
+        fn sparse_boundary_is_taps_and_ground_only() {
+            let (h, network) = small();
+            let (regions, count) = h.sparse_regions();
+            let part = RegionPartition::new(&h.netlist, &network, &regions, count);
+            // Region 0 (source + backbone) meets each block region only
+            // through the tap it drives — plus the ground reference,
+            // which every shunt drop mentions.
+            for &q in part.boundary() {
+                match network.quantities()[q.index()].kind {
+                    QuantityKind::NodeVoltage(net) => {
+                        assert!(
+                            net.is_ground() || h.taps.contains(&net),
+                            "unexpected boundary quantity {}",
+                            network.quantity_name(q)
+                        );
+                    }
+                    other => panic!("non-voltage boundary quantity {other:?}"),
+                }
+            }
+            // Every tap actually is in the cut.
+            for &tap in &h.taps {
+                let q = network.voltage_quantity(tap);
+                assert!(part.boundary().contains(&q), "tap missing from cut");
+                assert!(part.quantity_regions(q).len() == 2);
+            }
+            let _ = count;
+        }
+
+        #[test]
+        fn dense_partition_cuts_the_backbone() {
+            let (h, network) = small();
+            let (regions, count) = h.dense_regions();
+            let part = RegionPartition::new(&h.netlist, &network, &regions, count);
+            // Consecutive backbone sections share their joint net, so the
+            // dense cut is strictly larger than the sparse one.
+            let (sparse, sparse_count) = h.sparse_regions();
+            let sparse_part = RegionPartition::new(&h.netlist, &network, &sparse, sparse_count);
+            assert!(part.boundary().len() >= sparse_part.boundary().len());
+            // The backbone current through each series resistor crosses
+            // between adjacent regions.
+            let q = network
+                .find(QuantityKind::BranchCurrent(h.backbone_series[1]))
+                .unwrap();
+            assert!(
+                part.quantity_regions(q).len() >= 2,
+                "series backbone current must cross the dense cut"
+            );
+        }
+
+        #[test]
+        fn one_shard_restriction_is_the_whole_network() {
+            let (h, network) = small();
+            let (regions, count) = h.sparse_regions();
+            let part = RegionPartition::new(&h.netlist, &network, &regions, count);
+            let flags = vec![true; count];
+            let sub = part.shard_network(&network, &flags);
+            assert_eq!(sub.constraints(), network.constraints());
+            assert_eq!(sub.seeds(), network.seeds());
+            assert_eq!(sub.specs(), network.specs());
+            assert_eq!(sub.quantity_count(), network.quantity_count());
+            assert!(part.boundary_for(&flags).is_empty());
+            assert!(part.comp_in_shard(&flags).iter().all(|&b| b));
+        }
+
+        #[test]
+        fn shard_networks_partition_the_constraints() {
+            let (h, network) = small();
+            let (regions, count) = h.sparse_regions();
+            let part = RegionPartition::new(&h.netlist, &network, &regions, count);
+            for shard_count in [2usize, 4] {
+                let mut total = 0;
+                for shard in 0..shard_count {
+                    let flags = RegionPartition::shard_flags(
+                        count,
+                        shard_count,
+                        u32::try_from(shard).unwrap(),
+                    );
+                    total += part.shard_network(&network, &flags).constraints().len();
+                }
+                assert_eq!(
+                    total,
+                    network.constraints().len(),
+                    "constraints must split without overlap at {shard_count} shards"
+                );
+            }
+        }
+
+        #[test]
+        fn shard_grouping_is_contiguous_and_even() {
+            let map = RegionPartition::shard_of_regions(5, 2);
+            assert_eq!(map, vec![0, 0, 0, 1, 1]);
+            let map = RegionPartition::shard_of_regions(8, 4);
+            assert_eq!(map, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+            let map = RegionPartition::shard_of_regions(3, 8);
+            assert!(map.iter().all(|&s| s < 8));
+        }
     }
 }

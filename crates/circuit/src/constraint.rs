@@ -267,6 +267,41 @@ impl Network {
         });
     }
 
+    /// A filtered clone for the region-sharded engine: the *full*
+    /// quantity list (so `QuantityId`s keep their global meaning and a
+    /// shard's label columns line up with everyone else's) but only the
+    /// constraints, seeds and specs whose flag is set — in their
+    /// original relative order, which is what keeps a one-shard
+    /// restriction byte-identical to the unrestricted network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flag slice does not match the corresponding list.
+    #[must_use]
+    pub fn restricted(
+        &self,
+        keep_constraint: &[bool],
+        keep_seed: &[bool],
+        keep_spec: &[bool],
+    ) -> Network {
+        fn keep<T: Clone>(items: &[T], flags: &[bool]) -> Vec<T> {
+            assert_eq!(flags.len(), items.len(), "flag slice mismatch");
+            items
+                .iter()
+                .zip(flags)
+                .filter(|&(_, &k)| k)
+                .map(|(t, _)| t.clone())
+                .collect()
+        }
+        Network {
+            quantities: self.quantities.clone(),
+            constraints: keep(&self.constraints, keep_constraint),
+            seeds: keep(&self.seeds, keep_seed),
+            specs: keep(&self.specs, keep_spec),
+            voltage_of: self.voltage_of.clone(),
+        }
+    }
+
     fn push_quantity(&mut self, name: String, kind: QuantityKind) -> QuantityId {
         let id = QuantityId(u32::try_from(self.quantities.len()).expect("< 2^32 quantities"));
         self.quantities.push(Quantity { name, kind });

@@ -58,6 +58,7 @@ pub mod fault_model;
 pub mod learning;
 pub mod propagation;
 pub mod rules;
+pub mod shard;
 pub mod strategy;
 pub mod trace;
 
@@ -67,6 +68,7 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use flames::{DiagnosisOutcome, Flames, FlamesConfig};
+pub use shard::{ShardReport, ShardedModel, ShardedSession};
 
 /// Convenient result alias for fallible engine operations.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;

@@ -421,6 +421,101 @@ impl CompiledSchedule {
         }
     }
 
+    /// Like [`CompiledSchedule::build`], but interning correctness
+    /// assumptions only for the components flagged in `include` — the
+    /// per-shard schedule of the region-sharded engine. `network` must
+    /// already be the shard's filtered sub-network
+    /// ([`Network::restricted`] via the region partition): the full
+    /// global quantity list with only the shard's constraints, whose
+    /// supports all lie inside `include`.
+    ///
+    /// Off-shard components get a sentinel assumption
+    /// (`Assumption(u32::MAX)`) that must never reach an environment;
+    /// shard engines only derive envs over constraints they own, so the
+    /// sentinel is unreachable by construction (debug-asserted per kept
+    /// constraint). The local assumption ids are dense over the shard's
+    /// own vocabulary, which is what keeps per-shard [`Env`] bitsets
+    /// narrow — the point of sharding on one core.
+    ///
+    /// [`Network::restricted`]: flames_circuit::constraint::Network::restricted
+    ///
+    /// # Panics
+    ///
+    /// Panics if `include` does not flag every component of `netlist`.
+    #[must_use]
+    pub fn build_restricted(
+        netlist: &Netlist,
+        network: &Network,
+        config: PropagatorConfig,
+        include: &[bool],
+    ) -> Self {
+        assert_eq!(
+            include.len(),
+            netlist.component_count(),
+            "include must flag every component"
+        );
+        let compiled = CompiledNetwork::compile(network);
+        let mut atms = FuzzyAtms::new()
+            .with_tnorm(config.tnorm)
+            .with_kill_threshold(config.kill_threshold);
+        let mut pool = AssumptionPool::new();
+        let mut comp_assumptions = Vec::with_capacity(netlist.component_count());
+        for (id, comp) in netlist.components() {
+            if include[id.index()] {
+                let a = atms.add_assumption(comp.name());
+                let interned = pool.intern(comp.name());
+                debug_assert_eq!(a, interned);
+                comp_assumptions.push(a);
+            } else {
+                comp_assumptions.push(Assumption(u32::MAX));
+            }
+        }
+        let mut conn_assumptions = vec![None; netlist.net_count()];
+        for &net in compiled.conn_nets() {
+            let name = format!("conn:{}", netlist.net_name(net));
+            let a = atms.add_assumption(&name);
+            let interned = pool.intern(&name);
+            debug_assert_eq!(a, interned);
+            conn_assumptions[net.index()] = Some(a);
+        }
+        let constraint_envs: Vec<Env> = network
+            .constraints()
+            .iter()
+            .map(|c| {
+                debug_assert!(
+                    c.support.iter().all(|s| include[s.index()]),
+                    "shard constraint {} supported by an off-shard component",
+                    c.name
+                );
+                let mut env =
+                    Env::from_assumptions(c.support.iter().map(|s| comp_assumptions[s.index()]));
+                if let Some(net) = c.conn {
+                    if let Some(a) = conn_assumptions[net.index()] {
+                        env = env.with(a);
+                    }
+                }
+                env
+            })
+            .collect();
+        let seed_envs: Vec<Env> = network
+            .seeds()
+            .iter()
+            .map(|s| {
+                debug_assert!(s.support.iter().all(|c| include[c.index()]));
+                Env::from_assumptions(s.support.iter().map(|c| comp_assumptions[c.index()]))
+            })
+            .collect();
+        Self {
+            compiled,
+            pool,
+            comp_assumptions,
+            conn_assumptions,
+            constraint_envs,
+            seed_envs,
+            base_atms: atms,
+        }
+    }
+
     /// The compiled constraint schedule.
     #[must_use]
     pub fn compiled(&self) -> &CompiledNetwork {
@@ -815,6 +910,52 @@ impl<'n> Propagator<'n> {
     /// Installs an external graded nogood (e.g. from a fault-model rule).
     pub fn add_nogood(&mut self, env: Env, degree: f64) {
         self.state.atms.add_nogood(env, degree);
+    }
+
+    /// Enters a value derived *outside* this engine under an explicit
+    /// environment — the boundary-exchange entry point of the
+    /// region-sharded engine: a neighbouring shard derived `value` for a
+    /// cut quantity under `env` (already renamed into this shard's
+    /// vocabulary). Dominated and implausible values are rejected by the
+    /// same store rules as internally derived ones, so re-delivering an
+    /// entry is a no-op — that is what makes exchange rounds converge.
+    ///
+    /// Returns whether the value store changed (and the quantity joined
+    /// the next run's wake set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownQuantity`] for a foreign id.
+    pub fn insert_external(
+        &mut self,
+        q: QuantityId,
+        value: FuzzyInterval,
+        env: Env,
+        degree: f64,
+        measured: bool,
+    ) -> Result<bool> {
+        self.check(q)?;
+        let changed = self.state.insert(
+            self.config,
+            q,
+            value,
+            env,
+            degree.clamp(f64::MIN_POSITIVE, 1.0),
+            measured,
+        );
+        if changed {
+            self.state.dirty.push(q.index());
+        }
+        Ok(changed)
+    }
+
+    /// Interns a *foreign* assumption into this session's ATMS (lazy
+    /// boundary-vocabulary growth for the sharded engine). The id is
+    /// per-session: [`Propagator::reset`] and state restores rewind it
+    /// with the rest of the ATMS. The shared schedule's pool is not
+    /// touched — sharded reports render through the global vocabulary.
+    pub(crate) fn register_assumption(&mut self, name: &str) -> Assumption {
+        self.state.atms.add_assumption(name)
     }
 
     /// Runs constraint propagation to quiescence (bounded by

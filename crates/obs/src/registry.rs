@@ -80,6 +80,10 @@ define_metrics! {
     // Circuit substrate -----------------------------------------------
     models_extracted => "circuit.models_extracted",
     dc_solves => "circuit.dc_solves",
+    // Region-sharded engine --------------------------------------------
+    shard_boundary_envs => "shard.boundary_envs",
+    shard_cross_nogoods => "shard.cross_nogoods",
+    shard_waves => "shard.waves",
     @gauges
     pool_idle => "serve.pool_idle",
 }

@@ -59,4 +59,7 @@ run_gate exp_dc BENCH_dc.json
 echo "==> exp_strategy (planning gate: incremental candidates and probe planning >= 3x, byte-identical across threads, full loop no-regression)"
 run_gate exp_strategy BENCH_strategy.json
 
+echo "==> exp_shard (scaling gate: 5k-component board, candidates byte-identical across shard counts, sparse 1->4 >= 2x, dense no-regression)"
+run_gate exp_shard BENCH_shard.json
+
 echo "verify: OK"

@@ -144,4 +144,79 @@ fn kernel_counter_deltas_are_thread_count_invariant() {
         flames::obs::enabled(),
         "the oracle loop must re-enumerate candidates (and count it)"
     );
+
+    // Region-sharded engine: a multi-shard diagnosis must exchange
+    // boundary environments, deliver cross-shard nogoods, and count its
+    // per-shard waves; a 1-shard run has nothing to exchange. (Same
+    // process, same single #[test] — the shard.* counters are the same
+    // process-global atomics.)
+    use flames::circuit::circuits::{hierarchy, HierarchySpec};
+    use flames::circuit::constraint::{extract, ExtractOptions};
+    use flames::core::propagation::PropagatorConfig;
+    use flames::core::ShardedModel;
+    let h = hierarchy(HierarchySpec::small(7));
+    let (regions, count) = h.sparse_regions();
+    let config = PropagatorConfig {
+        max_steps: 5_000_000,
+        ..PropagatorConfig::default()
+    };
+    // Two soft drifts: a backbone shunt (conflicts at the shared taps)
+    // and a block divider resistor (a conflict interior to one block
+    // shard whose environment spans the cut — it must be delivered).
+    let board = inject_faults(
+        &h.netlist,
+        &[
+            (h.backbone_shunt[1], Fault::ParamFactor(1.15)),
+            (h.blocks[2][2], Fault::ParamFactor(1.25)),
+        ],
+    )
+    .expect("drift injection");
+    let shard_readings = h.readings(&board, 0.02).expect("replica solves");
+    let run_sharded = |shards: usize| {
+        let before = MetricsSnapshot::capture();
+        let model = ShardedModel::new(
+            h.netlist.clone(),
+            extract(&h.netlist, ExtractOptions::default()),
+            h.test_points.clone(),
+            h.predictions().expect("replica solves"),
+            &regions,
+            count,
+            shards,
+            config,
+        );
+        let mut session = model.session();
+        for (idx, r) in shard_readings.iter().enumerate() {
+            session.measure_point(idx, *r).expect("point exists");
+        }
+        session.propagate();
+        assert!(!session.report().nogoods.is_empty());
+        MetricsSnapshot::capture().delta_since(&before)
+    };
+    let solo = run_sharded(1);
+    let quad = run_sharded(4);
+    if flames::obs::enabled() {
+        assert!(quad.get("shard.waves") > 0, "shard.waves did not move");
+        assert!(
+            quad.get("shard.boundary_envs") > 0,
+            "a 4-shard run must exchange boundary environments"
+        );
+        assert!(
+            quad.get("shard.cross_nogoods") > 0,
+            "the backbone fault's conflict must cross the cut"
+        );
+        assert_eq!(
+            solo.get("shard.boundary_envs"),
+            0,
+            "a 1-shard run has no boundary to exchange"
+        );
+        assert_eq!(solo.get("shard.cross_nogoods"), 0);
+    } else {
+        for (name, delta) in [
+            ("shard.waves", &quad),
+            ("shard.boundary_envs", &quad),
+            ("shard.cross_nogoods", &quad),
+        ] {
+            assert_eq!(delta.get(name), 0, "{name} moved with obs compiled out");
+        }
+    }
 }

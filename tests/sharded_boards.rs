@@ -1,0 +1,218 @@
+//! Shard-count invariance and determinism gates of the region-sharded
+//! engine.
+//!
+//! The core contract of `flames::core::shard`: partitioning a board's
+//! propagation into region shards with boundary exchange is an
+//! implementation detail — the merged diagnosis (per-point
+//! consistencies, globally renamed nogoods, ranked candidates) must be
+//! **byte-identical** for 1, 2, 4 and 8 shards, on both the
+//! boundary-sparse and boundary-dense partitions, healthy or faulted.
+//! The 1-shard run is additionally anchored against the flat
+//! [`Diagnoser`] engine: same nogood list, same ranked candidates.
+
+use flames::circuit::circuits::{hierarchy, Hierarchy, HierarchySpec};
+use flames::circuit::constraint::{extract, ExtractOptions};
+use flames::circuit::fault::inject_faults;
+use flames::circuit::Fault;
+use flames::core::propagation::PropagatorConfig;
+use flames::core::{Diagnoser, DiagnoserConfig, ShardReport, ShardedModel};
+
+/// Instrument imprecision of the simulated probe readings (volts).
+const IMPRECISION: f64 = 0.02;
+
+fn config() -> PropagatorConfig {
+    // A full 5k-component board runs ~19k constraints in its first
+    // wave; the default per-run cap is sized for the paper's small
+    // circuits, so the sharded suites raise it uniformly (every shard
+    // count gets the same config — anything else would break identity).
+    PropagatorConfig {
+        max_steps: 5_000_000,
+        ..PropagatorConfig::default()
+    }
+}
+
+/// Diagnoses a (possibly faulted) board at the given shard count and
+/// returns the merged report.
+fn diagnose(
+    h: &Hierarchy,
+    regions: &[u32],
+    region_count: usize,
+    shard_count: usize,
+    faults: &[(flames::circuit::CompId, Fault)],
+) -> ShardReport {
+    let network = extract(&h.netlist, ExtractOptions::default());
+    let model = ShardedModel::new(
+        h.netlist.clone(),
+        network,
+        h.test_points.clone(),
+        h.predictions().unwrap(),
+        regions,
+        region_count,
+        shard_count,
+        config(),
+    );
+    let board = inject_faults(&h.netlist, faults).unwrap();
+    let readings = h.readings(&board, IMPRECISION).unwrap();
+    let mut session = model.session();
+    for (idx, r) in readings.iter().enumerate() {
+        session.measure_point(idx, *r).unwrap();
+    }
+    session.propagate();
+    session.report()
+}
+
+/// The soft-drift fault set every invariance run uses: a backbone shunt
+/// sagging and a block divider resistor drifting high — factors tuned to
+/// raise *partial* conflicts (0 < degree < 1), the regime where graded
+/// nogoods actually matter.
+fn seeded_faults(h: &Hierarchy) -> Vec<(flames::circuit::CompId, Fault)> {
+    vec![
+        (h.backbone_shunt[1], Fault::ParamFactor(1.15)),
+        (h.blocks[2][2], Fault::ParamFactor(1.25)),
+    ]
+}
+
+#[test]
+fn generator_and_compile_are_deterministic() {
+    let a = hierarchy(HierarchySpec::small(11));
+    let b = hierarchy(HierarchySpec::small(11));
+    assert_eq!(format!("{}", a.netlist), format!("{}", b.netlist));
+    let na = extract(&a.netlist, ExtractOptions::default());
+    let nb = extract(&b.netlist, ExtractOptions::default());
+    assert_eq!(format!("{na:?}"), format!("{nb:?}"));
+}
+
+#[test]
+fn sparse_partition_reports_are_shard_count_invariant() {
+    let h = hierarchy(HierarchySpec::small(7));
+    let (regions, count) = h.sparse_regions();
+    let faults = seeded_faults(&h);
+    let reference = diagnose(&h, &regions, count, 1, &faults);
+    assert!(
+        !reference.nogoods.is_empty(),
+        "the seeded faults must raise conflicts"
+    );
+    for (_, degree) in &reference.nogoods {
+        assert!(*degree < 1.0, "fault drift must stay a partial conflict");
+    }
+    // Both seeded faults are implicated by at least one conflict. (They
+    // need not appear in *minimal* hitting sets — backbone components
+    // sit in every cone, so singleton candidates can cover the store.)
+    for comp in [h.blocks[2][2], h.backbone_shunt[1]] {
+        let faulted = h.netlist.component(comp).name().to_owned();
+        assert!(
+            reference
+                .nogoods
+                .iter()
+                .any(|(set, _)| set.contains(&faulted)),
+            "faulted {faulted} missing from every nogood"
+        );
+    }
+    assert!(!reference.candidates.is_empty());
+    for shards in [2usize, 4, 8] {
+        let report = diagnose(&h, &regions, count, shards, &faults);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{reference:?}"),
+            "sparse partition, {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn dense_partition_reports_are_shard_count_invariant() {
+    let h = hierarchy(HierarchySpec::small(7));
+    let (regions, count) = h.dense_regions();
+    let faults = seeded_faults(&h);
+    let reference = diagnose(&h, &regions, count, 1, &faults);
+    assert!(!reference.nogoods.is_empty());
+    for shards in [2usize, 4] {
+        let report = diagnose(&h, &regions, count, shards, &faults);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{reference:?}"),
+            "dense partition, {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn healthy_boards_raise_no_conflicts_at_any_shard_count() {
+    let h = hierarchy(HierarchySpec::small(3));
+    let (regions, count) = h.sparse_regions();
+    for shards in [1usize, 4] {
+        let report = diagnose(&h, &regions, count, shards, &[]);
+        assert!(
+            report.nogoods.is_empty(),
+            "healthy board, {shards} shards: {:?}",
+            report.nogoods
+        );
+        assert!(report.candidates.is_empty());
+    }
+}
+
+#[test]
+fn one_shard_matches_the_flat_engine() {
+    let h = hierarchy(HierarchySpec::small(7));
+    let (regions, count) = h.sparse_regions();
+    let faults = seeded_faults(&h);
+    let sharded = diagnose(&h, &regions, count, 1, &faults);
+
+    let network = extract(&h.netlist, ExtractOptions::default());
+    let flat = Diagnoser::from_network(
+        &h.netlist,
+        network,
+        h.test_points.clone(),
+        h.predictions().unwrap(),
+        DiagnoserConfig {
+            propagator: config(),
+            ..DiagnoserConfig::default()
+        },
+    );
+    let board = inject_faults(&h.netlist, &faults).unwrap();
+    let readings = h.readings(&board, IMPRECISION).unwrap();
+    let mut session = flat.session();
+    for (idx, r) in readings.iter().enumerate() {
+        session.measure_point(idx, *r).unwrap();
+    }
+    session.propagate();
+    let flat_report = session.report();
+
+    assert_eq!(sharded.nogoods, flat_report.nogoods);
+    assert_eq!(sharded.candidates, flat_report.candidates);
+    for (sp, fp) in sharded.points.iter().zip(&flat_report.points) {
+        assert_eq!(format!("{sp:?}"), format!("{fp:?}"));
+    }
+}
+
+#[test]
+fn session_reset_restores_byte_identical_reports() {
+    let h = hierarchy(HierarchySpec::small(9));
+    let (regions, count) = h.sparse_regions();
+    let network = extract(&h.netlist, ExtractOptions::default());
+    let model = ShardedModel::new(
+        h.netlist.clone(),
+        network,
+        h.test_points.clone(),
+        h.predictions().unwrap(),
+        &regions,
+        count,
+        4,
+        config(),
+    );
+    let faults = seeded_faults(&h);
+    let board = inject_faults(&h.netlist, &faults).unwrap();
+    let readings = h.readings(&board, IMPRECISION).unwrap();
+    let mut session = model.session();
+    let run = |s: &mut flames::core::ShardedSession<'_>| {
+        for (idx, r) in readings.iter().enumerate() {
+            s.measure_point(idx, *r).unwrap();
+        }
+        s.propagate();
+        format!("{:?}", s.report())
+    };
+    let first = run(&mut session);
+    session.reset();
+    let second = run(&mut session);
+    assert_eq!(first, second);
+}
