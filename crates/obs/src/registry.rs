@@ -75,6 +75,12 @@ define_metrics! {
     pool_hits => "serve.pool_hits",
     pool_misses => "serve.pool_misses",
     boards_diagnosed => "serve.boards_diagnosed",
+    // HTTP diagnosis service (flames-serve) ---------------------------
+    serve_accepted => "serve.accepted",
+    serve_coalesced => "serve.coalesced",
+    serve_deduped_boards => "serve.deduped_boards",
+    serve_shed => "serve.shed",
+    serve_deadline_missed => "serve.deadline_missed",
     // Probe planning ---------------------------------------------------
     probe_evals => "strategy.probe_evals",
     // Circuit substrate -----------------------------------------------

@@ -1,0 +1,170 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches, and the
+//! example — just enough protocol to drive `flames-serve` over a
+//! keep-alive connection (and to misbehave on purpose in the
+//! fault-injection suite).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as the client saw it on the wire.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: String,
+}
+
+impl Response {
+    /// First header with `name` (case-insensitive), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One keep-alive connection to a server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects, with a 30-second response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends `POST /diagnose` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed responses.
+    pub fn diagnose(&mut self, body: &str) -> std::io::Result<Response> {
+        self.request("POST", "/diagnose", Some(body))
+    }
+
+    /// Sends a request (body optional) and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: flames\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes verbatim (for fault-injection tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Half-closes the sending direction (for truncation tests: the
+    /// server sees EOF mid-request but can still answer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn shutdown_write(&mut self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads one response off the wire (after [`Client::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection close, timeout, or unparseable framing.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut buf = Vec::new();
+        let header_end = loop {
+            if let Some(pos) = find_blank_line(&buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(buf[..header_end].to_vec())
+            .map_err(|_| invalid("non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines.filter(|l| !l.is_empty()) {
+            let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let mut body = buf[header_end + 4..].to_vec();
+        while body.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(content_length);
+        let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}

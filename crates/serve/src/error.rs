@@ -1,0 +1,174 @@
+//! The service error taxonomy.
+//!
+//! Every non-200 response carries exactly one [`ErrorKind`] — the four
+//! buckets a caller can act on — serialized in the body as
+//! `{"error": {"kind": ..., "status": ..., "message": ...}}`. The HTTP
+//! status refines the bucket (404 vs 405 vs 413 are all `bad_request`)
+//! but the kind is the contract: retry on `overload` and `timeout`,
+//! fix the request on `bad_request`, report `internal`.
+
+use std::fmt;
+
+/// The four actionable failure buckets of the diagnosis service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request can never succeed as sent: malformed HTTP or JSON,
+    /// unknown route/method/test point, truncated or oversize body.
+    BadRequest,
+    /// The service is saturated: the admission queue is full (429,
+    /// with `Retry-After`) or shutting down (503). Retry later.
+    Overload,
+    /// A deadline expired: the client fed bytes too slowly (408) or
+    /// the request waited in the queue past its own deadline (504).
+    Timeout,
+    /// A server-side invariant broke. Never the client's fault.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of the bucket.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overload => "overload",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A service error: taxonomy bucket, HTTP status, human message, and
+/// optional extra headers (e.g. `Retry-After` on a 429).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The taxonomy bucket.
+    pub kind: ErrorKind,
+    /// The HTTP status code refining the bucket.
+    pub status: u16,
+    /// Human-readable detail, serialized into the body.
+    pub message: String,
+    /// Extra response headers as `(name, value)` pairs.
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl ServeError {
+    /// A 400 `bad_request`.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::with_status(ErrorKind::BadRequest, 400, message)
+    }
+
+    /// A `bad_request` under a more specific status (404, 405, 411,
+    /// 413, ...).
+    #[must_use]
+    pub fn with_status(kind: ErrorKind, status: u16, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            status,
+            message: message.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A 429 `overload` with a `Retry-After` hint in seconds.
+    #[must_use]
+    pub fn overloaded(retry_after_secs: u64) -> Self {
+        let mut e = Self::with_status(
+            ErrorKind::Overload,
+            429,
+            "admission queue full, retry later",
+        );
+        e.headers
+            .push(("Retry-After", retry_after_secs.to_string()));
+        e
+    }
+
+    /// A 503 `overload`: the service is shutting down.
+    #[must_use]
+    pub fn shutting_down() -> Self {
+        Self::with_status(ErrorKind::Overload, 503, "service shutting down")
+    }
+
+    /// A 408 `timeout`: the read deadline expired mid-request.
+    #[must_use]
+    pub fn read_timeout() -> Self {
+        Self::with_status(
+            ErrorKind::Timeout,
+            408,
+            "read deadline expired before the request completed",
+        )
+    }
+
+    /// A 504 `timeout`: the per-request deadline expired in the queue.
+    #[must_use]
+    pub fn deadline_missed() -> Self {
+        Self::with_status(
+            ErrorKind::Timeout,
+            504,
+            "request deadline expired before diagnosis ran",
+        )
+    }
+
+    /// A 500 `internal`.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::with_status(ErrorKind::Internal, 500, message)
+    }
+
+    /// The canonical JSON body of this error.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"status\":{},\"message\":{}}}}}",
+            self.kind,
+            self.status,
+            flames_obs::trace::escape_json(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {}", self.kind, self.status, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_are_valid_json_with_the_taxonomy_fields() {
+        for e in [
+            ServeError::bad_request("no"),
+            ServeError::overloaded(1),
+            ServeError::shutting_down(),
+            ServeError::read_timeout(),
+            ServeError::deadline_missed(),
+            ServeError::internal("boom \"quoted\""),
+        ] {
+            let v = flames_obs::json::parse(&e.to_json()).expect("valid JSON");
+            let err = v.member("error").expect("error object");
+            assert_eq!(err.member("kind").unwrap().as_str(), Some(e.kind.as_str()));
+            assert_eq!(
+                err.member("status").unwrap().as_f64(),
+                Some(f64::from(e.status))
+            );
+            assert!(err.member("message").is_some());
+        }
+    }
+
+    #[test]
+    fn overload_carries_retry_after() {
+        let e = ServeError::overloaded(3);
+        assert_eq!(e.headers, vec![("Retry-After", "3".to_string())]);
+        assert_eq!(e.status, 429);
+    }
+}

@@ -1,0 +1,414 @@
+//! Minimal blocking HTTP/1.1 framing over [`TcpStream`].
+//!
+//! Just enough of RFC 9112 for the diagnosis protocol: request-line +
+//! headers + `Content-Length` bodies, keep-alive, and hard limits
+//! everywhere a client could stall or flood us — an *overall* read
+//! deadline per request (slow-loris protection: the clock starts at the
+//! first byte and drip-feeding does not reset it), a header-size cap,
+//! and a body-size cap checked before the body is read.
+
+use crate::error::ServeError;
+use std::io::{ErrorKind as IoKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Framing limits of one request read.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Overall deadline for receiving the complete request.
+    pub read_timeout: Duration,
+    /// Largest accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path only; no query parsing).
+    pub path: String,
+    /// Headers as `(lower-cased name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value by lower-case name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of waiting for a request on a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed (or went idle past the timeout) *between*
+    /// requests — a clean end of the connection, not an error.
+    Closed,
+}
+
+/// Reads one request. `carry` holds bytes left over from the previous
+/// read on this connection (pipelined or over-read data) and is updated
+/// to the remainder past this request.
+///
+/// # Errors
+///
+/// Returns the taxonomy error the caller should serialize before
+/// closing: 400 for malformed or truncated framing, 408 when the read
+/// deadline expires mid-request, 413 for an oversize body.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    limits: ReadLimits,
+) -> Result<ReadOutcome, ServeError> {
+    let deadline = Instant::now() + limits.read_timeout;
+    // ---- head ------------------------------------------------------
+    let head_end = loop {
+        if let Some(pos) = find_crlf_crlf(carry) {
+            break pos;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::bad_request("request head too large"));
+        }
+        match fill(stream, carry, deadline)? {
+            FillOutcome::Data => {}
+            FillOutcome::Eof if carry.is_empty() => return Ok(ReadOutcome::Closed),
+            FillOutcome::Eof => return Err(ServeError::bad_request("truncated request head")),
+            FillOutcome::TimedOut if carry.is_empty() => return Ok(ReadOutcome::Closed),
+            FillOutcome::TimedOut => return Err(ServeError::read_timeout()),
+        }
+    };
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+    let body_start = head_end + 4;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+            (m.to_owned(), p.to_owned(), v)
+        }
+        _ => {
+            return Err(ServeError::bad_request(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServeError::bad_request(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::bad_request(format!(
+                "malformed header line {line:?}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    // ---- body ------------------------------------------------------
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::bad_request(format!("invalid Content-Length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ServeError::with_status(
+            crate::error::ErrorKind::BadRequest,
+            413,
+            format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+    while carry.len() < body_start + content_length {
+        match fill(stream, carry, deadline)? {
+            FillOutcome::Data => {}
+            FillOutcome::Eof => return Err(ServeError::bad_request("truncated request body")),
+            FillOutcome::TimedOut => return Err(ServeError::read_timeout()),
+        }
+    }
+    let body = carry[body_start..body_start + content_length].to_vec();
+    carry.drain(..body_start + content_length);
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+enum FillOutcome {
+    Data,
+    Eof,
+    TimedOut,
+}
+
+/// One read into `buf`, honouring the overall deadline.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<FillOutcome, ServeError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Ok(FillOutcome::TimedOut);
+    }
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| ServeError::internal(format!("set_read_timeout: {e}")))?;
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(FillOutcome::Eof),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(FillOutcome::Data)
+        }
+        Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {
+            Ok(FillOutcome::TimedOut)
+        }
+        Err(e) if e.kind() == IoKind::Interrupted => Ok(FillOutcome::Data),
+        Err(e)
+            if matches!(
+                e.kind(),
+                IoKind::ConnectionReset | IoKind::ConnectionAborted
+            ) =>
+        {
+            Ok(FillOutcome::Eof)
+        }
+        Err(e) => Err(ServeError::internal(format!("socket read: {e}"))),
+    }
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase of the statuses the service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response with `Content-Type: application/json`, a
+/// computed `Content-Length`, and the given connection disposition.
+///
+/// # Errors
+///
+/// Propagates socket write errors (the caller drops the connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = String::with_capacity(128);
+    let _ = write!(head, "HTTP/1.1 {} {}\r\n", status, reason(status));
+    head.push_str("Content-Type: application/json\r\n");
+    let _ = write!(head, "Content-Length: {}\r\n", body.len());
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn limits() -> ReadLimits {
+        ReadLimits {
+            read_timeout: Duration::from_millis(300),
+            max_body_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn parses_request_with_body_and_keep_alive() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /diagnose HTTP/1.1\r\nContent-Length: 4\r\nHost: x\r\n\r\nabcd")
+            .unwrap();
+        let mut carry = Vec::new();
+        let ReadOutcome::Request(req) = read_request(&mut server, &mut carry, limits()).unwrap()
+        else {
+            panic!("expected request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/diagnose");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn pipelined_bytes_stay_in_carry() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"GET /metrics HTTP/1.1\r\n\r\nGET /next HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut carry = Vec::new();
+        let ReadOutcome::Request(first) = read_request(&mut server, &mut carry, limits()).unwrap()
+        else {
+            panic!("expected request");
+        };
+        assert_eq!(first.path, "/metrics");
+        let ReadOutcome::Request(second) = read_request(&mut server, &mut carry, limits()).unwrap()
+        else {
+            panic!("expected second request");
+        };
+        assert_eq!(second.path, "/next");
+    }
+
+    #[test]
+    fn idle_close_and_idle_timeout_are_clean() {
+        let (client, mut server) = pair();
+        drop(client);
+        let mut carry = Vec::new();
+        assert!(matches!(
+            read_request(&mut server, &mut carry, limits()).unwrap(),
+            ReadOutcome::Closed
+        ));
+        // Idle (no bytes at all) until the deadline: also clean.
+        let (_client2, mut server2) = pair();
+        let mut carry2 = Vec::new();
+        assert!(matches!(
+            read_request(&mut server2, &mut carry2, limits()).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn partial_head_then_stall_hits_the_read_deadline() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"POST /diagnose HTT").unwrap();
+        let mut carry = Vec::new();
+        let err = read_request(&mut server, &mut carry, limits()).unwrap_err();
+        assert_eq!(err.status, 408);
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /d HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .unwrap();
+        drop(client);
+        let mut carry = Vec::new();
+        let err = read_request(&mut server, &mut carry, limits()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn oversize_and_invalid_content_length_are_rejected() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /d HTTP/1.1\r\nContent-Length: 99999\r\n\r\n")
+            .unwrap();
+        let mut carry = Vec::new();
+        let err = read_request(&mut server, &mut carry, limits()).unwrap_err();
+        assert_eq!(err.status, 413);
+
+        let (mut client2, mut server2) = pair();
+        client2
+            .write_all(b"POST /d HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+            .unwrap();
+        let mut carry2 = Vec::new();
+        let err2 = read_request(&mut server2, &mut carry2, limits()).unwrap_err();
+        assert_eq!(err2.status, 400);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for head in [
+            "NOPATH HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+        ] {
+            let (mut client, mut server) = pair();
+            client.write_all(head.as_bytes()).unwrap();
+            let mut carry = Vec::new();
+            let err = read_request(&mut server, &mut carry, limits()).unwrap_err();
+            assert_eq!(err.status, 400, "{head:?}");
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let (mut client, mut server) = pair();
+        write_response(
+            &mut server,
+            429,
+            &[("Retry-After", "1".to_string())],
+            "{\"error\":{}}",
+            false,
+        )
+        .unwrap();
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":{}}"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `flames-serve`: the network-facing diagnosis service.
+//!
+//! A zero-dependency (std-only) blocking HTTP/1.1 server over the
+//! FLAMES serving stack: `POST /diagnose` accepts a batch of
+//! measurement sets and returns ranked candidates plus the recommended
+//! next probe; an admission-control queue coalesces concurrent requests
+//! into shared board-lane waves (≤64 sessions, executed by
+//! [`flames_core::Session::propagate_lane`]) and collapses bit-identical
+//! boards onto one warm session, so duplicate concurrent queries are
+//! nearly free — and, because lane propagation is byte-identical to a
+//! solo run, invisibly so. Overload is shed explicitly (429/503 with an
+//! `{"error": {...}}` taxonomy body), deadlines are honoured per
+//! request, `GET /metrics` dumps the process-wide counter table, and
+//! `GET /trace/:id` streams the Chrome trace of a completed request.
+//!
+//! ```no_run
+//! use flames_serve::{serve, Client, ServeConfig};
+//! # fn main() -> std::io::Result<()> {
+//! # let diagnoser: flames_core::Diagnoser = unimplemented!();
+//! let handle = serve("127.0.0.1:0", diagnoser, ServeConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let response = client.diagnose(
+//!     r#"{"boards": [[{"point": "Vmid", "value": 6.1}]]}"#,
+//! )?;
+//! assert_eq!(response.status, 200);
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod wave;
+
+pub use client::{Client, Response};
+pub use error::{ErrorKind, ServeError};
+pub use protocol::{DiagnoseRequest, MAX_BOARDS_PER_REQUEST};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use wave::{diagnose_boards, BoardOutcome, NextProbe};

@@ -1,0 +1,313 @@
+//! Wave execution: coalesced requests → one board-lane propagation.
+//!
+//! A *wave* is the unit of server-side work: the boards of every
+//! request drained from the admission queue, deduplicated (identical
+//! measurement sets collapse onto one warm session — the request
+//! coalescing that makes concurrent duplicate queries nearly free), and
+//! driven to quiescence by a single shared-agenda lane traversal
+//! ([`Session::propagate_lane`], the PR-4 batcher). The lane machinery
+//! guarantees each board's propagation is byte-identical to a solo run,
+//! so coalescing is invisible in the responses — the end-to-end suite
+//! pins server bytes against [`flames_core::diagnose_batch_lanes`].
+
+use flames_core::strategy::{recommend, Policy};
+use flames_core::{Board, Diagnoser, Report, Result, Session, SessionPool};
+use flames_obs::Trace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The planner's verdict on where to probe next: the lowest-scoring
+/// unprobed test point under the paper's fuzzy-entropy policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NextProbe {
+    /// Test-point index in the diagnoser's declaration order.
+    pub point: usize,
+    /// The point's name.
+    pub name: String,
+    /// Expected-entropy score (lower is better).
+    pub score: f64,
+}
+
+/// Everything the service derives from one board: the full diagnosis
+/// [`Report`], the recommended next probe (absent when every point has
+/// been probed or the request declined it), and the session's
+/// deterministic diagnosis trace.
+#[derive(Debug, Clone)]
+pub struct BoardOutcome {
+    /// The diagnosis snapshot.
+    pub report: Report,
+    /// Best next test point, if requested and any point is unprobed.
+    pub next_probe: Option<NextProbe>,
+    /// The logical-clock trace of the session that served this board,
+    /// shared so fanning an outcome out to coalesced duplicate requests
+    /// never copies the event log.
+    pub trace: Arc<Trace>,
+}
+
+/// Exact-content dedup key of a board: point indices with the four
+/// trapezoid columns bit-cast, so two boards coalesce only when their
+/// measurement sets are bit-identical (and therefore provably produce
+/// byte-identical responses).
+fn board_key(board: &Board) -> Vec<(usize, [u64; 4])> {
+    board
+        .iter()
+        .map(|(idx, v)| {
+            (
+                *idx,
+                [
+                    v.core_lo().to_bits(),
+                    v.core_hi().to_bits(),
+                    v.spread_left().to_bits(),
+                    v.spread_right().to_bits(),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Diagnoses one wave of boards on pooled sessions: dedup, measure,
+/// one lane propagation, then report + next-probe + trace per unique
+/// board, fanned back out to every input board.
+///
+/// `want_next_probe[i]` asks for a recommendation for board `i`; a
+/// unique board computes it if *any* of its duplicates asked (the
+/// report is unaffected either way).
+///
+/// # Errors
+///
+/// Returns the first per-board error (out-of-range test-point index —
+/// unreachable through the HTTP path, which validates indices at
+/// parse time).
+///
+/// # Panics
+///
+/// Panics if the wave exceeds 64 unique boards (the lane cap); the
+/// admission queue never drains more.
+pub fn run_wave<'d>(
+    pool: &mut SessionPool<'d>,
+    boards: &[Board],
+    want_next_probe: &[bool],
+) -> Result<Vec<BoardOutcome>> {
+    debug_assert_eq!(boards.len(), want_next_probe.len());
+    // Dedup in first-occurrence order, so session order — and hence the
+    // whole wave — is a deterministic function of the drained queue.
+    let mut unique_of: HashMap<Vec<(usize, [u64; 4])>, usize> = HashMap::new();
+    let mut unique_boards: Vec<&Board> = Vec::new();
+    let mut unique_probe: Vec<bool> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(boards.len());
+    for (board, &probe) in boards.iter().zip(want_next_probe) {
+        let slot = *unique_of.entry(board_key(board)).or_insert_with(|| {
+            unique_boards.push(board);
+            unique_probe.push(false);
+            unique_boards.len() - 1
+        });
+        unique_probe[slot] |= probe;
+        slot_of.push(slot);
+    }
+    flames_obs::metrics()
+        .serve_deduped_boards
+        .add((boards.len() - unique_boards.len()) as u64);
+
+    let mut sessions: Vec<Session<'d>> = Vec::with_capacity(unique_boards.len());
+    for board in &unique_boards {
+        flames_obs::metrics().boards_diagnosed.incr();
+        let mut session = pool.acquire();
+        for &(idx, value) in board.iter() {
+            session.measure_point(idx, value)?;
+        }
+        sessions.push(session);
+    }
+    {
+        let mut refs: Vec<&mut Session<'d>> = sessions.iter_mut().collect();
+        Session::propagate_lane(&mut refs);
+    }
+    let mut unique_outcomes: Vec<BoardOutcome> = Vec::with_capacity(sessions.len());
+    for (session, &probe) in sessions.iter().zip(&unique_probe) {
+        let report = session.report();
+        let next_probe = if probe {
+            recommend(session, Policy::FuzzyEntropy, 0.0)
+                .into_iter()
+                .next()
+                .map(|c| NextProbe {
+                    point: c.point,
+                    name: c.name,
+                    score: c.score,
+                })
+        } else {
+            None
+        };
+        unique_outcomes.push(BoardOutcome {
+            report,
+            next_probe,
+            trace: Arc::new(session.trace()),
+        });
+    }
+    for session in sessions {
+        pool.release(session);
+    }
+    Ok(slot_of
+        .into_iter()
+        .map(|slot| unique_outcomes[slot].clone())
+        .collect())
+}
+
+/// The in-process reference for the end-to-end suite and the bench:
+/// diagnoses `boards` exactly as the server's batcher would execute
+/// them as one wave (fresh pool, dedup, lane propagation, next-probe
+/// recommendation per board).
+///
+/// # Errors
+///
+/// Returns the first per-board error, as [`run_wave`] does.
+pub fn diagnose_boards(
+    diagnoser: &Diagnoser,
+    boards: &[Board],
+    next_probe: bool,
+) -> Result<Vec<BoardOutcome>> {
+    let mut pool = SessionPool::new(diagnoser);
+    run_wave(&mut pool, boards, &vec![next_probe; boards.len()])
+}
+
+/// Merges per-board diagnosis traces into one Chrome `trace_event`
+/// document, one `tid` per board, preserving each board's logical
+/// clock. This is what `GET /trace/:id` streams for a completed
+/// request — rendered lazily on the GET, never on the serving path (a
+/// propagation-heavy board's document runs to megabytes).
+#[must_use]
+pub fn traces_to_chrome_json(traces: &[Arc<Trace>]) -> String {
+    use flames_obs::trace::escape_json;
+    use flames_obs::ArgValue;
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (board, trace) in traces.iter().enumerate() {
+        for ev in trace.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                escape_json(&ev.name),
+                ev.cat,
+                ev.ph,
+                board + 1,
+                ev.ts
+            );
+            if ev.ph == 'X' {
+                let _ = write!(out, ",\"dur\":{}", ev.dur);
+            }
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:", escape_json(key));
+                match value {
+                    ArgValue::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    ArgValue::F64(v) => {
+                        if v.is_finite() {
+                            let mut s = format!("{v}");
+                            if !s.contains('.') && !s.contains('e') {
+                                s.push_str(".0");
+                            }
+                            out.push_str(&s);
+                        } else {
+                            let _ = write!(out, "\"{v}\"");
+                        }
+                    }
+                    ArgValue::Str(v) => out.push_str(&escape_json(v)),
+                }
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flames_circuit::predict::TestPoint;
+    use flames_circuit::{Net, Netlist};
+    use flames_core::{diagnose_batch_lanes, DiagnoserConfig};
+    use flames_fuzzy::FuzzyInterval;
+
+    fn divider() -> Diagnoser {
+        let mut nl = Netlist::new();
+        let vin = nl.add_net("vin");
+        let mid = nl.add_net("mid");
+        nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+        let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
+        let r2 = nl
+            .add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)
+            .unwrap();
+        let points = vec![
+            TestPoint::new(mid, "Vmid", vec![r1, r2]),
+            TestPoint::new(vin, "Vin", vec![]),
+        ];
+        Diagnoser::from_netlist(&nl, points, DiagnoserConfig::default()).unwrap()
+    }
+
+    fn board(v: f64) -> Board {
+        vec![(0, FuzzyInterval::crisp(v).widened(0.05).unwrap())]
+    }
+
+    #[test]
+    fn wave_reports_match_lane_batch_and_dedup_is_invisible() {
+        let d = divider();
+        // Boards 0 and 2 are bit-identical: the wave runs 2 sessions
+        // for 3 boards, and the duplicate's outcome is a clone.
+        let boards = vec![board(6.1), board(4.2), board(6.1)];
+        let outcomes = diagnose_boards(&d, &boards, true).unwrap();
+        let expected = diagnose_batch_lanes(&d, &boards, 1, 64).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (o, e) in outcomes.iter().zip(&expected) {
+            assert_eq!(format!("{:?}", o.report), format!("{e:?}"));
+        }
+        assert_eq!(
+            format!("{:?}", outcomes[0].report),
+            format!("{:?}", outcomes[2].report)
+        );
+        assert_eq!(outcomes[0].next_probe, outcomes[2].next_probe);
+        // One unprobed point (Vin) remains: the planner recommends it.
+        let np = outcomes[0].next_probe.as_ref().expect("recommendation");
+        assert_eq!(np.name, "Vin");
+    }
+
+    #[test]
+    fn next_probe_respects_the_flag_and_exhaustion() {
+        let d = divider();
+        let boards = vec![board(6.1)];
+        let without = diagnose_boards(&d, &boards, false).unwrap();
+        assert!(without[0].next_probe.is_none());
+        // Probe both points: nothing left to recommend.
+        let full: Board = vec![
+            (0, FuzzyInterval::crisp(6.1).widened(0.05).unwrap()),
+            (1, FuzzyInterval::crisp(10.0).widened(0.05).unwrap()),
+        ];
+        let done = diagnose_boards(&d, &[full], true).unwrap();
+        assert!(done[0].next_probe.is_none());
+    }
+
+    #[test]
+    fn merged_trace_is_a_loadable_chrome_document() {
+        let d = divider();
+        let outcomes = diagnose_boards(&d, &[board(6.1), board(4.2)], false).unwrap();
+        let traces: Vec<Arc<Trace>> = outcomes.iter().map(|o| o.trace.clone()).collect();
+        let json = traces_to_chrome_json(&traces);
+        let v = flames_obs::json::parse(&json).expect("valid JSON");
+        let events = v.member("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        // Both boards contribute, on distinct tids.
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .map(|e| e.member("tid").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert_eq!(tids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Serving diagnosis over HTTP: start the network service on a
+//! loopback port, drive it with the bundled client, and print the
+//! exchanges as a curl-style transcript.
+//!
+//! ```bash
+//! cargo run --example serve_http
+//! ```
+//!
+//! The same binary works with observability compiled out (`--no-default-features`):
+//! the server serves identically and `/metrics` reports all zeros.
+
+use flames::circuit::predict::TestPoint;
+use flames::circuit::{Net, Netlist};
+use flames::core::{Diagnoser, DiagnoserConfig};
+use flames::serve::{serve, Client, ServeConfig};
+
+fn transcript(
+    title: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    response: &flames::serve::Response,
+) {
+    println!("# {title}");
+    match body {
+        Some(b) => println!("$ curl -s -X {method} http://$ADDR{path} -d '{b}'"),
+        None => println!("$ curl -s http://$ADDR{path}"),
+    }
+    let shown = if response.body.len() > 400 {
+        format!(
+            "{}... ({} bytes)",
+            &response.body[..400],
+            response.body.len()
+        )
+    } else {
+        response.body.clone()
+    };
+    println!("HTTP {}", response.status);
+    if let Some(id) = response.header("x-request-id") {
+        println!("X-Request-Id: {id}");
+    }
+    println!("{shown}\n");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The quickstart divider, served over the network: a 10 V source
+    // driving two 1 kΩ ± 5 % resistors, probed at the midpoint and the
+    // supply.
+    let mut netlist = Netlist::new();
+    let vin = netlist.add_net("vin");
+    let mid = netlist.add_net("mid");
+    netlist.add_voltage_source("V", vin, Net::GROUND, 10.0)?;
+    let r1 = netlist.add_resistor("R1", vin, mid, 1_000.0, 0.05)?;
+    let r2 = netlist.add_resistor("R2", mid, Net::GROUND, 1_000.0, 0.05)?;
+    let points = vec![
+        TestPoint::new(mid, "Vmid", vec![r1, r2]),
+        TestPoint::new(vin, "Vin", vec![]),
+    ];
+    let diagnoser = Diagnoser::from_netlist(&netlist, points, DiagnoserConfig::default())?;
+
+    let handle = serve("127.0.0.1:0", diagnoser, ServeConfig::default())?;
+    println!("serving on http://{} (ADDR below)\n", handle.addr());
+    let mut client = Client::connect(handle.addr())?;
+
+    // A board under test reads 6.1 V at the midpoint where ~5 V is
+    // expected: the service returns ranked candidates and recommends
+    // probing Vin next.
+    let body = r#"{"boards": [[{"point": "Vmid", "value": {"m1": 6.05, "m2": 6.15, "alpha": 0.1, "beta": 0.1}}]]}"#;
+    let response = client.diagnose(body)?;
+    assert_eq!(response.status, 200);
+    let id = response
+        .header("x-request-id")
+        .expect("every 200 carries an id")
+        .to_string();
+    transcript(
+        "diagnose a drifted board",
+        "POST",
+        "/diagnose",
+        Some(body),
+        &response,
+    );
+
+    // Malformed input maps to the error taxonomy, not a dropped
+    // connection.
+    let mut fresh = Client::connect(handle.addr())?;
+    let bad = fresh.diagnose("{\"boards\": [[{\"point\": \"nope\", \"value\": 1}]]}")?;
+    assert_eq!(bad.status, 400);
+    transcript(
+        "a bad request gets the taxonomy",
+        "POST",
+        "/diagnose",
+        Some("{\"boards\": [[{\"point\": \"nope\", ...}]]}"),
+        &bad,
+    );
+
+    // The whole counter table over HTTP (all zeros without `obs`).
+    let metrics = client.request("GET", "/metrics", None)?;
+    assert_eq!(metrics.status, 200);
+    transcript("metrics snapshot", "GET", "/metrics", None, &metrics);
+
+    // The Chrome trace of the completed request, by its id.
+    let trace = client.request("GET", &format!("/trace/{id}"), None)?;
+    assert_eq!(trace.status, 200);
+    transcript(
+        "chrome trace of the first request",
+        "GET",
+        &format!("/trace/{id}"),
+        None,
+        &trace,
+    );
+
+    handle.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}

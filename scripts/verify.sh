@@ -62,4 +62,10 @@ run_gate exp_strategy BENCH_strategy.json
 echo "==> exp_shard (scaling gate: 5k-component board, candidates byte-identical across shard counts, sparse 1->4 >= 2x, dense no-regression)"
 run_gate exp_shard BENCH_shard.json
 
+echo "==> exp_serve (HTTP gate: served bytes == in-process wave reference, coalesced >= 1.5x one-request-per-wave)"
+run_gate exp_serve BENCH_serve.json
+
+echo "==> serve_http example with observability compiled out (server must serve with no-op metrics)"
+cargo run -q --example serve_http --no-default-features
+
 echo "verify: OK"

@@ -16,7 +16,11 @@
 //! * [`crisp`] — the DIANA-style crisp-interval baseline;
 //! * [`obs`] — dependency-free observability: kernel counters,
 //!   [`obs::MetricsSnapshot`] deltas, Chrome-trace diagnosis traces
-//!   (feature `obs`, on by default; off compiles to no-ops).
+//!   (feature `obs`, on by default; off compiles to no-ops);
+//! * [`serve`] — the network-facing diagnosis service: a std-only
+//!   HTTP/1.1 server that coalesces concurrent `POST /diagnose`
+//!   requests into shared board-lane waves, with bounded-backlog
+//!   admission control and metrics/trace endpoints.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record. The runnable
@@ -39,3 +43,4 @@ pub use flames_core as core;
 pub use flames_crisp as crisp;
 pub use flames_fuzzy as fuzzy;
 pub use flames_obs as obs;
+pub use flames_serve as serve;

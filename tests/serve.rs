@@ -1,0 +1,186 @@
+//! End-to-end contract of the HTTP diagnosis service: a board served
+//! over the socket must produce bytes identical to the same board
+//! diagnosed in process — across worker counts, with coalescing on or
+//! off, over keep-alive connections — and the side endpoints
+//! (`/metrics`, `/trace/:id`) must stream well-formed documents.
+
+use flames::circuit::predict::TestPoint;
+use flames::circuit::{Net, Netlist};
+use flames::core::{diagnose_batch_lanes, Board, Diagnoser, DiagnoserConfig};
+use flames::fuzzy::FuzzyInterval;
+use flames::serve::protocol::render_response;
+use flames::serve::{diagnose_boards, serve, Client, ServeConfig};
+use std::fmt::Write as _;
+
+/// A two-point voltage divider: small enough that every server spin-up
+/// in this suite stays cheap, rich enough to produce candidates and a
+/// next-probe recommendation.
+fn divider() -> Diagnoser {
+    let mut nl = Netlist::new();
+    let vin = nl.add_net("vin");
+    let mid = nl.add_net("mid");
+    nl.add_voltage_source("V", vin, Net::GROUND, 10.0).unwrap();
+    let r1 = nl.add_resistor("R1", vin, mid, 1000.0, 0.05).unwrap();
+    let r2 = nl
+        .add_resistor("R2", mid, Net::GROUND, 1000.0, 0.05)
+        .unwrap();
+    let points = vec![
+        TestPoint::new(mid, "Vmid", vec![r1, r2]),
+        TestPoint::new(vin, "Vin", vec![]),
+    ];
+    Diagnoser::from_netlist(&nl, points, DiagnoserConfig::default()).unwrap()
+}
+
+fn board(v: f64) -> Board {
+    vec![(0, FuzzyInterval::crisp(v).widened(0.05).unwrap())]
+}
+
+/// Renders boards as a `/diagnose` request body (indices + full
+/// trapezoid objects, shortest-round-trip floats).
+fn request_body(boards: &[Board], next_probe: bool) -> String {
+    let mut out = String::from("{\"boards\": [");
+    for (i, b) in boards.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, (idx, v)) in b.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"point\": {idx}, \"value\": {{\"m1\": {}, \"m2\": {}, \"alpha\": {}, \"beta\": {}}}}}",
+                v.core_lo(),
+                v.core_hi(),
+                v.spread_left(),
+                v.spread_right()
+            );
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "], \"next_probe\": {next_probe}}}");
+    out
+}
+
+/// What the server must answer, computed in process through the exact
+/// batcher path (dedup + lane propagation + recommendation).
+fn expected_body(diagnoser: &Diagnoser, boards: &[Board], next_probe: bool) -> String {
+    render_response(&diagnose_boards(diagnoser, boards, next_probe).unwrap())
+}
+
+#[test]
+fn responses_are_byte_identical_to_in_process_diagnosis() {
+    let diagnoser = divider();
+    // Board 2 duplicates board 0 bit-for-bit: the wave dedups them onto
+    // one session, and the bytes must not show it.
+    let requests: Vec<(Vec<Board>, bool)> = vec![
+        (vec![board(6.1)], true),
+        (vec![board(6.1), board(4.2), board(6.1)], true),
+        (vec![board(5.0)], false),
+    ];
+    for workers in [1, 3] {
+        for coalesce in [true, false] {
+            let handle = serve(
+                "127.0.0.1:0",
+                diagnoser.clone(),
+                ServeConfig {
+                    workers,
+                    coalesce,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let mut client = Client::connect(handle.addr()).unwrap();
+            for (boards, next_probe) in &requests {
+                let response = client.diagnose(&request_body(boards, *next_probe)).unwrap();
+                assert_eq!(response.status, 200, "{}", response.body);
+                assert_eq!(
+                    response.body,
+                    expected_body(&diagnoser, boards, *next_probe),
+                    "workers={workers} coalesce={coalesce}"
+                );
+                assert!(response.header("x-request-id").is_some());
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn server_path_matches_the_lane_batch_reference() {
+    // The in-process reference the previous test pins against must
+    // itself agree with `diagnose_batch_lanes`, closing the chain from
+    // socket bytes back to the engine's lane batcher.
+    let diagnoser = divider();
+    let boards = vec![board(6.1), board(4.2), board(5.0), board(6.1)];
+    let outcomes = diagnose_boards(&diagnoser, &boards, false).unwrap();
+    let reference = diagnose_batch_lanes(&diagnoser, &boards, 1, 64).unwrap();
+    for (o, r) in outcomes.iter().zip(&reference) {
+        assert_eq!(format!("{:?}", o.report), format!("{r:?}"));
+    }
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let diagnoser = divider();
+    let handle = serve("127.0.0.1:0", diagnoser.clone(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut ids = Vec::new();
+    for v in [6.1, 4.2, 5.0] {
+        let boards = vec![board(v)];
+        let response = client.diagnose(&request_body(&boards, true)).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, expected_body(&diagnoser, &boards, true));
+        ids.push(response.header("x-request-id").unwrap().to_string());
+    }
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "request ids are distinct");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_dumps_the_registry() {
+    let handle = serve("127.0.0.1:0", divider(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(response.status, 200);
+    let v = flames::obs::json::parse(&response.body).expect("metrics is valid JSON");
+    let obj = v.as_object().expect("metrics is an object");
+    for name in ["serve.accepted", "serve.coalesced", "serve.shed"] {
+        assert!(obj.iter().any(|(k, _)| k == name), "missing {name}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn trace_endpoint_streams_a_chrome_document() {
+    let diagnoser = divider();
+    let handle = serve("127.0.0.1:0", diagnoser, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let boards = vec![board(6.1), board(4.2)];
+    let response = client.diagnose(&request_body(&boards, false)).unwrap();
+    assert_eq!(response.status, 200);
+    let id = response.header("x-request-id").unwrap().to_string();
+
+    let trace = client
+        .request("GET", &format!("/trace/{id}"), None)
+        .unwrap();
+    assert_eq!(trace.status, 200);
+    let v = flames::obs::json::parse(&trace.body).expect("trace is valid JSON");
+    let events = v.member("traceEvents").unwrap().as_array().unwrap();
+    if flames::obs::enabled() {
+        assert!(!events.is_empty(), "obs build records diagnosis events");
+        // Both boards contribute, on distinct tids.
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .map(|e| e.member("tid").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert_eq!(tids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    let missing = client.request("GET", "/trace/999999", None).unwrap();
+    assert_eq!(missing.status, 404);
+    handle.shutdown();
+}
